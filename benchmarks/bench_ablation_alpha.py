@@ -1,0 +1,28 @@
+"""Ablation: sensitivity of HSGD* to the workload share alpha.
+
+Forces the GPU share away from the cost model's choice and measures the
+running-time penalty, quantifying how much the cost model buys.
+"""
+
+from conftest import emit
+
+from repro.experiments import ablation_alpha_sensitivity
+from repro.metrics.reporting import format_mapping
+
+
+def test_ablation_alpha_sensitivity(benchmark, bench_context):
+    dataset = bench_context.datasets[-1]
+    result = benchmark.pedantic(
+        ablation_alpha_sensitivity,
+        kwargs={"context": bench_context, "dataset": dataset},
+        rounds=1,
+        iterations=1,
+    )
+    emit(f"Alpha sensitivity ({dataset})", format_mapping(result.times, "{:.6f}"))
+
+    worst = max(result.times.values())
+    # The cost-model split is near the best forced split and clearly
+    # better than the worst one.
+    best_forced = min(v for k, v in result.times.items() if k != "cost-model")
+    assert result.times["cost-model"] <= best_forced * 1.15
+    assert result.times["cost-model"] < worst

@@ -1,0 +1,22 @@
+"""Ablation: the column-count rule (nc + 2 ng + 1) of the nonuniform division."""
+
+from conftest import emit
+
+from repro.experiments import ablation_column_rule
+from repro.metrics.reporting import format_mapping
+
+
+def test_ablation_column_rule(benchmark, bench_context):
+    dataset = bench_context.datasets[-1]
+    result = benchmark.pedantic(
+        ablation_column_rule,
+        kwargs={"context": bench_context, "dataset": dataset},
+        rounds=1,
+        iterations=1,
+    )
+    emit(f"Column-count rule ({dataset})", format_mapping(result.times, "{:.6f}"))
+
+    # The paper's rule (scale 1.0) is within 20% of the best swept setting:
+    # far finer grids shrink GPU blocks, far coarser grids starve workers.
+    best = min(result.times.values())
+    assert result.times["columns x1"] <= best * 1.2

@@ -1,0 +1,20 @@
+"""Ablation: CUDA-stream overlap of transfers and kernel execution (Figure 8)."""
+
+from conftest import emit
+
+from repro.experiments import ablation_stream_overlap
+from repro.metrics.reporting import format_mapping
+
+
+def test_ablation_stream_overlap(benchmark, bench_context):
+    results = benchmark.pedantic(
+        ablation_stream_overlap,
+        kwargs={"context": bench_context, "datasets": list(bench_context.datasets[:2])},
+        rounds=1,
+        iterations=1,
+    )
+    for entry in results:
+        emit(f"Stream overlap ({entry.dataset})", format_mapping(entry.times, "{:.6f}"))
+
+    for entry in results:
+        assert entry.times["overlapped"] <= entry.times["serial"]

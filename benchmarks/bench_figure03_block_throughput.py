@@ -1,0 +1,25 @@
+"""Figure 3: device update speed vs block size.
+
+Regenerates the two series of Figure 3 — GPU update throughput (a) and
+single-CPU-thread throughput (b) as the block size grows — and checks
+their shapes: the GPU curve rises steeply and flattens (Observation 1),
+the CPU curve is flat (Observation 2).
+"""
+
+from conftest import emit
+
+from repro.experiments import figure3_block_throughput
+
+
+def test_figure3_block_throughput(benchmark):
+    gpu_series, cpu_series = benchmark.pedantic(
+        figure3_block_throughput, rounds=1, iterations=1
+    )
+    emit("Figure 3(a): GPU update speed vs block size", gpu_series.render())
+    emit("Figure 3(b): CPU thread update speed vs block size", cpu_series.render())
+
+    gpu_values = gpu_series.values()
+    cpu_values = cpu_series.values()
+    assert gpu_values[-1] > 1.5 * gpu_values[0]
+    assert all(b >= a for a, b in zip(gpu_values, gpu_values[1:]))
+    assert max(cpu_values) < 1.1 * min(cpu_values)

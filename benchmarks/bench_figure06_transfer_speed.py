@@ -1,0 +1,16 @@
+"""Figure 6: PCIe transfer speed vs data size (both directions)."""
+
+from conftest import emit
+
+from repro.experiments import figure6_transfer_speed
+
+
+def test_figure6_transfer_speed(benchmark):
+    h2d, d2h = benchmark.pedantic(figure6_transfer_speed, rounds=1, iterations=1)
+    emit("Figure 6(a): CPU to GPU transfer speed", h2d.render())
+    emit("Figure 6(b): GPU to CPU transfer speed", d2h.render())
+
+    # Bandwidth ramps with transfer size and saturates near the link peak.
+    assert h2d.values()[-1] > 2.0 * h2d.values()[0]
+    assert h2d.values()[-1] <= 12.5
+    assert d2h.values()[-1] <= h2d.values()[-1] + 1e-9

@@ -1,0 +1,14 @@
+"""Figure 7: GPU kernel execution throughput vs block size."""
+
+from conftest import emit
+
+from repro.experiments import figure7_kernel_throughput
+
+
+def test_figure7_kernel_throughput(benchmark):
+    series = benchmark.pedantic(figure7_kernel_throughput, rounds=1, iterations=1)
+    emit("Figure 7: GPU kernel throughput vs block size", series.render())
+
+    values = series.values()
+    assert values[-1] > 1.5 * values[0]
+    assert all(b >= a for a, b in zip(values, values[1:]))

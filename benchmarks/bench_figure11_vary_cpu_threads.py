@@ -1,0 +1,38 @@
+"""Figure 11: running time to the RMSE target as the CPU thread count varies."""
+
+from conftest import emit
+
+from repro.experiments import figure11_vary_cpu_threads
+
+
+def test_figure11_vary_cpu_threads(benchmark, sweep_context):
+    results = benchmark.pedantic(
+        figure11_vary_cpu_threads, args=(sweep_context,), rounds=1, iterations=1
+    )
+    for sweep in results:
+        emit(
+            f"Figure 11 ({sweep.dataset}), target RMSE {sweep.target_rmse}",
+            sweep.render(),
+        )
+
+    for sweep in results:
+        cpu_times = [t for t in sweep.times["cpu_only"] if t is not None]
+        # CPU-Only gets faster with more threads.
+        if len(cpu_times) >= 2:
+            assert cpu_times[-1] < cpu_times[0]
+        # At the paper's default thread count (the largest swept value)
+        # HSGD* is the fastest algorithm; at lower thread counts it stays
+        # competitive with the best single-resource baseline.
+        for index, threads in enumerate(sweep.sweep_values):
+            star_time = sweep.times["hsgd_star"][index]
+            if star_time is None:
+                continue
+            others = [
+                sweep.times[other][index]
+                for other in ("cpu_only", "gpu_only")
+                if sweep.times[other][index] is not None
+            ]
+            if not others:
+                continue
+            tolerance = 1.15 if threads >= max(sweep.sweep_values) else 1.35
+            assert star_time <= min(others) * tolerance

@@ -1,0 +1,25 @@
+"""Figure 12: test RMSE over training time for CPU-Only, GPU-Only and HSGD*."""
+
+from conftest import emit
+
+from repro.experiments import figure12_rmse_curves
+
+
+def test_figure12_rmse_curves(benchmark, bench_context):
+    results = benchmark.pedantic(
+        figure12_rmse_curves, args=(bench_context,), rounds=1, iterations=1
+    )
+    for outcome in results:
+        emit(f"Figure 12 ({outcome.dataset})", outcome.render())
+
+    for outcome in results:
+        finals = {name: outcome.final_rmse(name) for name in outcome.curves}
+        # Every algorithm's RMSE decreases and they converge to similar values.
+        for name, curve in outcome.curves.items():
+            assert curve[-1][1] < curve[0][1]
+        assert max(finals.values()) < 1.2 * min(finals.values())
+        # HSGD* reaches the worst algorithm's final RMSE no later than it did.
+        slowest = max(finals, key=finals.get)
+        star_time = outcome.time_to_rmse("hsgd_star", finals[slowest])
+        other_time = outcome.curves[slowest][-1][0]
+        assert star_time is not None and star_time <= other_time * 1.05

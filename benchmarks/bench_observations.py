@@ -1,0 +1,29 @@
+"""Observations 1-2 and Example 3: the motivating measurements of Section IV."""
+
+from conftest import emit
+
+from repro.experiments import example3_update_imbalance, observation_block_sensitivity
+from repro.metrics.reporting import format_mapping
+
+
+def test_observations_and_example3(benchmark, bench_context):
+    def run():
+        sensitivity = observation_block_sensitivity(bench_context)
+        imbalance = example3_update_imbalance(
+            bench_context, dataset=bench_context.datasets[0], iterations=4
+        )
+        return sensitivity, imbalance
+
+    sensitivity, imbalance = benchmark.pedantic(run, rounds=1, iterations=1)
+    emit(
+        "Observations 1 and 2",
+        f"GPU large/small block speedup: {sensitivity.gpu_speedup_large_over_small:.2f}x\n"
+        f"CPU large/small block speedup: {sensitivity.cpu_speedup_large_over_small:.2f}x",
+    )
+    for algorithm, stats in imbalance.items():
+        emit(f"Example 3 update-count dispersion ({algorithm})", format_mapping(stats))
+
+    assert sensitivity.observation1_holds
+    assert sensitivity.observation2_holds
+    assert imbalance["hsgd"]["cv"] > imbalance["hsgd_star"]["cv"]
+    assert imbalance["hsgd"]["gini"] > imbalance["hsgd_star"]["gini"]

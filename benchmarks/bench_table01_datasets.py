@@ -1,0 +1,22 @@
+"""Table I: dataset statistics and parameter settings."""
+
+from conftest import emit
+
+from repro.experiments import table1_datasets
+from repro.experiments.tables import render_table1
+
+
+def test_table1_datasets(benchmark, bench_context):
+    rows = benchmark.pedantic(
+        table1_datasets, args=(bench_context,), rounds=1, iterations=1
+    )
+    emit("Table I: datasets and parameter settings", render_table1(rows))
+
+    names = [row.name for row in rows]
+    assert names == bench_context.datasets
+    # Size ordering of the analogues matches the paper's datasets.
+    paper_sizes = [row.paper_training for row in rows]
+    repro_sizes = [row.synthetic_training for row in rows]
+    assert sorted(range(len(rows)), key=lambda i: paper_sizes[i]) == sorted(
+        range(len(rows)), key=lambda i: repro_sizes[i]
+    )

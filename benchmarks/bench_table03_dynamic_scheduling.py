@@ -1,0 +1,36 @@
+"""Table III: effectiveness of dynamic scheduling (HSGD*-M vs HSGD*)."""
+
+from conftest import emit
+
+from repro.experiments import table3_dynamic_scheduling
+from repro.metrics.reporting import format_table
+
+
+def test_table3_dynamic_scheduling(benchmark, bench_context):
+    comparisons = benchmark.pedantic(
+        table3_dynamic_scheduling, args=(bench_context,), rounds=1, iterations=1
+    )
+    emit(
+        "Table III: dynamic scheduling",
+        format_table(
+            ["dataset", "HSGD*-M (s)", "HSGD* (s)", "improvement %", "steals"],
+            [
+                (
+                    entry.dataset,
+                    entry.static_time,
+                    entry.dynamic_time,
+                    100 * entry.improvement,
+                    entry.stolen_tasks,
+                )
+                for entry in comparisons
+            ],
+            "{:.4g}",
+        ),
+    )
+
+    # Dynamic scheduling helps (or at worst ties) on every dataset and
+    # strictly helps on most of them.
+    assert all(entry.dynamic_time <= entry.static_time * 1.02 for entry in comparisons)
+    strict_wins = sum(1 for entry in comparisons if entry.improvement > 0.0)
+    assert strict_wins >= max(1, len(comparisons) - 1)
+    assert any(entry.stolen_tasks > 0 for entry in comparisons)

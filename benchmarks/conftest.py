@@ -1,0 +1,69 @@
+"""Shared fixtures for the benchmark harness.
+
+Every benchmark regenerates one of the paper's tables or figures through
+the experiment harness (:mod:`repro.experiments`) and reports the same
+rows/series the paper does.  The workload profile is selected with the
+``REPRO_BENCH_PROFILE`` environment variable:
+
+* ``quick``   — two datasets, tiny sweeps (smoke test, ~1 minute);
+* ``default`` — all four datasets for the fixed-iteration experiments and
+  two datasets for the time-to-target sweeps (a few minutes);
+* ``full``    — the paper's full sweep (32-512 GPU workers, 4-16 CPU
+  threads, 20 iterations); expect tens of minutes.
+"""
+
+from __future__ import annotations
+
+import os
+import sys
+
+_SRC = os.path.join(os.path.dirname(os.path.dirname(os.path.abspath(__file__))), "src")
+if _SRC not in sys.path:
+    sys.path.insert(0, _SRC)
+
+import pytest
+
+from repro.experiments import ExperimentContext
+
+
+def _profile() -> str:
+    return os.environ.get("REPRO_BENCH_PROFILE", "default").lower()
+
+
+@pytest.fixture(scope="session")
+def bench_profile() -> str:
+    """The selected benchmark profile name."""
+    return _profile()
+
+
+@pytest.fixture(scope="session")
+def bench_context() -> ExperimentContext:
+    """Context for fixed-iteration experiments (figures 12/13, tables)."""
+    profile = _profile()
+    if profile == "quick":
+        return ExperimentContext.quick()
+    if profile == "full":
+        return ExperimentContext.full()
+    context = ExperimentContext()
+    context.iterations = 10
+    return context
+
+
+@pytest.fixture(scope="session")
+def sweep_context() -> ExperimentContext:
+    """Context for the time-to-target hardware sweeps (figures 10/11)."""
+    profile = _profile()
+    if profile == "quick":
+        return ExperimentContext.quick()
+    if profile == "full":
+        return ExperimentContext.full()
+    context = ExperimentContext()
+    context.datasets = ["netflix", "r1"]
+    context.max_iterations = 35
+    return context
+
+
+def emit(title: str, body: str) -> None:
+    """Print a labelled result block (visible with ``pytest -s``)."""
+    print(f"\n===== {title} =====")
+    print(body)

@@ -1,0 +1,86 @@
+"""Inspect the offline cost-model calibration (Algorithm 3 of the paper).
+
+Calibrates the simulated machine against the Yahoo!Music analogue, prints
+the fitted CPU and GPU cost models, compares their predictions against
+ground-truth device timings over a range of workload sizes, and shows the
+workload split alpha that the paper's model and the Qilin baseline choose
+(the quantities behind Table II).
+
+Run with::
+
+    python examples/cost_model_calibration.py
+"""
+
+import os
+import sys
+
+sys.path.insert(0, os.path.join(os.path.dirname(__file__), "..", "src"))
+
+import numpy as np
+
+from repro import load_dataset
+from repro.config import HardwareConfig
+from repro.core import HeterogeneousTrainer
+from repro.experiments.context import default_preset
+from repro.hardware import BlockWork
+from repro.metrics import format_table
+
+
+def main() -> None:
+    data = load_dataset("yahoomusic")
+    training = data.spec.recommended_training(iterations=10)
+    hardware = HardwareConfig(cpu_threads=16, gpu_count=1)
+    preset = default_preset()
+
+    trainer = HeterogeneousTrainer(
+        algorithm="hsgd_star", hardware=hardware, training=training, preset=preset
+    )
+    calibration = trainer.calibrate(data.train)
+
+    print("Fitted cost models")
+    print("  CPU :", calibration.cpu_model)
+    print("  GPU :", calibration.gpu_model)
+    print("  Qilin GPU :", calibration.qilin_model.gpu)
+
+    print("\nPrediction vs ground truth (one device, one workload)")
+    gpu = trainer.platform.representative_gpu()
+    cpu = trainer.platform.representative_cpu()
+    rows = []
+    for points in np.geomspace(500, data.train.nnz, 6).astype(int):
+        work = BlockWork(
+            nnz=int(points),
+            p_rows=int(points) // 20,
+            q_cols=int(points) // 20,
+            latent_factors=training.latent_factors,
+        )
+        rows.append(
+            (
+                int(points),
+                cpu.process_time(work) * 1e6,
+                calibration.cpu_time_for_points(int(points)) * 1e6,
+                gpu.process_time(work) * 1e6,
+                calibration.gpu_time_for_points(int(points)) * 1e6,
+            )
+        )
+    print(
+        format_table(
+            ["points", "CPU true (us)", "CPU model (us)", "GPU true (us)", "GPU model (us)"],
+            rows,
+            "{:.1f}",
+        )
+    )
+
+    print("\nWorkload split chosen for this dataset (Table II quantities)")
+    split = trainer.workload_split(data.train)
+    qilin_trainer = HeterogeneousTrainer(
+        algorithm="hsgd_star_q", hardware=hardware, training=training, preset=preset
+    )
+    qilin_split = qilin_trainer.workload_split(data.train)
+    print(f"  paper cost model : alpha = {split.alpha:.3f} "
+          f"(GPU {split.alpha:.1%}, CPU {split.cpu_share:.1%})")
+    print(f"  Qilin baseline   : alpha = {qilin_split.alpha:.3f} "
+          f"(GPU {qilin_split.alpha:.1%}, CPU {qilin_split.cpu_share:.1%})")
+
+
+if __name__ == "__main__":
+    main()

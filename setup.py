@@ -1,0 +1,11 @@
+"""Setuptools shim.
+
+All project metadata lives in ``pyproject.toml``; this file exists so the
+package can also be installed in environments without the ``wheel``
+package (legacy ``pip install -e . --no-use-pep517`` / ``setup.py develop``
+code path), e.g. fully offline machines.
+"""
+
+from setuptools import setup
+
+setup()

@@ -1,0 +1,74 @@
+"""repro — Efficient Matrix Factorization on Heterogeneous CPU-GPU Systems.
+
+A from-scratch Python reproduction of Yu et al., *Efficient Matrix
+Factorization on Heterogeneous CPU-GPU Systems* (ICDE 2021): HSGD* —
+SGD-based matrix factorization scheduled across CPU threads and GPUs with
+a nonuniform matrix division, a tailored cost model and dynamic work
+stealing — together with every substrate it needs (block grids, SGD
+kernels, a simulated heterogeneous platform, cost-model calibration, a
+discrete-event engine, datasets, metrics and the full experiment
+harness).
+
+Quick start::
+
+    from repro import factorize, load_dataset
+
+    data = load_dataset("movielens")
+    result = factorize(data.train, data.test, algorithm="hsgd_star",
+                       iterations=10)
+    print(result.final_test_rmse, result.simulated_time)
+
+See ``README.md`` for the architecture overview and ``DESIGN.md`` for the
+paper-to-module mapping.
+"""
+
+from .config import (
+    ExperimentConfig,
+    HardwareConfig,
+    SchedulingConfig,
+    TrainingConfig,
+)
+from .core import (
+    ALGORITHMS,
+    HeterogeneousTrainer,
+    TrainResult,
+    factorize,
+)
+from .costmodel import CalibrationResult, WorkloadSplit, calibrate_platform, solve_alpha
+from .datasets import dataset_names, get_dataset, load_dataset
+from .exceptions import ReproError
+from .hardware import HeterogeneousPlatform, PlatformPreset, paper_machine_preset
+from .sgd import FactorModel, rmse, train_als, train_ccd, train_hogwild, train_serial_sgd
+from .sparse import SparseRatingMatrix
+
+__version__ = "1.0.0"
+
+__all__ = [
+    "ExperimentConfig",
+    "HardwareConfig",
+    "SchedulingConfig",
+    "TrainingConfig",
+    "ALGORITHMS",
+    "HeterogeneousTrainer",
+    "TrainResult",
+    "factorize",
+    "CalibrationResult",
+    "WorkloadSplit",
+    "calibrate_platform",
+    "solve_alpha",
+    "dataset_names",
+    "get_dataset",
+    "load_dataset",
+    "ReproError",
+    "HeterogeneousPlatform",
+    "PlatformPreset",
+    "paper_machine_preset",
+    "FactorModel",
+    "rmse",
+    "train_als",
+    "train_ccd",
+    "train_hogwild",
+    "train_serial_sgd",
+    "SparseRatingMatrix",
+    "__version__",
+]

@@ -1,0 +1,224 @@
+"""Command-line interface.
+
+``repro-mf`` (or ``python -m repro.cli``) exposes the experiment harness
+so every table and figure of the paper can be regenerated from a shell::
+
+    repro-mf list                      # show available experiments
+    repro-mf train --dataset movielens --algorithm hsgd_star
+    repro-mf figure10                  # time-to-target vs GPU workers
+    repro-mf table2 --full             # Table II with the paper's sweep
+"""
+
+from __future__ import annotations
+
+import argparse
+import sys
+from typing import List, Optional
+
+from . import __version__
+from .core import ALGORITHMS, HeterogeneousTrainer
+from .datasets import dataset_names, load_dataset
+from .experiments import (
+    ExperimentContext,
+    ablation_alpha_sensitivity,
+    ablation_column_rule,
+    ablation_stream_overlap,
+    example3_update_imbalance,
+    figure3_block_throughput,
+    figure6_transfer_speed,
+    figure7_kernel_throughput,
+    figure10_vary_gpu_workers,
+    figure11_vary_cpu_threads,
+    figure12_rmse_curves,
+    figure13_division_ablation,
+    observation_block_sensitivity,
+    table1_datasets,
+    table2_cost_models,
+    table3_dynamic_scheduling,
+)
+from .experiments.tables import render_table1
+from .metrics.reporting import format_mapping
+
+EXPERIMENTS = (
+    "figure3",
+    "figure6",
+    "figure7",
+    "figure10",
+    "figure11",
+    "figure12",
+    "figure13",
+    "table1",
+    "table2",
+    "table3",
+    "observations",
+    "ablations",
+)
+
+
+def _build_parser() -> argparse.ArgumentParser:
+    parser = argparse.ArgumentParser(
+        prog="repro-mf",
+        description=(
+            "Reproduction of 'Efficient Matrix Factorization on "
+            "Heterogeneous CPU-GPU Systems' (ICDE 2021)."
+        ),
+    )
+    parser.add_argument("--version", action="version", version=__version__)
+    subparsers = parser.add_subparsers(dest="command")
+
+    subparsers.add_parser("list", help="list experiments, datasets and algorithms")
+
+    train = subparsers.add_parser("train", help="train one algorithm on one dataset")
+    train.add_argument("--dataset", default="movielens", choices=dataset_names())
+    train.add_argument("--algorithm", default="hsgd_star", choices=sorted(ALGORITHMS))
+    train.add_argument("--iterations", type=int, default=10)
+    train.add_argument("--cpu-threads", type=int, default=16)
+    train.add_argument("--gpu-workers", type=int, default=128)
+    train.add_argument("--seed", type=int, default=0)
+
+    for name in EXPERIMENTS:
+        experiment = subparsers.add_parser(name, help=f"run the {name} experiment")
+        experiment.add_argument(
+            "--full", action="store_true", help="use the paper's full sweep"
+        )
+        experiment.add_argument(
+            "--quick", action="store_true", help="use a reduced smoke-test sweep"
+        )
+        experiment.add_argument(
+            "--datasets", nargs="*", default=None, choices=dataset_names()
+        )
+    return parser
+
+
+def _context(args: argparse.Namespace) -> ExperimentContext:
+    if getattr(args, "full", False):
+        context = ExperimentContext.full()
+    elif getattr(args, "quick", False):
+        context = ExperimentContext.quick()
+    else:
+        context = ExperimentContext()
+    if getattr(args, "datasets", None):
+        context.datasets = list(args.datasets)
+    return context
+
+
+def _run_train(args: argparse.Namespace) -> None:
+    data = load_dataset(args.dataset, seed=args.seed)
+    context = ExperimentContext(
+        cpu_threads=args.cpu_threads, gpu_parallel_workers=args.gpu_workers
+    )
+    training = data.spec.recommended_training(
+        iterations=args.iterations, seed=args.seed
+    )
+    trainer = HeterogeneousTrainer(
+        algorithm=args.algorithm,
+        hardware=context.hardware(),
+        training=training,
+        preset=context.preset,
+        seed=args.seed,
+    )
+    result = trainer.fit(data.train, data.test, iterations=args.iterations)
+    print(f"dataset            : {args.dataset} ({data.train.nnz} train ratings)")
+    print(f"algorithm          : {args.algorithm}")
+    print(f"iterations         : {len(result.trace.iterations)}")
+    print(f"simulated time (s) : {result.simulated_time:.6f}")
+    print(f"final test RMSE    : {result.final_test_rmse:.4f}")
+    if result.alpha is not None:
+        print(f"GPU workload share : {result.alpha:.3f}")
+    share = result.trace.resource_share()
+    print(f"processed on GPU   : {100 * share['gpu']:.1f}%")
+    print(f"stolen tasks       : {result.trace.stolen_task_count()}")
+
+
+def _run_experiment(name: str, args: argparse.Namespace) -> None:
+    context = _context(args)
+    if name == "figure3":
+        for series in figure3_block_throughput():
+            print(f"# {series.name}")
+            print(series.render())
+            print()
+    elif name == "figure6":
+        for series in figure6_transfer_speed():
+            print(f"# {series.name}")
+            print(series.render())
+            print()
+    elif name == "figure7":
+        series = figure7_kernel_throughput()
+        print(f"# {series.name}")
+        print(series.render())
+    elif name == "figure10":
+        for sweep in figure10_vary_gpu_workers(context):
+            print(f"# {sweep.dataset} (target RMSE {sweep.target_rmse})")
+            print(sweep.render())
+            print()
+    elif name == "figure11":
+        for sweep in figure11_vary_cpu_threads(context):
+            print(f"# {sweep.dataset} (target RMSE {sweep.target_rmse})")
+            print(sweep.render())
+            print()
+    elif name == "figure12":
+        for outcome in figure12_rmse_curves(context):
+            print(outcome.render())
+            print()
+    elif name == "figure13":
+        for outcome in figure13_division_ablation(context):
+            print(outcome.render())
+            print()
+    elif name == "table1":
+        print(render_table1(table1_datasets(context)))
+    elif name == "table2":
+        for comparison in table2_cost_models(context):
+            print(comparison.render())
+            print()
+    elif name == "table3":
+        for comparison in table3_dynamic_scheduling(context):
+            print(comparison.render())
+            print()
+    elif name == "observations":
+        sensitivity = observation_block_sensitivity(context)
+        print("Observation 1 (GPU speedup large/small blocks):",
+              f"{sensitivity.gpu_speedup_large_over_small:.2f}x")
+        print("Observation 2 (CPU speedup large/small blocks):",
+              f"{sensitivity.cpu_speedup_large_over_small:.2f}x")
+        imbalance = example3_update_imbalance(context)
+        for algorithm, stats in imbalance.items():
+            print(f"\nExample 3 update-count dispersion, {algorithm}:")
+            print(format_mapping(stats))
+    elif name == "ablations":
+        alpha = ablation_alpha_sensitivity(context)
+        print(f"# alpha sensitivity ({alpha.dataset})")
+        print(format_mapping(alpha.times, "{:.6f}"))
+        columns = ablation_column_rule(context)
+        print(f"\n# column rule ({columns.dataset})")
+        print(format_mapping(columns.times, "{:.6f}"))
+        print("\n# stream overlap")
+        for outcome in ablation_stream_overlap(context):
+            print(f"{outcome.dataset}: " + format_mapping(outcome.times, "{:.6f}"))
+    else:  # pragma: no cover - argparse restricts the choices
+        raise ValueError(f"unknown experiment {name}")
+
+
+def _run_list() -> None:
+    print("experiments :", ", ".join(EXPERIMENTS))
+    print("datasets    :", ", ".join(dataset_names()))
+    print("algorithms  :", ", ".join(sorted(ALGORITHMS)))
+
+
+def main(argv: Optional[List[str]] = None) -> int:
+    """Entry point of the ``repro-mf`` console script."""
+    parser = _build_parser()
+    args = parser.parse_args(argv)
+    if args.command is None:
+        parser.print_help()
+        return 1
+    if args.command == "list":
+        _run_list()
+    elif args.command == "train":
+        _run_train(args)
+    else:
+        _run_experiment(args.command, args)
+    return 0
+
+
+if __name__ == "__main__":
+    sys.exit(main())

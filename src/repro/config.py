@@ -1,0 +1,222 @@
+"""Configuration objects shared across the library.
+
+The paper's experimental setup is parameterised by three groups of values:
+
+* **training hyper-parameters** (Table I): the number of latent factors
+  ``k``, the regularisation coefficients ``lambda_p`` and ``lambda_q``, the
+  learning rate ``gamma``, and the number of iterations ``t``;
+* **hardware resources** (Section VII): the number of CPU worker threads
+  ``nc``, the number of GPUs ``ng``, and the number of GPU parallel workers
+  (the paper's definition from CuMF_SGD: how many ratings a GPU kernel
+  updates simultaneously);
+* **scheduling options**: whether the nonuniform division, the tailored
+  cost model, and the dynamic work-stealing phase are enabled.
+
+Keeping these in small frozen dataclasses makes experiment definitions
+declarative and easy to sweep.
+"""
+
+from __future__ import annotations
+
+import dataclasses
+from dataclasses import dataclass, field
+from typing import Optional
+
+from .exceptions import ConfigurationError
+
+#: Default latent dimensionality used throughout the paper's evaluation.
+DEFAULT_LATENT_FACTORS = 128
+
+#: Default CPU thread count of the paper's machine (16 of 20 cores used).
+DEFAULT_CPU_THREADS = 16
+
+#: Default number of GPUs in the paper's machine.
+DEFAULT_GPU_COUNT = 1
+
+#: Default number of GPU parallel workers (CuMF_SGD definition).
+DEFAULT_GPU_PARALLEL_WORKERS = 128
+
+
+@dataclass(frozen=True)
+class TrainingConfig:
+    """Hyper-parameters of the SGD matrix-factorization training loop.
+
+    Mirrors the inputs of Algorithm 1 in the paper:
+    ``R, k, lambda_P, lambda_Q, gamma, t``.
+
+    Attributes
+    ----------
+    latent_factors:
+        Number of latent factors ``k`` of the factor matrices ``P`` and ``Q``.
+    learning_rate:
+        SGD step size ``gamma``.
+    reg_p:
+        Regularisation coefficient ``lambda_P`` applied to user factors.
+    reg_q:
+        Regularisation coefficient ``lambda_Q`` applied to item factors.
+    iterations:
+        Number of full passes (epochs) over the rating matrix ``t``.
+    seed:
+        Seed for factor initialisation and block-order randomisation.
+    init_scale:
+        Scale of the uniform random initialisation of ``P`` and ``Q``.
+        The common heuristic ``1/sqrt(k)`` is used when left ``None``.
+    """
+
+    latent_factors: int = DEFAULT_LATENT_FACTORS
+    learning_rate: float = 0.005
+    reg_p: float = 0.05
+    reg_q: float = 0.05
+    iterations: int = 20
+    seed: int = 0
+    init_scale: Optional[float] = None
+
+    def __post_init__(self) -> None:
+        if self.latent_factors <= 0:
+            raise ConfigurationError(
+                f"latent_factors must be positive, got {self.latent_factors}"
+            )
+        if self.learning_rate <= 0:
+            raise ConfigurationError(
+                f"learning_rate must be positive, got {self.learning_rate}"
+            )
+        if self.reg_p < 0 or self.reg_q < 0:
+            raise ConfigurationError(
+                f"regularisation must be non-negative, got "
+                f"reg_p={self.reg_p}, reg_q={self.reg_q}"
+            )
+        if self.iterations <= 0:
+            raise ConfigurationError(
+                f"iterations must be positive, got {self.iterations}"
+            )
+        if self.init_scale is not None and self.init_scale <= 0:
+            raise ConfigurationError(
+                f"init_scale must be positive when given, got {self.init_scale}"
+            )
+
+    def with_iterations(self, iterations: int) -> "TrainingConfig":
+        """Return a copy of this config with a different iteration count."""
+        return dataclasses.replace(self, iterations=iterations)
+
+    def with_seed(self, seed: int) -> "TrainingConfig":
+        """Return a copy of this config with a different random seed."""
+        return dataclasses.replace(self, seed=seed)
+
+    @property
+    def effective_init_scale(self) -> float:
+        """The factor-initialisation scale actually used."""
+        if self.init_scale is not None:
+            return self.init_scale
+        return 1.0 / float(self.latent_factors) ** 0.5
+
+
+@dataclass(frozen=True)
+class HardwareConfig:
+    """Description of the heterogeneous platform used by a run.
+
+    Attributes
+    ----------
+    cpu_threads:
+        Number of CPU worker threads ``nc``.
+    gpu_count:
+        Number of GPUs ``ng``.
+    gpu_parallel_workers:
+        Number of ratings processed simultaneously inside one GPU kernel
+        (the CuMF_SGD notion of "parallel workers"; the paper sweeps this
+        from 32 to 512 in Figure 10).
+    """
+
+    cpu_threads: int = DEFAULT_CPU_THREADS
+    gpu_count: int = DEFAULT_GPU_COUNT
+    gpu_parallel_workers: int = DEFAULT_GPU_PARALLEL_WORKERS
+
+    def __post_init__(self) -> None:
+        if self.cpu_threads < 0:
+            raise ConfigurationError(
+                f"cpu_threads must be >= 0, got {self.cpu_threads}"
+            )
+        if self.gpu_count < 0:
+            raise ConfigurationError(
+                f"gpu_count must be >= 0, got {self.gpu_count}"
+            )
+        if self.cpu_threads == 0 and self.gpu_count == 0:
+            raise ConfigurationError(
+                "a platform needs at least one CPU thread or one GPU"
+            )
+        if self.gpu_count > 0 and self.gpu_parallel_workers <= 0:
+            raise ConfigurationError(
+                "gpu_parallel_workers must be positive when GPUs are present, "
+                f"got {self.gpu_parallel_workers}"
+            )
+
+    @property
+    def total_workers(self) -> int:
+        """Total number of scheduling workers (CPU threads plus GPUs)."""
+        return self.cpu_threads + self.gpu_count
+
+    def with_cpu_threads(self, cpu_threads: int) -> "HardwareConfig":
+        """Return a copy of this config with a different CPU thread count."""
+        return dataclasses.replace(self, cpu_threads=cpu_threads)
+
+    def with_gpu_parallel_workers(self, workers: int) -> "HardwareConfig":
+        """Return a copy with a different GPU parallel-worker count."""
+        return dataclasses.replace(self, gpu_parallel_workers=workers)
+
+
+@dataclass(frozen=True)
+class SchedulingConfig:
+    """Options selecting between the paper's scheduling variants.
+
+    The four published configurations map onto this dataclass as:
+
+    ==============  ==================  ===================  =================
+    Algorithm       nonuniform_division cost_model           dynamic_scheduling
+    ==============  ==================  ===================  =================
+    HSGD            False               (ignored)            True (greedy)
+    HSGD*-Q         True                ``"qilin"``          False
+    HSGD*-M         True                ``"paper"``          False
+    HSGD* (full)    True                ``"paper"``          True
+    ==============  ==================  ===================  =================
+    """
+
+    nonuniform_division: bool = True
+    cost_model: str = "paper"
+    dynamic_scheduling: bool = True
+    #: Extra multiplier on the Rule-1 minimum block-column count, for
+    #: sensitivity experiments. ``1.0`` reproduces the paper.
+    column_scale: float = 1.0
+
+    _VALID_COST_MODELS = ("paper", "qilin", "oracle")
+
+    def __post_init__(self) -> None:
+        if self.cost_model not in self._VALID_COST_MODELS:
+            raise ConfigurationError(
+                f"cost_model must be one of {self._VALID_COST_MODELS}, "
+                f"got {self.cost_model!r}"
+            )
+        if self.column_scale <= 0:
+            raise ConfigurationError(
+                f"column_scale must be positive, got {self.column_scale}"
+            )
+
+
+@dataclass(frozen=True)
+class ExperimentConfig:
+    """Bundle of all configuration pieces for one experiment run."""
+
+    training: TrainingConfig = field(default_factory=TrainingConfig)
+    hardware: HardwareConfig = field(default_factory=HardwareConfig)
+    scheduling: SchedulingConfig = field(default_factory=SchedulingConfig)
+
+    def describe(self) -> str:
+        """One-line human-readable summary used in experiment logs."""
+        return (
+            f"k={self.training.latent_factors} "
+            f"gamma={self.training.learning_rate} "
+            f"iters={self.training.iterations} "
+            f"nc={self.hardware.cpu_threads} ng={self.hardware.gpu_count} "
+            f"gpu_workers={self.hardware.gpu_parallel_workers} "
+            f"division={'nonuniform' if self.scheduling.nonuniform_division else 'uniform'} "
+            f"cost_model={self.scheduling.cost_model} "
+            f"dynamic={self.scheduling.dynamic_scheduling}"
+        )

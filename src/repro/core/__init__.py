@@ -1,0 +1,55 @@
+"""Block-scheduling core: the paper's primary contribution.
+
+This package implements the matrix division strategies and block
+schedulers of the paper:
+
+* :mod:`repro.core.grid` — row/column banding of the rating matrix into a
+  grid of lockable blocks, with CPU/GPU region tagging;
+* :mod:`repro.core.partition` — the uniform (Rule 1) division used by
+  FPSGD/HSGD and the nonuniform division of Figure 9 used by HSGD*;
+* :mod:`repro.core.locks` — the row/column occupancy table that enforces
+  block independence;
+* :mod:`repro.core.tasks` — the unit of work a scheduler hands to a
+  worker (one block, or a column of GPU sub-blocks in the static phase);
+* :mod:`repro.core.schedulers` — the greedy uniform scheduler
+  (CPU-Only / GPU-Only / HSGD) and the HSGD* scheduler with its static
+  and dynamic (work-stealing) phases;
+* :mod:`repro.core.algorithms` — named algorithm configurations mapping
+  the paper's method names to scheduler factories;
+* :mod:`repro.core.trainer` — the high-level user-facing API.
+"""
+
+from .grid import BlockGrid, GridBlock, Region, RowBand
+from .locks import LockTable
+from .partition import (
+    gpu_only_partition,
+    nonuniform_partition,
+    rule1_grid_shape,
+    uniform_partition,
+)
+from .tasks import Task
+from .schedulers import GreedyBlockScheduler, HSGDStarScheduler, Scheduler
+from .algorithms import ALGORITHMS, AlgorithmSpec, build_scheduler
+from .trainer import HeterogeneousTrainer, TrainResult, factorize
+
+__all__ = [
+    "BlockGrid",
+    "GridBlock",
+    "Region",
+    "RowBand",
+    "LockTable",
+    "gpu_only_partition",
+    "nonuniform_partition",
+    "rule1_grid_shape",
+    "uniform_partition",
+    "Task",
+    "GreedyBlockScheduler",
+    "HSGDStarScheduler",
+    "Scheduler",
+    "ALGORITHMS",
+    "AlgorithmSpec",
+    "build_scheduler",
+    "HeterogeneousTrainer",
+    "TrainResult",
+    "factorize",
+]

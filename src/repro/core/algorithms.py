@@ -1,0 +1,210 @@
+"""Named algorithm configurations.
+
+Maps the method names used throughout the paper's evaluation onto the
+library's building blocks:
+
+=============  ======================================================
+Name           Meaning (Section VII)
+=============  ======================================================
+``cpu_only``   FPSGD on the CPU threads only (uniform Rule-1 grid).
+``gpu_only``   CuMF_SGD-style training on the GPUs only (coarse grid).
+``hsgd``       The straightforward hybrid: the GPU is one more FPSGD
+               worker over the uniform Rule-1 grid (Section IV-A).
+``hsgd_star``  The full contribution: nonuniform division driven by the
+               paper's cost model plus dynamic work stealing.
+``hsgd_star_m``  HSGD* with the paper's cost model but *without* dynamic
+               scheduling (the HSGD*-M row of Tables II and III).
+``hsgd_star_q``  HSGD* with the Qilin linear cost model and no dynamic
+               scheduling (the HSGD*-Q row of Table II).
+=============  ======================================================
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+from typing import Dict, Optional
+
+from ..config import HardwareConfig
+from ..exceptions import ConfigurationError
+from ..sparse import SparseRatingMatrix
+from .grid import BlockGrid
+from .partition import (
+    gpu_only_partition,
+    hsgd_partition,
+    nonuniform_partition,
+    rule1_grid_shape,
+    uniform_partition,
+)
+from .schedulers import GreedyBlockScheduler, HSGDStarScheduler, Scheduler
+
+
+@dataclass(frozen=True)
+class AlgorithmSpec:
+    """Description of one named algorithm configuration.
+
+    Attributes
+    ----------
+    key:
+        Machine-readable name (the keys of :data:`ALGORITHMS`).
+    label:
+        The paper's display name.
+    uses_cpu, uses_gpu:
+        Which resources participate.
+    division:
+        ``"uniform"``, ``"nonuniform"``, ``"gpu_only"`` or ``"cpu_only"``.
+    cost_model:
+        ``"paper"``, ``"qilin"`` or ``None`` (no cost-model-driven split).
+    dynamic_scheduling:
+        Whether the work-stealing dynamic phase is enabled.
+    """
+
+    key: str
+    label: str
+    uses_cpu: bool
+    uses_gpu: bool
+    division: str
+    cost_model: Optional[str]
+    dynamic_scheduling: bool
+
+
+#: All named algorithm configurations of the paper's evaluation.
+ALGORITHMS: Dict[str, AlgorithmSpec] = {
+    "cpu_only": AlgorithmSpec(
+        key="cpu_only",
+        label="CPU-Only",
+        uses_cpu=True,
+        uses_gpu=False,
+        division="cpu_only",
+        cost_model=None,
+        dynamic_scheduling=True,
+    ),
+    "gpu_only": AlgorithmSpec(
+        key="gpu_only",
+        label="GPU-Only",
+        uses_cpu=False,
+        uses_gpu=True,
+        division="gpu_only",
+        cost_model=None,
+        dynamic_scheduling=True,
+    ),
+    "hsgd": AlgorithmSpec(
+        key="hsgd",
+        label="HSGD",
+        uses_cpu=True,
+        uses_gpu=True,
+        division="uniform",
+        cost_model=None,
+        dynamic_scheduling=True,
+    ),
+    "hsgd_star": AlgorithmSpec(
+        key="hsgd_star",
+        label="HSGD*",
+        uses_cpu=True,
+        uses_gpu=True,
+        division="nonuniform",
+        cost_model="paper",
+        dynamic_scheduling=True,
+    ),
+    "hsgd_star_m": AlgorithmSpec(
+        key="hsgd_star_m",
+        label="HSGD*-M",
+        uses_cpu=True,
+        uses_gpu=True,
+        division="nonuniform",
+        cost_model="paper",
+        dynamic_scheduling=False,
+    ),
+    "hsgd_star_q": AlgorithmSpec(
+        key="hsgd_star_q",
+        label="HSGD*-Q",
+        uses_cpu=True,
+        uses_gpu=True,
+        division="nonuniform",
+        cost_model="qilin",
+        dynamic_scheduling=False,
+    ),
+}
+
+
+def get_algorithm(name: str) -> AlgorithmSpec:
+    """Look up an algorithm configuration by key.
+
+    Raises
+    ------
+    ConfigurationError
+        If the key is unknown.
+    """
+    try:
+        return ALGORITHMS[name]
+    except KeyError as exc:
+        raise ConfigurationError(
+            f"unknown algorithm {name!r}; available: {', '.join(ALGORITHMS)}"
+        ) from exc
+
+
+def effective_hardware(spec: AlgorithmSpec, hardware: HardwareConfig) -> HardwareConfig:
+    """Restrict a hardware configuration to the resources the algorithm uses."""
+    cpu_threads = hardware.cpu_threads if spec.uses_cpu else 0
+    gpu_count = hardware.gpu_count if spec.uses_gpu else 0
+    if cpu_threads == 0 and gpu_count == 0:
+        raise ConfigurationError(
+            f"algorithm {spec.key!r} needs resources the hardware config "
+            f"does not provide (nc={hardware.cpu_threads}, ng={hardware.gpu_count})"
+        )
+    return HardwareConfig(
+        cpu_threads=cpu_threads,
+        gpu_count=gpu_count,
+        gpu_parallel_workers=hardware.gpu_parallel_workers,
+    )
+
+
+def build_grid(
+    spec: AlgorithmSpec,
+    train: SparseRatingMatrix,
+    hardware: HardwareConfig,
+    alpha: Optional[float] = None,
+    column_scale: float = 1.0,
+) -> BlockGrid:
+    """Build the matrix division required by an algorithm.
+
+    ``alpha`` (the GPU workload share) is required for the nonuniform
+    division and ignored otherwise.
+    """
+    nc = hardware.cpu_threads
+    ng = hardware.gpu_count
+    if spec.division == "cpu_only":
+        n_rows, n_cols = rule1_grid_shape(nc, 0)
+        return uniform_partition(train, n_rows, n_cols)
+    if spec.division == "gpu_only":
+        return gpu_only_partition(train, ng)
+    if spec.division == "uniform":
+        return hsgd_partition(train, nc, ng)
+    if spec.division == "nonuniform":
+        if alpha is None:
+            raise ConfigurationError(
+                "the nonuniform division needs a workload share alpha"
+            )
+        return nonuniform_partition(
+            train, alpha, nc, ng, column_scale=column_scale
+        )
+    raise ConfigurationError(f"unknown division {spec.division!r}")
+
+
+def build_scheduler(
+    spec: AlgorithmSpec,
+    grid: BlockGrid,
+    hardware: HardwareConfig,
+    seed: int = 0,
+) -> Scheduler:
+    """Build the scheduler implementing an algorithm over a prepared grid."""
+    nc = hardware.cpu_threads
+    ng = hardware.gpu_count
+    if spec.division == "nonuniform":
+        return HSGDStarScheduler(
+            grid,
+            n_cpu_workers=nc,
+            n_gpu_workers=ng,
+            dynamic_scheduling=spec.dynamic_scheduling,
+            seed=seed,
+        )
+    return GreedyBlockScheduler(grid, n_cpu_workers=nc, n_gpu_workers=ng, seed=seed)

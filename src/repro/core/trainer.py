@@ -1,0 +1,318 @@
+"""High-level training API.
+
+:class:`HeterogeneousTrainer` wires together calibration, workload
+division, scheduling and simulation into the two-phase workflow of the
+paper's Algorithm 2 (HSGD*):
+
+1. an **offline phase** — :meth:`HeterogeneousTrainer.calibrate` probes
+   the platform and fits the cost models (run once per machine);
+2. an **online phase** — :meth:`HeterogeneousTrainer.fit` divides the
+   given matrix according to the cost models, builds the scheduler for
+   the chosen algorithm and runs the simulated training.
+
+The free function :func:`factorize` is a convenience one-liner for
+examples and quick experiments.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+from typing import List, Optional, Tuple
+
+from ..config import HardwareConfig, TrainingConfig
+from ..costmodel import CalibrationResult, WorkloadSplit, calibrate_platform, solve_alpha
+from ..exceptions import ConfigurationError
+from ..hardware import HeterogeneousPlatform, PlatformPreset, PAPER_MACHINE
+from ..sgd import FactorModel
+from ..sgd.schedules import LearningRateSchedule
+from ..sim import ExecutionTrace, SimulationEngine
+from ..sparse import SparseRatingMatrix
+from .algorithms import (
+    AlgorithmSpec,
+    build_grid,
+    build_scheduler,
+    effective_hardware,
+    get_algorithm,
+)
+
+
+@dataclass
+class TrainResult:
+    """Everything produced by one training run."""
+
+    algorithm: str
+    model: FactorModel
+    trace: ExecutionTrace
+    converged: bool
+    alpha: Optional[float] = None
+    calibration: Optional[CalibrationResult] = None
+
+    @property
+    def simulated_time(self) -> float:
+        """Simulated wall-clock seconds of the run."""
+        return self.trace.final_time
+
+    @property
+    def final_test_rmse(self) -> Optional[float]:
+        """Test RMSE after the last completed iteration."""
+        if not self.trace.iterations:
+            return None
+        return self.trace.iterations[-1].test_rmse
+
+    def rmse_curve(self) -> List[Tuple[float, float]]:
+        """``(simulated_time, test_rmse)`` pairs, one per iteration."""
+        return self.trace.rmse_curve()
+
+    def time_to_rmse(self, target: float) -> Optional[float]:
+        """Earliest simulated time at which the test RMSE reached ``target``."""
+        return self.trace.time_to_rmse(target)
+
+
+class HeterogeneousTrainer:
+    """Train matrix-factorization models on a (simulated) CPU-GPU machine.
+
+    Parameters
+    ----------
+    algorithm:
+        One of the names in :data:`repro.core.algorithms.ALGORITHMS`
+        (``"hsgd_star"`` by default).
+    hardware:
+        Worker counts and GPU parallel workers.
+    training:
+        SGD hyper-parameters.
+    preset:
+        Machine constants of the simulated platform (the paper's machine
+        by default).  Use ``preset.scaled(...)`` when training scaled-down
+        datasets.
+    column_scale:
+        Multiplier on the nonuniform division's column count (ablation
+        knob; 1.0 reproduces the paper).
+    stream_overlap:
+        Disable to model a GPU without CUDA-stream overlap (ablation).
+    seed:
+        Seed for scheduling tie-breaks.
+    """
+
+    def __init__(
+        self,
+        algorithm: str = "hsgd_star",
+        hardware: Optional[HardwareConfig] = None,
+        training: Optional[TrainingConfig] = None,
+        preset: Optional[PlatformPreset] = None,
+        column_scale: float = 1.0,
+        stream_overlap: bool = True,
+        seed: int = 0,
+    ) -> None:
+        self.spec: AlgorithmSpec = get_algorithm(algorithm)
+        self.hardware = hardware or HardwareConfig()
+        self.training = training or TrainingConfig()
+        self.preset = preset or PAPER_MACHINE
+        self.column_scale = column_scale
+        self.stream_overlap = stream_overlap
+        self.seed = seed
+        self._calibration: Optional[CalibrationResult] = None
+        self._effective_hardware = effective_hardware(self.spec, self.hardware)
+        self._platform = HeterogeneousPlatform.from_preset(
+            self._effective_hardware, self.preset, stream_overlap=stream_overlap
+        )
+
+    # ------------------------------------------------------------------ #
+    # Introspection
+    # ------------------------------------------------------------------ #
+    @property
+    def platform(self) -> HeterogeneousPlatform:
+        """The simulated platform the trainer schedules onto."""
+        return self._platform
+
+    @property
+    def calibration(self) -> Optional[CalibrationResult]:
+        """The cost models from the last :meth:`calibrate` call, if any."""
+        return self._calibration
+
+    # ------------------------------------------------------------------ #
+    # Offline phase
+    # ------------------------------------------------------------------ #
+    def calibrate(
+        self,
+        matrix: SparseRatingMatrix,
+        segments: int = 12,
+        sample_fraction: float = 1.0,
+    ) -> CalibrationResult:
+        """Run the offline cost-model calibration (Algorithm 3).
+
+        The result is cached on the trainer and reused by subsequent
+        :meth:`fit` calls, mirroring the paper's "performed only once on a
+        machine" offline phase.
+        """
+        self._calibration = calibrate_platform(
+            self._platform,
+            matrix,
+            training=self.training,
+            segments=segments,
+            sample_fraction=sample_fraction,
+            seed=self.seed,
+        )
+        return self._calibration
+
+    def workload_split(
+        self, matrix: SparseRatingMatrix
+    ) -> Optional[WorkloadSplit]:
+        """Compute the cost-model workload split for ``matrix``.
+
+        Returns ``None`` for algorithms that do not use a cost model.
+        Calibrates on demand if :meth:`calibrate` has not been called.
+
+        The GPU cost is evaluated at the *block* granularity the
+        nonuniform division will actually produce: a GPU assigned
+        ``alpha * |R|`` ratings processes them as ``nc + 2 ng + 1``
+        column blocks of its GPU row (Figure 9), and — per Observation 1 —
+        GPU throughput depends on that block size, not on the aggregate
+        workload.  The CPU cost is linear, so its granularity is
+        irrelevant (Observation 2).
+        """
+        if self.spec.cost_model is None:
+            return None
+        if self._calibration is None:
+            self.calibrate(matrix)
+        calibration = self._calibration
+        if calibration is None:  # pragma: no cover - defensive
+            raise ConfigurationError("calibration failed to produce models")
+
+        nc = self._effective_hardware.cpu_threads
+        ng = self._effective_hardware.gpu_count
+        n_columns = max(2, int(round((nc + 2 * ng + 1) * self.column_scale)))
+        blocks_per_gpu_share = max(1, n_columns * max(ng, 1))
+        cost_model = self.spec.cost_model
+
+        def gpu_time(points: float) -> float:
+            if points <= 0:
+                return 0.0
+            if cost_model == "qilin":
+                # Qilin predicts the offloaded workload as a whole — it has
+                # no notion of the block granularity the division imposes,
+                # which is precisely the inaccuracy Table II exposes.
+                return calibration.gpu_time_for_points(points, cost_model)
+            block_points = points / blocks_per_gpu_share
+            per_block = calibration.gpu_time_for_points(block_points, cost_model)
+            return per_block * blocks_per_gpu_share
+
+        def cpu_time(points: float) -> float:
+            return calibration.cpu_time_for_points(points, cost_model)
+
+        return solve_alpha(
+            gpu_time,
+            cpu_time,
+            total_points=matrix.nnz,
+            n_gpus=ng,
+            n_cpu_threads=nc,
+        )
+
+    # ------------------------------------------------------------------ #
+    # Online phase
+    # ------------------------------------------------------------------ #
+    def fit(
+        self,
+        train: SparseRatingMatrix,
+        test: Optional[SparseRatingMatrix] = None,
+        iterations: Optional[int] = None,
+        target_rmse: Optional[float] = None,
+        max_simulated_time: Optional[float] = None,
+        model: Optional[FactorModel] = None,
+        schedule: Optional[LearningRateSchedule] = None,
+        alpha_override: Optional[float] = None,
+        compute_train_rmse: bool = False,
+    ) -> TrainResult:
+        """Divide, schedule and train on ``train``.
+
+        Parameters
+        ----------
+        train, test:
+            Training ratings and optional held-out ratings.
+        iterations:
+            Number of full passes; defaults to ``training.iterations``.
+        target_rmse:
+            Stop as soon as the test RMSE reaches this value.
+        max_simulated_time:
+            Hard simulated-time budget.
+        model:
+            Optional warm-start factor model.
+        schedule:
+            Optional learning-rate schedule.
+        alpha_override:
+            Bypass the cost model and force a specific GPU workload share
+            (used by the alpha-sensitivity ablation).
+        compute_train_rmse:
+            Also record training RMSE each iteration.
+        """
+        alpha: Optional[float] = None
+        if self.spec.division == "nonuniform":
+            if alpha_override is not None:
+                alpha = float(alpha_override)
+            else:
+                split = self.workload_split(train)
+                alpha = split.alpha if split is not None else 0.0
+
+        grid = build_grid(
+            self.spec,
+            train,
+            self._effective_hardware,
+            alpha=alpha,
+            column_scale=self.column_scale,
+        )
+        scheduler = build_scheduler(
+            self.spec, grid, self._effective_hardware, seed=self.seed
+        )
+        engine = SimulationEngine(
+            scheduler=scheduler,
+            platform=self._platform,
+            train=train,
+            training=self.training,
+            test=test,
+            model=model,
+            schedule=schedule,
+            compute_train_rmse=compute_train_rmse,
+        )
+        outcome = engine.run(
+            iterations=iterations,
+            target_rmse=target_rmse,
+            max_simulated_time=max_simulated_time,
+        )
+        return TrainResult(
+            algorithm=self.spec.key,
+            model=outcome.model,
+            trace=outcome.trace,
+            converged=outcome.converged,
+            alpha=alpha,
+            calibration=self._calibration,
+        )
+
+
+def factorize(
+    train: SparseRatingMatrix,
+    test: Optional[SparseRatingMatrix] = None,
+    algorithm: str = "hsgd_star",
+    hardware: Optional[HardwareConfig] = None,
+    training: Optional[TrainingConfig] = None,
+    preset: Optional[PlatformPreset] = None,
+    iterations: Optional[int] = None,
+    target_rmse: Optional[float] = None,
+    seed: int = 0,
+) -> TrainResult:
+    """One-call matrix factorization on the simulated heterogeneous machine.
+
+    A thin convenience wrapper around :class:`HeterogeneousTrainer` for
+    examples and quick experiments; see the class for parameter details.
+    """
+    trainer = HeterogeneousTrainer(
+        algorithm=algorithm,
+        hardware=hardware,
+        training=training,
+        preset=preset,
+        seed=seed,
+    )
+    return trainer.fit(
+        train,
+        test=test,
+        iterations=iterations,
+        target_rmse=target_rmse,
+    )

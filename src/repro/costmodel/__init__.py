@@ -1,0 +1,65 @@
+"""Cost models for workload division (Section V of the paper).
+
+The paper divides the rating matrix between CPUs and GPUs by predicting
+how long either resource would take on a given amount of data:
+
+* the **CPU cost model** is linear in the data size (as in Qilin), fitted
+  on cumulative prefixes of a shuffled sample of the input;
+* the **GPU cost model** is the maximum of a *transfer* model and a
+  *kernel* model (Equation 9), because CUDA streams overlap the PCIe copy
+  with the kernel execution.  Both parts are piecewise: a saturating
+  small-size regime (``|R| / (a sqrt(log|R|) + b)`` for transfers,
+  ``|R| / (a log|R| + b)`` for the kernel) followed by a linear regime
+  beyond a threshold ``tau`` where the speed has stabilised;
+* the **Qilin baseline** fits plain linear models for both devices, which
+  the paper shows misestimates the GPU on small-to-medium blocks
+  (Table II).
+
+Given the fitted models, the workload split ``alpha`` (fraction of the
+matrix assigned to GPUs) is chosen to equalise the per-resource times
+(Equations 7 and 8).
+"""
+
+from .fitting import (
+    FittedLine,
+    fit_linear,
+    fit_speed_log,
+    fit_speed_sqrt_log,
+    stable_speed_threshold,
+)
+from .cpu_model import CPUCostModel
+from .gpu_model import GPUCostModel, KernelCostModel, TransferCostModel
+from .qilin import QilinCostModel, QilinDeviceModel
+from .alpha import WorkloadSplit, solve_alpha
+from .calibration import (
+    CalibrationProbe,
+    CalibrationResult,
+    calibrate_platform,
+    geometric_prefix_sizes,
+    probe_cpu_kernel,
+    probe_gpu_kernel,
+    probe_transfer_link,
+)
+
+__all__ = [
+    "FittedLine",
+    "fit_linear",
+    "fit_speed_log",
+    "fit_speed_sqrt_log",
+    "stable_speed_threshold",
+    "CPUCostModel",
+    "GPUCostModel",
+    "KernelCostModel",
+    "TransferCostModel",
+    "QilinCostModel",
+    "QilinDeviceModel",
+    "WorkloadSplit",
+    "solve_alpha",
+    "CalibrationProbe",
+    "CalibrationResult",
+    "calibrate_platform",
+    "geometric_prefix_sizes",
+    "probe_cpu_kernel",
+    "probe_gpu_kernel",
+    "probe_transfer_link",
+]

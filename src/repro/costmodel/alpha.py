@@ -1,0 +1,149 @@
+"""Workload-split solver (Equations 7 and 8 of the paper).
+
+Given cost functions ``f_g`` (time of one GPU on a workload) and ``f_c``
+(time of one CPU thread on a workload), the fraction ``alpha`` of the
+matrix assigned to GPUs is chosen so the two resources finish together:
+
+.. math::
+
+    T = \\max\\left(\\frac{T_g(\\alpha)}{n_g},
+                    \\frac{T_c(1-\\alpha)}{n_c}\\right)
+    \\qquad
+    \\alpha = \\arg\\min \\left|\\frac{T_g(\\alpha)}{n_g}
+                              - \\frac{T_c(1-\\alpha)}{n_c}\\right|
+
+Both cost functions are monotone in the workload size, so the objective is
+unimodal and a golden-section / dense-grid search over ``[0, 1]`` finds
+the optimum reliably; we use :func:`scipy.optimize.minimize_scalar` with a
+bounded method plus a safety grid refinement.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+from typing import Callable
+
+import numpy as np
+from scipy import optimize
+
+from ..exceptions import CostModelError
+
+#: Number of grid points used for the fallback/verification sweep.
+_GRID_POINTS = 512
+
+
+@dataclass(frozen=True)
+class WorkloadSplit:
+    """Result of the workload-division optimisation.
+
+    Attributes
+    ----------
+    alpha:
+        Fraction of the ratings assigned to GPUs (``R_g``).
+    gpu_time:
+        Predicted per-GPU time for its share (``T_g(alpha) / n_g``).
+    cpu_time:
+        Predicted per-thread CPU time for its share
+        (``T_c(1 - alpha) / n_c``).
+    """
+
+    alpha: float
+    gpu_time: float
+    cpu_time: float
+
+    @property
+    def predicted_makespan(self) -> float:
+        """Predicted overall time ``max(gpu_time, cpu_time)`` (Equation 7)."""
+        return max(self.gpu_time, self.cpu_time)
+
+    @property
+    def imbalance(self) -> float:
+        """Absolute difference of the two per-resource times (Equation 8)."""
+        return abs(self.gpu_time - self.cpu_time)
+
+    @property
+    def cpu_share(self) -> float:
+        """Fraction of ratings handled by CPUs, ``1 - alpha``."""
+        return 1.0 - self.alpha
+
+
+def solve_alpha(
+    gpu_time_for_points: Callable[[float], float],
+    cpu_time_for_points: Callable[[float], float],
+    total_points: float,
+    n_gpus: int,
+    n_cpu_threads: int,
+) -> WorkloadSplit:
+    """Choose the GPU workload share ``alpha`` that balances the devices.
+
+    Parameters
+    ----------
+    gpu_time_for_points:
+        Cost function of **one** GPU: seconds to update a workload of the
+        given number of ratings once.
+    cpu_time_for_points:
+        Cost function of **one** CPU worker thread.
+    total_points:
+        Total number of ratings ``|R|`` in the matrix.
+    n_gpus, n_cpu_threads:
+        The resource counts ``ng`` and ``nc``.
+
+    Returns
+    -------
+    WorkloadSplit
+
+    Notes
+    -----
+    * ``n_gpus == 0`` forces ``alpha = 0`` and ``n_cpu_threads == 0``
+      forces ``alpha = 1``.
+    * The per-resource GPU time divides ``T_g`` by ``n_gpus``; the per-
+      resource CPU time divides ``T_c`` by ``n_cpu_threads`` (Equation 7).
+    """
+    if total_points <= 0:
+        raise CostModelError(f"total_points must be positive, got {total_points}")
+    if n_gpus < 0 or n_cpu_threads < 0:
+        raise CostModelError("resource counts must be non-negative")
+    if n_gpus == 0 and n_cpu_threads == 0:
+        raise CostModelError("at least one resource is required")
+
+    def per_resource_times(alpha: float) -> tuple:
+        gpu_points = alpha * total_points
+        cpu_points = (1.0 - alpha) * total_points
+        gpu_time = (
+            gpu_time_for_points(gpu_points) / n_gpus if n_gpus > 0 else 0.0
+        )
+        cpu_time = (
+            cpu_time_for_points(cpu_points) / n_cpu_threads
+            if n_cpu_threads > 0
+            else 0.0
+        )
+        return gpu_time, cpu_time
+
+    if n_gpus == 0:
+        gpu_time, cpu_time = per_resource_times(0.0)
+        return WorkloadSplit(alpha=0.0, gpu_time=gpu_time, cpu_time=cpu_time)
+    if n_cpu_threads == 0:
+        gpu_time, cpu_time = per_resource_times(1.0)
+        return WorkloadSplit(alpha=1.0, gpu_time=gpu_time, cpu_time=cpu_time)
+
+    def objective(alpha: float) -> float:
+        gpu_time, cpu_time = per_resource_times(float(np.clip(alpha, 0.0, 1.0)))
+        return abs(gpu_time - cpu_time)
+
+    result = optimize.minimize_scalar(
+        objective, bounds=(0.0, 1.0), method="bounded",
+        options={"xatol": 1e-6},
+    )
+    best_alpha = float(np.clip(result.x, 0.0, 1.0))
+    best_value = objective(best_alpha)
+
+    # Safety net: a coarse grid sweep catches pathological cost functions
+    # where the bounded scalar search stalls in a flat region.
+    grid = np.linspace(0.0, 1.0, _GRID_POINTS)
+    grid_values = np.array([objective(a) for a in grid])
+    grid_best = int(np.argmin(grid_values))
+    if grid_values[grid_best] < best_value:
+        best_alpha = float(grid[grid_best])
+
+    gpu_time, cpu_time = per_resource_times(best_alpha)
+    return WorkloadSplit(alpha=best_alpha, gpu_time=gpu_time, cpu_time=cpu_time)

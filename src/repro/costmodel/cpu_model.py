@@ -1,0 +1,76 @@
+"""Linear CPU cost model.
+
+The paper keeps Qilin's assumption for the CPU side: a single worker
+thread's execution time grows linearly with the number of ratings it must
+process (Observation 2 shows per-thread CPU throughput is flat in block
+size, which is exactly the linear-time regime).  The model is fitted by
+least squares on the cumulative-prefix measurements produced by the
+calibration phase (Algorithm 3, lines 2-3).
+"""
+
+from __future__ import annotations
+
+from typing import Sequence
+
+import numpy as np
+
+from ..exceptions import CostModelError
+from .fitting import FittedLine, fit_linear
+
+
+class CPUCostModel:
+    """Predicts single-thread CPU time (seconds) for a given rating count.
+
+    Parameters
+    ----------
+    line:
+        The fitted ``time = slope * points + intercept`` relationship.
+    """
+
+    def __init__(self, line: FittedLine) -> None:
+        if line.slope <= 0:
+            raise CostModelError(
+                f"CPU cost must increase with data size, got slope {line.slope}"
+            )
+        self.line = line
+
+    @classmethod
+    def fit(cls, points: Sequence[float], times: Sequence[float]) -> "CPUCostModel":
+        """Fit the model from calibration samples.
+
+        Parameters
+        ----------
+        points:
+            Number of ratings in each calibration workload.
+        times:
+            Measured single-thread execution time for each workload.
+        """
+        return cls(fit_linear(points, times))
+
+    def time_for_points(self, points: float) -> float:
+        """Predicted single-thread seconds to update ``points`` ratings once."""
+        if points < 0:
+            raise CostModelError(f"points must be non-negative, got {points}")
+        if points == 0:
+            return 0.0
+        return max(0.0, self.line(points))
+
+    def speed_for_points(self, points: float) -> float:
+        """Predicted update throughput (ratings/s) for a ``points``-sized workload."""
+        if points <= 0:
+            return 0.0
+        time = self.time_for_points(points)
+        if time <= 0:
+            raise CostModelError("predicted CPU time is non-positive")
+        return points / time
+
+    def predict(self, points: np.ndarray) -> np.ndarray:
+        """Vectorised prediction of single-thread times."""
+        points = np.asarray(points, dtype=np.float64)
+        return np.maximum(0.0, self.line.evaluate(points))
+
+    def __repr__(self) -> str:
+        return (
+            f"CPUCostModel(time = {self.line.slope:.3e} * points "
+            f"+ {self.line.intercept:.3e})"
+        )

@@ -1,0 +1,137 @@
+"""Curve-fitting primitives shared by the cost models.
+
+The paper fits three kinds of curves against calibration measurements
+(Section V):
+
+* plain straight lines ``y = a x + b`` (least squares), used by the CPU
+  model, by the large-size regime of the GPU models, and by the Qilin
+  baseline;
+* the *transfer-speed* form ``speed(s) = a sqrt(log s) + b`` for small
+  transfers;
+* the *kernel-speed* form ``speed(s) = a log s + b`` for small blocks.
+
+It also implements the paper's empirical threshold rule: the boundary
+``tau`` between the saturating and linear regimes is the first size at
+which the speed varies by less than 2 % per step.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+from typing import Sequence, Tuple
+
+import numpy as np
+
+from ..exceptions import CostModelError
+
+#: The paper's stability criterion: "when the variation of the transfer
+#: speed is less than 2% in a time unit, we consider that the transfer
+#: speed has been stable".
+STABLE_SPEED_RELATIVE_CHANGE = 0.02
+
+
+@dataclass(frozen=True)
+class FittedLine:
+    """A fitted straight line ``y = slope * x + intercept``."""
+
+    slope: float
+    intercept: float
+
+    def __call__(self, x: float) -> float:
+        return self.slope * x + self.intercept
+
+    def evaluate(self, x: np.ndarray) -> np.ndarray:
+        """Vectorised evaluation."""
+        return self.slope * np.asarray(x, dtype=np.float64) + self.intercept
+
+
+def _as_clean_arrays(
+    x: Sequence[float], y: Sequence[float], minimum_points: int
+) -> Tuple[np.ndarray, np.ndarray]:
+    """Validate and convert paired samples for fitting."""
+    x_arr = np.asarray(x, dtype=np.float64)
+    y_arr = np.asarray(y, dtype=np.float64)
+    if x_arr.ndim != 1 or y_arr.ndim != 1 or len(x_arr) != len(y_arr):
+        raise CostModelError("fit inputs must be equal-length 1-D sequences")
+    if len(x_arr) < minimum_points:
+        raise CostModelError(
+            f"need at least {minimum_points} samples to fit, got {len(x_arr)}"
+        )
+    if not (np.all(np.isfinite(x_arr)) and np.all(np.isfinite(y_arr))):
+        raise CostModelError("fit inputs must be finite")
+    return x_arr, y_arr
+
+
+def fit_linear(x: Sequence[float], y: Sequence[float]) -> FittedLine:
+    """Least-squares fit of ``y = a x + b``."""
+    x_arr, y_arr = _as_clean_arrays(x, y, minimum_points=2)
+    design = np.column_stack([x_arr, np.ones_like(x_arr)])
+    coeffs, *_ = np.linalg.lstsq(design, y_arr, rcond=None)
+    line = FittedLine(slope=float(coeffs[0]), intercept=float(coeffs[1]))
+    if not (np.isfinite(line.slope) and np.isfinite(line.intercept)):
+        raise CostModelError("linear fit produced non-finite coefficients")
+    return line
+
+
+def fit_speed_sqrt_log(sizes: Sequence[float], speeds: Sequence[float]) -> FittedLine:
+    """Fit ``speed(s) = a * sqrt(log s) + b`` (the paper's transfer form).
+
+    Returns a :class:`FittedLine` in the transformed coordinate
+    ``sqrt(log s)``; evaluate it via
+    ``line(np.sqrt(np.log(size)))``.
+    """
+    sizes_arr, speeds_arr = _as_clean_arrays(sizes, speeds, minimum_points=2)
+    if np.any(sizes_arr <= 1.0):
+        raise CostModelError("sizes must exceed 1 for the sqrt(log) transform")
+    transformed = np.sqrt(np.log(sizes_arr))
+    return fit_linear(transformed, speeds_arr)
+
+
+def fit_speed_log(sizes: Sequence[float], speeds: Sequence[float]) -> FittedLine:
+    """Fit ``speed(s) = a * log s + b`` (the paper's kernel form).
+
+    Returns a :class:`FittedLine` in the transformed coordinate ``log s``.
+    """
+    sizes_arr, speeds_arr = _as_clean_arrays(sizes, speeds, minimum_points=2)
+    if np.any(sizes_arr <= 0.0):
+        raise CostModelError("sizes must be positive for the log transform")
+    transformed = np.log(sizes_arr)
+    return fit_linear(transformed, speeds_arr)
+
+
+def stable_speed_threshold(
+    sizes: Sequence[float],
+    speeds: Sequence[float],
+    relative_change: float = STABLE_SPEED_RELATIVE_CHANGE,
+) -> float:
+    """Find the size beyond which the speed curve has stabilised.
+
+    Implements the paper's empirical rule for the regime boundary ``tau``:
+    scan the (size-sorted) measurements and return the first size at which
+    the relative speed change with respect to the previous measurement
+    drops below ``relative_change`` and stays below it for all larger
+    sizes.  Falls back to the largest size when the curve never settles.
+    """
+    sizes_arr, speeds_arr = _as_clean_arrays(sizes, speeds, minimum_points=2)
+    if relative_change <= 0:
+        raise CostModelError("relative_change must be positive")
+
+    order = np.argsort(sizes_arr)
+    sizes_sorted = sizes_arr[order]
+    speeds_sorted = speeds_arr[order]
+
+    with np.errstate(divide="ignore", invalid="ignore"):
+        changes = np.abs(np.diff(speeds_sorted)) / np.maximum(
+            np.abs(speeds_sorted[:-1]), 1e-12
+        )
+
+    # Find the earliest index i such that every subsequent change is small.
+    stable_from = len(changes)
+    for i in range(len(changes) - 1, -1, -1):
+        if changes[i] < relative_change:
+            stable_from = i
+        else:
+            break
+    if stable_from >= len(changes):
+        return float(sizes_sorted[-1])
+    return float(sizes_sorted[stable_from + 1])

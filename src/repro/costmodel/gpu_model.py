@@ -1,0 +1,299 @@
+"""GPU cost model: transfer, kernel, and their stream-overlapped combination.
+
+Section V-B of the paper models the GPU time for a workload ``R`` as
+
+.. math::
+
+    f_g = \\max(f_g^{c \\Rightarrow g}, f_g^{kernel})
+
+(Equation 9), where both parts are piecewise:
+
+* **transfer** (host to device): for ``|R| <= tau`` the copy speed follows
+  ``a sqrt(log |R|) + b`` and the time is ``|R| / speed``; beyond ``tau``
+  the time is linear in ``|R|``;
+* **kernel**: for ``|R| <= tau`` the update speed follows
+  ``a log |R| + b``; beyond ``tau`` the time is linear.
+
+The device-to-host copy is always smaller than the host-to-device copy
+(only the updated factor segments return), so it never appears in the
+maximum; we still fit it for completeness and reporting.
+"""
+
+from __future__ import annotations
+
+from typing import Sequence
+
+import numpy as np
+
+from ..exceptions import CostModelError
+from .fitting import (
+    FittedLine,
+    fit_linear,
+    fit_speed_log,
+    fit_speed_sqrt_log,
+    stable_speed_threshold,
+)
+
+
+class TransferCostModel:
+    """Piecewise PCIe transfer-time model (one direction).
+
+    Parameters
+    ----------
+    speed_line:
+        Fitted line of ``speed = a * sqrt(log bytes) + b`` for the
+        small-transfer regime.
+    linear_time:
+        Fitted line of ``time = a * bytes + b`` for the large-transfer
+        regime.
+    threshold_bytes:
+        Regime boundary ``tau``.
+    """
+
+    def __init__(
+        self,
+        speed_line: FittedLine,
+        linear_time: FittedLine,
+        threshold_bytes: float,
+        min_fitted_bytes: float = 2.0,
+    ) -> None:
+        if threshold_bytes <= 0:
+            raise CostModelError(
+                f"threshold must be positive, got {threshold_bytes}"
+            )
+        self.speed_line = speed_line
+        self.linear_time = linear_time
+        self.threshold_bytes = float(threshold_bytes)
+        #: Smallest transfer size seen during fitting; the speed curve is
+        #: not extrapolated below it (tiny transfers inherit its speed).
+        self.min_fitted_bytes = max(2.0, float(min_fitted_bytes))
+
+    @classmethod
+    def fit(
+        cls, sizes_bytes: Sequence[float], times: Sequence[float]
+    ) -> "TransferCostModel":
+        """Fit the two regimes from measured ``(bytes, seconds)`` samples."""
+        sizes = np.asarray(sizes_bytes, dtype=np.float64)
+        times_arr = np.asarray(times, dtype=np.float64)
+        if len(sizes) < 4:
+            raise CostModelError(
+                f"need at least 4 transfer samples, got {len(sizes)}"
+            )
+        if np.any(sizes <= 1.0) or np.any(times_arr <= 0.0):
+            raise CostModelError("transfer samples must have size > 1 and time > 0")
+
+        speeds = sizes / times_arr
+        threshold = stable_speed_threshold(sizes, speeds)
+
+        small = sizes <= threshold
+        # Guard against degenerate splits: both regimes need >= 2 samples.
+        if small.sum() < 2:
+            order = np.argsort(sizes)
+            small = np.zeros_like(small)
+            small[order[:2]] = True
+            threshold = float(sizes[order[1]])
+        if (~small).sum() < 2:
+            order = np.argsort(sizes)
+            small = np.ones_like(small)
+            small[order[-2:]] = False
+            threshold = float(sizes[order[-3]]) if len(sizes) >= 3 else float(
+                sizes[order[0]]
+            )
+
+        speed_line = fit_speed_sqrt_log(sizes[small], speeds[small])
+        linear_time = fit_linear(sizes[~small], times_arr[~small])
+        return cls(
+            speed_line, linear_time, threshold, min_fitted_bytes=float(sizes.min())
+        )
+
+    def time_for_bytes(self, size_bytes: float) -> float:
+        """Predicted transfer seconds for ``size_bytes``.
+
+        Sizes below the smallest calibrated transfer inherit that
+        transfer's speed rather than extrapolating the fitted curve into a
+        regime it never observed.
+        """
+        if size_bytes < 0:
+            raise CostModelError(f"size must be non-negative, got {size_bytes}")
+        if size_bytes == 0:
+            return 0.0
+        if size_bytes <= self.threshold_bytes:
+            effective = max(size_bytes, self.min_fitted_bytes)
+            speed = self.speed_line(float(np.sqrt(np.log(effective))))
+            if speed <= 0:
+                raise CostModelError("fitted transfer speed is non-positive")
+            return size_bytes / speed
+        return max(0.0, self.linear_time(size_bytes))
+
+    def bandwidth_for_bytes(self, size_bytes: float) -> float:
+        """Predicted effective bandwidth (bytes/s) for a transfer."""
+        if size_bytes <= 0:
+            return 0.0
+        return size_bytes / self.time_for_bytes(size_bytes)
+
+    def __repr__(self) -> str:
+        return f"TransferCostModel(threshold={self.threshold_bytes:.0f} bytes)"
+
+
+class KernelCostModel:
+    """Piecewise GPU kernel-time model.
+
+    Parameters mirror :class:`TransferCostModel`, with the small-regime
+    speed fitted as ``a log points + b``.
+    """
+
+    def __init__(
+        self,
+        speed_line: FittedLine,
+        linear_time: FittedLine,
+        threshold_points: float,
+        min_fitted_points: float = 2.0,
+    ) -> None:
+        if threshold_points <= 0:
+            raise CostModelError(
+                f"threshold must be positive, got {threshold_points}"
+            )
+        self.speed_line = speed_line
+        self.linear_time = linear_time
+        self.threshold_points = float(threshold_points)
+        #: Smallest workload seen during fitting; smaller workloads
+        #: inherit its throughput instead of extrapolating the curve.
+        self.min_fitted_points = max(2.0, float(min_fitted_points))
+
+    @classmethod
+    def fit(
+        cls, points: Sequence[float], times: Sequence[float]
+    ) -> "KernelCostModel":
+        """Fit the two regimes from measured ``(points, seconds)`` samples."""
+        points_arr = np.asarray(points, dtype=np.float64)
+        times_arr = np.asarray(times, dtype=np.float64)
+        if len(points_arr) < 4:
+            raise CostModelError(
+                f"need at least 4 kernel samples, got {len(points_arr)}"
+            )
+        if np.any(points_arr <= 0.0) or np.any(times_arr <= 0.0):
+            raise CostModelError("kernel samples must be positive")
+
+        speeds = points_arr / times_arr
+        threshold = stable_speed_threshold(points_arr, speeds)
+
+        small = points_arr <= threshold
+        if small.sum() < 2:
+            order = np.argsort(points_arr)
+            small = np.zeros_like(small)
+            small[order[:2]] = True
+            threshold = float(points_arr[order[1]])
+        if (~small).sum() < 2:
+            order = np.argsort(points_arr)
+            small = np.ones_like(small)
+            small[order[-2:]] = False
+            threshold = float(points_arr[order[-3]]) if len(points_arr) >= 3 else float(
+                points_arr[order[0]]
+            )
+
+        speed_line = fit_speed_log(points_arr[small], speeds[small])
+        linear_time = fit_linear(points_arr[~small], times_arr[~small])
+        return cls(
+            speed_line,
+            linear_time,
+            threshold,
+            min_fitted_points=float(points_arr.min()),
+        )
+
+    def time_for_points(self, points: float) -> float:
+        """Predicted kernel seconds to update ``points`` ratings once.
+
+        Workloads below the smallest calibrated workload inherit its
+        throughput rather than extrapolating the fitted speed curve.
+        """
+        if points < 0:
+            raise CostModelError(f"points must be non-negative, got {points}")
+        if points == 0:
+            return 0.0
+        if points <= self.threshold_points:
+            effective = max(points, self.min_fitted_points)
+            speed = self.speed_line(float(np.log(effective)))
+            if speed <= 0:
+                raise CostModelError("fitted kernel speed is non-positive")
+            return points / speed
+        return max(0.0, self.linear_time(points))
+
+    def speed_for_points(self, points: float) -> float:
+        """Predicted kernel update throughput (ratings/s)."""
+        if points <= 0:
+            return 0.0
+        return points / self.time_for_points(points)
+
+    def __repr__(self) -> str:
+        return f"KernelCostModel(threshold={self.threshold_points:.0f} points)"
+
+
+class GPUCostModel:
+    """Overall GPU cost model: ``max(transfer, kernel)`` (Equation 9).
+
+    Parameters
+    ----------
+    kernel:
+        Kernel-time model in rating counts.
+    host_to_device:
+        Transfer-time model in bytes for the CPU-to-GPU direction.
+    device_to_host:
+        Transfer-time model for the return direction (reported but never
+        the maximum, because far fewer bytes travel back).
+    bytes_per_point:
+        Average bytes shipped to the GPU per rating, estimated during
+        calibration; converts rating counts into transfer sizes.
+    """
+
+    def __init__(
+        self,
+        kernel: KernelCostModel,
+        host_to_device: TransferCostModel,
+        device_to_host: TransferCostModel,
+        bytes_per_point: float,
+    ) -> None:
+        if bytes_per_point <= 0:
+            raise CostModelError(
+                f"bytes_per_point must be positive, got {bytes_per_point}"
+            )
+        self.kernel = kernel
+        self.host_to_device = host_to_device
+        self.device_to_host = device_to_host
+        self.bytes_per_point = float(bytes_per_point)
+
+    def transfer_time_for_points(self, points: float) -> float:
+        """Predicted host-to-device copy time for a ``points``-sized workload."""
+        return self.host_to_device.time_for_bytes(points * self.bytes_per_point)
+
+    def kernel_time_for_points(self, points: float) -> float:
+        """Predicted kernel time for a ``points``-sized workload."""
+        return self.kernel.time_for_points(points)
+
+    def time_for_points(self, points: float) -> float:
+        """Overall predicted GPU time: the stream-overlapped maximum."""
+        if points < 0:
+            raise CostModelError(f"points must be non-negative, got {points}")
+        if points == 0:
+            return 0.0
+        return max(
+            self.transfer_time_for_points(points),
+            self.kernel_time_for_points(points),
+        )
+
+    def speed_for_points(self, points: float) -> float:
+        """Predicted end-to-end GPU update throughput (ratings/s)."""
+        if points <= 0:
+            return 0.0
+        return points / self.time_for_points(points)
+
+    def bottleneck(self, points: float) -> str:
+        """Which stream dominates the cost: ``"transfer"`` or ``"kernel"``."""
+        if self.transfer_time_for_points(points) >= self.kernel_time_for_points(points):
+            return "transfer"
+        return "kernel"
+
+    def __repr__(self) -> str:
+        return (
+            f"GPUCostModel(bytes_per_point={self.bytes_per_point:.1f}, "
+            f"kernel={self.kernel!r})"
+        )

@@ -1,0 +1,88 @@
+"""Qilin-style linear cost model (the paper's cost-model baseline).
+
+Qilin (Luk, Hong, Kim — MICRO 2009, reference [11] of the paper) maps work
+between CPU and GPU by fitting *linear* execution-time models for both
+devices from a profiling run and then splitting the input so predicted
+times are equal.  The paper's Table II compares HSGD\\*-Q (this model)
+against HSGD\\*-M (the paper's model) and shows the linear GPU fit
+misestimates the non-linear GPU behaviour, producing a worse split.
+
+The classes here expose the same ``time_for_points`` interface as the
+paper's models so the scheduler can swap them freely.
+"""
+
+from __future__ import annotations
+
+from typing import Sequence
+
+from ..exceptions import CostModelError
+from .fitting import FittedLine, fit_linear
+
+
+class QilinDeviceModel:
+    """Linear per-device time model ``time = a * points + b``."""
+
+    def __init__(self, line: FittedLine) -> None:
+        if line.slope <= 0:
+            raise CostModelError(
+                f"device cost must increase with data size, got slope {line.slope}"
+            )
+        self.line = line
+
+    @classmethod
+    def fit(
+        cls, points: Sequence[float], times: Sequence[float]
+    ) -> "QilinDeviceModel":
+        """Least-squares fit from ``(points, seconds)`` profiling samples."""
+        return cls(fit_linear(points, times))
+
+    def time_for_points(self, points: float) -> float:
+        """Predicted seconds to process ``points`` ratings once."""
+        if points < 0:
+            raise CostModelError(f"points must be non-negative, got {points}")
+        if points == 0:
+            return 0.0
+        return max(0.0, self.line(points))
+
+    def speed_for_points(self, points: float) -> float:
+        """Predicted throughput (ratings/s) for a ``points``-sized workload."""
+        if points <= 0:
+            return 0.0
+        time = self.time_for_points(points)
+        if time <= 0:
+            raise CostModelError("predicted time is non-positive")
+        return points / time
+
+    def __repr__(self) -> str:
+        return (
+            f"QilinDeviceModel(time = {self.line.slope:.3e} * points "
+            f"+ {self.line.intercept:.3e})"
+        )
+
+
+class QilinCostModel:
+    """The pair of linear device models used by HSGD*-Q.
+
+    Attributes
+    ----------
+    cpu:
+        Linear model of one CPU worker thread.
+    gpu:
+        Linear model of one GPU (fitted on *end-to-end* measured GPU times,
+        i.e. including transfers, as Qilin profiles whole offloaded tasks).
+    """
+
+    def __init__(self, cpu: QilinDeviceModel, gpu: QilinDeviceModel) -> None:
+        self.cpu = cpu
+        self.gpu = gpu
+
+    def cpu_time_for_points(self, points: float) -> float:
+        """Predicted single-thread CPU seconds for ``points`` ratings."""
+        return self.cpu.time_for_points(points)
+
+    def gpu_time_for_points(self, points: float) -> float:
+        """Predicted single-GPU seconds for ``points`` ratings."""
+        return self.gpu.time_for_points(points)
+
+    def __repr__(self) -> str:
+        return f"QilinCostModel(cpu={self.cpu!r}, gpu={self.gpu!r})"

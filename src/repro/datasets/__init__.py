@@ -1,0 +1,41 @@
+"""Dataset substrate.
+
+The paper evaluates on four public rating datasets (Table I): MovieLens,
+Netflix, Yahoo R1 and Yahoo!Music.  Those datasets (tens of millions to
+hundreds of millions of ratings) are not available offline and would be
+far too slow to train with a pure-numpy kernel, so this subpackage
+provides:
+
+* a **synthetic generator** (:mod:`repro.datasets.synthetic`) that draws a
+  low-rank ground-truth model, samples user/item popularity from power
+  laws (matching the heavy skew of real rating data), adds observation
+  noise, and clips to the dataset's rating scale;
+* a **registry** (:mod:`repro.datasets.registry`) of scaled-down analogues
+  of the paper's four datasets, preserving their aspect ratios, rating
+  scales, size ordering and per-dataset hyper-parameters, plus the paper's
+  original Table I statistics for reporting;
+* train/test **splits** (:mod:`repro.datasets.splits`).
+"""
+
+from .registry import (
+    DATASETS,
+    DatasetSpec,
+    PaperDatasetStatistics,
+    dataset_names,
+    get_dataset,
+    load_dataset,
+)
+from .splits import holdout_split
+from .synthetic import SyntheticConfig, generate_synthetic_matrix
+
+__all__ = [
+    "DATASETS",
+    "DatasetSpec",
+    "PaperDatasetStatistics",
+    "dataset_names",
+    "get_dataset",
+    "load_dataset",
+    "holdout_split",
+    "SyntheticConfig",
+    "generate_synthetic_matrix",
+]

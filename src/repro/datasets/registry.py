@@ -1,0 +1,299 @@
+"""Registry of the paper's benchmark datasets and their scaled analogues.
+
+Table I of the paper lists four datasets together with the
+hyper-parameters used on each.  The registry records those statistics
+verbatim (for reporting and for the Table I benchmark) and defines, for
+each dataset, a synthetic scaled-down analogue that
+
+* keeps the size *ordering* (MovieLens < Netflix ≈ R1 < Yahoo!Music) and
+  approximate train/test ratio,
+* keeps the tall-vs-wide aspect of the original matrix,
+* keeps the rating scale (1-5 stars for MovieLens/Netflix, 0-100 for the
+  Yahoo datasets — which is why the paper's RMSE targets are 0.66/0.82
+  vs 20/19),
+* is roughly 1000x smaller in rating count so pure-numpy SGD epochs take
+  fractions of a second.
+
+The per-dataset regularisation and learning rate follow Table I; the
+latent dimensionality defaults to 32 for the reproduction experiments
+(the paper uses 128 — the reduction only rescales compute per rating and
+is recorded in EXPERIMENTS.md).
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+from functools import lru_cache
+from typing import Dict, List, Tuple
+
+from ..config import TrainingConfig
+from ..exceptions import DatasetError
+from ..sparse import SparseRatingMatrix
+from .splits import holdout_split
+from .synthetic import SyntheticConfig, generate_synthetic_matrix
+
+#: The rating-count scale of the synthetic analogues relative to Table I.
+DATASET_SCALE = 1e-3
+
+#: Latent dimensionality used by the reproduction experiments.
+EXPERIMENT_LATENT_FACTORS = 32
+
+
+@dataclass(frozen=True)
+class PaperDatasetStatistics:
+    """The original Table I row for one dataset."""
+
+    n_rows: int
+    n_cols: int
+    n_training: int
+    n_test: int
+    latent_factors: int
+    reg_p: float
+    reg_q: float
+    learning_rate: float
+    target_rmse: float
+    """The predefined RMSE at which Section VII-A stops the timers."""
+
+
+@dataclass(frozen=True)
+class DatasetSpec:
+    """A dataset of the evaluation: paper statistics plus synthetic analogue."""
+
+    name: str
+    paper: PaperDatasetStatistics
+    synthetic: SyntheticConfig
+    test_fraction: float
+    target_rmse: float
+    """RMSE threshold used by the reproduction's time-to-target runs.
+
+    Chosen a little above the synthetic noise floor so every algorithm can
+    reach it, mirroring how the paper picked values reachable by all
+    competitors.
+    """
+
+    @property
+    def scale(self) -> float:
+        """Rating-count scale of the analogue relative to the paper dataset."""
+        return self.synthetic.n_ratings / float(
+            self.paper.n_training + self.paper.n_test
+        )
+
+    def recommended_training(
+        self,
+        iterations: int = 20,
+        latent_factors: int = EXPERIMENT_LATENT_FACTORS,
+        seed: int = 0,
+    ) -> TrainingConfig:
+        """Training configuration following Table I, adapted to the analogue.
+
+        The regularisers come straight from Table I.  The learning rate is
+        Table I's value rescaled by the rating range (``5 / rating_max``)
+        for the 0-100 Yahoo scales: the paper's AVX/CUDA kernels apply the
+        per-rating updates strictly sequentially, whereas the vectorised
+        mini-batch kernel accumulates a handful of gradients per step, so
+        the raw Table I rates overflow on a 0-100 scale.  The rescaling
+        keeps per-epoch progress comparable and is recorded in
+        EXPERIMENTS.md.  The factor initialisation scale is set so initial
+        predictions land near the middle of the rating scale.
+        """
+        mid_rating = 0.5 * (self.synthetic.rating_min + self.synthetic.rating_max)
+        init_scale = 2.0 * (mid_rating / latent_factors) ** 0.5
+        rate_scale = min(1.0, 5.0 / self.synthetic.rating_max)
+        return TrainingConfig(
+            latent_factors=latent_factors,
+            learning_rate=self.paper.learning_rate * rate_scale,
+            reg_p=self.paper.reg_p,
+            reg_q=self.paper.reg_q,
+            iterations=iterations,
+            seed=seed,
+            init_scale=init_scale,
+        )
+
+
+@dataclass(frozen=True)
+class DatasetBundle:
+    """A loaded dataset: train and test matrices plus its spec."""
+
+    spec: DatasetSpec
+    train: SparseRatingMatrix
+    test: SparseRatingMatrix
+
+
+def _movielens_spec() -> DatasetSpec:
+    paper = PaperDatasetStatistics(
+        n_rows=71_567,
+        n_cols=65_133,
+        n_training=9_301_274,
+        n_test=698_780,
+        latent_factors=128,
+        reg_p=0.05,
+        reg_q=0.05,
+        learning_rate=0.005,
+        target_rmse=0.66,
+    )
+    synthetic = SyntheticConfig(
+        n_rows=1_800,
+        n_cols=1_400,
+        n_ratings=30_000,
+        rank=8,
+        rating_min=0.5,
+        rating_max=5.0,
+        noise_std=0.45,
+        popularity_exponent=0.8,
+        seed=11,
+    )
+    return DatasetSpec(
+        name="movielens",
+        paper=paper,
+        synthetic=synthetic,
+        test_fraction=paper.n_test / (paper.n_training + paper.n_test),
+        target_rmse=0.545,
+    )
+
+
+def _netflix_spec() -> DatasetSpec:
+    paper = PaperDatasetStatistics(
+        n_rows=2_649_429,
+        n_cols=17_770,
+        n_training=99_072_112,
+        n_test=1_408_395,
+        latent_factors=128,
+        reg_p=0.05,
+        reg_q=0.05,
+        learning_rate=0.005,
+        target_rmse=0.82,
+    )
+    synthetic = SyntheticConfig(
+        n_rows=8_000,
+        n_cols=600,
+        n_ratings=100_500,
+        rank=8,
+        rating_min=1.0,
+        rating_max=5.0,
+        noise_std=0.6,
+        popularity_exponent=0.8,
+        seed=12,
+    )
+    return DatasetSpec(
+        name="netflix",
+        paper=paper,
+        synthetic=synthetic,
+        test_fraction=paper.n_test / (paper.n_training + paper.n_test),
+        target_rmse=0.69,
+    )
+
+
+def _r1_spec() -> DatasetSpec:
+    paper = PaperDatasetStatistics(
+        n_rows=1_948_883,
+        n_cols=1_101_750,
+        n_training=104_215_016,
+        n_test=11_364_422,
+        latent_factors=128,
+        reg_p=1.0,
+        reg_q=1.0,
+        learning_rate=0.005,
+        target_rmse=20.0,
+    )
+    synthetic = SyntheticConfig(
+        n_rows=6_000,
+        n_cols=3_500,
+        n_ratings=115_500,
+        rank=8,
+        rating_min=0.0,
+        rating_max=100.0,
+        noise_std=14.0,
+        popularity_exponent=0.8,
+        seed=13,
+    )
+    return DatasetSpec(
+        name="r1",
+        paper=paper,
+        synthetic=synthetic,
+        test_fraction=paper.n_test / (paper.n_training + paper.n_test),
+        target_rmse=15.1,
+    )
+
+
+def _yahoomusic_spec() -> DatasetSpec:
+    paper = PaperDatasetStatistics(
+        n_rows=1_000_990,
+        n_cols=624_961,
+        n_training=252_800_275,
+        n_test=4_003_960,
+        latent_factors=128,
+        reg_p=1.0,
+        reg_q=1.0,
+        learning_rate=0.01,
+        target_rmse=19.0,
+    )
+    synthetic = SyntheticConfig(
+        n_rows=10_000,
+        n_cols=6_250,
+        n_ratings=256_800,
+        rank=8,
+        rating_min=0.0,
+        rating_max=100.0,
+        noise_std=13.0,
+        popularity_exponent=0.8,
+        seed=14,
+    )
+    return DatasetSpec(
+        name="yahoomusic",
+        paper=paper,
+        synthetic=synthetic,
+        test_fraction=paper.n_test / (paper.n_training + paper.n_test),
+        target_rmse=14.1,
+    )
+
+
+#: All datasets of the paper's evaluation, in Table I order.
+DATASETS: Dict[str, DatasetSpec] = {
+    spec.name: spec
+    for spec in (
+        _movielens_spec(),
+        _netflix_spec(),
+        _r1_spec(),
+        _yahoomusic_spec(),
+    )
+}
+
+
+def dataset_names() -> List[str]:
+    """Names of the registered datasets, in Table I order."""
+    return list(DATASETS.keys())
+
+
+def get_dataset(name: str) -> DatasetSpec:
+    """Look up a dataset spec by name.
+
+    Raises
+    ------
+    DatasetError
+        If the name is unknown.
+    """
+    try:
+        return DATASETS[name]
+    except KeyError as exc:
+        raise DatasetError(
+            f"unknown dataset {name!r}; available: {', '.join(DATASETS)}"
+        ) from exc
+
+
+@lru_cache(maxsize=None)
+def _load_cached(name: str, seed: int) -> Tuple[SparseRatingMatrix, SparseRatingMatrix]:
+    spec = get_dataset(name)
+    matrix, _, _ = generate_synthetic_matrix(spec.synthetic)
+    return holdout_split(matrix, spec.test_fraction, seed=seed)
+
+
+def load_dataset(name: str, seed: int = 0) -> DatasetBundle:
+    """Generate (or fetch from cache) the synthetic analogue of a dataset.
+
+    The generation is deterministic in ``(name, seed)`` and cached, so
+    benchmarks that reuse the same dataset across many runs pay the
+    generation cost once.
+    """
+    spec = get_dataset(name)
+    train, test = _load_cached(name, seed)
+    return DatasetBundle(spec=spec, train=train, test=test)

@@ -1,0 +1,63 @@
+"""Exception hierarchy for the :mod:`repro` package.
+
+Every error raised deliberately by the library derives from
+:class:`ReproError` so callers can catch library failures with a single
+``except`` clause while letting programming errors (``TypeError`` etc.)
+propagate unchanged.
+"""
+
+from __future__ import annotations
+
+
+class ReproError(Exception):
+    """Base class for all errors raised by the :mod:`repro` library."""
+
+
+class InvalidMatrixError(ReproError):
+    """A sparse rating matrix is structurally invalid.
+
+    Raised for mismatched coordinate-array lengths, out-of-range row or
+    column indices, negative shapes, or empty matrices passed to routines
+    that require at least one rating.
+    """
+
+
+class InvalidPartitionError(ReproError):
+    """A grid partition violates a structural requirement.
+
+    Examples: non-monotone boundaries, a boundary outside ``[0, m]``,
+    fewer blocks than Rule 1 requires, or a zero-area band.
+    """
+
+
+class SchedulingError(ReproError):
+    """The scheduler reached an inconsistent state.
+
+    Raised when a worker is assigned a conflicting block, when a block is
+    released twice, or when no runnable block exists although the grid
+    invariant guarantees one.
+    """
+
+
+class CostModelError(ReproError):
+    """A cost model could not be fitted or evaluated.
+
+    Raised for insufficient calibration samples, non-finite fitted
+    coefficients, or evaluation outside the model's valid domain.
+    """
+
+
+class CalibrationError(CostModelError):
+    """Offline calibration (Algorithm 3 of the paper) failed."""
+
+
+class SimulationError(ReproError):
+    """The discrete-event simulation engine reached an invalid state."""
+
+
+class DatasetError(ReproError):
+    """A dataset could not be generated, loaded, or parsed."""
+
+
+class ConfigurationError(ReproError):
+    """A configuration object carries contradictory or invalid values."""

@@ -1,0 +1,64 @@
+"""Experiment harness: one entry point per table and figure of the paper.
+
+Every public function in this package regenerates the data behind one of
+the paper's evaluation artefacts (Section VII) on the simulated platform
+and the scaled synthetic datasets:
+
+========================  ==========================================
+Function                  Paper artefact
+========================  ==========================================
+``figure3_block_throughput``   Figure 3(a)/(b): device update speed vs block size
+``figure6_transfer_speed``     Figure 6(a)/(b): PCIe bandwidth vs transfer size
+``figure7_kernel_throughput``  Figure 7: GPU kernel throughput vs block size
+``figure10_vary_gpu_workers``  Figure 10: time-to-target vs GPU parallel workers
+``figure11_vary_cpu_threads``  Figure 11: time-to-target vs CPU thread count
+``figure12_rmse_curves``       Figure 12: test RMSE over training time
+``figure13_division_ablation`` Figure 13: HSGD vs HSGD* RMSE over time
+``table1_datasets``            Table I: dataset statistics and parameters
+``table2_cost_models``         Table II: HSGD*-Q vs HSGD*-M split and runtime
+``table3_dynamic_scheduling``  Table III: HSGD*-M vs HSGD* runtime
+``observation_block_sensitivity``  Observations 1 and 2
+``example3_update_imbalance``      Example 3: HSGD update-count imbalance
+========================  ==========================================
+
+plus the extra ablations called out in DESIGN.md
+(:mod:`repro.experiments.ablations`).
+
+All functions take an :class:`~repro.experiments.context.ExperimentContext`
+so benchmarks, the CLI and tests can dial the workload up or down.
+"""
+
+from .context import ExperimentContext
+from .throughput import (
+    figure3_block_throughput,
+    figure6_transfer_speed,
+    figure7_kernel_throughput,
+)
+from .runtime import figure10_vary_gpu_workers, figure11_vary_cpu_threads
+from .convergence import figure12_rmse_curves, figure13_division_ablation
+from .tables import table1_datasets, table2_cost_models, table3_dynamic_scheduling
+from .observations import example3_update_imbalance, observation_block_sensitivity
+from .ablations import (
+    ablation_alpha_sensitivity,
+    ablation_column_rule,
+    ablation_stream_overlap,
+)
+
+__all__ = [
+    "ExperimentContext",
+    "figure3_block_throughput",
+    "figure6_transfer_speed",
+    "figure7_kernel_throughput",
+    "figure10_vary_gpu_workers",
+    "figure11_vary_cpu_threads",
+    "figure12_rmse_curves",
+    "figure13_division_ablation",
+    "table1_datasets",
+    "table2_cost_models",
+    "table3_dynamic_scheduling",
+    "observation_block_sensitivity",
+    "example3_update_imbalance",
+    "ablation_alpha_sensitivity",
+    "ablation_column_rule",
+    "ablation_stream_overlap",
+]

@@ -1,0 +1,110 @@
+"""Ablations beyond the paper's own tables.
+
+DESIGN.md calls out three design choices worth isolating:
+
+* **alpha sensitivity** — how much does the running time degrade when the
+  GPU workload share is forced away from the cost model's optimum?  This
+  quantifies how much accuracy the cost model actually buys.
+* **column rule** — Figure 9 uses ``nc + 2 ng + 1`` columns (so a GPU can
+  always prefetch its next block and a spare column always exists); this
+  ablation compares against a naive narrower/wider column count.
+* **stream overlap** — Equation 9 models the GPU cost as the maximum of
+  the transfer and kernel streams because CUDA streams overlap them; this
+  ablation disables the overlap to show its contribution.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, field
+from typing import Dict, List, Optional, Sequence
+
+from .context import ExperimentContext
+from .runs import run_algorithm
+
+
+@dataclass
+class AblationResult:
+    """Running times of one ablation sweep on one dataset."""
+
+    dataset: str
+    parameter: str
+    #: ``times[label]`` is the simulated running time for one setting.
+    times: Dict[str, float] = field(default_factory=dict)
+
+    def best_setting(self) -> str:
+        """The setting with the smallest running time."""
+        return min(self.times, key=self.times.get)
+
+
+def ablation_alpha_sensitivity(
+    context: Optional[ExperimentContext] = None,
+    dataset: str = "yahoomusic",
+    alphas: Sequence[float] = (0.1, 0.25, 0.4, 0.55, 0.7),
+    iterations: Optional[int] = None,
+) -> AblationResult:
+    """Force the GPU share away from the cost-model optimum and measure cost.
+
+    The run with ``alpha = None`` (the cost-model choice) is included
+    under the label ``"cost-model"``.
+    """
+    context = context or ExperimentContext()
+    result = AblationResult(dataset=dataset, parameter="alpha")
+    model_run = run_algorithm(
+        context, dataset, "hsgd_star_m", iterations=iterations
+    )
+    result.times["cost-model"] = model_run.simulated_time
+    for alpha in alphas:
+        run = run_algorithm(
+            context,
+            dataset,
+            "hsgd_star_m",
+            iterations=iterations,
+            alpha_override=alpha,
+        )
+        result.times[f"alpha={alpha:.2f}"] = run.simulated_time
+    return result
+
+
+def ablation_column_rule(
+    context: Optional[ExperimentContext] = None,
+    dataset: str = "yahoomusic",
+    column_scales: Sequence[float] = (0.6, 1.0, 1.5, 2.5),
+    iterations: Optional[int] = None,
+) -> AblationResult:
+    """Vary the nonuniform division's column count around ``nc + 2 ng + 1``."""
+    context = context or ExperimentContext()
+    result = AblationResult(dataset=dataset, parameter="column_scale")
+    for scale in column_scales:
+        run = run_algorithm(
+            context,
+            dataset,
+            "hsgd_star",
+            iterations=iterations,
+            column_scale=scale,
+        )
+        result.times[f"columns x{scale:g}"] = run.simulated_time
+    return result
+
+
+def ablation_stream_overlap(
+    context: Optional[ExperimentContext] = None,
+    datasets: Optional[List[str]] = None,
+    iterations: Optional[int] = None,
+) -> List[AblationResult]:
+    """Disable CUDA-stream overlap on the GPU path and measure the cost."""
+    context = context or ExperimentContext()
+    datasets = datasets or list(context.datasets)
+    results = []
+    for dataset in datasets:
+        result = AblationResult(dataset=dataset, parameter="stream_overlap")
+        for label, overlap in (("overlapped", True), ("serial", False)):
+            run = run_algorithm(
+                context,
+                dataset,
+                "gpu_only",
+                iterations=iterations,
+                stream_overlap=overlap,
+            )
+            result.times[label] = run.simulated_time
+        results.append(result)
+    return results

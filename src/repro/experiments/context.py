@@ -1,0 +1,104 @@
+"""Shared configuration of the experiment harness.
+
+The paper's full evaluation sweeps four datasets, five GPU-parallel-worker
+settings, seven CPU-thread settings and several dozen training runs.  The
+:class:`ExperimentContext` carries the knobs that let the same harness run
+either a quick benchmark pass (the default — a few minutes end to end) or
+the full sweep (``ExperimentContext.full()``).
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, field
+from typing import List, Optional, Sequence
+
+from ..config import HardwareConfig
+from ..datasets import dataset_names
+from ..hardware import PlatformPreset, paper_machine_preset
+
+#: Scale at which the simulated machine is run to match the ~1/1000-sized
+#: synthetic datasets (see DESIGN.md and repro.hardware.presets).
+DEFAULT_MACHINE_SCALE = 1e-3
+
+
+def default_preset() -> PlatformPreset:
+    """The paper machine scaled to the synthetic dataset sizes."""
+    return paper_machine_preset().scaled(DEFAULT_MACHINE_SCALE)
+
+
+@dataclass
+class ExperimentContext:
+    """Workload knobs shared by all experiment entry points.
+
+    Attributes
+    ----------
+    preset:
+        Simulated machine constants.
+    datasets:
+        Dataset names to evaluate (Table I order by default).
+    cpu_threads:
+        Default CPU thread count ``nc`` (the paper uses 16).
+    gpu_count:
+        Number of GPUs ``ng``.
+    gpu_parallel_workers:
+        Default GPU parallel workers (the paper uses 128).
+    gpu_worker_sweep:
+        Values swept by the Figure 10 experiment.
+    cpu_thread_sweep:
+        Values swept by the Figure 11 experiment.
+    iterations:
+        Iteration budget of fixed-length runs (Figures 12/13, Tables II/III
+        use 20 in the paper).
+    max_iterations:
+        Iteration cap of time-to-target runs (Figures 10/11).
+    seed:
+        Base random seed.
+    """
+
+    preset: PlatformPreset = field(default_factory=default_preset)
+    datasets: List[str] = field(default_factory=dataset_names)
+    cpu_threads: int = 16
+    gpu_count: int = 1
+    gpu_parallel_workers: int = 128
+    gpu_worker_sweep: Sequence[int] = (32, 128, 512)
+    cpu_thread_sweep: Sequence[int] = (4, 8, 16)
+    iterations: int = 12
+    max_iterations: int = 35
+    seed: int = 0
+
+    @classmethod
+    def quick(cls, datasets: Optional[List[str]] = None) -> "ExperimentContext":
+        """A reduced context for smoke tests: two datasets, few iterations."""
+        return cls(
+            datasets=datasets or ["movielens", "netflix"],
+            gpu_worker_sweep=(32, 128),
+            cpu_thread_sweep=(4, 16),
+            iterations=6,
+            max_iterations=20,
+        )
+
+    @classmethod
+    def full(cls) -> "ExperimentContext":
+        """The paper's full sweep (32-512 workers, 4-16 threads, 20 iterations)."""
+        return cls(
+            gpu_worker_sweep=(32, 64, 128, 256, 512),
+            cpu_thread_sweep=(4, 6, 8, 10, 12, 14, 16),
+            iterations=20,
+            max_iterations=40,
+        )
+
+    def hardware(
+        self,
+        cpu_threads: Optional[int] = None,
+        gpu_parallel_workers: Optional[int] = None,
+    ) -> HardwareConfig:
+        """A hardware configuration with optional per-experiment overrides."""
+        return HardwareConfig(
+            cpu_threads=self.cpu_threads if cpu_threads is None else cpu_threads,
+            gpu_count=self.gpu_count,
+            gpu_parallel_workers=(
+                self.gpu_parallel_workers
+                if gpu_parallel_workers is None
+                else gpu_parallel_workers
+            ),
+        )

@@ -1,0 +1,85 @@
+"""Training-quality experiments: Figures 12 and 13.
+
+Both figures plot the test RMSE against (simulated) training time:
+
+* Figure 12 compares CPU-Only, GPU-Only and HSGD* — all three converge
+  to a similar loss and HSGD* gets there first;
+* Figure 13 compares HSGD against HSGD* — the uniform division plus
+  greedy assignment of HSGD updates some blocks far more often than
+  others (Example 3), which shows up as a visibly worse RMSE-for-time
+  curve, especially on the larger datasets.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, field
+from typing import Dict, List, Optional, Tuple
+
+from ..metrics.reporting import format_table
+from .context import ExperimentContext
+from .runs import run_algorithm
+
+#: Algorithms of Figure 12.
+FIGURE12_ALGORITHMS = ("cpu_only", "gpu_only", "hsgd_star")
+
+#: Algorithms of Figure 13.
+FIGURE13_ALGORITHMS = ("hsgd", "hsgd_star")
+
+
+@dataclass
+class ConvergenceResult:
+    """RMSE-over-time curves of several algorithms on one dataset."""
+
+    dataset: str
+    #: ``curves[algorithm]`` is a list of ``(simulated_time, test_rmse)``.
+    curves: Dict[str, List[Tuple[float, float]]] = field(default_factory=dict)
+
+    def final_rmse(self, algorithm: str) -> float:
+        """Test RMSE of an algorithm after its last iteration."""
+        return self.curves[algorithm][-1][1]
+
+    def time_to_rmse(self, algorithm: str, target: float) -> Optional[float]:
+        """Earliest time the algorithm's curve crosses ``target``."""
+        for time, rmse in self.curves[algorithm]:
+            if rmse <= target:
+                return time
+        return None
+
+    def render(self) -> str:
+        """Plain-text listing of every curve."""
+        sections = []
+        for algorithm, curve in self.curves.items():
+            table = format_table(
+                ["time (s)", "test RMSE"], curve, "{:.5g}"
+            )
+            sections.append(f"[{self.dataset}] {algorithm}\n{table}")
+        return "\n\n".join(sections)
+
+
+def _collect_curves(
+    context: ExperimentContext, algorithms
+) -> List[ConvergenceResult]:
+    results = []
+    for dataset in context.datasets:
+        outcome = ConvergenceResult(dataset=dataset)
+        for algorithm in algorithms:
+            run = run_algorithm(context, dataset, algorithm)
+            outcome.curves[algorithm] = run.rmse_curve()
+        results.append(outcome)
+    return results
+
+
+def figure12_rmse_curves(
+    context: Optional[ExperimentContext] = None,
+) -> List[ConvergenceResult]:
+    """Figure 12: test RMSE over training time for CPU-Only / GPU-Only / HSGD*."""
+    context = context or ExperimentContext()
+    return _collect_curves(context, FIGURE12_ALGORITHMS)
+
+
+def figure13_division_ablation(
+    context: Optional[ExperimentContext] = None,
+) -> List[ConvergenceResult]:
+    """Figure 13: test RMSE over training time for HSGD vs HSGD*."""
+    context = context or ExperimentContext()
+    return _collect_curves(context, FIGURE13_ALGORITHMS)

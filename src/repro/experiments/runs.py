@@ -1,0 +1,60 @@
+"""Shared run helper for the experiment harness."""
+
+from __future__ import annotations
+
+from typing import Optional
+
+from ..core import HeterogeneousTrainer, TrainResult
+from ..datasets import load_dataset
+from .context import ExperimentContext
+
+
+def run_algorithm(
+    context: ExperimentContext,
+    dataset_name: str,
+    algorithm: str,
+    cpu_threads: Optional[int] = None,
+    gpu_parallel_workers: Optional[int] = None,
+    iterations: Optional[int] = None,
+    target_rmse: Optional[float] = None,
+    column_scale: float = 1.0,
+    stream_overlap: bool = True,
+    alpha_override: Optional[float] = None,
+) -> TrainResult:
+    """Train one algorithm on one dataset under the harness defaults.
+
+    Parameters mirror the sweep dimensions of the paper's evaluation:
+    CPU thread count (Figure 11), GPU parallel workers (Figure 10), an
+    iteration budget (Tables II/III) or an RMSE target (Figures 10/11),
+    plus the ablation knobs (column rule, stream overlap, forced alpha).
+    """
+    data = load_dataset(dataset_name, seed=context.seed)
+    training = data.spec.recommended_training(
+        iterations=iterations if iterations is not None else context.iterations,
+        seed=context.seed,
+    )
+    trainer = HeterogeneousTrainer(
+        algorithm=algorithm,
+        hardware=context.hardware(
+            cpu_threads=cpu_threads, gpu_parallel_workers=gpu_parallel_workers
+        ),
+        training=training,
+        preset=context.preset,
+        column_scale=column_scale,
+        stream_overlap=stream_overlap,
+        seed=context.seed,
+    )
+    if target_rmse is not None:
+        return trainer.fit(
+            data.train,
+            data.test,
+            iterations=context.max_iterations,
+            target_rmse=target_rmse,
+            alpha_override=alpha_override,
+        )
+    return trainer.fit(
+        data.train,
+        data.test,
+        iterations=training.iterations,
+        alpha_override=alpha_override,
+    )

@@ -1,0 +1,132 @@
+"""Running-time experiments: Figures 10 and 11.
+
+Both figures report, per dataset, the (simulated) time each algorithm
+needs to reach the dataset's predefined test-RMSE target while one
+hardware dimension is swept:
+
+* Figure 10 sweeps the number of GPU parallel workers (32-512) with the
+  CPU thread count fixed at 16;
+* Figure 11 sweeps the CPU thread count (4-16) with the GPU parallel
+  workers fixed at 128.
+
+CPU-Only does not depend on the GPU worker count and GPU-Only does not
+depend on the CPU thread count, so those curves are computed once per
+dataset and replicated across the sweep — the same shortcut the flat
+lines in the paper's plots represent.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, field
+from typing import Dict, List, Optional
+
+from ..datasets import get_dataset
+from ..metrics.reporting import format_table
+from .context import ExperimentContext
+from .runs import run_algorithm
+
+#: Algorithms shown in Figures 10 and 11.
+RUNTIME_ALGORITHMS = ("cpu_only", "gpu_only", "hsgd_star")
+
+
+@dataclass
+class RuntimeSweepResult:
+    """Time-to-target results of one dataset across one hardware sweep."""
+
+    dataset: str
+    sweep_name: str
+    sweep_values: List[int]
+    target_rmse: float
+    #: ``times[algorithm][i]`` is the simulated seconds to reach the target
+    #: at ``sweep_values[i]`` (``None`` when the target was not reached).
+    times: Dict[str, List[Optional[float]]] = field(default_factory=dict)
+
+    def as_rows(self) -> List[tuple]:
+        """Rows of ``(sweep value, time per algorithm...)`` for reporting."""
+        rows = []
+        for index, value in enumerate(self.sweep_values):
+            row = [value]
+            for algorithm in self.times:
+                time = self.times[algorithm][index]
+                row.append(float("nan") if time is None else time)
+            rows.append(tuple(row))
+        return rows
+
+    def render(self) -> str:
+        """Plain-text table mirroring one subplot of the figure."""
+        headers = [self.sweep_name] + list(self.times.keys())
+        return format_table(headers, self.as_rows(), "{:.4g}")
+
+    def speedup_over(self, baseline: str, at_value: int) -> Optional[float]:
+        """HSGD* speedup over a baseline at one sweep setting."""
+        index = self.sweep_values.index(at_value)
+        base = self.times.get(baseline, [None] * len(self.sweep_values))[index]
+        ours = self.times.get("hsgd_star", [None] * len(self.sweep_values))[index]
+        if base is None or ours is None or ours <= 0:
+            return None
+        return base / ours
+
+
+def _time_to_target(context, dataset, algorithm, target, **overrides):
+    result = run_algorithm(
+        context, dataset, algorithm, target_rmse=target, **overrides
+    )
+    if not result.converged:
+        return None
+    return result.trace.target_reached_at
+
+
+def figure10_vary_gpu_workers(
+    context: Optional[ExperimentContext] = None,
+) -> List[RuntimeSweepResult]:
+    """Figure 10: time to the RMSE target as GPU parallel workers vary."""
+    context = context or ExperimentContext()
+    results = []
+    for dataset in context.datasets:
+        target = get_dataset(dataset).target_rmse
+        sweep = list(context.gpu_worker_sweep)
+        outcome = RuntimeSweepResult(
+            dataset=dataset,
+            sweep_name="gpu_workers",
+            sweep_values=sweep,
+            target_rmse=target,
+        )
+        cpu_time = _time_to_target(context, dataset, "cpu_only", target)
+        outcome.times["cpu_only"] = [cpu_time] * len(sweep)
+        for algorithm in ("gpu_only", "hsgd_star"):
+            outcome.times[algorithm] = [
+                _time_to_target(
+                    context, dataset, algorithm, target, gpu_parallel_workers=value
+                )
+                for value in sweep
+            ]
+        results.append(outcome)
+    return results
+
+
+def figure11_vary_cpu_threads(
+    context: Optional[ExperimentContext] = None,
+) -> List[RuntimeSweepResult]:
+    """Figure 11: time to the RMSE target as the CPU thread count varies."""
+    context = context or ExperimentContext()
+    results = []
+    for dataset in context.datasets:
+        target = get_dataset(dataset).target_rmse
+        sweep = list(context.cpu_thread_sweep)
+        outcome = RuntimeSweepResult(
+            dataset=dataset,
+            sweep_name="cpu_threads",
+            sweep_values=sweep,
+            target_rmse=target,
+        )
+        gpu_time = _time_to_target(context, dataset, "gpu_only", target)
+        outcome.times["gpu_only"] = [gpu_time] * len(sweep)
+        for algorithm in ("cpu_only", "hsgd_star"):
+            outcome.times[algorithm] = [
+                _time_to_target(
+                    context, dataset, algorithm, target, cpu_threads=value
+                )
+                for value in sweep
+            ]
+        results.append(outcome)
+    return results

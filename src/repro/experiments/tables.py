@@ -1,0 +1,227 @@
+"""Table experiments: Tables I, II and III of the paper.
+
+* Table I lists the datasets and per-dataset hyper-parameters; the
+  reproduction reports both the original statistics and the synthetic
+  analogue actually trained on.
+* Table II compares the Qilin cost model (HSGD*-Q) against the paper's
+  cost model (HSGD*-M): the workload proportion each assigns to CPUs and
+  GPUs, and the running time of a fixed number of iterations.  Neither
+  variant uses dynamic scheduling, isolating the cost-model effect.
+* Table III compares HSGD*-M against the full HSGD* (dynamic scheduling
+  on), isolating the work-stealing effect.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, field
+from typing import Dict, List, Optional
+
+from ..datasets import get_dataset, load_dataset
+from ..metrics.reporting import format_table
+from .context import ExperimentContext
+from .runs import run_algorithm
+
+
+# --------------------------------------------------------------------------- #
+# Table I
+# --------------------------------------------------------------------------- #
+@dataclass(frozen=True)
+class DatasetRow:
+    """One column of Table I, for both the paper dataset and the analogue."""
+
+    name: str
+    paper_rows: int
+    paper_cols: int
+    paper_training: int
+    paper_test: int
+    synthetic_rows: int
+    synthetic_cols: int
+    synthetic_training: int
+    synthetic_test: int
+    latent_factors: int
+    reg_p: float
+    reg_q: float
+    learning_rate: float
+
+
+def table1_datasets(
+    context: Optional[ExperimentContext] = None,
+) -> List[DatasetRow]:
+    """Table I: dataset statistics and parameter settings."""
+    context = context or ExperimentContext()
+    rows = []
+    for name in context.datasets:
+        spec = get_dataset(name)
+        data = load_dataset(name, seed=context.seed)
+        rows.append(
+            DatasetRow(
+                name=name,
+                paper_rows=spec.paper.n_rows,
+                paper_cols=spec.paper.n_cols,
+                paper_training=spec.paper.n_training,
+                paper_test=spec.paper.n_test,
+                synthetic_rows=spec.synthetic.n_rows,
+                synthetic_cols=spec.synthetic.n_cols,
+                synthetic_training=data.train.nnz,
+                synthetic_test=data.test.nnz,
+                latent_factors=spec.paper.latent_factors,
+                reg_p=spec.paper.reg_p,
+                reg_q=spec.paper.reg_q,
+                learning_rate=spec.paper.learning_rate,
+            )
+        )
+    return rows
+
+
+def render_table1(rows: List[DatasetRow]) -> str:
+    """Plain-text rendering of Table I."""
+    return format_table(
+        [
+            "dataset",
+            "m (paper)",
+            "n (paper)",
+            "#train (paper)",
+            "#test (paper)",
+            "m (repro)",
+            "n (repro)",
+            "#train (repro)",
+            "#test (repro)",
+            "k",
+            "lambda_P",
+            "lambda_Q",
+            "gamma",
+        ],
+        [
+            (
+                row.name,
+                row.paper_rows,
+                row.paper_cols,
+                row.paper_training,
+                row.paper_test,
+                row.synthetic_rows,
+                row.synthetic_cols,
+                row.synthetic_training,
+                row.synthetic_test,
+                row.latent_factors,
+                row.reg_p,
+                row.reg_q,
+                row.learning_rate,
+            )
+            for row in rows
+        ],
+        "{:g}",
+    )
+
+
+# --------------------------------------------------------------------------- #
+# Table II
+# --------------------------------------------------------------------------- #
+@dataclass
+class CostModelComparison:
+    """One dataset's Table II entry."""
+
+    dataset: str
+    #: Fraction of work assigned to CPUs / GPUs by each cost model (the
+    #: planned split from the cost model, matching the paper's table).
+    cpu_share: Dict[str, float] = field(default_factory=dict)
+    gpu_share: Dict[str, float] = field(default_factory=dict)
+    #: Simulated running time of the fixed-iteration run for each variant.
+    running_time: Dict[str, float] = field(default_factory=dict)
+
+    def render(self) -> str:
+        """Plain-text rendering of this dataset's rows."""
+        rows = []
+        for variant in self.running_time:
+            rows.append(
+                (
+                    variant,
+                    100.0 * self.cpu_share.get(variant, float("nan")),
+                    100.0 * self.gpu_share.get(variant, float("nan")),
+                    self.running_time[variant],
+                )
+            )
+        return format_table(
+            [f"{self.dataset} variant", "C %", "G %", "time (s)"], rows, "{:.4g}"
+        )
+
+
+def table2_cost_models(
+    context: Optional[ExperimentContext] = None,
+    iterations: Optional[int] = None,
+) -> List[CostModelComparison]:
+    """Table II: Qilin vs the paper's cost model (no dynamic scheduling)."""
+    context = context or ExperimentContext()
+    results = []
+    for dataset in context.datasets:
+        comparison = CostModelComparison(dataset=dataset)
+        for variant, algorithm in (("HSGD*-Q", "hsgd_star_q"), ("HSGD*-M", "hsgd_star_m")):
+            run = run_algorithm(
+                context, dataset, algorithm, iterations=iterations
+            )
+            alpha = run.alpha if run.alpha is not None else 0.0
+            comparison.gpu_share[variant] = alpha
+            comparison.cpu_share[variant] = 1.0 - alpha
+            comparison.running_time[variant] = run.simulated_time
+        results.append(comparison)
+    return results
+
+
+# --------------------------------------------------------------------------- #
+# Table III
+# --------------------------------------------------------------------------- #
+@dataclass
+class DynamicSchedulingComparison:
+    """One dataset's Table III entry."""
+
+    dataset: str
+    static_time: float
+    dynamic_time: float
+    stolen_tasks: int
+
+    @property
+    def improvement(self) -> float:
+        """Relative improvement of dynamic scheduling over the static split."""
+        if self.static_time <= 0:
+            return 0.0
+        return (self.static_time - self.dynamic_time) / self.static_time
+
+    def render(self) -> str:
+        """Plain-text rendering of this dataset's row."""
+        return format_table(
+            ["dataset", "HSGD*-M (s)", "HSGD* (s)", "improvement", "stolen tasks"],
+            [
+                (
+                    self.dataset,
+                    self.static_time,
+                    self.dynamic_time,
+                    f"{100 * self.improvement:.1f}%",
+                    self.stolen_tasks,
+                )
+            ],
+            "{:.4g}",
+        )
+
+
+def table3_dynamic_scheduling(
+    context: Optional[ExperimentContext] = None,
+    iterations: Optional[int] = None,
+) -> List[DynamicSchedulingComparison]:
+    """Table III: effectiveness of the dynamic (work-stealing) phase."""
+    context = context or ExperimentContext()
+    results = []
+    for dataset in context.datasets:
+        static_run = run_algorithm(
+            context, dataset, "hsgd_star_m", iterations=iterations
+        )
+        dynamic_run = run_algorithm(
+            context, dataset, "hsgd_star", iterations=iterations
+        )
+        results.append(
+            DynamicSchedulingComparison(
+                dataset=dataset,
+                static_time=static_run.simulated_time,
+                dynamic_time=dynamic_run.simulated_time,
+                stolen_tasks=dynamic_run.trace.stolen_task_count(),
+            )
+        )
+    return results

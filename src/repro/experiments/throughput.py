@@ -1,0 +1,173 @@
+"""Device-level throughput experiments (Figures 3, 6 and 7).
+
+These experiments probe the simulated devices directly, exactly like the
+micro-benchmarks the paper runs on its machine:
+
+* Figure 3 — end-to-end update speed of a GPU and of a single CPU thread
+  on blocks of growing size;
+* Figure 6 — PCIe copy bandwidth in both directions over transfer sizes
+  from 64 KB to 256 MB;
+* Figure 7 — GPU kernel-only throughput over the same block-size sweep.
+
+The probes use the *unscaled* paper-machine preset by default so the
+x-axes line up with the paper's figures (hundreds of thousands to
+millions of ratings, kilobytes to hundreds of megabytes).
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+from typing import List, Optional, Sequence
+
+from ..config import HardwareConfig
+from ..hardware import BlockWork, HeterogeneousPlatform, PlatformPreset, paper_machine_preset
+from ..metrics.reporting import format_table
+
+#: Block sizes (ratings) swept by the Figure 3 / Figure 7 experiments,
+#: matching the 100 k - 2.5 M range of the paper's x-axes.
+DEFAULT_BLOCK_SIZES = (
+    100_000,
+    250_000,
+    500_000,
+    750_000,
+    1_000_000,
+    1_500_000,
+    2_000_000,
+    2_500_000,
+)
+
+#: CPU block sizes of Figure 3(b) (the paper sweeps 100 k - 400 k).
+DEFAULT_CPU_BLOCK_SIZES = (50_000, 100_000, 200_000, 300_000, 400_000)
+
+#: Transfer sizes of Figure 6 (64 KB to 256 MB).
+DEFAULT_TRANSFER_SIZES = tuple(64 * 1024 * (2 ** i) for i in range(13))
+
+
+@dataclass(frozen=True)
+class ThroughputPoint:
+    """One point of a throughput curve."""
+
+    size: int
+    value: float
+
+
+@dataclass
+class ThroughputSeries:
+    """A named throughput curve (one line of a figure)."""
+
+    name: str
+    unit: str
+    points: List[ThroughputPoint]
+
+    def as_rows(self) -> List[tuple]:
+        """Rows of ``(size, value)`` for reporting."""
+        return [(point.size, point.value) for point in self.points]
+
+    def render(self) -> str:
+        """Plain-text table of the series."""
+        return format_table(["size", self.unit], self.as_rows(), "{:.2f}")
+
+    def values(self) -> List[float]:
+        """The y-values in sweep order."""
+        return [point.value for point in self.points]
+
+
+def _representative_work(block_size: int, latent_factors: int = 128) -> BlockWork:
+    """Block geometry used for device probes.
+
+    A typical MF block of ``s`` ratings spans row and column bands holding
+    roughly ``sqrt(s) * 4`` users/items each on the paper's datasets; the
+    exact numbers only set the (non-dominant) factor-transfer volume.
+    """
+    span = int(4 * block_size ** 0.5)
+    return BlockWork(
+        nnz=block_size,
+        p_rows=span,
+        q_cols=span,
+        latent_factors=latent_factors,
+    )
+
+
+def _platform(preset: Optional[PlatformPreset], gpu_parallel_workers: int) -> HeterogeneousPlatform:
+    return HeterogeneousPlatform.from_preset(
+        HardwareConfig(
+            cpu_threads=1, gpu_count=1, gpu_parallel_workers=gpu_parallel_workers
+        ),
+        preset or paper_machine_preset(),
+    )
+
+
+def figure3_block_throughput(
+    preset: Optional[PlatformPreset] = None,
+    gpu_block_sizes: Sequence[int] = DEFAULT_BLOCK_SIZES,
+    cpu_block_sizes: Sequence[int] = DEFAULT_CPU_BLOCK_SIZES,
+    gpu_parallel_workers: int = 128,
+) -> List[ThroughputSeries]:
+    """Figure 3: update speed of the GPU (a) and one CPU thread (b) vs block size.
+
+    Returns two series whose values are in million points per second, the
+    paper's y-axis unit.
+    """
+    platform = _platform(preset, gpu_parallel_workers)
+    gpu = platform.representative_gpu()
+    cpu = platform.representative_cpu()
+
+    gpu_series = ThroughputSeries(
+        name="gpu-update-speed",
+        unit="Mpts/s",
+        points=[
+            ThroughputPoint(size, gpu.update_speed(_representative_work(size)) / 1e6)
+            for size in gpu_block_sizes
+        ],
+    )
+    cpu_series = ThroughputSeries(
+        name="cpu-thread-update-speed",
+        unit="Mpts/s",
+        points=[
+            ThroughputPoint(size, cpu.update_speed(_representative_work(size)) / 1e6)
+            for size in cpu_block_sizes
+        ],
+    )
+    return [gpu_series, cpu_series]
+
+
+def figure6_transfer_speed(
+    preset: Optional[PlatformPreset] = None,
+    transfer_sizes: Sequence[int] = DEFAULT_TRANSFER_SIZES,
+) -> List[ThroughputSeries]:
+    """Figure 6: PCIe copy bandwidth vs transfer size, both directions (GB/s)."""
+    platform = _platform(preset, gpu_parallel_workers=128)
+    link = platform.representative_gpu().pcie
+
+    h2d = ThroughputSeries(
+        name="host-to-device",
+        unit="GB/s",
+        points=[
+            ThroughputPoint(size, link.host_to_device_bandwidth(size) / 1e9)
+            for size in transfer_sizes
+        ],
+    )
+    d2h = ThroughputSeries(
+        name="device-to-host",
+        unit="GB/s",
+        points=[
+            ThroughputPoint(size, link.device_to_host_bandwidth(size) / 1e9)
+            for size in transfer_sizes
+        ],
+    )
+    return [h2d, d2h]
+
+
+def figure7_kernel_throughput(
+    preset: Optional[PlatformPreset] = None,
+    block_sizes: Sequence[int] = DEFAULT_BLOCK_SIZES,
+    gpu_parallel_workers: int = 128,
+) -> ThroughputSeries:
+    """Figure 7: GPU kernel-only update throughput vs block size (Mpts/s)."""
+    platform = _platform(preset, gpu_parallel_workers)
+    gpu = platform.representative_gpu()
+    points = []
+    for size in block_sizes:
+        work = _representative_work(size)
+        points.append(ThroughputPoint(size, size / gpu.kernel_time(work) / 1e6))
+    return ThroughputSeries(name="gpu-kernel-throughput", unit="Mpts/s", points=points)

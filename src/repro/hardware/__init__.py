@@ -1,0 +1,57 @@
+"""Simulated heterogeneous CPU-GPU hardware substrate.
+
+The paper's experiments run on a real Xeon + Quadro P4000 machine.  This
+reproduction has no GPU, so the hardware layer is a parametric simulation
+whose *shapes* match the paper's measurements:
+
+* per-CPU-thread update throughput is flat in block size (Observation 2,
+  Figure 3(b));
+* GPU kernel throughput grows roughly logarithmically with block size and
+  saturates (Observation 1, Figures 3(a) and 7);
+* PCIe transfer bandwidth ramps up with transfer size and saturates
+  (Figure 6);
+* data transfer and kernel execution overlap through three CUDA streams,
+  so a GPU's effective block time is the maximum of its streams rather
+  than their sum (Figure 8, Equation 9).
+
+The scheduling and cost-model layers of the library only interact with
+the abstract :class:`~repro.hardware.device.Device` interface, so the
+same code would drive real hardware given a concrete implementation.
+"""
+
+from .device import BlockWork, CPUThreadDevice, Device, GPUDevice
+from .pcie import PCIeLinkModel
+from .platform import HeterogeneousPlatform
+from .presets import (
+    PAPER_MACHINE,
+    PlatformPreset,
+    balanced_machine_preset,
+    cpu_heavy_machine_preset,
+    gpu_heavy_machine_preset,
+    paper_machine_preset,
+)
+from .streams import StreamPipelineModel
+from .throughput import (
+    ConstantThroughputCurve,
+    SaturatingLogThroughputCurve,
+    ThroughputCurve,
+)
+
+__all__ = [
+    "BlockWork",
+    "CPUThreadDevice",
+    "Device",
+    "GPUDevice",
+    "PCIeLinkModel",
+    "HeterogeneousPlatform",
+    "PAPER_MACHINE",
+    "PlatformPreset",
+    "balanced_machine_preset",
+    "cpu_heavy_machine_preset",
+    "gpu_heavy_machine_preset",
+    "paper_machine_preset",
+    "StreamPipelineModel",
+    "ConstantThroughputCurve",
+    "SaturatingLogThroughputCurve",
+    "ThroughputCurve",
+]

@@ -1,0 +1,317 @@
+"""Simulated compute devices: CPU worker threads and GPUs.
+
+A *device* is anything the scheduler can hand a block of ratings to.  The
+scheduling, cost-model and simulation layers interact with devices only
+through this module's interface:
+
+* :meth:`Device.process_time` — how many (simulated) seconds the device
+  needs to update every rating of a block once;
+* :meth:`Device.measure_update_speed` — a noisy probe of update
+  throughput, which is what the offline calibration of Algorithm 3 uses
+  (the calibration must *not* see the underlying curve parameters, just as
+  the paper's calibration only sees wall-clock measurements).
+
+Two implementations are provided: a CPU worker thread with flat
+throughput (Observation 2) and a GPU with a saturating kernel-throughput
+curve, a PCIe link, a three-stream pipeline, and a parallel-worker scaling
+knob (Observation 1, Figures 3/6/7/8).
+"""
+
+from __future__ import annotations
+
+from abc import ABC, abstractmethod
+from dataclasses import dataclass
+from typing import Optional
+
+import numpy as np
+
+from ..exceptions import ConfigurationError
+from .pcie import PCIeLinkModel
+from .streams import StreamPipelineModel
+from .throughput import ConstantThroughputCurve, SaturatingLogThroughputCurve, ThroughputCurve
+
+#: Bytes used to store one rating on the device: two 32-bit indices plus a
+#: 32-bit float value, the compact layout CuMF_SGD transfers over PCIe.
+BYTES_PER_RATING = 12
+
+#: Bytes per factor value (single precision on the device).
+BYTES_PER_FACTOR = 4
+
+#: Reference number of GPU parallel workers at which the kernel-throughput
+#: curve parameters are specified (the paper's default configuration).
+REFERENCE_GPU_WORKERS = 128
+
+#: Exponent of the diminishing-returns scaling of GPU throughput with the
+#: number of parallel workers.  Chosen so the 32 -> 512 worker sweep of
+#: Figure 10 spans roughly the same relative speedup as the paper (about
+#: 7x across a 16x worker increase).
+GPU_WORKER_SCALING_EXPONENT = 0.72
+
+
+@dataclass(frozen=True)
+class BlockWork:
+    """Description of one unit of block work handed to a device.
+
+    Attributes
+    ----------
+    nnz:
+        Number of ratings in the block.
+    p_rows:
+        Number of user rows in the block's row band (the rows of ``P``
+        that must be resident on the device).
+    q_cols:
+        Number of item columns in the block's column band.
+    latent_factors:
+        Latent dimensionality ``k``; determines factor-segment sizes.
+    """
+
+    nnz: int
+    p_rows: int = 0
+    q_cols: int = 0
+    latent_factors: int = 128
+
+    def __post_init__(self) -> None:
+        if self.nnz < 0 or self.p_rows < 0 or self.q_cols < 0:
+            raise ConfigurationError("block work sizes must be non-negative")
+        if self.latent_factors <= 0:
+            raise ConfigurationError("latent_factors must be positive")
+
+    @property
+    def factor_bytes(self) -> int:
+        """Bytes of the P-row and Q-column segments touched by the block."""
+        return (self.p_rows + self.q_cols) * self.latent_factors * BYTES_PER_FACTOR
+
+    @property
+    def host_to_device_bytes(self) -> int:
+        """Bytes shipped to the GPU: the ratings plus the factor segments."""
+        return self.nnz * BYTES_PER_RATING + self.factor_bytes
+
+    @property
+    def device_to_host_bytes(self) -> int:
+        """Bytes shipped back: only the updated factor segments."""
+        return self.factor_bytes
+
+
+class Device(ABC):
+    """Abstract compute device used by schedulers and the cost models."""
+
+    def __init__(self, name: str, measurement_noise: float = 0.0, seed: int = 0) -> None:
+        if measurement_noise < 0:
+            raise ConfigurationError(
+                f"measurement_noise must be non-negative, got {measurement_noise}"
+            )
+        self.name = name
+        self.measurement_noise = float(measurement_noise)
+        self._rng = np.random.default_rng(seed)
+
+    # -- identity ------------------------------------------------------- #
+    @property
+    @abstractmethod
+    def is_gpu(self) -> bool:
+        """Whether this device is a GPU (affects division and cost models)."""
+
+    # -- timing --------------------------------------------------------- #
+    @abstractmethod
+    def process_time(self, work: BlockWork) -> float:
+        """Simulated seconds to update every rating of ``work`` once."""
+
+    def update_speed(self, work: BlockWork) -> float:
+        """Sustained update speed (ratings / second) on ``work``."""
+        if work.nnz == 0:
+            return 0.0
+        return work.nnz / self.process_time(work)
+
+    # -- calibration probes --------------------------------------------- #
+    def measure_process_time(self, work: BlockWork) -> float:
+        """A (possibly noisy) wall-clock measurement of :meth:`process_time`.
+
+        This is what the offline calibration phase observes; the noise
+        models run-to-run variance of real hardware.
+        """
+        base = self.process_time(work)
+        if self.measurement_noise == 0.0:
+            return base
+        jitter = self._rng.normal(loc=1.0, scale=self.measurement_noise)
+        return base * max(0.5, jitter)
+
+    def measure_update_speed(self, work: BlockWork) -> float:
+        """A (possibly noisy) measurement of update throughput on ``work``."""
+        if work.nnz == 0:
+            return 0.0
+        return work.nnz / self.measure_process_time(work)
+
+    def __repr__(self) -> str:  # pragma: no cover - debugging aid
+        return f"{type(self).__name__}({self.name!r})"
+
+
+class CPUThreadDevice(Device):
+    """One CPU worker thread.
+
+    Its throughput is flat in block size (Observation 2 of the paper);
+    only an optional tiny per-block scheduling overhead is added, which
+    keeps extremely fine grids from being entirely free.
+    """
+
+    def __init__(
+        self,
+        name: str = "cpu-thread",
+        throughput: Optional[ThroughputCurve] = None,
+        per_block_overhead: float = 5e-5,
+        measurement_noise: float = 0.0,
+        seed: int = 0,
+    ) -> None:
+        super().__init__(name, measurement_noise=measurement_noise, seed=seed)
+        if per_block_overhead < 0:
+            raise ConfigurationError("per_block_overhead must be non-negative")
+        self.throughput = throughput or ConstantThroughputCurve(5_000_000.0)
+        self.per_block_overhead = float(per_block_overhead)
+
+    @property
+    def is_gpu(self) -> bool:
+        return False
+
+    def process_time(self, work: BlockWork) -> float:
+        if work.nnz == 0:
+            return self.per_block_overhead
+        return self.per_block_overhead + self.throughput.seconds_for(work.nnz)
+
+
+class GPUDevice(Device):
+    """One GPU with a saturating kernel, a PCIe link and stream overlap.
+
+    Parameters
+    ----------
+    kernel_curve:
+        Kernel update-throughput curve at the reference parallel-worker
+        count (:data:`REFERENCE_GPU_WORKERS`).
+    pcie:
+        The PCIe link model used for host-device copies.
+    streams:
+        Pipeline model combining the copy and kernel stages.
+    parallel_workers:
+        Number of GPU parallel workers (CuMF_SGD definition); raises or
+        lowers the whole kernel curve with diminishing returns.
+    kernel_launch_overhead:
+        Fixed per-kernel-launch cost in seconds.
+    column_locality:
+        Strength of the memory-coalescing/locality effect: a block whose
+        ratings touch many distinct item columns relative to its size
+        scatters its ``Q`` accesses over a wide address range and runs
+        slower than a compact block of the same size.  The kernel speed is
+        multiplied by ``1 / (1 + column_locality * q_cols / nnz)``.  This
+        is what creates the honest gap between offline calibration (which
+        probes shuffled samples spanning nearly every column) and the
+        compact blocks of the real division — the gap the paper's dynamic
+        scheduling phase exists to absorb.
+    host_contention:
+        Relative slowdown of this GPU when CPU worker threads train
+        concurrently on the same host (memory-bandwidth and PCIe
+        contention).  The device's own timing methods never apply it —
+        isolated calibration must not see it; the simulation engine
+        applies it to GPU tasks of hybrid runs.
+    """
+
+    def __init__(
+        self,
+        name: str = "gpu",
+        kernel_curve: Optional[SaturatingLogThroughputCurve] = None,
+        pcie: Optional[PCIeLinkModel] = None,
+        streams: Optional[StreamPipelineModel] = None,
+        parallel_workers: int = REFERENCE_GPU_WORKERS,
+        kernel_launch_overhead: float = 2e-5,
+        column_locality: float = 0.08,
+        host_contention: float = 0.15,
+        measurement_noise: float = 0.0,
+        seed: int = 0,
+    ) -> None:
+        super().__init__(name, measurement_noise=measurement_noise, seed=seed)
+        if parallel_workers <= 0:
+            raise ConfigurationError(
+                f"parallel_workers must be positive, got {parallel_workers}"
+            )
+        if kernel_launch_overhead < 0:
+            raise ConfigurationError("kernel_launch_overhead must be non-negative")
+        if column_locality < 0:
+            raise ConfigurationError("column_locality must be non-negative")
+        if host_contention < 0:
+            raise ConfigurationError("host_contention must be non-negative")
+        self.kernel_curve = kernel_curve or SaturatingLogThroughputCurve(
+            peak_points_per_second=65_000_000.0,
+            min_points_per_second=8_000_000.0,
+            saturation_size=12_000_000.0,
+            ramp_size=800_000.0,
+        )
+        self.pcie = pcie or PCIeLinkModel()
+        self.streams = streams or StreamPipelineModel()
+        self.parallel_workers = int(parallel_workers)
+        self.kernel_launch_overhead = float(kernel_launch_overhead)
+        self.column_locality = float(column_locality)
+        self.host_contention = float(host_contention)
+
+    @property
+    def is_gpu(self) -> bool:
+        return True
+
+    # -- scaling with parallel workers ---------------------------------- #
+    @property
+    def worker_scale(self) -> float:
+        """Throughput multiplier induced by the parallel-worker count."""
+        ratio = self.parallel_workers / float(REFERENCE_GPU_WORKERS)
+        return ratio ** GPU_WORKER_SCALING_EXPONENT
+
+    def with_parallel_workers(self, parallel_workers: int) -> "GPUDevice":
+        """Return a copy of this GPU configured with a new worker count."""
+        return GPUDevice(
+            name=self.name,
+            kernel_curve=self.kernel_curve,
+            pcie=self.pcie,
+            streams=self.streams,
+            parallel_workers=parallel_workers,
+            kernel_launch_overhead=self.kernel_launch_overhead,
+            column_locality=self.column_locality,
+            host_contention=self.host_contention,
+            measurement_noise=self.measurement_noise,
+        )
+
+    # -- per-stage times ------------------------------------------------- #
+    def locality_factor(self, work: BlockWork) -> float:
+        """Throughput multiplier for the column spread of a block (<= 1)."""
+        if work.nnz == 0 or work.q_cols == 0:
+            return 1.0
+        return 1.0 / (1.0 + self.column_locality * work.q_cols / work.nnz)
+
+    def kernel_time(self, work: BlockWork) -> float:
+        """Seconds of pure kernel execution for ``work``."""
+        if work.nnz == 0:
+            return self.kernel_launch_overhead
+        speed = (
+            self.kernel_curve.points_per_second(work.nnz)
+            * self.worker_scale
+            * self.locality_factor(work)
+        )
+        return self.kernel_launch_overhead + work.nnz / speed
+
+    def host_to_device_time(self, work: BlockWork) -> float:
+        """Seconds to copy the block's ratings and factor segments to the GPU."""
+        return self.pcie.host_to_device_time(work.host_to_device_bytes)
+
+    def device_to_host_time(self, work: BlockWork) -> float:
+        """Seconds to copy the updated factor segments back to the host."""
+        return self.pcie.device_to_host_time(work.device_to_host_bytes)
+
+    # -- combined -------------------------------------------------------- #
+    def process_time(self, work: BlockWork) -> float:
+        """Steady-state per-block time with stream overlap (Equation 9)."""
+        return self.streams.steady_state_block_time(
+            self.host_to_device_time(work),
+            self.kernel_time(work),
+            self.device_to_host_time(work),
+        )
+
+    def pipeline_makespan(self, works) -> float:
+        """Exact makespan of pushing a sequence of blocks through the streams."""
+        return self.streams.makespan(
+            [self.host_to_device_time(w) for w in works],
+            [self.kernel_time(w) for w in works],
+            [self.device_to_host_time(w) for w in works],
+        )

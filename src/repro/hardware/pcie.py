@@ -1,0 +1,100 @@
+"""PCIe link model: transfer bandwidth as a function of transfer size.
+
+Figure 6 of the paper measures the host-to-device and device-to-host copy
+bandwidth of the Quadro P4000 over PCI Express 3.0 x16: small transfers
+achieve only a fraction of the 12+ GB/s peak because per-transfer launch
+overheads dominate, and the speed saturates somewhere in the tens of
+megabytes.
+
+The model here uses the classic latency-plus-bandwidth form
+
+.. math::
+
+    t(s) = t_0 + s / B_{peak}
+    \\quad\\Rightarrow\\quad
+    \\text{bandwidth}(s) = \\frac{s}{t_0 + s / B_{peak}}
+
+which reproduces the measured ramp-then-plateau shape.  The paper's cost
+model fits its own functional form (``a \\sqrt{\\log s} + b`` then linear)
+against measurements of this link, exactly as it does against the real
+bus.
+"""
+
+from __future__ import annotations
+
+from ..exceptions import ConfigurationError
+
+#: Bytes in one gigabyte, for converting the paper's GB/s axis labels.
+GIGABYTE = 1_000_000_000.0
+
+
+class PCIeLinkModel:
+    """Latency + bandwidth model of a host-device link.
+
+    Parameters
+    ----------
+    peak_bandwidth:
+        Asymptotic copy bandwidth in bytes per second.
+    latency:
+        Fixed per-transfer overhead in seconds (driver launch, DMA setup).
+    asymmetry:
+        Multiplier (< 1 slows it down) applied to device-to-host copies;
+        real PCIe links are mildly asymmetric and the paper observes the
+        D2H direction is never the bottleneck.
+    """
+
+    def __init__(
+        self,
+        peak_bandwidth: float = 12.0 * GIGABYTE,
+        latency: float = 12e-6,
+        asymmetry: float = 0.95,
+    ) -> None:
+        if peak_bandwidth <= 0:
+            raise ConfigurationError(
+                f"peak_bandwidth must be positive, got {peak_bandwidth}"
+            )
+        if latency < 0:
+            raise ConfigurationError(f"latency must be non-negative, got {latency}")
+        if not 0 < asymmetry <= 1:
+            raise ConfigurationError(
+                f"asymmetry must lie in (0, 1], got {asymmetry}"
+            )
+        self.peak_bandwidth = float(peak_bandwidth)
+        self.latency = float(latency)
+        self.asymmetry = float(asymmetry)
+
+    # ------------------------------------------------------------------ #
+    # Host to device (CPU -> GPU)
+    # ------------------------------------------------------------------ #
+    def host_to_device_time(self, size_bytes: float) -> float:
+        """Seconds to copy ``size_bytes`` from host memory to the device."""
+        if size_bytes <= 0:
+            return 0.0
+        return self.latency + size_bytes / self.peak_bandwidth
+
+    def host_to_device_bandwidth(self, size_bytes: float) -> float:
+        """Effective H2D bandwidth (bytes/s) for a transfer of ``size_bytes``."""
+        if size_bytes <= 0:
+            return 0.0
+        return size_bytes / self.host_to_device_time(size_bytes)
+
+    # ------------------------------------------------------------------ #
+    # Device to host (GPU -> CPU)
+    # ------------------------------------------------------------------ #
+    def device_to_host_time(self, size_bytes: float) -> float:
+        """Seconds to copy ``size_bytes`` from the device back to the host."""
+        if size_bytes <= 0:
+            return 0.0
+        return self.latency + size_bytes / (self.peak_bandwidth * self.asymmetry)
+
+    def device_to_host_bandwidth(self, size_bytes: float) -> float:
+        """Effective D2H bandwidth (bytes/s) for a transfer of ``size_bytes``."""
+        if size_bytes <= 0:
+            return 0.0
+        return size_bytes / self.device_to_host_time(size_bytes)
+
+    def __repr__(self) -> str:
+        return (
+            f"PCIeLinkModel(peak={self.peak_bandwidth / GIGABYTE:.1f} GB/s, "
+            f"latency={self.latency * 1e6:.1f} us)"
+        )

@@ -1,0 +1,160 @@
+"""The heterogeneous platform: a collection of CPU threads and GPUs.
+
+:class:`HeterogeneousPlatform` assembles concrete devices from a
+:class:`~repro.hardware.presets.PlatformPreset` and a
+:class:`~repro.config.HardwareConfig`, and is the single object the
+scheduling and simulation layers receive to describe "the machine".
+"""
+
+from __future__ import annotations
+
+from typing import List, Optional, Sequence
+
+from ..config import HardwareConfig
+from ..exceptions import ConfigurationError
+from .device import BlockWork, CPUThreadDevice, Device, GPUDevice
+from .presets import PAPER_MACHINE, PlatformPreset
+from .streams import StreamPipelineModel
+
+
+class HeterogeneousPlatform:
+    """A machine with ``nc`` CPU worker threads and ``ng`` GPUs.
+
+    Parameters
+    ----------
+    cpu_devices:
+        One device per CPU worker thread.
+    gpu_devices:
+        One device per GPU.
+
+    Notes
+    -----
+    Devices are exposed in a fixed order — CPU threads first, then GPUs —
+    and schedulers identify workers by their index into
+    :attr:`all_devices`.
+    """
+
+    def __init__(
+        self,
+        cpu_devices: Sequence[CPUThreadDevice],
+        gpu_devices: Sequence[GPUDevice],
+    ) -> None:
+        if not cpu_devices and not gpu_devices:
+            raise ConfigurationError("a platform needs at least one device")
+        self.cpu_devices: List[CPUThreadDevice] = list(cpu_devices)
+        self.gpu_devices: List[GPUDevice] = list(gpu_devices)
+
+    # ------------------------------------------------------------------ #
+    # Construction
+    # ------------------------------------------------------------------ #
+    @classmethod
+    def from_preset(
+        cls,
+        hardware: HardwareConfig,
+        preset: Optional[PlatformPreset] = None,
+        stream_overlap: bool = True,
+    ) -> "HeterogeneousPlatform":
+        """Build a platform for ``hardware`` using a machine preset.
+
+        Parameters
+        ----------
+        hardware:
+            Worker counts: ``cpu_threads``, ``gpu_count`` and the GPU
+            parallel-worker setting.
+        preset:
+            Machine constants; the paper's machine when omitted.
+        stream_overlap:
+            Disable to model a GPU without CUDA-stream overlap (used by
+            the stream ablation benchmark).
+        """
+        preset = preset or PAPER_MACHINE
+        cpus = [
+            CPUThreadDevice(
+                name=f"cpu-{i}",
+                throughput=preset.cpu_curve(),
+                per_block_overhead=preset.cpu_per_block_overhead,
+                measurement_noise=preset.measurement_noise,
+                seed=1000 + i,
+            )
+            for i in range(hardware.cpu_threads)
+        ]
+        gpus = [
+            GPUDevice(
+                name=f"gpu-{i}",
+                kernel_curve=preset.gpu_curve(),
+                pcie=preset.pcie_link(),
+                streams=StreamPipelineModel(overlap_enabled=stream_overlap),
+                parallel_workers=hardware.gpu_parallel_workers,
+                kernel_launch_overhead=preset.gpu_kernel_launch_overhead,
+                column_locality=preset.gpu_column_locality,
+                host_contention=preset.gpu_host_contention,
+                measurement_noise=preset.measurement_noise,
+                seed=2000 + i,
+            )
+            for i in range(hardware.gpu_count)
+        ]
+        return cls(cpus, gpus)
+
+    # ------------------------------------------------------------------ #
+    # Introspection
+    # ------------------------------------------------------------------ #
+    @property
+    def n_cpu_threads(self) -> int:
+        """Number of CPU worker threads ``nc``."""
+        return len(self.cpu_devices)
+
+    @property
+    def n_gpus(self) -> int:
+        """Number of GPUs ``ng``."""
+        return len(self.gpu_devices)
+
+    @property
+    def all_devices(self) -> List[Device]:
+        """All devices, CPU threads first then GPUs."""
+        return list(self.cpu_devices) + list(self.gpu_devices)
+
+    @property
+    def n_workers(self) -> int:
+        """Total number of scheduling workers."""
+        return self.n_cpu_threads + self.n_gpus
+
+    def device(self, index: int) -> Device:
+        """The device at position ``index`` of :attr:`all_devices`."""
+        devices = self.all_devices
+        if not 0 <= index < len(devices):
+            raise ConfigurationError(
+                f"device index {index} outside [0, {len(devices)})"
+            )
+        return devices[index]
+
+    def is_gpu_worker(self, index: int) -> bool:
+        """Whether worker ``index`` is a GPU."""
+        return index >= self.n_cpu_threads
+
+    def representative_cpu(self) -> CPUThreadDevice:
+        """A CPU thread to probe during calibration (all threads are identical)."""
+        if not self.cpu_devices:
+            raise ConfigurationError("platform has no CPU threads")
+        return self.cpu_devices[0]
+
+    def representative_gpu(self) -> GPUDevice:
+        """A GPU to probe during calibration (all GPUs are identical)."""
+        if not self.gpu_devices:
+            raise ConfigurationError("platform has no GPUs")
+        return self.gpu_devices[0]
+
+    # ------------------------------------------------------------------ #
+    # Aggregate throughput estimates
+    # ------------------------------------------------------------------ #
+    def total_cpu_speed(self, work: BlockWork) -> float:
+        """Aggregate CPU update speed (ratings/s) on blocks shaped like ``work``."""
+        return sum(device.update_speed(work) for device in self.cpu_devices)
+
+    def total_gpu_speed(self, work: BlockWork) -> float:
+        """Aggregate GPU update speed (ratings/s) on blocks shaped like ``work``."""
+        return sum(device.update_speed(work) for device in self.gpu_devices)
+
+    def __repr__(self) -> str:
+        return (
+            f"HeterogeneousPlatform(nc={self.n_cpu_threads}, ng={self.n_gpus})"
+        )

@@ -1,0 +1,91 @@
+"""CUDA-stream pipeline model (Figure 8 of the paper).
+
+CuMF_SGD, and the GPU path of HSGD*, use three CUDA streams so that the
+host-to-device copy of block ``B'``, the kernel execution on block ``B``,
+and the device-to-host copy of the previously updated factor segments all
+proceed concurrently.  The consequence the paper's cost model relies on
+(Equation 9) is that for a long run of blocks the total GPU time is
+governed by the *maximum* of the per-stream times, not their sum, with
+only a fill/drain term for the first and last blocks.
+
+:class:`StreamPipelineModel` computes the makespan of such a three-stage
+pipeline given the per-block stage times, both exactly (dynamic recurrence
+over the pipeline) and in the paper's asymptotic ``max`` approximation.
+"""
+
+from __future__ import annotations
+
+from typing import Sequence
+
+from ..exceptions import ConfigurationError
+
+
+class StreamPipelineModel:
+    """Three-stage (H2D copy, kernel, D2H copy) pipeline timing model."""
+
+    def __init__(self, overlap_enabled: bool = True) -> None:
+        #: When ``False`` the three stages are treated as strictly serial,
+        #: i.e. without CUDA streams.  Used by the stream-overlap ablation.
+        self.overlap_enabled = overlap_enabled
+
+    # ------------------------------------------------------------------ #
+    # Exact makespan
+    # ------------------------------------------------------------------ #
+    def makespan(
+        self,
+        h2d_times: Sequence[float],
+        kernel_times: Sequence[float],
+        d2h_times: Sequence[float],
+    ) -> float:
+        """Total time to push ``n`` blocks through the pipeline.
+
+        With overlap enabled, the classical flow-shop recurrence is used:
+        stage ``s`` of block ``i`` can start only after stage ``s`` of
+        block ``i-1`` and stage ``s-1`` of block ``i`` have both finished.
+        With overlap disabled the stages of every block run back-to-back.
+        """
+        n = len(kernel_times)
+        if not (len(h2d_times) == n == len(d2h_times)):
+            raise ConfigurationError(
+                "per-stream time sequences must have equal length"
+            )
+        if n == 0:
+            return 0.0
+        if any(t < 0 for t in h2d_times) or any(t < 0 for t in kernel_times) or any(
+            t < 0 for t in d2h_times
+        ):
+            raise ConfigurationError("stage times must be non-negative")
+
+        if not self.overlap_enabled:
+            return float(sum(h2d_times) + sum(kernel_times) + sum(d2h_times))
+
+        h2d_done = 0.0
+        kernel_done = 0.0
+        d2h_done = 0.0
+        for i in range(n):
+            h2d_done = h2d_done + h2d_times[i]
+            kernel_done = max(kernel_done, h2d_done) + kernel_times[i]
+            d2h_done = max(d2h_done, kernel_done) + d2h_times[i]
+        return float(d2h_done)
+
+    # ------------------------------------------------------------------ #
+    # Steady-state (cost-model) approximation
+    # ------------------------------------------------------------------ #
+    def steady_state_block_time(
+        self, h2d_time: float, kernel_time: float, d2h_time: float
+    ) -> float:
+        """Per-block cost in the long-pipeline limit.
+
+        This is the approximation behind Equation 9 of the paper: once the
+        pipeline is full, each additional block costs the maximum of its
+        three stage times (with overlap) or their sum (without).
+        """
+        if min(h2d_time, kernel_time, d2h_time) < 0:
+            raise ConfigurationError("stage times must be non-negative")
+        if self.overlap_enabled:
+            return max(h2d_time, kernel_time, d2h_time)
+        return h2d_time + kernel_time + d2h_time
+
+    def __repr__(self) -> str:
+        state = "overlapped" if self.overlap_enabled else "serial"
+        return f"StreamPipelineModel({state})"

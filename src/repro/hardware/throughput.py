@@ -1,0 +1,153 @@
+"""Parametric device throughput curves.
+
+The paper's two empirical observations about MF update throughput are:
+
+* **Observation 1** — "small blocks cannot saturate the GPU computing
+  power": GPU throughput rises steeply with block size and then flattens
+  (Figure 3(a), Figure 7);
+* **Observation 2** — "the computing power of CPU cores is not sensitive
+  to the block size": per-thread CPU throughput is flat (Figure 3(b)).
+
+The curves in this module are the *ground truth* of the simulated
+hardware.  The cost models of :mod:`repro.costmodel` never see these
+parameters — they must recover the behaviour by probing the devices, just
+as the paper calibrates against a real machine.
+"""
+
+from __future__ import annotations
+
+import math
+from abc import ABC, abstractmethod
+
+from ..exceptions import ConfigurationError
+
+
+class ThroughputCurve(ABC):
+    """Maps a block size (number of ratings) to update throughput.
+
+    Throughput is expressed in ratings (points) per second, matching the
+    y-axes of Figures 3 and 7 of the paper (million points / s).
+    """
+
+    @abstractmethod
+    def points_per_second(self, block_size: float) -> float:
+        """Sustained update throughput for a block of ``block_size`` ratings."""
+
+    def seconds_for(self, block_size: float) -> float:
+        """Time to update every rating of a block once."""
+        if block_size <= 0:
+            return 0.0
+        return block_size / self.points_per_second(block_size)
+
+
+class ConstantThroughputCurve(ThroughputCurve):
+    """Flat throughput, independent of block size (Observation 2).
+
+    Parameters
+    ----------
+    points_per_second:
+        The sustained per-worker update rate.  The paper's machine
+        measures roughly 5 million points per second per CPU thread for
+        k = 128 (Figure 3(b)).
+    """
+
+    def __init__(self, points_per_second: float) -> None:
+        if points_per_second <= 0:
+            raise ConfigurationError(
+                f"points_per_second must be positive, got {points_per_second}"
+            )
+        self._points_per_second = float(points_per_second)
+
+    def points_per_second(self, block_size: float) -> float:
+        return self._points_per_second
+
+    def __repr__(self) -> str:
+        return f"ConstantThroughputCurve({self._points_per_second:g} pts/s)"
+
+
+class SaturatingLogThroughputCurve(ThroughputCurve):
+    """Throughput that grows with block size and saturates (Observation 1).
+
+    The curve is
+
+    .. math::
+
+        v(s) = v_{min} + (v_{max} - v_{min}) \\cdot
+               \\min\\!\\left(1, \\frac{\\log(1 + s / s_0)}
+                                      {\\log(1 + s_{sat} / s_0)}\\right)
+
+    i.e. logarithmic growth from ``v_min`` at tiny blocks towards
+    ``v_max``, reaching the plateau at ``saturation_size`` ratings.  This
+    matches the paper's measured shape on the Quadro P4000 (Figure 3(a):
+    throughput rises steeply with block size and then flattens) and is
+    the reason a linear Qilin-style cost model misestimates GPU time
+    (Section V).
+
+    Parameters
+    ----------
+    peak_points_per_second:
+        Plateau throughput ``v_max``.
+    min_points_per_second:
+        Throughput for a vanishingly small block ``v_min`` (kernel-launch
+        bound).
+    saturation_size:
+        Block size (ratings) at which the plateau is reached.
+    ramp_size:
+        Shape parameter ``s_0`` controlling how quickly the log ramp
+        rises; smaller values front-load the gain.
+    """
+
+    def __init__(
+        self,
+        peak_points_per_second: float,
+        min_points_per_second: float,
+        saturation_size: float,
+        ramp_size: float = 50_000.0,
+    ) -> None:
+        if peak_points_per_second <= 0 or min_points_per_second <= 0:
+            raise ConfigurationError("throughput bounds must be positive")
+        if min_points_per_second > peak_points_per_second:
+            raise ConfigurationError(
+                "min_points_per_second cannot exceed peak_points_per_second"
+            )
+        if saturation_size <= 0 or ramp_size <= 0:
+            raise ConfigurationError("size parameters must be positive")
+        self.peak = float(peak_points_per_second)
+        self.floor = float(min_points_per_second)
+        self.saturation_size = float(saturation_size)
+        self.ramp_size = float(ramp_size)
+        self._log_ceiling = math.log1p(self.saturation_size / self.ramp_size)
+
+    def points_per_second(self, block_size: float) -> float:
+        if block_size <= 0:
+            return self.floor
+        ramp = math.log1p(block_size / self.ramp_size) / self._log_ceiling
+        ramp = min(1.0, ramp)
+        return self.floor + (self.peak - self.floor) * ramp
+
+    def __repr__(self) -> str:
+        return (
+            f"SaturatingLogThroughputCurve(peak={self.peak:g}, "
+            f"floor={self.floor:g}, saturation={self.saturation_size:g})"
+        )
+
+
+def scaled_curve(curve: ThroughputCurve, factor: float) -> ThroughputCurve:
+    """Return a curve whose throughput is ``curve`` scaled by ``factor``.
+
+    Used to model the effect of the number of GPU parallel workers: more
+    workers raise the whole throughput curve (with diminishing returns
+    applied by the caller), which is how GPU-Only's running time in
+    Figure 10 falls as workers grow from 32 to 512.
+    """
+    if factor <= 0:
+        raise ConfigurationError(f"scale factor must be positive, got {factor}")
+
+    class _Scaled(ThroughputCurve):
+        def points_per_second(self, block_size: float) -> float:
+            return curve.points_per_second(block_size) * factor
+
+        def __repr__(self) -> str:  # pragma: no cover - debugging aid
+            return f"Scaled({factor:g} x {curve!r})"
+
+    return _Scaled()

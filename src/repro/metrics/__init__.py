@@ -1,0 +1,23 @@
+"""Evaluation metrics and reporting helpers.
+
+* :mod:`repro.metrics.evaluation` — convergence/quality metrics over
+  traces and models (time-to-target, speedups);
+* :mod:`repro.metrics.imbalance` — per-block update-count statistics
+  quantifying the imbalance phenomenon of the paper's Example 3;
+* :mod:`repro.metrics.reporting` — plain-text tables used by the
+  experiment harness and the CLI.
+"""
+
+from .evaluation import relative_speedup, summarize_convergence, time_to_target
+from .imbalance import gini_coefficient, update_imbalance
+from .reporting import format_curve, format_table
+
+__all__ = [
+    "relative_speedup",
+    "summarize_convergence",
+    "time_to_target",
+    "gini_coefficient",
+    "update_imbalance",
+    "format_curve",
+    "format_table",
+]

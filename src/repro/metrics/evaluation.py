@@ -1,0 +1,52 @@
+"""Convergence and efficiency metrics over training results."""
+
+from __future__ import annotations
+
+from typing import Dict, Optional
+
+from ..exceptions import ReproError
+from ..sim import ExecutionTrace
+
+
+def time_to_target(trace: ExecutionTrace, target_rmse: float) -> Optional[float]:
+    """Earliest simulated time at which the trace's test RMSE meets a target.
+
+    Returns ``None`` when the run never reached the target (the paper
+    only reports timings for targets reachable by every competitor).
+    """
+    return trace.time_to_rmse(target_rmse)
+
+
+def relative_speedup(baseline_time: float, improved_time: float) -> float:
+    """Speedup of an improved time over a baseline (>1 means faster).
+
+    Raises
+    ------
+    ReproError
+        If either time is non-positive.
+    """
+    if baseline_time <= 0 or improved_time <= 0:
+        raise ReproError(
+            f"times must be positive, got baseline={baseline_time}, "
+            f"improved={improved_time}"
+        )
+    return baseline_time / improved_time
+
+
+def summarize_convergence(trace: ExecutionTrace) -> Dict[str, float]:
+    """Summary statistics of a run's convergence behaviour."""
+    curve = trace.rmse_curve()
+    if not curve:
+        return {
+            "iterations": 0.0,
+            "final_rmse": float("nan"),
+            "best_rmse": float("nan"),
+            "final_time": trace.final_time,
+        }
+    rmses = [value for _, value in curve]
+    return {
+        "iterations": float(len(curve)),
+        "final_rmse": rmses[-1],
+        "best_rmse": min(rmses),
+        "final_time": trace.final_time,
+    }

@@ -1,0 +1,70 @@
+"""Plain-text reporting helpers.
+
+The experiment harness prints the same rows and series the paper reports;
+these helpers keep the formatting in one place so benchmarks, the CLI and
+the examples produce consistent output.
+"""
+
+from __future__ import annotations
+
+from typing import Iterable, List, Mapping, Sequence, Tuple
+
+from ..exceptions import ReproError
+
+
+def format_table(
+    headers: Sequence[str],
+    rows: Iterable[Sequence[object]],
+    float_format: str = "{:.3f}",
+) -> str:
+    """Render a list of rows as an aligned plain-text table."""
+    rendered_rows: List[List[str]] = []
+    for row in rows:
+        rendered = []
+        for cell in row:
+            if isinstance(cell, float):
+                rendered.append(float_format.format(cell))
+            else:
+                rendered.append(str(cell))
+        rendered_rows.append(rendered)
+        if len(rendered) != len(headers):
+            raise ReproError(
+                f"row has {len(rendered)} cells but there are {len(headers)} headers"
+            )
+
+    widths = [len(header) for header in headers]
+    for row in rendered_rows:
+        for index, cell in enumerate(row):
+            widths[index] = max(widths[index], len(cell))
+
+    def render_line(cells: Sequence[str]) -> str:
+        return "  ".join(cell.ljust(widths[i]) for i, cell in enumerate(cells))
+
+    lines = [render_line(headers), render_line(["-" * w for w in widths])]
+    lines.extend(render_line(row) for row in rendered_rows)
+    return "\n".join(lines)
+
+
+def format_curve(
+    points: Sequence[Tuple[float, float]],
+    x_label: str = "time",
+    y_label: str = "rmse",
+    float_format: str = "{:.4f}",
+) -> str:
+    """Render an ``(x, y)`` series as a two-column table."""
+    return format_table(
+        [x_label, y_label],
+        [(x, y) for x, y in points],
+        float_format=float_format,
+    )
+
+
+def format_mapping(mapping: Mapping[str, object], float_format: str = "{:.4f}") -> str:
+    """Render a flat mapping as ``key: value`` lines."""
+    lines = []
+    for key, value in mapping.items():
+        if isinstance(value, float):
+            lines.append(f"{key}: {float_format.format(value)}")
+        else:
+            lines.append(f"{key}: {value}")
+    return "\n".join(lines)

@@ -1,0 +1,60 @@
+"""SGD-based matrix-factorization substrate.
+
+Implements the numerical core of the paper (Section II):
+
+* :class:`~repro.sgd.model.FactorModel` — the dense factor matrices
+  ``P (m×k)`` and ``Q (k×n)`` with random initialisation, prediction and
+  (de)serialisation;
+* :mod:`repro.sgd.kernels` — per-block SGD update kernels: an exact
+  per-rating reference kernel matching Algorithm 1 and a vectorised
+  mini-batch kernel used by the simulation engine for throughput;
+* :mod:`repro.sgd.losses` — the regularised squared loss of Equation 2,
+  RMSE and MAE;
+* :mod:`repro.sgd.schedules` — learning-rate schedules, including the
+  per-iteration decay schedule of Chin et al. (reference [43]) that the
+  paper adopts for its parameter settings;
+* :mod:`repro.sgd.serial` — Algorithm 1, the single-threaded reference;
+* :mod:`repro.sgd.hogwild` — the lock-free Hogwild baseline;
+* :mod:`repro.sgd.als` / :mod:`repro.sgd.ccd` — the non-SGD baselines
+  (alternating least squares and cyclic coordinate descent) mentioned in
+  Section III-C.
+"""
+
+from .model import FactorModel
+from .losses import (
+    mae,
+    pointwise_errors,
+    regularized_loss,
+    rmse,
+    squared_error_sum,
+)
+from .kernels import sgd_block_minibatch, sgd_block_sequential
+from .schedules import (
+    ConstantSchedule,
+    InverseTimeDecaySchedule,
+    LearningRateSchedule,
+    TwinLearnersSchedule,
+)
+from .serial import train_serial_sgd
+from .hogwild import train_hogwild
+from .als import train_als
+from .ccd import train_ccd
+
+__all__ = [
+    "FactorModel",
+    "mae",
+    "pointwise_errors",
+    "regularized_loss",
+    "rmse",
+    "squared_error_sum",
+    "sgd_block_minibatch",
+    "sgd_block_sequential",
+    "ConstantSchedule",
+    "InverseTimeDecaySchedule",
+    "LearningRateSchedule",
+    "TwinLearnersSchedule",
+    "train_serial_sgd",
+    "train_hogwild",
+    "train_als",
+    "train_ccd",
+]

@@ -1,0 +1,98 @@
+"""Hogwild-style lock-free SGD baseline.
+
+Hogwild (Recht et al., NIPS 2011; reference [19] of the paper) parallelises
+SGD by letting every worker update the shared factor matrices without any
+locking, accepting occasional lost updates on conflicting rows/columns.
+
+In this reproduction the "workers" are logical: the rating stream is split
+into per-worker shards and each shard is swept with the vectorised kernel
+in an interleaved round-robin order, which reproduces Hogwild's defining
+property — concurrent, conflict-oblivious updates to shared state — while
+remaining deterministic and testable.  Its role in the library is as a
+convergence baseline for the block-scheduled algorithms.
+"""
+
+from __future__ import annotations
+
+from typing import Optional
+
+import numpy as np
+
+from ..config import TrainingConfig
+from ..exceptions import ConfigurationError
+from ..sparse import SparseRatingMatrix
+from .kernels import sgd_block_minibatch
+from .losses import rmse
+from .model import FactorModel
+from .serial import TrainingHistory
+
+
+def train_hogwild(
+    train: SparseRatingMatrix,
+    config: TrainingConfig,
+    workers: int = 4,
+    test: Optional[SparseRatingMatrix] = None,
+    rounds_per_iteration: int = 8,
+) -> tuple:
+    """Train with lock-free (Hogwild-style) parallel SGD.
+
+    Parameters
+    ----------
+    train:
+        Training ratings.
+    config:
+        Hyper-parameters; ``config.iterations`` full passes are made.
+    workers:
+        Number of logical lock-free workers.
+    test:
+        Optional held-out ratings for per-iteration test RMSE.
+    rounds_per_iteration:
+        How many times per iteration the round-robin over worker shards
+        switches; higher values interleave the conflict-oblivious updates
+        more finely.
+
+    Returns
+    -------
+    (FactorModel, TrainingHistory)
+    """
+    if workers <= 0:
+        raise ConfigurationError(f"workers must be positive, got {workers}")
+    if rounds_per_iteration <= 0:
+        raise ConfigurationError(
+            f"rounds_per_iteration must be positive, got {rounds_per_iteration}"
+        )
+
+    model = FactorModel.for_matrix(train, config)
+    rng = np.random.default_rng(config.seed)
+    history = TrainingHistory()
+
+    for iteration in range(config.iterations):
+        rate = config.learning_rate
+        order = rng.permutation(train.nnz)
+        shards = np.array_split(order, workers)
+        # Each shard is cut into `rounds_per_iteration` chunks; chunks are
+        # interleaved round-robin across shards to emulate concurrent
+        # lock-free progress by all workers.
+        shard_chunks = [np.array_split(shard, rounds_per_iteration) for shard in shards]
+        for round_index in range(rounds_per_iteration):
+            for worker_chunks in shard_chunks:
+                chunk = worker_chunks[round_index]
+                if len(chunk) == 0:
+                    continue
+                sgd_block_minibatch(
+                    model.p,
+                    model.q,
+                    train.rows[chunk],
+                    train.cols[chunk],
+                    train.vals[chunk],
+                    rate,
+                    config.reg_p,
+                    config.reg_q,
+                )
+
+        history.learning_rates.append(rate)
+        history.train_rmse.append(rmse(model, train))
+        if test is not None:
+            history.test_rmse.append(rmse(model, test))
+
+    return model, history

@@ -1,0 +1,185 @@
+"""Dense factor model ``R ≈ P × Q``.
+
+The model holds the two dense factor matrices of the paper:
+
+* ``P`` of shape ``(m, k)`` — one latent row vector ``p_u`` per user;
+* ``Q`` of shape ``(k, n)`` — one latent column vector ``q_v`` per item.
+
+``P`` and ``Q`` are plain mutable numpy arrays because SGD workers update
+them in place; the model object adds initialisation, prediction and
+persistence around them.
+"""
+
+from __future__ import annotations
+
+import json
+import os
+from typing import Optional, Tuple, Union
+
+import numpy as np
+
+from ..config import TrainingConfig
+from ..exceptions import InvalidMatrixError
+from ..sparse import SparseRatingMatrix
+
+PathLike = Union[str, os.PathLike]
+
+
+class FactorModel:
+    """Container for the factor matrices ``P`` and ``Q``.
+
+    Parameters
+    ----------
+    p:
+        User factor matrix of shape ``(m, k)``.
+    q:
+        Item factor matrix of shape ``(k, n)``.
+
+    Notes
+    -----
+    The constructor validates shapes and dtype but does **not** copy the
+    arrays — workers mutate them in place during training.
+    """
+
+    __slots__ = ("p", "q")
+
+    def __init__(self, p: np.ndarray, q: np.ndarray) -> None:
+        p = np.asarray(p, dtype=np.float64)
+        q = np.asarray(q, dtype=np.float64)
+        if p.ndim != 2 or q.ndim != 2:
+            raise InvalidMatrixError("P and Q must be 2-D arrays")
+        if p.shape[1] != q.shape[0]:
+            raise InvalidMatrixError(
+                f"inner dimensions of P {p.shape} and Q {q.shape} do not match"
+            )
+        self.p = p
+        self.q = q
+
+    # ------------------------------------------------------------------ #
+    # Construction
+    # ------------------------------------------------------------------ #
+    @classmethod
+    def initialize(
+        cls,
+        n_rows: int,
+        n_cols: int,
+        latent_factors: int,
+        seed: int = 0,
+        scale: Optional[float] = None,
+    ) -> "FactorModel":
+        """Random-initialise a model for an ``n_rows × n_cols`` matrix.
+
+        Factors are drawn uniformly from ``[0, scale)`` as in the data
+        preprocessing phase of Algorithm 1 (``init_model``).  The default
+        scale ``1/sqrt(k)`` keeps initial predictions of the order of 1.
+        """
+        if n_rows <= 0 or n_cols <= 0:
+            raise InvalidMatrixError(
+                f"matrix dimensions must be positive, got ({n_rows}, {n_cols})"
+            )
+        if latent_factors <= 0:
+            raise InvalidMatrixError(
+                f"latent_factors must be positive, got {latent_factors}"
+            )
+        if scale is None:
+            scale = 1.0 / np.sqrt(latent_factors)
+        rng = np.random.default_rng(seed)
+        p = rng.uniform(0.0, scale, size=(n_rows, latent_factors))
+        q = rng.uniform(0.0, scale, size=(latent_factors, n_cols))
+        return cls(p, q)
+
+    @classmethod
+    def for_matrix(
+        cls, matrix: SparseRatingMatrix, config: TrainingConfig
+    ) -> "FactorModel":
+        """Initialise a model matching a rating matrix and training config."""
+        return cls.initialize(
+            matrix.n_rows,
+            matrix.n_cols,
+            config.latent_factors,
+            seed=config.seed,
+            scale=config.effective_init_scale,
+        )
+
+    def copy(self) -> "FactorModel":
+        """Deep copy, used to snapshot models between experiment arms."""
+        return FactorModel(self.p.copy(), self.q.copy())
+
+    # ------------------------------------------------------------------ #
+    # Introspection
+    # ------------------------------------------------------------------ #
+    @property
+    def shape(self) -> Tuple[int, int]:
+        """Shape ``(m, n)`` of the reconstructed rating matrix."""
+        return (self.p.shape[0], self.q.shape[1])
+
+    @property
+    def latent_factors(self) -> int:
+        """The latent dimensionality ``k``."""
+        return self.p.shape[1]
+
+    def __repr__(self) -> str:
+        return (
+            f"FactorModel(m={self.p.shape[0]}, n={self.q.shape[1]}, "
+            f"k={self.latent_factors})"
+        )
+
+    # ------------------------------------------------------------------ #
+    # Prediction
+    # ------------------------------------------------------------------ #
+    def predict(self, users: np.ndarray, items: np.ndarray) -> np.ndarray:
+        """Predicted ratings ``p_u · q_v`` for parallel index arrays."""
+        users = np.asarray(users, dtype=np.int64)
+        items = np.asarray(items, dtype=np.int64)
+        return np.einsum("ik,ki->i", self.p[users], self.q[:, items])
+
+    def predict_single(self, user: int, item: int) -> float:
+        """Predicted rating for one ``(user, item)`` pair."""
+        return float(self.p[user] @ self.q[:, item])
+
+    def predict_matrix(self, matrix: SparseRatingMatrix) -> np.ndarray:
+        """Predictions for every explicit rating of ``matrix`` in storage order."""
+        return self.predict(matrix.rows, matrix.cols)
+
+    def full_reconstruction(self) -> np.ndarray:
+        """Dense ``P × Q``; intended for tests and tiny examples only."""
+        cells = self.p.shape[0] * self.q.shape[1]
+        if cells > 10_000_000:
+            raise InvalidMatrixError(
+                f"refusing to materialise a reconstruction with {cells} cells"
+            )
+        return self.p @ self.q
+
+    def top_items(self, user: int, count: int = 10) -> np.ndarray:
+        """Indices of the ``count`` highest-scoring items for ``user``.
+
+        This is the typical downstream use of an MF model in a recommender
+        system (Figure 1 of the paper motivates MF with movie ratings).
+        """
+        scores = self.p[user] @ self.q
+        count = min(count, scores.shape[0])
+        top = np.argpartition(-scores, count - 1)[:count]
+        return top[np.argsort(-scores[top])]
+
+    # ------------------------------------------------------------------ #
+    # Persistence (the "data post-processing phase" of Algorithm 1)
+    # ------------------------------------------------------------------ #
+    def save(self, path: PathLike) -> None:
+        """Persist the model to ``<path>.npz`` plus a small JSON sidecar."""
+        path = os.fspath(path)
+        np.savez_compressed(path, p=self.p, q=self.q)
+        meta = {
+            "m": int(self.p.shape[0]),
+            "n": int(self.q.shape[1]),
+            "k": int(self.latent_factors),
+        }
+        with open(path + ".json", "w", encoding="utf-8") as handle:
+            json.dump(meta, handle)
+
+    @classmethod
+    def load(cls, path: PathLike) -> "FactorModel":
+        """Load a model previously written by :meth:`save`."""
+        path = os.fspath(path)
+        npz_path = path if path.endswith(".npz") else path + ".npz"
+        with np.load(npz_path) as data:
+            return cls(data["p"], data["q"])

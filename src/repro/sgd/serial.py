@@ -1,0 +1,113 @@
+"""Algorithm 1 of the paper: single-threaded SGD matrix factorization.
+
+This is the reference implementation every parallel variant must agree
+with numerically (up to update-ordering effects).  It is used directly by
+the quickstart example and by the test suite as a convergence oracle.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, field
+from typing import List, Optional
+
+import numpy as np
+
+from ..config import TrainingConfig
+from ..sparse import SparseRatingMatrix
+from .kernels import sgd_block_minibatch, sgd_block_sequential
+from .losses import rmse
+from .model import FactorModel
+from .schedules import ConstantSchedule, LearningRateSchedule
+
+
+@dataclass
+class TrainingHistory:
+    """Per-iteration metrics recorded during a training run."""
+
+    train_rmse: List[float] = field(default_factory=list)
+    test_rmse: List[float] = field(default_factory=list)
+    learning_rates: List[float] = field(default_factory=list)
+
+    @property
+    def iterations(self) -> int:
+        """Number of completed iterations."""
+        return len(self.train_rmse)
+
+    def final_train_rmse(self) -> float:
+        """Training RMSE after the last iteration."""
+        return self.train_rmse[-1]
+
+    def final_test_rmse(self) -> Optional[float]:
+        """Test RMSE after the last iteration, if a test set was supplied."""
+        return self.test_rmse[-1] if self.test_rmse else None
+
+
+def train_serial_sgd(
+    train: SparseRatingMatrix,
+    config: TrainingConfig,
+    test: Optional[SparseRatingMatrix] = None,
+    schedule: Optional[LearningRateSchedule] = None,
+    exact: bool = False,
+    shuffle_each_iteration: bool = True,
+    model: Optional[FactorModel] = None,
+) -> tuple:
+    """Train a factor model with single-threaded SGD (Algorithm 1).
+
+    Parameters
+    ----------
+    train:
+        Training rating matrix.
+    config:
+        Training hyper-parameters (``k``, ``gamma``, ``lambda``, ``t``).
+    test:
+        Optional held-out ratings; when given, test RMSE is recorded after
+        every iteration.
+    schedule:
+        Learning-rate schedule; a constant rate equal to
+        ``config.learning_rate`` when omitted.
+    exact:
+        Use the exact per-rating kernel instead of the vectorised
+        mini-batch kernel.  Slower but bit-for-bit Algorithm 1.
+    shuffle_each_iteration:
+        Visit ratings in a fresh random order every iteration, the usual
+        SGD practice.
+    model:
+        Optional pre-initialised model to continue training.
+
+    Returns
+    -------
+    (FactorModel, TrainingHistory)
+    """
+    if schedule is None:
+        schedule = ConstantSchedule(config.learning_rate)
+    if model is None:
+        model = FactorModel.for_matrix(train, config)
+
+    rng = np.random.default_rng(config.seed)
+    history = TrainingHistory()
+
+    for iteration in range(config.iterations):
+        rate = schedule(iteration)
+        if shuffle_each_iteration:
+            order = rng.permutation(train.nnz)
+        else:
+            order = np.arange(train.nnz)
+        rows = train.rows[order]
+        cols = train.cols[order]
+        vals = train.vals[order]
+
+        if exact:
+            sgd_block_sequential(
+                model.p, model.q, rows, cols, vals, rate, config.reg_p, config.reg_q
+            )
+        else:
+            sgd_block_minibatch(
+                model.p, model.q, rows, cols, vals, rate, config.reg_p, config.reg_q
+            )
+
+        history.learning_rates.append(rate)
+        history.train_rmse.append(rmse(model, train))
+        if test is not None:
+            history.test_rmse.append(rmse(model, test))
+
+    return model, history

@@ -1,0 +1,302 @@
+"""The discrete-event simulation engine.
+
+The engine couples three things:
+
+* a **scheduler** (:mod:`repro.core.schedulers`) deciding which blocks a
+  worker processes next;
+* a **platform** (:mod:`repro.hardware`) predicting how long each task
+  takes on its worker's device;
+* the **numerical kernel** (:mod:`repro.sgd.kernels`) actually applying
+  the SGD updates of every task to the shared factor matrices.
+
+Simulated time advances event by event: whenever the earliest in-flight
+task completes, its updates are applied, its bands are released, per-
+iteration accounting is updated, and new tasks are dispatched to the
+freed worker and to any workers that were idling for lack of
+conflict-free work.
+
+Because blocks processed concurrently never overlap in rows or columns
+(the lock table guarantees independence), applying each task's updates at
+its completion time produces the same factor matrices a genuinely
+parallel execution with the same schedule would.
+"""
+
+from __future__ import annotations
+
+import heapq
+import itertools
+from dataclasses import dataclass
+from typing import Optional
+
+from ..config import TrainingConfig
+from ..exceptions import SimulationError
+from ..hardware import HeterogeneousPlatform
+from ..sgd import FactorModel, rmse, sgd_block_minibatch, sgd_block_sequential
+from ..sgd.schedules import ConstantSchedule, LearningRateSchedule
+from ..sparse import SparseRatingMatrix
+from ..core.schedulers import Scheduler
+from ..core.tasks import Task
+from .trace import ExecutionTrace, IterationRecord, TaskRecord
+
+
+@dataclass
+class SimulationResult:
+    """Outcome of one simulated training run."""
+
+    model: FactorModel
+    trace: ExecutionTrace
+    converged: bool
+    """Whether the requested RMSE target (if any) was reached."""
+
+    @property
+    def simulated_time(self) -> float:
+        """Total simulated seconds of the run."""
+        return self.trace.final_time
+
+    @property
+    def final_test_rmse(self) -> Optional[float]:
+        """Test RMSE after the last completed iteration."""
+        if not self.trace.iterations:
+            return None
+        return self.trace.iterations[-1].test_rmse
+
+
+class SimulationEngine:
+    """Runs a scheduler against simulated hardware with real SGD updates.
+
+    Parameters
+    ----------
+    scheduler:
+        The block scheduler under test.
+    platform:
+        The simulated machine; its worker order must match the
+        scheduler's (CPU threads first, then GPUs).
+    train:
+        Training ratings.
+    training:
+        Hyper-parameters (``k``, ``gamma``, ``lambda``).
+    test:
+        Optional held-out ratings; needed for RMSE-vs-time curves and
+        time-to-target stopping.
+    model:
+        Optional pre-initialised factor model (a fresh one is created
+        otherwise).
+    schedule:
+        Learning-rate schedule; constant by default.
+    exact_kernel:
+        Use the exact per-rating kernel (slow; for small validation runs).
+    compute_train_rmse:
+        Also record training RMSE at iteration boundaries.
+    """
+
+    def __init__(
+        self,
+        scheduler: Scheduler,
+        platform: HeterogeneousPlatform,
+        train: SparseRatingMatrix,
+        training: TrainingConfig,
+        test: Optional[SparseRatingMatrix] = None,
+        model: Optional[FactorModel] = None,
+        schedule: Optional[LearningRateSchedule] = None,
+        exact_kernel: bool = False,
+        compute_train_rmse: bool = False,
+    ) -> None:
+        if platform.n_workers != scheduler.n_workers:
+            raise SimulationError(
+                f"platform has {platform.n_workers} workers but the scheduler "
+                f"expects {scheduler.n_workers}"
+            )
+        self.scheduler = scheduler
+        self.platform = platform
+        self.train = train
+        self.test = test
+        self.training = training
+        self.model = model or FactorModel.for_matrix(train, training)
+        self.schedule = schedule or ConstantSchedule(training.learning_rate)
+        self.exact_kernel = exact_kernel
+        self.compute_train_rmse = compute_train_rmse
+        self._devices = platform.all_devices
+
+    # ------------------------------------------------------------------ #
+    # Task execution
+    # ------------------------------------------------------------------ #
+    def _apply_task(self, task: Task, iteration: int) -> None:
+        """Apply the SGD updates of one task to the shared factor model."""
+        indices = task.indices()
+        if len(indices) == 0:
+            return
+        rate = self.schedule(iteration)
+        kernel = sgd_block_sequential if self.exact_kernel else sgd_block_minibatch
+        kernel(
+            self.model.p,
+            self.model.q,
+            self.train.rows[indices],
+            self.train.cols[indices],
+            self.train.vals[indices],
+            rate,
+            self.training.reg_p,
+            self.training.reg_q,
+        )
+
+    def _task_duration(self, task: Task) -> float:
+        """Simulated seconds the task occupies its worker's device.
+
+        GPU tasks of *hybrid* runs are slowed by the device's host-
+        contention factor: CPU worker threads training concurrently
+        compete for host memory bandwidth and the PCIe link, which the
+        isolated offline calibration never sees (one of the cost-model
+        deviations dynamic scheduling compensates for).
+        """
+        device = self._devices[task.worker_index]
+        work = task.block_work(self.training.latent_factors)
+        duration = device.process_time(work)
+        if device.is_gpu and self.platform.n_cpu_threads > 0:
+            duration *= 1.0 + getattr(device, "host_contention", 0.0)
+        if duration <= 0:
+            raise SimulationError(
+                f"device {device.name} produced a non-positive task duration"
+            )
+        return duration
+
+    # ------------------------------------------------------------------ #
+    # Main loop
+    # ------------------------------------------------------------------ #
+    def run(
+        self,
+        iterations: Optional[int] = None,
+        target_rmse: Optional[float] = None,
+        max_simulated_time: Optional[float] = None,
+    ) -> SimulationResult:
+        """Run the simulation until a stopping condition is met.
+
+        Parameters
+        ----------
+        iterations:
+            Stop after this many full passes over the training ratings
+            (defaults to ``training.iterations`` when neither a target
+            RMSE nor a time budget is given).
+        target_rmse:
+            Stop as soon as the test RMSE at an iteration boundary is at
+            or below this value (requires a test set).
+        max_simulated_time:
+            Hard cap on simulated seconds.
+
+        Returns
+        -------
+        SimulationResult
+        """
+        if target_rmse is not None and self.test is None:
+            raise SimulationError("target_rmse stopping requires a test set")
+        if iterations is None and target_rmse is None and max_simulated_time is None:
+            iterations = self.training.iterations
+        max_iterations = iterations if iterations is not None else 10_000
+
+        trace = ExecutionTrace(target_rmse=target_rmse)
+        total_points = self.scheduler.total_points
+        if total_points <= 0:
+            raise SimulationError("the scheduler's grid contains no ratings")
+
+        counter = itertools.count()
+        heap = []  # (end_time, sequence, worker_index, task)
+        idle_workers = set()
+        now = 0.0
+        points_completed = 0
+        iteration = 0
+        iteration_target = total_points
+        converged = False
+        stopping = False
+
+        self.scheduler.start_iteration()
+
+        def dispatch(worker_index: int, start_time: float) -> bool:
+            task = self.scheduler.next_task(worker_index)
+            if task is None:
+                idle_workers.add(worker_index)
+                return False
+            end_time = start_time + self._task_duration(task)
+            heapq.heappush(heap, (end_time, next(counter), worker_index, task))
+            idle_workers.discard(worker_index)
+            return True
+
+        for worker_index in range(self.scheduler.n_workers):
+            dispatch(worker_index, 0.0)
+        if not heap:
+            raise SimulationError(
+                "no worker could be given an initial task; the grid is too "
+                "coarse for the worker count"
+            )
+
+        while heap:
+            end_time, _, worker_index, task = heapq.heappop(heap)
+            now = end_time
+            if max_simulated_time is not None and now > max_simulated_time:
+                self.scheduler.abort_task(task)
+                break
+
+            self._apply_task(task, iteration)
+            self.scheduler.complete_task(task)
+            points_completed += task.nnz
+            trace.record_task(
+                TaskRecord(
+                    worker_index=worker_index,
+                    is_gpu=self.scheduler.is_gpu_worker(worker_index),
+                    start_time=end_time - self._task_duration(task),
+                    end_time=end_time,
+                    points=task.nnz,
+                    n_blocks=len(task.blocks),
+                    stolen=task.stolen,
+                    iteration=iteration,
+                )
+            )
+
+            # Iteration boundaries (possibly several if a huge task crossed
+            # more than one, which only happens on degenerate tiny grids).
+            while points_completed >= iteration_target and not stopping:
+                test_rmse = rmse(self.model, self.test) if self.test is not None else None
+                train_rmse = (
+                    rmse(self.model, self.train) if self.compute_train_rmse else None
+                )
+                trace.record_iteration(
+                    IterationRecord(
+                        iteration=iteration,
+                        simulated_time=now,
+                        train_rmse=train_rmse,
+                        test_rmse=test_rmse,
+                        points_processed=points_completed,
+                    )
+                )
+                iteration += 1
+                iteration_target += total_points
+                self.scheduler.start_iteration()
+
+                if target_rmse is not None and test_rmse is not None:
+                    if test_rmse <= target_rmse:
+                        converged = True
+                        trace.target_reached_at = now
+                        stopping = True
+                if iterations is not None and iteration >= max_iterations:
+                    stopping = True
+
+            if stopping:
+                break
+
+            # Give the freed worker new work, then retry any idlers: the
+            # completed task may have released the bands or quota they
+            # were waiting for.
+            dispatch(worker_index, now)
+            for waiting in sorted(idle_workers):
+                dispatch(waiting, now)
+
+            if not heap and idle_workers:
+                raise SimulationError(
+                    "all workers are idle with work remaining; the grid or "
+                    "quota configuration cannot make progress"
+                )
+
+        # Drain in-flight tasks without applying them (the run has ended).
+        while heap:
+            _, _, _, task = heapq.heappop(heap)
+            self.scheduler.abort_task(task)
+
+        trace.final_time = now
+        return SimulationResult(model=self.model, trace=trace, converged=converged)

@@ -1,0 +1,38 @@
+"""Sparse rating-matrix substrate.
+
+The paper operates on a sparse user-item rating matrix ``R`` stored as
+triadic tuples ``(u, v, r_uv)``.  This subpackage provides:
+
+* :class:`~repro.sparse.matrix.SparseRatingMatrix` — an immutable COO
+  container with validation, shuffling, sampling and banding helpers;
+* :mod:`repro.sparse.blocking` — extraction of grid blocks given row and
+  column boundaries, plus nonzero-balanced boundary computation;
+* :mod:`repro.sparse.io` — plain-text triple readers/writers compatible
+  with the MovieLens/LIBMF layout;
+* :mod:`repro.sparse.shuffle` — deterministic permutation utilities used
+  by the calibration data preparation (Section V-A).
+"""
+
+from .matrix import SparseRatingMatrix
+from .blocking import (
+    BlockSlice,
+    balanced_boundaries,
+    extract_block,
+    extract_grid,
+    uniform_boundaries,
+)
+from .io import read_triples, write_triples
+from .shuffle import shuffled_copy, split_prefix_sums
+
+__all__ = [
+    "SparseRatingMatrix",
+    "BlockSlice",
+    "balanced_boundaries",
+    "extract_block",
+    "extract_grid",
+    "uniform_boundaries",
+    "read_triples",
+    "write_triples",
+    "shuffled_copy",
+    "split_prefix_sums",
+]

@@ -1,0 +1,247 @@
+"""Grid banding and block extraction for block-parallel SGD.
+
+FPSGD-style algorithms (Section III-A of the paper) divide the rating
+matrix into a grid of blocks along row and column boundaries.  Two blocks
+are *independent* if they share neither a row band nor a column band; only
+independent blocks may be updated concurrently.
+
+This module provides the low-level machinery:
+
+* boundary computation — either uniform in index space
+  (:func:`uniform_boundaries`) or balanced by nonzero count
+  (:func:`balanced_boundaries`), the latter being important for skewed
+  real-world matrices where uniform index bands would produce wildly
+  different block sizes;
+* :func:`extract_grid` — a single ``O(nnz log nnz)`` pass that buckets
+  every rating into its ``(row_band, col_band)`` cell and returns per-cell
+  index arrays, used by schedulers to hand contiguous work units to
+  workers.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+from typing import List, Sequence, Tuple
+
+import numpy as np
+
+from ..exceptions import InvalidPartitionError
+from .matrix import SparseRatingMatrix
+
+
+@dataclass(frozen=True)
+class BlockSlice:
+    """Index data for one grid block.
+
+    Attributes
+    ----------
+    row_band:
+        Index of the row band (0-based, top to bottom).
+    col_band:
+        Index of the column band (0-based, left to right).
+    row_range:
+        Half-open user-index interval ``[start, stop)`` covered by the band.
+    col_range:
+        Half-open item-index interval ``[start, stop)`` covered by the band.
+    indices:
+        Positions (into the matrix's COO arrays) of the ratings that fall
+        inside this block, sorted ascending.
+    """
+
+    row_band: int
+    col_band: int
+    row_range: Tuple[int, int]
+    col_range: Tuple[int, int]
+    indices: np.ndarray
+
+    @property
+    def nnz(self) -> int:
+        """Number of ratings inside the block."""
+        return len(self.indices)
+
+    def __repr__(self) -> str:
+        return (
+            f"BlockSlice(row_band={self.row_band}, col_band={self.col_band}, "
+            f"nnz={self.nnz})"
+        )
+
+
+def _validate_boundaries(boundaries: Sequence[int], extent: int, axis: str) -> np.ndarray:
+    """Check that ``boundaries`` is a valid monotone cover of ``[0, extent]``."""
+    bounds = np.asarray(boundaries, dtype=np.int64)
+    if bounds.ndim != 1 or len(bounds) < 2:
+        raise InvalidPartitionError(
+            f"{axis} boundaries must contain at least two entries, got {bounds!r}"
+        )
+    if bounds[0] != 0 or bounds[-1] != extent:
+        raise InvalidPartitionError(
+            f"{axis} boundaries must start at 0 and end at {extent}, got "
+            f"[{bounds[0]}, ..., {bounds[-1]}]"
+        )
+    if np.any(np.diff(bounds) <= 0):
+        raise InvalidPartitionError(
+            f"{axis} boundaries must be strictly increasing, got {bounds.tolist()}"
+        )
+    return bounds
+
+
+def uniform_boundaries(extent: int, parts: int) -> np.ndarray:
+    """Split ``[0, extent)`` into ``parts`` near-equal index bands.
+
+    Returns ``parts + 1`` boundary positions.  This is the division used
+    by FPSGD/HSGD, where every band spans the same number of *rows or
+    columns* (not the same number of ratings).
+    """
+    if parts <= 0:
+        raise InvalidPartitionError(f"parts must be positive, got {parts}")
+    if extent < parts:
+        raise InvalidPartitionError(
+            f"cannot split extent {extent} into {parts} non-empty bands"
+        )
+    bounds = np.linspace(0, extent, parts + 1)
+    bounds = np.round(bounds).astype(np.int64)
+    # Rounding can occasionally merge adjacent boundaries on tiny extents;
+    # repair by forcing strict monotonicity forwards then backwards.
+    for i in range(1, len(bounds)):
+        if bounds[i] <= bounds[i - 1]:
+            bounds[i] = bounds[i - 1] + 1
+    if bounds[-1] != extent:
+        bounds[-1] = extent
+        for i in range(len(bounds) - 2, 0, -1):
+            if bounds[i] >= bounds[i + 1]:
+                bounds[i] = bounds[i + 1] - 1
+    return _validate_boundaries(bounds, extent, "uniform")
+
+
+def balanced_boundaries(counts: np.ndarray, parts: int) -> np.ndarray:
+    """Split an axis into ``parts`` bands carrying near-equal rating counts.
+
+    Parameters
+    ----------
+    counts:
+        Per-index rating counts along the axis (``row_counts()`` or
+        ``col_counts()`` of a matrix).
+    parts:
+        Number of bands.
+
+    Returns
+    -------
+    numpy.ndarray
+        ``parts + 1`` boundary positions over ``[0, len(counts)]`` such
+        that each band contains approximately ``sum(counts)/parts``
+        ratings.  Real-world rating matrices are heavily skewed, so this
+        balancing is what makes the nonuniform division of the paper
+        assign comparable work to equally capable workers.
+    """
+    counts = np.asarray(counts, dtype=np.int64)
+    extent = len(counts)
+    if parts <= 0:
+        raise InvalidPartitionError(f"parts must be positive, got {parts}")
+    if extent < parts:
+        raise InvalidPartitionError(
+            f"cannot split {extent} indices into {parts} non-empty bands"
+        )
+    total = int(counts.sum())
+    if total == 0:
+        return uniform_boundaries(extent, parts)
+
+    cumulative = np.concatenate(([0], np.cumsum(counts)))
+    targets = np.linspace(0, total, parts + 1)
+    bounds = np.searchsorted(cumulative, targets, side="left").astype(np.int64)
+    bounds[0] = 0
+    bounds[-1] = extent
+    # Enforce strict monotonicity so no band is empty in index space.
+    for i in range(1, parts):
+        if bounds[i] <= bounds[i - 1]:
+            bounds[i] = bounds[i - 1] + 1
+    for i in range(parts - 1, 0, -1):
+        if bounds[i] >= bounds[i + 1]:
+            bounds[i] = bounds[i + 1] - 1
+    return _validate_boundaries(bounds, extent, "balanced")
+
+
+def extract_block(
+    matrix: SparseRatingMatrix,
+    row_range: Tuple[int, int],
+    col_range: Tuple[int, int],
+) -> np.ndarray:
+    """Return the COO positions of ratings inside one rectangular block."""
+    r0, r1 = row_range
+    c0, c1 = col_range
+    mask = (
+        (matrix.rows >= r0)
+        & (matrix.rows < r1)
+        & (matrix.cols >= c0)
+        & (matrix.cols < c1)
+    )
+    return np.nonzero(mask)[0]
+
+
+def extract_grid(
+    matrix: SparseRatingMatrix,
+    row_boundaries: Sequence[int],
+    col_boundaries: Sequence[int],
+) -> List[List[BlockSlice]]:
+    """Bucket every rating of ``matrix`` into a grid of blocks.
+
+    Parameters
+    ----------
+    matrix:
+        The rating matrix.
+    row_boundaries, col_boundaries:
+        Monotone boundary arrays covering ``[0, m]`` and ``[0, n]``.
+
+    Returns
+    -------
+    list of list of BlockSlice
+        ``grid[i][j]`` holds the block for row band ``i`` and column band
+        ``j``.  Every rating appears in exactly one block.
+
+    Notes
+    -----
+    The implementation performs a single vectorised bucketing pass
+    (two ``searchsorted`` calls plus one ``argsort``) rather than one mask
+    per block, keeping grid construction cheap even for fine grids.
+    """
+    row_bounds = _validate_boundaries(row_boundaries, matrix.n_rows, "row")
+    col_bounds = _validate_boundaries(col_boundaries, matrix.n_cols, "column")
+
+    n_row_bands = len(row_bounds) - 1
+    n_col_bands = len(col_bounds) - 1
+
+    row_band_of = np.searchsorted(row_bounds, matrix.rows, side="right") - 1
+    col_band_of = np.searchsorted(col_bounds, matrix.cols, side="right") - 1
+    flat = row_band_of * n_col_bands + col_band_of
+
+    order = np.argsort(flat, kind="stable")
+    sorted_flat = flat[order]
+    # Split points between consecutive cells in the flattened ordering.
+    cell_starts = np.searchsorted(
+        sorted_flat, np.arange(n_row_bands * n_col_bands), side="left"
+    )
+    cell_stops = np.searchsorted(
+        sorted_flat, np.arange(n_row_bands * n_col_bands), side="right"
+    )
+
+    grid: List[List[BlockSlice]] = []
+    for i in range(n_row_bands):
+        row_blocks: List[BlockSlice] = []
+        for j in range(n_col_bands):
+            cell = i * n_col_bands + j
+            indices = np.sort(order[cell_starts[cell]:cell_stops[cell]])
+            row_blocks.append(
+                BlockSlice(
+                    row_band=i,
+                    col_band=j,
+                    row_range=(int(row_bounds[i]), int(row_bounds[i + 1])),
+                    col_range=(int(col_bounds[j]), int(col_bounds[j + 1])),
+                    indices=indices,
+                )
+            )
+        grid.append(row_blocks)
+    return grid
+
+
+def grid_nnz(grid: List[List[BlockSlice]]) -> np.ndarray:
+    """Return a 2-D array of per-block rating counts for a grid."""
+    return np.array([[block.nnz for block in row] for row in grid], dtype=np.int64)

@@ -1,0 +1,106 @@
+"""Plain-text triple I/O for rating matrices.
+
+The benchmark datasets used by the paper (MovieLens, Netflix, Yahoo R1,
+Yahoo!Music) are distributed as text files with one rating per line.  We
+support the common whitespace/comma separated ``user item rating`` layout
+used by LIBMF and the MovieLens exports, which is sufficient for loading
+scaled-down or user-provided data into the library.
+"""
+
+from __future__ import annotations
+
+import os
+from typing import Optional, Tuple, Union
+
+import numpy as np
+
+from ..exceptions import DatasetError
+from .matrix import SparseRatingMatrix
+
+PathLike = Union[str, os.PathLike]
+
+
+def read_triples(
+    path: PathLike,
+    delimiter: Optional[str] = None,
+    one_based: bool = False,
+    shape: Optional[Tuple[int, int]] = None,
+) -> SparseRatingMatrix:
+    """Read a rating matrix from a text file of ``user item rating`` lines.
+
+    Parameters
+    ----------
+    path:
+        File to read.  Lines starting with ``#`` or ``%`` are ignored.
+    delimiter:
+        Field separator; ``None`` splits on arbitrary whitespace, and a
+        comma handles MovieLens-style CSV exports.  Extra trailing fields
+        (e.g. timestamps) are ignored.
+    one_based:
+        Set when user/item ids start at 1 (MovieLens, Netflix); indices are
+        shifted down to 0-based.
+    shape:
+        Optional explicit matrix shape.
+
+    Raises
+    ------
+    DatasetError
+        If the file does not exist, is empty, or a line cannot be parsed.
+    """
+    path = os.fspath(path)
+    if not os.path.exists(path):
+        raise DatasetError(f"rating file not found: {path}")
+
+    users = []
+    items = []
+    ratings = []
+    with open(path, "r", encoding="utf-8") as handle:
+        for line_number, line in enumerate(handle, start=1):
+            line = line.strip()
+            if not line or line.startswith("#") or line.startswith("%"):
+                continue
+            fields = line.split(delimiter) if delimiter else line.split()
+            if len(fields) < 3:
+                raise DatasetError(
+                    f"{path}:{line_number}: expected at least 3 fields, "
+                    f"got {len(fields)}"
+                )
+            try:
+                users.append(int(float(fields[0])))
+                items.append(int(float(fields[1])))
+                ratings.append(float(fields[2]))
+            except ValueError as exc:
+                raise DatasetError(
+                    f"{path}:{line_number}: could not parse rating triple: {exc}"
+                ) from exc
+
+    if not users:
+        raise DatasetError(f"rating file contains no ratings: {path}")
+
+    rows = np.asarray(users, dtype=np.int64)
+    cols = np.asarray(items, dtype=np.int64)
+    vals = np.asarray(ratings, dtype=np.float64)
+    if one_based:
+        rows = rows - 1
+        cols = cols - 1
+    return SparseRatingMatrix(rows, cols, vals, shape=shape)
+
+
+def write_triples(
+    matrix: SparseRatingMatrix,
+    path: PathLike,
+    delimiter: str = " ",
+    one_based: bool = False,
+) -> None:
+    """Write a rating matrix as ``user item rating`` lines.
+
+    The inverse of :func:`read_triples`; useful for exporting synthetic
+    datasets so external tools (LIBMF, cuMF) can consume them.
+    """
+    path = os.fspath(path)
+    offset = 1 if one_based else 0
+    with open(path, "w", encoding="utf-8") as handle:
+        for u, v, r in zip(matrix.rows, matrix.cols, matrix.vals):
+            handle.write(
+                f"{int(u) + offset}{delimiter}{int(v) + offset}{delimiter}{r:g}\n"
+            )

@@ -1,0 +1,55 @@
+"""Permutation helpers used for calibration-data preparation.
+
+Section V-A of the paper prepares training data for the cost models by
+shuffling the input dataset ("to avoid uneven data distribution") and then
+taking cumulative prefixes ``S_1, S_1+S_2, ..., S_1+...+S_N`` of equal-size
+segments.  These helpers implement both steps deterministically.
+"""
+
+from __future__ import annotations
+
+from typing import List
+
+import numpy as np
+
+from ..exceptions import InvalidMatrixError
+from .matrix import SparseRatingMatrix
+
+
+def shuffled_copy(matrix: SparseRatingMatrix, seed: int = 0) -> SparseRatingMatrix:
+    """Return a copy of ``matrix`` with its storage order permuted.
+
+    Equivalent to :meth:`SparseRatingMatrix.shuffled`; provided as a free
+    function so calibration code can operate on matrices without caring
+    whether the container exposes the method.
+    """
+    return matrix.shuffled(seed=seed)
+
+
+def split_prefix_sums(
+    matrix: SparseRatingMatrix, segments: int
+) -> List[SparseRatingMatrix]:
+    """Return cumulative prefixes of ``matrix`` split into ``segments`` parts.
+
+    The matrix is divided into ``segments`` equal contiguous chunks
+    ``S_1..S_N`` (in storage order) and the returned list contains the
+    cumulative unions ``S_1``, ``S_1+S_2``, ..., ``S_1+...+S_N`` — exactly
+    the calibration workloads of Algorithm 3 line 1-2.  Callers should
+    shuffle the matrix first so every prefix is an unbiased sample.
+
+    Raises
+    ------
+    InvalidMatrixError
+        If ``segments`` is not positive or exceeds the number of ratings.
+    """
+    if segments <= 0:
+        raise InvalidMatrixError(f"segments must be positive, got {segments}")
+    if segments > matrix.nnz:
+        raise InvalidMatrixError(
+            f"cannot split {matrix.nnz} ratings into {segments} segments"
+        )
+    boundaries = np.linspace(0, matrix.nnz, segments + 1).round().astype(int)
+    prefixes = []
+    for stop in boundaries[1:]:
+        prefixes.append(matrix.prefix(int(stop)))
+    return prefixes

@@ -1,0 +1,102 @@
+"""Tests of the configuration dataclasses."""
+
+import pytest
+
+from repro.config import (
+    ExperimentConfig,
+    HardwareConfig,
+    SchedulingConfig,
+    TrainingConfig,
+)
+from repro.exceptions import ConfigurationError
+
+
+class TestTrainingConfig:
+    def test_defaults_match_paper(self):
+        config = TrainingConfig()
+        assert config.latent_factors == 128
+        assert config.learning_rate == pytest.approx(0.005)
+
+    def test_validation(self):
+        with pytest.raises(ConfigurationError):
+            TrainingConfig(latent_factors=0)
+        with pytest.raises(ConfigurationError):
+            TrainingConfig(learning_rate=0.0)
+        with pytest.raises(ConfigurationError):
+            TrainingConfig(reg_p=-1.0)
+        with pytest.raises(ConfigurationError):
+            TrainingConfig(iterations=0)
+        with pytest.raises(ConfigurationError):
+            TrainingConfig(init_scale=0.0)
+
+    def test_with_iterations_copy(self):
+        config = TrainingConfig(iterations=5)
+        other = config.with_iterations(20)
+        assert other.iterations == 20
+        assert config.iterations == 5
+
+    def test_with_seed_copy(self):
+        assert TrainingConfig().with_seed(7).seed == 7
+
+    def test_effective_init_scale_default(self):
+        config = TrainingConfig(latent_factors=64)
+        assert config.effective_init_scale == pytest.approx(1 / 8)
+
+    def test_effective_init_scale_explicit(self):
+        assert TrainingConfig(init_scale=0.3).effective_init_scale == 0.3
+
+
+class TestHardwareConfig:
+    def test_defaults_match_paper(self):
+        config = HardwareConfig()
+        assert config.cpu_threads == 16
+        assert config.gpu_count == 1
+        assert config.gpu_parallel_workers == 128
+        assert config.total_workers == 17
+
+    def test_rejects_no_resources(self):
+        with pytest.raises(ConfigurationError):
+            HardwareConfig(cpu_threads=0, gpu_count=0)
+
+    def test_rejects_negative(self):
+        with pytest.raises(ConfigurationError):
+            HardwareConfig(cpu_threads=-1)
+        with pytest.raises(ConfigurationError):
+            HardwareConfig(gpu_count=-2)
+
+    def test_rejects_bad_workers_with_gpu(self):
+        with pytest.raises(ConfigurationError):
+            HardwareConfig(gpu_count=1, gpu_parallel_workers=0)
+
+    def test_cpu_only_allows_any_worker_setting(self):
+        config = HardwareConfig(cpu_threads=4, gpu_count=0, gpu_parallel_workers=0)
+        assert config.total_workers == 4
+
+    def test_copy_helpers(self):
+        config = HardwareConfig()
+        assert config.with_cpu_threads(8).cpu_threads == 8
+        assert config.with_gpu_parallel_workers(512).gpu_parallel_workers == 512
+
+
+class TestSchedulingConfig:
+    def test_defaults(self):
+        config = SchedulingConfig()
+        assert config.nonuniform_division
+        assert config.dynamic_scheduling
+        assert config.cost_model == "paper"
+
+    def test_rejects_unknown_cost_model(self):
+        with pytest.raises(ConfigurationError):
+            SchedulingConfig(cost_model="magic")
+
+    def test_rejects_bad_column_scale(self):
+        with pytest.raises(ConfigurationError):
+            SchedulingConfig(column_scale=0.0)
+
+
+class TestExperimentConfig:
+    def test_describe_mentions_key_settings(self):
+        text = ExperimentConfig().describe()
+        assert "k=128" in text
+        assert "nc=16" in text
+        assert "nonuniform" in text

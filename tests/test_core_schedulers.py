@@ -1,0 +1,210 @@
+"""Tests of the greedy (FPSGD/HSGD) and HSGD* schedulers."""
+
+import pytest
+
+from repro.core import (
+    GreedyBlockScheduler,
+    HSGDStarScheduler,
+    Region,
+    nonuniform_partition,
+    uniform_partition,
+)
+from repro.core.partition import hsgd_partition
+from repro.exceptions import SchedulingError
+
+
+def _drain(scheduler, worker_order, steps):
+    """Dispatch and immediately complete tasks in a fixed worker order."""
+    completed = []
+    for step in range(steps):
+        worker = worker_order[step % len(worker_order)]
+        task = scheduler.next_task(worker)
+        if task is None:
+            continue
+        scheduler.complete_task(task)
+        completed.append(task)
+    return completed
+
+
+class TestGreedyScheduler:
+    def test_tasks_never_conflict(self, small_matrix):
+        grid = uniform_partition(small_matrix, 5, 4)
+        scheduler = GreedyBlockScheduler(grid, n_cpu_workers=3, n_gpu_workers=1)
+        in_flight = []
+        for worker in range(4):
+            task = scheduler.next_task(worker)
+            assert task is not None
+            for other in in_flight:
+                assert not (task.row_bands & other.row_bands)
+                assert not (task.col_bands & other.col_bands)
+            in_flight.append(task)
+
+    def test_returns_none_when_everything_locked(self, tiny_matrix):
+        grid = uniform_partition(tiny_matrix, 2, 2)
+        scheduler = GreedyBlockScheduler(grid, n_cpu_workers=4, n_gpu_workers=0)
+        first = scheduler.next_task(0)
+        second = scheduler.next_task(1)
+        assert first is not None and second is not None
+        # Both rows and both columns are now held.
+        assert scheduler.next_task(2) is None
+
+    def test_prefers_least_updated_blocks(self, small_matrix):
+        grid = uniform_partition(small_matrix, 4, 4)
+        scheduler = GreedyBlockScheduler(grid, n_cpu_workers=1, n_gpu_workers=0, seed=3)
+        seen = set()
+        for _ in range(16):
+            task = scheduler.next_task(0)
+            scheduler.complete_task(task)
+            seen.add(task.blocks[0].block_id)
+        # A lone worker cycling a 4x4 grid must visit every non-empty block
+        # before revisiting any (least-updated-first).
+        non_empty = sum(1 for block in grid.iter_blocks() if block.nnz > 0)
+        assert len(seen) == non_empty
+
+    def test_completion_releases_locks(self, small_matrix):
+        grid = uniform_partition(small_matrix, 3, 3)
+        scheduler = GreedyBlockScheduler(grid, n_cpu_workers=2, n_gpu_workers=0)
+        task = scheduler.next_task(0)
+        scheduler.complete_task(task)
+        assert scheduler.locks.can_acquire(task.row_bands, task.col_bands)
+        assert task.blocks[0].update_count == 1
+
+    def test_abort_releases_without_counting(self, small_matrix):
+        grid = uniform_partition(small_matrix, 3, 3)
+        scheduler = GreedyBlockScheduler(grid, n_cpu_workers=1, n_gpu_workers=0)
+        task = scheduler.next_task(0)
+        scheduler.abort_task(task)
+        assert task.blocks[0].update_count == 0
+        assert scheduler.locks.can_acquire(task.row_bands, task.col_bands)
+
+    def test_worker_identity(self, small_matrix):
+        grid = hsgd_partition(small_matrix, 2, 1)
+        scheduler = GreedyBlockScheduler(grid, n_cpu_workers=2, n_gpu_workers=1)
+        assert not scheduler.is_gpu_worker(0)
+        assert scheduler.is_gpu_worker(2)
+        with pytest.raises(SchedulingError):
+            scheduler.is_gpu_worker(5)
+
+    def test_total_points(self, small_matrix):
+        grid = uniform_partition(small_matrix, 2, 2)
+        scheduler = GreedyBlockScheduler(grid, n_cpu_workers=1, n_gpu_workers=0)
+        assert scheduler.total_points == small_matrix.nnz
+
+    def test_requires_workers(self, small_matrix):
+        grid = uniform_partition(small_matrix, 2, 2)
+        with pytest.raises(SchedulingError):
+            GreedyBlockScheduler(grid, n_cpu_workers=0, n_gpu_workers=0)
+
+
+class TestHSGDStarScheduler:
+    @pytest.fixture()
+    def star(self, small_matrix):
+        grid = nonuniform_partition(small_matrix, alpha=0.4, n_cpu_threads=4, n_gpus=1)
+        return HSGDStarScheduler(
+            grid, n_cpu_workers=4, n_gpu_workers=1, dynamic_scheduling=True, seed=0
+        )
+
+    def test_gpu_static_task_is_full_column_of_its_row(self, star):
+        task = star.next_task(4)  # the GPU worker
+        assert task is not None
+        assert task.resident_p
+        assert len(task.col_bands) == 1
+        member_bands = {band.index for band in star.grid.gpu_row_members(0)}
+        assert task.row_bands <= member_bands
+        assert all(block.region == Region.GPU for block in task.blocks)
+
+    def test_cpu_tasks_stay_in_cpu_region_during_static_phase(self, star):
+        for worker in range(4):
+            task = star.next_task(worker)
+            assert task is not None
+            assert len(task.blocks) == 1
+            assert task.blocks[0].region == Region.CPU
+            assert not task.stolen
+
+    def test_no_conflicts_between_gpu_and_cpu_tasks(self, star):
+        gpu_task = star.next_task(4)
+        cpu_task = star.next_task(0)
+        assert not (gpu_task.col_bands & cpu_task.col_bands)
+        assert not (gpu_task.row_bands & cpu_task.row_bands)
+
+    def test_gpu_steals_cpu_blocks_after_quota(self, small_matrix):
+        grid = nonuniform_partition(small_matrix, alpha=0.05, n_cpu_threads=4, n_gpus=1)
+        scheduler = HSGDStarScheduler(
+            grid, n_cpu_workers=4, n_gpu_workers=1, dynamic_scheduling=True, seed=0
+        )
+        stolen = 0
+        for _ in range(200):
+            task = scheduler.next_task(4)
+            if task is None:
+                break
+            scheduler.complete_task(task)
+            if task.stolen:
+                stolen += 1
+                assert all(block.region == Region.CPU for block in task.blocks)
+        assert stolen > 0
+        assert scheduler.steal_counts["gpu"] == stolen
+
+    def test_cpu_steals_gpu_blocks_after_quota(self, small_matrix):
+        grid = nonuniform_partition(small_matrix, alpha=0.95, n_cpu_threads=4, n_gpus=1)
+        scheduler = HSGDStarScheduler(
+            grid, n_cpu_workers=4, n_gpu_workers=1, dynamic_scheduling=True, seed=0
+        )
+        stolen = 0
+        for _ in range(300):
+            task = scheduler.next_task(0)
+            if task is None:
+                break
+            scheduler.complete_task(task)
+            if task.stolen:
+                stolen += 1
+                assert all(block.region == Region.GPU for block in task.blocks)
+        assert stolen > 0
+        assert scheduler.steal_counts["cpu"] == stolen
+
+    def test_static_variant_idles_instead_of_stealing(self, small_matrix):
+        grid = nonuniform_partition(small_matrix, alpha=0.05, n_cpu_threads=4, n_gpus=1)
+        scheduler = HSGDStarScheduler(
+            grid, n_cpu_workers=4, n_gpu_workers=1, dynamic_scheduling=False, seed=0
+        )
+        saw_none = False
+        for _ in range(200):
+            task = scheduler.next_task(4)
+            if task is None:
+                saw_none = True
+                break
+            assert not task.stolen
+            scheduler.complete_task(task)
+        assert saw_none
+        assert scheduler.steal_counts == {"gpu": 0, "cpu": 0}
+
+    def test_start_iteration_resets_quota(self, small_matrix):
+        grid = nonuniform_partition(small_matrix, alpha=0.05, n_cpu_threads=4, n_gpus=1)
+        scheduler = HSGDStarScheduler(
+            grid, n_cpu_workers=4, n_gpu_workers=1, dynamic_scheduling=False, seed=0
+        )
+        # Exhaust the GPU region.
+        while True:
+            task = scheduler.next_task(4)
+            if task is None:
+                break
+            scheduler.complete_task(task)
+        scheduler.start_iteration()
+        assert scheduler.next_task(4) is not None
+
+    def test_quota_tracks_region_nnz(self, star):
+        completed = _drain(star, worker_order=[4, 0, 1, 2, 3], steps=400)
+        gpu_points = sum(t.nnz for t in completed if star.is_gpu_worker(t.worker_index))
+        total = sum(t.nnz for t in completed)
+        # Within one iteration the GPU handles roughly its region share
+        # (stealing can add a little on top).
+        assert gpu_points <= 0.7 * total
+
+    def test_gpu_falls_back_to_sub_blocks_when_row_partially_held(self, star):
+        # A CPU worker steals nothing yet, but lock one GPU sub-row manually
+        # to force the GPU out of the full-row static task.
+        member = star.grid.gpu_row_members(0)[0]
+        star.locks.acquire([member.index], [])
+        task = star.next_task(4)
+        assert task is not None
+        assert len(task.blocks) == 1
+        star.locks.release([member.index], [])

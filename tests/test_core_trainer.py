@@ -1,0 +1,183 @@
+"""Tests of the algorithm registry and the high-level trainer API."""
+
+import pytest
+
+from repro.config import HardwareConfig
+from repro.core import ALGORITHMS, HeterogeneousTrainer, factorize
+from repro.core.algorithms import (
+    build_grid,
+    build_scheduler,
+    effective_hardware,
+    get_algorithm,
+)
+from repro.core.grid import Region
+from repro.exceptions import ConfigurationError
+
+
+class TestAlgorithmRegistry:
+    def test_all_paper_algorithms_present(self):
+        assert set(ALGORITHMS) == {
+            "cpu_only", "gpu_only", "hsgd", "hsgd_star", "hsgd_star_m", "hsgd_star_q",
+        }
+
+    def test_labels_match_paper(self):
+        assert ALGORITHMS["hsgd_star"].label == "HSGD*"
+        assert ALGORITHMS["hsgd_star_q"].label == "HSGD*-Q"
+
+    def test_variant_flags(self):
+        assert ALGORITHMS["hsgd_star"].dynamic_scheduling
+        assert not ALGORITHMS["hsgd_star_m"].dynamic_scheduling
+        assert ALGORITHMS["hsgd_star_q"].cost_model == "qilin"
+        assert ALGORITHMS["hsgd"].cost_model is None
+
+    def test_unknown_algorithm_rejected(self):
+        with pytest.raises(ConfigurationError):
+            get_algorithm("nope")
+
+    def test_effective_hardware_restricts_resources(self, small_hardware):
+        cpu_only = effective_hardware(get_algorithm("cpu_only"), small_hardware)
+        assert cpu_only.gpu_count == 0 and cpu_only.cpu_threads == 4
+        gpu_only = effective_hardware(get_algorithm("gpu_only"), small_hardware)
+        assert gpu_only.cpu_threads == 0 and gpu_only.gpu_count == 1
+
+    def test_effective_hardware_rejects_missing_resources(self):
+        hardware = HardwareConfig(cpu_threads=4, gpu_count=0)
+        with pytest.raises(ConfigurationError):
+            effective_hardware(get_algorithm("gpu_only"), hardware)
+
+    def test_build_grid_per_division(self, small_matrix, small_hardware):
+        uniform = build_grid(get_algorithm("hsgd"), small_matrix, small_hardware)
+        assert uniform.n_row_bands == 6 and uniform.n_col_bands == 5
+        nonuniform = build_grid(
+            get_algorithm("hsgd_star"), small_matrix, small_hardware, alpha=0.4
+        )
+        assert nonuniform.region_nnz(Region.GPU) > 0
+        with pytest.raises(ConfigurationError):
+            build_grid(get_algorithm("hsgd_star"), small_matrix, small_hardware)
+
+    def test_build_scheduler_types(self, small_matrix, small_hardware):
+        from repro.core import GreedyBlockScheduler, HSGDStarScheduler
+
+        uniform = build_grid(get_algorithm("hsgd"), small_matrix, small_hardware)
+        assert isinstance(
+            build_scheduler(get_algorithm("hsgd"), uniform, small_hardware),
+            GreedyBlockScheduler,
+        )
+        nonuniform = build_grid(
+            get_algorithm("hsgd_star"), small_matrix, small_hardware, alpha=0.4
+        )
+        scheduler = build_scheduler(
+            get_algorithm("hsgd_star_m"), nonuniform, small_hardware
+        )
+        assert isinstance(scheduler, HSGDStarScheduler)
+        assert not scheduler.dynamic_scheduling
+
+
+class TestHeterogeneousTrainer:
+    def test_fit_returns_complete_result(
+        self, small_split, small_hardware, small_training, scaled_preset
+    ):
+        train, test = small_split
+        trainer = HeterogeneousTrainer(
+            algorithm="hsgd_star",
+            hardware=small_hardware,
+            training=small_training,
+            preset=scaled_preset,
+        )
+        result = trainer.fit(train, test, iterations=3)
+        assert result.algorithm == "hsgd_star"
+        assert result.simulated_time > 0
+        assert result.final_test_rmse is not None
+        assert 0.0 <= result.alpha <= 1.0
+        assert result.calibration is not None
+        assert len(result.rmse_curve()) == 3
+
+    def test_calibration_is_cached(
+        self, small_split, small_hardware, small_training, scaled_preset
+    ):
+        train, test = small_split
+        trainer = HeterogeneousTrainer(
+            algorithm="hsgd_star_m",
+            hardware=small_hardware,
+            training=small_training,
+            preset=scaled_preset,
+        )
+        first = trainer.calibrate(train)
+        result = trainer.fit(train, test, iterations=2)
+        assert result.calibration is first
+
+    def test_workload_split_none_for_uniform(self, small_split, small_hardware, small_training, scaled_preset):
+        train, _ = small_split
+        trainer = HeterogeneousTrainer(
+            algorithm="hsgd",
+            hardware=small_hardware,
+            training=small_training,
+            preset=scaled_preset,
+        )
+        assert trainer.workload_split(train) is None
+
+    def test_workload_split_differs_between_cost_models(
+        self, small_split, small_hardware, small_training, scaled_preset
+    ):
+        train, _ = small_split
+        paper = HeterogeneousTrainer(
+            "hsgd_star_m", small_hardware, small_training, scaled_preset
+        ).workload_split(train)
+        qilin = HeterogeneousTrainer(
+            "hsgd_star_q", small_hardware, small_training, scaled_preset
+        ).workload_split(train)
+        assert paper is not None and qilin is not None
+        assert paper.alpha != pytest.approx(qilin.alpha, abs=1e-3)
+
+    def test_alpha_override(self, small_split, small_hardware, small_training, scaled_preset):
+        train, test = small_split
+        trainer = HeterogeneousTrainer(
+            "hsgd_star_m", small_hardware, small_training, scaled_preset
+        )
+        result = trainer.fit(train, test, iterations=2, alpha_override=0.6)
+        assert result.alpha == pytest.approx(0.6)
+
+    def test_cpu_only_and_gpu_only_trainers(
+        self, small_split, small_hardware, small_training, scaled_preset
+    ):
+        train, test = small_split
+        for algorithm, expected_gpu_share in (("cpu_only", 0.0), ("gpu_only", 1.0)):
+            trainer = HeterogeneousTrainer(
+                algorithm, small_hardware, small_training, scaled_preset
+            )
+            result = trainer.fit(train, test, iterations=2)
+            share = result.trace.resource_share()
+            assert share["gpu"] == pytest.approx(expected_gpu_share)
+            assert result.alpha is None
+
+    def test_target_rmse_path(self, small_split, small_hardware, small_training, scaled_preset):
+        train, test = small_split
+        trainer = HeterogeneousTrainer(
+            "cpu_only", small_hardware, small_training, scaled_preset
+        )
+        probe = trainer.fit(train, test, iterations=6)
+        target = probe.trace.iterations[2].test_rmse
+        fresh = HeterogeneousTrainer(
+            "cpu_only", small_hardware, small_training, scaled_preset
+        )
+        result = fresh.fit(train, test, iterations=10, target_rmse=target)
+        assert result.converged
+        assert result.time_to_rmse(target) is not None
+
+    def test_unknown_algorithm(self, small_hardware):
+        with pytest.raises(ConfigurationError):
+            HeterogeneousTrainer(algorithm="fancy", hardware=small_hardware)
+
+    def test_factorize_convenience(self, small_split, small_hardware, small_training, scaled_preset):
+        train, test = small_split
+        result = factorize(
+            train,
+            test,
+            algorithm="hsgd",
+            hardware=small_hardware,
+            training=small_training,
+            preset=scaled_preset,
+            iterations=2,
+        )
+        assert result.algorithm == "hsgd"
+        assert len(result.trace.iterations) == 2

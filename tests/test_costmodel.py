@@ -1,0 +1,353 @@
+"""Tests of curve fitting, cost models, the alpha solver and calibration."""
+
+import numpy as np
+import pytest
+
+from repro.costmodel import (
+    CPUCostModel,
+    GPUCostModel,
+    KernelCostModel,
+    QilinCostModel,
+    QilinDeviceModel,
+    TransferCostModel,
+    calibrate_platform,
+    fit_linear,
+    fit_speed_log,
+    fit_speed_sqrt_log,
+    geometric_prefix_sizes,
+    solve_alpha,
+    stable_speed_threshold,
+)
+from repro.exceptions import CalibrationError, CostModelError
+from repro.hardware import BlockWork, HeterogeneousPlatform
+from repro.config import HardwareConfig
+
+
+class TestFitting:
+    def test_fit_linear_exact(self):
+        x = np.array([1.0, 2.0, 3.0, 4.0])
+        line = fit_linear(x, 2.5 * x + 1.0)
+        assert line.slope == pytest.approx(2.5)
+        assert line.intercept == pytest.approx(1.0)
+        assert line(10.0) == pytest.approx(26.0)
+
+    def test_fit_linear_vectorised_evaluation(self):
+        line = fit_linear([0.0, 1.0], [1.0, 3.0])
+        np.testing.assert_allclose(line.evaluate([2.0, 3.0]), [5.0, 7.0])
+
+    def test_fit_linear_needs_two_points(self):
+        with pytest.raises(CostModelError):
+            fit_linear([1.0], [1.0])
+
+    def test_fit_linear_rejects_non_finite(self):
+        with pytest.raises(CostModelError):
+            fit_linear([1.0, np.nan], [1.0, 2.0])
+
+    def test_fit_speed_sqrt_log_recovers_parameters(self):
+        sizes = np.geomspace(1e3, 1e8, 20)
+        speeds = 3.0 * np.sqrt(np.log(sizes)) + 7.0
+        line = fit_speed_sqrt_log(sizes, speeds)
+        assert line.slope == pytest.approx(3.0, rel=1e-6)
+        assert line.intercept == pytest.approx(7.0, rel=1e-6)
+
+    def test_fit_speed_log_recovers_parameters(self):
+        sizes = np.geomspace(1e2, 1e7, 15)
+        speeds = 2.0 * np.log(sizes) + 5.0
+        line = fit_speed_log(sizes, speeds)
+        assert line.slope == pytest.approx(2.0, rel=1e-6)
+
+    def test_transform_fits_reject_tiny_sizes(self):
+        with pytest.raises(CostModelError):
+            fit_speed_sqrt_log([0.5, 2.0], [1.0, 2.0])
+        with pytest.raises(CostModelError):
+            fit_speed_log([0.0, 2.0], [1.0, 2.0])
+
+    def test_stable_speed_threshold_finds_plateau(self):
+        sizes = np.array([1e3, 1e4, 1e5, 1e6, 1e7, 1e8])
+        speeds = np.array([10.0, 30.0, 60.0, 99.0, 100.0, 100.5])
+        threshold = stable_speed_threshold(sizes, speeds)
+        assert threshold == pytest.approx(1e7)
+
+    def test_stable_speed_threshold_never_stable(self):
+        sizes = np.array([1.0, 2.0, 3.0, 4.0])
+        speeds = np.array([1.0, 2.0, 4.0, 8.0])
+        assert stable_speed_threshold(sizes, speeds) == 4.0
+
+    def test_stable_speed_threshold_validation(self):
+        with pytest.raises(CostModelError):
+            stable_speed_threshold([1.0, 2.0], [1.0, 1.0], relative_change=0.0)
+
+
+class TestCPUCostModel:
+    def test_fit_and_predict(self):
+        points = np.array([1e4, 5e4, 1e5, 5e5])
+        times = points / 5e6 + 1e-4
+        model = CPUCostModel.fit(points, times)
+        assert model.time_for_points(2e5) == pytest.approx(2e5 / 5e6 + 1e-4, rel=1e-6)
+        assert model.speed_for_points(2e5) == pytest.approx(5e6, rel=0.05)
+
+    def test_zero_points_is_free(self):
+        model = CPUCostModel.fit([1e4, 1e5], [1e-3, 1e-2])
+        assert model.time_for_points(0) == 0.0
+        assert model.speed_for_points(0) == 0.0
+
+    def test_rejects_negative_points(self):
+        model = CPUCostModel.fit([1e4, 1e5], [1e-3, 1e-2])
+        with pytest.raises(CostModelError):
+            model.time_for_points(-5)
+
+    def test_rejects_decreasing_cost(self):
+        with pytest.raises(CostModelError):
+            CPUCostModel.fit([1e4, 1e5], [1e-2, 1e-3])
+
+    def test_predict_vectorised(self):
+        model = CPUCostModel.fit([1e4, 1e5], [1e-3, 1e-2])
+        predictions = model.predict(np.array([1e4, 1e5]))
+        assert predictions.shape == (2,)
+
+
+class TestPiecewiseGPUModels:
+    @pytest.fixture(scope="class")
+    def gpu_device(self, scaled_preset):
+        platform = HeterogeneousPlatform.from_preset(
+            HardwareConfig(cpu_threads=1, gpu_count=1), scaled_preset
+        )
+        return platform.representative_gpu()
+
+    def test_kernel_model_tracks_device(self, gpu_device):
+        sizes = np.geomspace(100, 200_000, 12)
+        times = [gpu_device.kernel_time(BlockWork(nnz=int(s))) for s in sizes]
+        model = KernelCostModel.fit(sizes, times)
+        for size in (500, 5_000, 50_000):
+            true_time = gpu_device.kernel_time(BlockWork(nnz=size))
+            assert model.time_for_points(size) == pytest.approx(true_time, rel=0.25)
+
+    def test_kernel_model_monotone(self, gpu_device):
+        sizes = np.geomspace(100, 200_000, 12)
+        times = [gpu_device.kernel_time(BlockWork(nnz=int(s))) for s in sizes]
+        model = KernelCostModel.fit(sizes, times)
+        predictions = [model.time_for_points(s) for s in np.geomspace(200, 100_000, 20)]
+        assert all(b >= a * 0.99 for a, b in zip(predictions, predictions[1:]))
+
+    def test_kernel_model_small_sizes_clamped(self, gpu_device):
+        sizes = np.geomspace(1_000, 200_000, 8)
+        times = [gpu_device.kernel_time(BlockWork(nnz=int(s))) for s in sizes]
+        model = KernelCostModel.fit(sizes, times)
+        # Far below the fitted range the model must stay positive and finite.
+        assert 0 < model.time_for_points(10) < model.time_for_points(10_000)
+
+    def test_kernel_model_needs_enough_samples(self):
+        with pytest.raises(CostModelError):
+            KernelCostModel.fit([1.0, 2.0], [1.0, 2.0])
+
+    def test_transfer_model_tracks_link(self, gpu_device):
+        sizes = [64 * 1024 * (2 ** i) for i in range(13)]
+        times = [gpu_device.pcie.host_to_device_time(s) for s in sizes]
+        model = TransferCostModel.fit(sizes, times)
+        for size in (1e5, 1e6, 1e8):
+            true_time = gpu_device.pcie.host_to_device_time(size)
+            assert model.time_for_bytes(size) == pytest.approx(true_time, rel=0.35)
+
+    def test_transfer_model_bandwidth_grows(self, gpu_device):
+        sizes = [64 * 1024 * (2 ** i) for i in range(13)]
+        times = [gpu_device.pcie.host_to_device_time(s) for s in sizes]
+        model = TransferCostModel.fit(sizes, times)
+        assert model.bandwidth_for_bytes(1e8) > model.bandwidth_for_bytes(1e5)
+
+    def test_transfer_model_zero_free(self, gpu_device):
+        sizes = [64 * 1024 * (2 ** i) for i in range(8)]
+        times = [gpu_device.pcie.host_to_device_time(s) for s in sizes]
+        model = TransferCostModel.fit(sizes, times)
+        assert model.time_for_bytes(0) == 0.0
+
+    def test_combined_model_is_maximum(self, gpu_device):
+        sizes = np.geomspace(100, 200_000, 10)
+        kernel_times = [gpu_device.kernel_time(BlockWork(nnz=int(s))) for s in sizes]
+        kernel = KernelCostModel.fit(sizes, kernel_times)
+        transfer_sizes = [64 * 1024 * (2 ** i) for i in range(13)]
+        transfer_times = [
+            gpu_device.pcie.host_to_device_time(s) for s in transfer_sizes
+        ]
+        transfer = TransferCostModel.fit(transfer_sizes, transfer_times)
+        combined = GPUCostModel(
+            kernel=kernel,
+            host_to_device=transfer,
+            device_to_host=transfer,
+            bytes_per_point=20.0,
+        )
+        points = 50_000
+        assert combined.time_for_points(points) == pytest.approx(
+            max(
+                combined.kernel_time_for_points(points),
+                combined.transfer_time_for_points(points),
+            )
+        )
+        assert combined.bottleneck(points) in ("transfer", "kernel")
+        assert combined.speed_for_points(points) > 0
+
+    def test_combined_model_validation(self, gpu_device):
+        sizes = np.geomspace(100, 200_000, 10)
+        kernel_times = [gpu_device.kernel_time(BlockWork(nnz=int(s))) for s in sizes]
+        kernel = KernelCostModel.fit(sizes, kernel_times)
+        transfer_sizes = [64 * 1024 * (2 ** i) for i in range(8)]
+        transfer_times = [
+            gpu_device.pcie.host_to_device_time(s) for s in transfer_sizes
+        ]
+        transfer = TransferCostModel.fit(transfer_sizes, transfer_times)
+        with pytest.raises(CostModelError):
+            GPUCostModel(kernel, transfer, transfer, bytes_per_point=0.0)
+
+
+class TestQilin:
+    def test_linear_device_model(self):
+        model = QilinDeviceModel.fit([1e4, 1e5, 1e6], [1e-3, 1e-2, 1e-1])
+        assert model.time_for_points(5e5) == pytest.approx(5e-2, rel=0.05)
+        assert model.speed_for_points(5e5) == pytest.approx(1e7, rel=0.1)
+
+    def test_qilin_pair(self):
+        cpu = QilinDeviceModel.fit([1e4, 1e5], [2e-3, 2e-2])
+        gpu = QilinDeviceModel.fit([1e4, 1e5], [1e-3, 1e-2])
+        pair = QilinCostModel(cpu=cpu, gpu=gpu)
+        assert pair.gpu_time_for_points(1e5) < pair.cpu_time_for_points(1e5)
+
+    def test_rejects_decreasing_fit(self):
+        with pytest.raises(CostModelError):
+            QilinDeviceModel.fit([1e4, 1e5], [1e-2, 1e-3])
+
+
+class TestAlphaSolver:
+    def test_balanced_resources_give_half(self):
+        split = solve_alpha(
+            lambda p: p / 100.0,
+            lambda p: p / 100.0,
+            total_points=1000,
+            n_gpus=1,
+            n_cpu_threads=1,
+        )
+        assert split.alpha == pytest.approx(0.5, abs=0.01)
+        assert split.imbalance < 1e-3
+
+    def test_faster_gpu_gets_more_work(self):
+        split = solve_alpha(
+            lambda p: p / 300.0,          # GPU is 3x faster than one thread
+            lambda p: p / 100.0,
+            total_points=1000,
+            n_gpus=1,
+            n_cpu_threads=1,
+        )
+        assert split.alpha == pytest.approx(0.75, abs=0.02)
+
+    def test_thread_count_scales_cpu_side(self):
+        split = solve_alpha(
+            lambda p: p / 100.0,
+            lambda p: p / 100.0,
+            total_points=1000,
+            n_gpus=1,
+            n_cpu_threads=3,
+        )
+        assert split.alpha == pytest.approx(0.25, abs=0.02)
+
+    def test_no_gpu_forces_zero(self):
+        split = solve_alpha(
+            lambda p: p, lambda p: p, total_points=10, n_gpus=0, n_cpu_threads=4
+        )
+        assert split.alpha == 0.0
+
+    def test_no_cpu_forces_one(self):
+        split = solve_alpha(
+            lambda p: p, lambda p: p, total_points=10, n_gpus=2, n_cpu_threads=0
+        )
+        assert split.alpha == 1.0
+
+    def test_nonlinear_gpu_cost(self):
+        """A saturating GPU speed still yields a balanced, sensible split."""
+        def gpu_time(points):
+            speed = 20.0 + 80.0 * min(1.0, points / 500.0)
+            return points / speed
+
+        split = solve_alpha(
+            gpu_time, lambda p: p / 100.0, total_points=1000, n_gpus=1, n_cpu_threads=1
+        )
+        assert 0.3 < split.alpha < 0.7
+        assert split.predicted_makespan >= split.gpu_time - 1e-9
+
+    def test_properties(self):
+        split = solve_alpha(
+            lambda p: p / 100.0, lambda p: p / 100.0,
+            total_points=100, n_gpus=1, n_cpu_threads=1,
+        )
+        assert split.cpu_share == pytest.approx(1.0 - split.alpha)
+        assert split.predicted_makespan == max(split.gpu_time, split.cpu_time)
+
+    def test_validation(self):
+        with pytest.raises(CostModelError):
+            solve_alpha(lambda p: p, lambda p: p, 0, 1, 1)
+        with pytest.raises(CostModelError):
+            solve_alpha(lambda p: p, lambda p: p, 10, 0, 0)
+        with pytest.raises(CostModelError):
+            solve_alpha(lambda p: p, lambda p: p, 10, -1, 1)
+
+
+class TestCalibration:
+    def test_geometric_prefix_sizes(self):
+        sizes = geometric_prefix_sizes(100_000, 8)
+        assert sizes[0] >= 2
+        assert sizes[-1] == 100_000
+        assert sizes == sorted(sizes)
+        with pytest.raises(CalibrationError):
+            geometric_prefix_sizes(0, 8)
+        with pytest.raises(CalibrationError):
+            geometric_prefix_sizes(100, 1)
+
+    def test_full_calibration_produces_models(self, small_calibration):
+        assert small_calibration.cpu_model is not None
+        assert small_calibration.gpu_model is not None
+        assert small_calibration.qilin_model is not None
+        assert len(small_calibration.cpu_probes) >= 4
+        assert len(small_calibration.gpu_kernel_probes) >= 4
+        assert len(small_calibration.transfer_probes_h2d) > 4
+
+    def test_calibrated_cpu_model_accurate(
+        self, small_calibration, small_platform, small_training
+    ):
+        device = small_platform.representative_cpu()
+        work = BlockWork(nnz=1_500, p_rows=200, q_cols=150,
+                         latent_factors=small_training.latent_factors)
+        predicted = small_calibration.cpu_time_for_points(1_500)
+        assert predicted == pytest.approx(device.process_time(work), rel=0.15)
+
+    def test_calibrated_gpu_model_reasonable(
+        self, small_calibration, small_platform, small_training
+    ):
+        device = small_platform.representative_gpu()
+        work = BlockWork(nnz=1_000, p_rows=120, q_cols=80,
+                         latent_factors=small_training.latent_factors)
+        predicted = small_calibration.gpu_time_for_points(1_000)
+        assert predicted == pytest.approx(device.process_time(work), rel=0.5)
+
+    def test_cost_model_dispatch(self, small_calibration):
+        paper = small_calibration.gpu_time_for_points(1_000, "paper")
+        qilin = small_calibration.gpu_time_for_points(1_000, "qilin")
+        assert paper > 0 and qilin > 0
+        with pytest.raises(CalibrationError):
+            small_calibration.gpu_time_for_points(1_000, "unknown")
+        with pytest.raises(CalibrationError):
+            small_calibration.cpu_time_for_points(1_000, "unknown")
+
+    def test_cpu_only_platform_calibration(self, small_matrix, scaled_preset, small_training):
+        platform = HeterogeneousPlatform.from_preset(
+            HardwareConfig(cpu_threads=2, gpu_count=0), scaled_preset
+        )
+        result = calibrate_platform(
+            platform, small_matrix, training=small_training, segments=6
+        )
+        assert result.gpu_model is None
+        assert result.qilin_model is None
+        with pytest.raises(CalibrationError):
+            result.gpu_time_for_points(100)
+
+    def test_too_few_ratings_rejected(self, small_platform, small_training, tiny_matrix):
+        with pytest.raises(CalibrationError):
+            calibrate_platform(
+                small_platform, tiny_matrix, training=small_training, segments=100
+            )

@@ -1,0 +1,168 @@
+"""Tests of the synthetic generator, the dataset registry and splits."""
+
+import numpy as np
+import pytest
+
+from repro.datasets import (
+    DATASETS,
+    SyntheticConfig,
+    dataset_names,
+    generate_synthetic_matrix,
+    get_dataset,
+    holdout_split,
+    load_dataset,
+)
+from repro.exceptions import DatasetError
+from repro.sgd import FactorModel, rmse
+
+
+class TestSyntheticGenerator:
+    def test_shapes_and_bounds(self, small_synthetic):
+        matrix, true_p, true_q, config = small_synthetic
+        assert matrix.shape == (config.n_rows, config.n_cols)
+        assert matrix.nnz <= config.n_ratings
+        assert matrix.nnz > 0.9 * config.n_ratings
+        low, high = matrix.rating_range()
+        assert low >= config.rating_min
+        assert high <= config.rating_max
+        assert true_p.shape == (config.n_rows, config.rank)
+        assert true_q.shape == (config.rank, config.n_cols)
+
+    def test_no_duplicate_cells(self, small_synthetic):
+        matrix = small_synthetic[0]
+        cells = matrix.rows * matrix.n_cols + matrix.cols
+        assert len(np.unique(cells)) == matrix.nnz
+
+    def test_deterministic_in_seed(self):
+        config = SyntheticConfig(n_rows=50, n_cols=40, n_ratings=300, seed=9)
+        a, _, _ = generate_synthetic_matrix(config)
+        b, _, _ = generate_synthetic_matrix(config)
+        assert a == b
+
+    def test_different_seeds_differ(self):
+        base = SyntheticConfig(n_rows=50, n_cols=40, n_ratings=300, seed=1)
+        other = SyntheticConfig(n_rows=50, n_cols=40, n_ratings=300, seed=2)
+        a, _, _ = generate_synthetic_matrix(base)
+        b, _, _ = generate_synthetic_matrix(other)
+        assert a != b
+
+    def test_popularity_skew(self):
+        config = SyntheticConfig(
+            n_rows=200, n_cols=200, n_ratings=4000, popularity_exponent=1.0, seed=0
+        )
+        matrix, _, _ = generate_synthetic_matrix(config)
+        counts = np.sort(matrix.col_counts())[::-1]
+        top_share = counts[:20].sum() / matrix.nnz
+        assert top_share > 0.25  # the top 10% of items hold >25% of ratings
+
+    def test_uniform_popularity_when_exponent_zero(self):
+        config = SyntheticConfig(
+            n_rows=100, n_cols=100, n_ratings=4000, popularity_exponent=0.0, seed=0
+        )
+        matrix, _, _ = generate_synthetic_matrix(config)
+        counts = matrix.col_counts()
+        assert counts.max() < 5 * max(1, counts.mean())
+
+    def test_ground_truth_explains_ratings(self, small_synthetic):
+        """The generating factors reach roughly the noise-floor RMSE."""
+        matrix, true_p, true_q, config = small_synthetic
+        model = FactorModel(true_p, true_q)
+        assert rmse(model, matrix) < 1.5 * config.noise_std + 0.05
+
+    def test_validation(self):
+        with pytest.raises(DatasetError):
+            SyntheticConfig(n_rows=0, n_cols=10, n_ratings=10)
+        with pytest.raises(DatasetError):
+            SyntheticConfig(n_rows=10, n_cols=10, n_ratings=0)
+        with pytest.raises(DatasetError):
+            SyntheticConfig(n_rows=10, n_cols=10, n_ratings=10, rating_max=0.5,
+                            rating_min=1.0)
+        with pytest.raises(DatasetError):
+            SyntheticConfig(n_rows=10, n_cols=10, n_ratings=10, noise_std=-1)
+
+
+class TestRegistry:
+    def test_table1_datasets_registered(self):
+        assert dataset_names() == ["movielens", "netflix", "r1", "yahoomusic"]
+
+    def test_paper_statistics_match_table1(self):
+        yahoo = get_dataset("yahoomusic").paper
+        assert yahoo.n_rows == 1_000_990
+        assert yahoo.n_cols == 624_961
+        assert yahoo.n_training == 252_800_275
+        assert yahoo.learning_rate == pytest.approx(0.01)
+        netflix = get_dataset("netflix").paper
+        assert netflix.n_training == 99_072_112
+        assert netflix.reg_p == pytest.approx(0.05)
+        movielens = get_dataset("movielens").paper
+        assert movielens.latent_factors == 128
+        r1 = get_dataset("r1").paper
+        assert r1.reg_p == pytest.approx(1.0)
+
+    def test_size_ordering_preserved(self):
+        sizes = [get_dataset(n).synthetic.n_ratings for n in dataset_names()]
+        assert sizes == sorted(sizes)
+        assert sizes[-1] > 2 * sizes[0]
+
+    def test_scale_is_roughly_one_thousandth(self):
+        for name in ("netflix", "r1", "yahoomusic"):
+            assert get_dataset(name).scale == pytest.approx(1e-3, rel=0.15)
+
+    def test_unknown_dataset(self):
+        with pytest.raises(DatasetError):
+            get_dataset("imaginary")
+
+    def test_recommended_training_follows_table1(self):
+        config = get_dataset("movielens").recommended_training(iterations=7)
+        assert config.iterations == 7
+        assert config.reg_p == pytest.approx(0.05)
+        assert config.learning_rate == pytest.approx(0.005)
+        yahoo = get_dataset("yahoomusic").recommended_training()
+        # 0-100 scale: the Table I rate is rescaled for the mini-batch kernel.
+        assert yahoo.learning_rate < 0.01
+        assert yahoo.reg_p == pytest.approx(1.0)
+        assert yahoo.init_scale > 1.0
+
+    def test_load_dataset_split_sizes(self):
+        bundle = load_dataset("movielens")
+        spec = bundle.spec
+        total = bundle.train.nnz + bundle.test.nnz
+        expected_fraction = spec.paper.n_test / (spec.paper.n_training + spec.paper.n_test)
+        assert bundle.test.nnz / total == pytest.approx(expected_fraction, rel=0.1)
+
+    def test_load_dataset_cached(self):
+        a = load_dataset("movielens")
+        b = load_dataset("movielens")
+        assert a.train is b.train
+
+    def test_target_rmse_above_noise_floor(self):
+        for name in dataset_names():
+            spec = get_dataset(name)
+            assert spec.target_rmse > spec.synthetic.noise_std
+
+
+class TestHoldoutSplit:
+    def test_partition_property(self, small_matrix):
+        train, test = holdout_split(small_matrix, 0.2, seed=1)
+        assert train.nnz + test.nnz == small_matrix.nnz
+        assert train.shape == small_matrix.shape == test.shape
+        train_cells = set(zip(train.rows.tolist(), train.cols.tolist()))
+        test_cells = set(zip(test.rows.tolist(), test.cols.tolist()))
+        assert not (train_cells & test_cells)
+
+    def test_fraction_respected(self, small_matrix):
+        _, test = holdout_split(small_matrix, 0.3, seed=0)
+        assert test.nnz == pytest.approx(0.3 * small_matrix.nnz, rel=0.02)
+
+    def test_deterministic(self, small_matrix):
+        a = holdout_split(small_matrix, 0.2, seed=5)
+        b = holdout_split(small_matrix, 0.2, seed=5)
+        assert a[0] == b[0] and a[1] == b[1]
+
+    def test_validation(self, small_matrix, tiny_matrix):
+        with pytest.raises(DatasetError):
+            holdout_split(small_matrix, 0.0)
+        with pytest.raises(DatasetError):
+            holdout_split(small_matrix, 1.0)
+        with pytest.raises(DatasetError):
+            holdout_split(tiny_matrix, 0.001)

@@ -1,0 +1,187 @@
+"""Tests of the experiment harness and the command-line interface.
+
+These use tiny contexts so the whole file stays fast while still running
+the real experiment code paths end to end.
+"""
+
+import pytest
+
+from repro.cli import main
+from repro.datasets import get_dataset
+from repro.experiments import (
+    ExperimentContext,
+    ablation_alpha_sensitivity,
+    ablation_column_rule,
+    ablation_stream_overlap,
+    example3_update_imbalance,
+    figure3_block_throughput,
+    figure6_transfer_speed,
+    figure7_kernel_throughput,
+    observation_block_sensitivity,
+    table1_datasets,
+    table2_cost_models,
+    table3_dynamic_scheduling,
+)
+from repro.experiments.convergence import figure13_division_ablation
+from repro.experiments.runs import run_algorithm
+from repro.experiments.tables import render_table1
+
+
+@pytest.fixture(scope="module")
+def tiny_context():
+    """A context small enough for unit tests: one dataset, few iterations."""
+    context = ExperimentContext.quick(datasets=["movielens"])
+    context.iterations = 4
+    context.max_iterations = 12
+    context.cpu_threads = 8
+    return context
+
+
+class TestDeviceExperiments:
+    def test_figure3_shapes(self):
+        gpu, cpu = figure3_block_throughput()
+        gpu_values = gpu.values()
+        cpu_values = cpu.values()
+        # Observation 1: GPU throughput rises with block size.
+        assert gpu_values[-1] > 1.5 * gpu_values[0]
+        assert all(b >= a for a, b in zip(gpu_values, gpu_values[1:]))
+        # Observation 2: CPU throughput flat.
+        assert max(cpu_values) == pytest.approx(min(cpu_values), rel=0.05)
+        assert "Mpts/s" in gpu.render()
+
+    def test_figure6_shapes(self):
+        h2d, d2h = figure6_transfer_speed()
+        assert h2d.values()[-1] > 2 * h2d.values()[0]
+        assert d2h.values()[-1] <= h2d.values()[-1] + 1e-9
+        assert len(h2d.points) == 13
+
+    def test_figure7_kernel_throughput(self):
+        series = figure7_kernel_throughput()
+        values = series.values()
+        assert values[-1] > values[0]
+        assert all(v > 0 for v in values)
+
+    def test_observation_summary(self):
+        sensitivity = observation_block_sensitivity()
+        assert sensitivity.observation1_holds
+        assert sensitivity.observation2_holds
+
+
+class TestTableExperiments:
+    def test_table1_matches_registry(self):
+        rows = table1_datasets()
+        assert [row.name for row in rows] == [
+            "movielens", "netflix", "r1", "yahoomusic",
+        ]
+        yahoo = rows[-1]
+        assert yahoo.paper_training == get_dataset("yahoomusic").paper.n_training
+        assert yahoo.synthetic_training > 0
+        assert "lambda_P" in render_table1(rows)
+
+    def test_table2_cost_model_comparison(self, tiny_context):
+        comparisons = table2_cost_models(tiny_context, iterations=3)
+        assert len(comparisons) == 1
+        entry = comparisons[0]
+        assert set(entry.running_time) == {"HSGD*-Q", "HSGD*-M"}
+        for variant in entry.running_time:
+            assert entry.running_time[variant] > 0
+            assert entry.cpu_share[variant] + entry.gpu_share[variant] == pytest.approx(1.0)
+        assert "HSGD*-M" in entry.render()
+
+    def test_table3_dynamic_scheduling(self, tiny_context):
+        comparisons = table3_dynamic_scheduling(tiny_context, iterations=3)
+        entry = comparisons[0]
+        assert entry.static_time > 0
+        assert entry.dynamic_time > 0
+        assert "improvement" in entry.render()
+
+
+class TestRuntimeAndConvergenceExperiments:
+    def test_run_algorithm_target_mode(self, tiny_context):
+        target = get_dataset("movielens").target_rmse
+        result = run_algorithm(
+            tiny_context, "movielens", "hsgd_star", target_rmse=target
+        )
+        assert result.converged
+        assert result.trace.target_reached_at is not None
+
+    def test_figure13_quality_gap(self, tiny_context):
+        outcomes = figure13_division_ablation(tiny_context)
+        outcome = outcomes[0]
+        assert set(outcome.curves) == {"hsgd", "hsgd_star"}
+        assert outcome.final_rmse("hsgd_star") <= outcome.final_rmse("hsgd") + 0.02
+        assert "hsgd" in outcome.render()
+
+    def test_example3_imbalance_direction(self, tiny_context):
+        stats = example3_update_imbalance(tiny_context, dataset="movielens", iterations=3)
+        assert stats["hsgd"]["cv"] > stats["hsgd_star"]["cv"]
+
+
+class TestAblations:
+    def test_alpha_sensitivity_prefers_cost_model_region(self, tiny_context):
+        result = ablation_alpha_sensitivity(
+            tiny_context, dataset="movielens", alphas=(0.1, 0.7), iterations=3
+        )
+        assert "cost-model" in result.times
+        assert result.times["cost-model"] <= result.times["alpha=0.70"]
+
+    def test_column_rule_ablation_runs(self, tiny_context):
+        result = ablation_column_rule(
+            tiny_context, dataset="movielens", column_scales=(1.0, 2.0), iterations=3
+        )
+        assert len(result.times) == 2
+        assert all(time > 0 for time in result.times.values())
+
+    def test_stream_overlap_helps(self, tiny_context):
+        results = ablation_stream_overlap(
+            tiny_context, datasets=["movielens"], iterations=3
+        )
+        entry = results[0]
+        assert entry.times["overlapped"] <= entry.times["serial"]
+
+
+class TestContext:
+    def test_quick_and_full_profiles(self):
+        quick = ExperimentContext.quick()
+        full = ExperimentContext.full()
+        assert quick.iterations < full.iterations
+        assert len(full.gpu_worker_sweep) == 5
+        assert full.cpu_thread_sweep[-1] == 16
+
+    def test_hardware_overrides(self):
+        context = ExperimentContext()
+        hardware = context.hardware(cpu_threads=4, gpu_parallel_workers=256)
+        assert hardware.cpu_threads == 4
+        assert hardware.gpu_parallel_workers == 256
+        default = context.hardware()
+        assert default.cpu_threads == 16
+
+
+class TestCLI:
+    def test_list_command(self, capsys):
+        assert main(["list"]) == 0
+        output = capsys.readouterr().out
+        assert "hsgd_star" in output
+        assert "figure10" in output
+
+    def test_no_command_shows_help(self, capsys):
+        assert main([]) == 1
+        assert "repro-mf" in capsys.readouterr().out
+
+    def test_train_command(self, capsys):
+        code = main([
+            "train", "--dataset", "movielens", "--algorithm", "hsgd",
+            "--iterations", "2", "--cpu-threads", "4",
+        ])
+        assert code == 0
+        output = capsys.readouterr().out
+        assert "final test RMSE" in output
+        assert "simulated time" in output
+
+    def test_table1_command(self, capsys):
+        assert main(["table1"]) == 0
+        assert "movielens" in capsys.readouterr().out
+
+    def test_figure3_command(self, capsys):
+        assert main(["figure3"]) == 0
+        assert "gpu-update-speed" in capsys.readouterr().out

@@ -1,0 +1,325 @@
+"""Tests of the simulated hardware substrate."""
+
+import pytest
+
+from repro.config import HardwareConfig
+from repro.exceptions import ConfigurationError
+from repro.hardware import (
+    BlockWork,
+    CPUThreadDevice,
+    ConstantThroughputCurve,
+    GPUDevice,
+    HeterogeneousPlatform,
+    PCIeLinkModel,
+    SaturatingLogThroughputCurve,
+    StreamPipelineModel,
+    paper_machine_preset,
+)
+from repro.hardware.presets import (
+    balanced_machine_preset,
+    cpu_heavy_machine_preset,
+    gpu_heavy_machine_preset,
+)
+from repro.hardware.throughput import scaled_curve
+
+
+class TestThroughputCurves:
+    def test_constant_curve_flat(self):
+        curve = ConstantThroughputCurve(5e6)
+        assert curve.points_per_second(1_000) == curve.points_per_second(1_000_000)
+
+    def test_constant_curve_seconds(self):
+        curve = ConstantThroughputCurve(1e6)
+        assert curve.seconds_for(2_000_000) == pytest.approx(2.0)
+        assert curve.seconds_for(0) == 0.0
+
+    def test_constant_rejects_non_positive(self):
+        with pytest.raises(ConfigurationError):
+            ConstantThroughputCurve(0.0)
+
+    def test_saturating_curve_monotone(self):
+        curve = SaturatingLogThroughputCurve(100e6, 10e6, 1_000_000, ramp_size=100_000)
+        sizes = [1_000, 10_000, 100_000, 500_000, 1_000_000]
+        speeds = [curve.points_per_second(s) for s in sizes]
+        assert speeds == sorted(speeds)
+
+    def test_saturating_curve_observation1(self):
+        """Observation 1: small blocks are far below the plateau."""
+        curve = paper_machine_preset().gpu_curve()
+        small = curve.points_per_second(100_000)
+        large = curve.points_per_second(20_000_000)
+        assert large > 2.0 * small
+
+    def test_saturating_curve_plateau(self):
+        curve = SaturatingLogThroughputCurve(100e6, 10e6, 1_000_000)
+        assert curve.points_per_second(1_000_000) == pytest.approx(100e6)
+        assert curve.points_per_second(50_000_000) == pytest.approx(100e6)
+
+    def test_saturating_curve_floor(self):
+        curve = SaturatingLogThroughputCurve(100e6, 10e6, 1_000_000)
+        assert curve.points_per_second(0) == pytest.approx(10e6)
+
+    def test_saturating_validation(self):
+        with pytest.raises(ConfigurationError):
+            SaturatingLogThroughputCurve(10e6, 20e6, 1_000_000)
+        with pytest.raises(ConfigurationError):
+            SaturatingLogThroughputCurve(10e6, 1e6, -5)
+
+    def test_scaled_curve(self):
+        base = ConstantThroughputCurve(1e6)
+        doubled = scaled_curve(base, 2.0)
+        assert doubled.points_per_second(10) == pytest.approx(2e6)
+        with pytest.raises(ConfigurationError):
+            scaled_curve(base, 0.0)
+
+
+class TestPCIeLink:
+    def test_bandwidth_ramps_with_size(self):
+        """Figure 6 shape: small transfers achieve a fraction of peak."""
+        link = PCIeLinkModel(peak_bandwidth=12e9, latency=12e-6)
+        small = link.host_to_device_bandwidth(64 * 1024)
+        large = link.host_to_device_bandwidth(256 * 1024 * 1024)
+        assert small < 0.5 * large
+        assert large <= 12e9
+
+    def test_time_monotone_in_size(self):
+        link = PCIeLinkModel()
+        assert link.host_to_device_time(1_000_000) < link.host_to_device_time(10_000_000)
+
+    def test_zero_size_is_free(self):
+        link = PCIeLinkModel()
+        assert link.host_to_device_time(0) == 0.0
+        assert link.device_to_host_bandwidth(0) == 0.0
+
+    def test_d2h_direction_slower(self):
+        link = PCIeLinkModel(asymmetry=0.9)
+        size = 64 * 1024 * 1024
+        assert link.device_to_host_time(size) > link.host_to_device_time(size)
+
+    def test_validation(self):
+        with pytest.raises(ConfigurationError):
+            PCIeLinkModel(peak_bandwidth=-1)
+        with pytest.raises(ConfigurationError):
+            PCIeLinkModel(latency=-1)
+        with pytest.raises(ConfigurationError):
+            PCIeLinkModel(asymmetry=1.5)
+
+
+class TestStreamPipeline:
+    def test_overlap_bounded_by_stage_sums(self):
+        model = StreamPipelineModel()
+        h2d = [1.0, 1.0, 1.0]
+        kernel = [2.0, 2.0, 2.0]
+        d2h = [0.5, 0.5, 0.5]
+        makespan = model.makespan(h2d, kernel, d2h)
+        assert makespan >= sum(kernel)
+        assert makespan < sum(h2d) + sum(kernel) + sum(d2h)
+
+    def test_overlap_dominated_by_slowest_stream(self):
+        model = StreamPipelineModel()
+        n = 50
+        makespan = model.makespan([1.0] * n, [3.0] * n, [0.5] * n)
+        assert makespan == pytest.approx(3.0 * n, rel=0.05)
+
+    def test_serial_mode_is_sum(self):
+        model = StreamPipelineModel(overlap_enabled=False)
+        assert model.makespan([1.0], [2.0], [0.5]) == pytest.approx(3.5)
+
+    def test_steady_state_block_time(self):
+        model = StreamPipelineModel()
+        assert model.steady_state_block_time(1.0, 3.0, 0.5) == 3.0
+        serial = StreamPipelineModel(overlap_enabled=False)
+        assert serial.steady_state_block_time(1.0, 3.0, 0.5) == 4.5
+
+    def test_empty_pipeline(self):
+        assert StreamPipelineModel().makespan([], [], []) == 0.0
+
+    def test_validation(self):
+        model = StreamPipelineModel()
+        with pytest.raises(ConfigurationError):
+            model.makespan([1.0], [1.0, 2.0], [1.0])
+        with pytest.raises(ConfigurationError):
+            model.makespan([-1.0], [1.0], [1.0])
+        with pytest.raises(ConfigurationError):
+            model.steady_state_block_time(-1.0, 1.0, 1.0)
+
+
+class TestBlockWork:
+    def test_transfer_bytes(self):
+        work = BlockWork(nnz=1000, p_rows=100, q_cols=50, latent_factors=32)
+        assert work.factor_bytes == (100 + 50) * 32 * 4
+        assert work.host_to_device_bytes == 1000 * 12 + work.factor_bytes
+        assert work.device_to_host_bytes == work.factor_bytes
+
+    def test_validation(self):
+        with pytest.raises(ConfigurationError):
+            BlockWork(nnz=-1)
+        with pytest.raises(ConfigurationError):
+            BlockWork(nnz=1, latent_factors=0)
+
+
+class TestDevices:
+    def test_cpu_time_linear_in_size(self):
+        device = CPUThreadDevice(throughput=ConstantThroughputCurve(5e6))
+        small = device.process_time(BlockWork(nnz=10_000))
+        large = device.process_time(BlockWork(nnz=100_000))
+        assert large == pytest.approx(10 * small, rel=0.05)
+
+    def test_cpu_observation2_speed_flat(self):
+        device = CPUThreadDevice(per_block_overhead=0.0)
+        speeds = [
+            device.update_speed(BlockWork(nnz=s)) for s in (10_000, 100_000, 400_000)
+        ]
+        assert max(speeds) == pytest.approx(min(speeds), rel=1e-6)
+
+    def test_gpu_observation1_speed_grows(self):
+        device = GPUDevice()
+        small = device.update_speed(BlockWork(nnz=100_000))
+        large = device.update_speed(BlockWork(nnz=20_000_000))
+        assert large > 2.0 * small
+
+    def test_gpu_parallel_worker_scaling(self):
+        base = GPUDevice(parallel_workers=128)
+        more = base.with_parallel_workers(512)
+        fewer = base.with_parallel_workers(32)
+        work = BlockWork(nnz=5_000_000)
+        assert more.update_speed(work) > base.update_speed(work)
+        assert fewer.update_speed(work) < base.update_speed(work)
+        # Diminishing returns: 4x workers gives less than 4x speed.
+        assert more.update_speed(work) < 4.0 * base.update_speed(work)
+
+    def test_gpu_process_time_is_stream_maximum(self):
+        device = GPUDevice()
+        work = BlockWork(nnz=1_000_000, p_rows=5_000, q_cols=5_000, latent_factors=128)
+        expected = max(device.host_to_device_time(work), device.kernel_time(work))
+        assert device.process_time(work) == pytest.approx(expected)
+
+    def test_gpu_locality_penalty(self):
+        device = GPUDevice(column_locality=0.5)
+        compact = BlockWork(nnz=10_000, p_rows=100, q_cols=100)
+        scattered = BlockWork(nnz=10_000, p_rows=100, q_cols=10_000)
+        assert device.kernel_time(scattered) > device.kernel_time(compact)
+        assert device.locality_factor(compact) > device.locality_factor(scattered)
+
+    def test_gpu_pipeline_makespan(self):
+        device = GPUDevice()
+        works = [BlockWork(nnz=500_000, p_rows=100, q_cols=100)] * 4
+        makespan = device.pipeline_makespan(works)
+        assert makespan >= 4 * device.kernel_time(works[0]) * 0.9
+
+    def test_measurement_noise_bounded(self):
+        device = CPUThreadDevice(measurement_noise=0.05, seed=1)
+        work = BlockWork(nnz=100_000)
+        exact = device.process_time(work)
+        samples = [device.measure_process_time(work) for _ in range(50)]
+        assert all(0.5 * exact <= s <= 1.5 * exact for s in samples)
+        assert len({round(s, 12) for s in samples}) > 1
+
+    def test_zero_noise_measurement_is_exact(self):
+        device = CPUThreadDevice(measurement_noise=0.0)
+        work = BlockWork(nnz=50_000)
+        assert device.measure_process_time(work) == device.process_time(work)
+
+    def test_device_validation(self):
+        with pytest.raises(ConfigurationError):
+            CPUThreadDevice(per_block_overhead=-1)
+        with pytest.raises(ConfigurationError):
+            GPUDevice(parallel_workers=0)
+        with pytest.raises(ConfigurationError):
+            GPUDevice(column_locality=-0.1)
+        with pytest.raises(ConfigurationError):
+            GPUDevice(host_contention=-0.1)
+
+
+class TestPlatform:
+    def test_from_preset_counts(self, small_hardware, scaled_preset):
+        platform = HeterogeneousPlatform.from_preset(small_hardware, scaled_preset)
+        assert platform.n_cpu_threads == 4
+        assert platform.n_gpus == 1
+        assert platform.n_workers == 5
+        assert len(platform.all_devices) == 5
+
+    def test_worker_ordering_cpu_first(self, small_platform):
+        assert not small_platform.is_gpu_worker(0)
+        assert small_platform.is_gpu_worker(4)
+        assert small_platform.device(4).is_gpu
+
+    def test_device_index_validation(self, small_platform):
+        with pytest.raises(ConfigurationError):
+            small_platform.device(99)
+
+    def test_representatives(self, small_platform):
+        assert not small_platform.representative_cpu().is_gpu
+        assert small_platform.representative_gpu().is_gpu
+
+    def test_cpu_only_platform_has_no_gpu(self, scaled_preset):
+        platform = HeterogeneousPlatform.from_preset(
+            HardwareConfig(cpu_threads=2, gpu_count=0), scaled_preset
+        )
+        with pytest.raises(ConfigurationError):
+            platform.representative_gpu()
+
+    def test_aggregate_speeds(self, small_platform):
+        work = BlockWork(nnz=5_000, p_rows=50, q_cols=50, latent_factors=8)
+        total_cpu = small_platform.total_cpu_speed(work)
+        single = small_platform.representative_cpu().update_speed(work)
+        assert total_cpu == pytest.approx(4 * single)
+        assert small_platform.total_gpu_speed(work) > 0
+
+    def test_gpu_parallel_workers_propagated(self, scaled_preset):
+        platform = HeterogeneousPlatform.from_preset(
+            HardwareConfig(cpu_threads=1, gpu_count=1, gpu_parallel_workers=512),
+            scaled_preset,
+        )
+        assert platform.representative_gpu().parallel_workers == 512
+
+
+class TestPresets:
+    def test_paper_machine_defaults(self):
+        preset = paper_machine_preset()
+        assert preset.cpu_points_per_second == pytest.approx(5e6)
+        assert preset.scale == 1.0
+
+    def test_scaled_preset_shrinks_sizes_not_speeds(self):
+        base = paper_machine_preset()
+        scaled = base.scaled(1e-3)
+        assert scaled.gpu_saturation_size == pytest.approx(
+            base.gpu_saturation_size * 1e-3
+        )
+        assert scaled.cpu_points_per_second == base.cpu_points_per_second
+        assert scaled.scale == pytest.approx(1e-3)
+
+    def test_scaled_preserves_curve_shape(self):
+        base = paper_machine_preset()
+        scaled = base.scaled(1e-3)
+        ratio_base = (
+            base.gpu_curve().points_per_second(1_000_000)
+            / base.gpu_curve().points_per_second(100_000)
+        )
+        ratio_scaled = (
+            scaled.gpu_curve().points_per_second(1_000)
+            / scaled.gpu_curve().points_per_second(100)
+        )
+        assert ratio_scaled == pytest.approx(ratio_base, rel=1e-6)
+
+    def test_scaled_rejects_non_positive(self):
+        with pytest.raises(ConfigurationError):
+            paper_machine_preset().scaled(0.0)
+
+    def test_with_noise(self):
+        assert paper_machine_preset().with_noise(0.1).measurement_noise == 0.1
+
+    def test_alternative_presets_are_consistent(self):
+        for preset in (
+            cpu_heavy_machine_preset(),
+            gpu_heavy_machine_preset(),
+            balanced_machine_preset(),
+        ):
+            assert preset.cpu_points_per_second > 0
+            assert preset.gpu_curve().points_per_second(10_000_000) > 0
+
+    def test_gpu_heavy_beats_cpu_heavy_gpu(self):
+        work_size = 10_000_000
+        gpu_heavy = gpu_heavy_machine_preset().gpu_curve().points_per_second(work_size)
+        cpu_heavy = cpu_heavy_machine_preset().gpu_curve().points_per_second(work_size)
+        assert gpu_heavy > cpu_heavy

@@ -1,0 +1,219 @@
+"""End-to-end integration tests of the paper's central claims.
+
+These run complete training pipelines (calibration, division, scheduling,
+simulated execution, evaluation) on a mid-sized synthetic dataset and
+assert the *qualitative* results of the paper's evaluation:
+
+1. HSGD* is the fastest of CPU-Only / GPU-Only / HSGD / HSGD* (Fig. 10/11).
+2. All algorithms converge to a comparable test RMSE (Fig. 12).
+3. The nonuniform division gives HSGD* a better RMSE-for-time profile
+   than HSGD, whose per-block update counts are far more imbalanced
+   (Fig. 13 / Example 3).
+4. The paper's cost model beats the Qilin baseline (Table II).
+5. Dynamic scheduling improves on the static cost-model split (Table III).
+"""
+
+import pytest
+
+from repro.config import HardwareConfig
+from repro.core import HeterogeneousTrainer
+from repro.datasets import load_dataset
+from repro.experiments.context import default_preset
+from repro.metrics import update_imbalance
+from repro.core.algorithms import build_grid, build_scheduler, get_algorithm
+from repro.sim import SimulationEngine
+
+
+DATASET = "netflix"
+ITERATIONS = 8
+
+
+@pytest.fixture(scope="module")
+def bundle():
+    return load_dataset(DATASET)
+
+
+@pytest.fixture(scope="module")
+def training(bundle):
+    return bundle.spec.recommended_training(iterations=ITERATIONS)
+
+
+@pytest.fixture(scope="module")
+def hardware():
+    return HardwareConfig(cpu_threads=16, gpu_count=1, gpu_parallel_workers=128)
+
+
+@pytest.fixture(scope="module")
+def preset():
+    return default_preset()
+
+
+@pytest.fixture(scope="module")
+def results(bundle, training, hardware, preset):
+    """Train every algorithm once and share the results across tests."""
+    outcomes = {}
+    for algorithm in ("cpu_only", "gpu_only", "hsgd", "hsgd_star",
+                      "hsgd_star_m", "hsgd_star_q"):
+        trainer = HeterogeneousTrainer(
+            algorithm=algorithm,
+            hardware=hardware,
+            training=training,
+            preset=preset,
+        )
+        outcomes[algorithm] = trainer.fit(
+            bundle.train, bundle.test, iterations=ITERATIONS
+        )
+    return outcomes
+
+
+class TestHeadlineSpeedups:
+    def test_hsgd_star_is_fastest(self, results):
+        star = results["hsgd_star"].simulated_time
+        assert star < results["cpu_only"].simulated_time
+        assert star < results["gpu_only"].simulated_time
+        assert star < results["hsgd"].simulated_time
+
+    def test_speedup_magnitudes_in_paper_range(self, results):
+        """The paper reports 1.4-2.3x over CPU-Only and GPU-Only at defaults."""
+        star = results["hsgd_star"].simulated_time
+        speedup_cpu = results["cpu_only"].simulated_time / star
+        speedup_gpu = results["gpu_only"].simulated_time / star
+        assert 1.1 < speedup_cpu < 3.0
+        assert 1.2 < speedup_gpu < 3.0
+
+    def test_gpu_only_slower_than_cpu_only_at_default_workers(self, results):
+        """At 128 parallel workers the paper's GPU-Only trails 16-thread CPU-Only."""
+        assert results["gpu_only"].simulated_time > results["cpu_only"].simulated_time
+
+    def test_both_resources_contribute_in_hsgd_star(self, results):
+        share = results["hsgd_star"].trace.resource_share()
+        assert 0.1 < share["gpu"] < 0.9
+        assert 0.1 < share["cpu"] < 0.9
+
+
+class TestConvergenceQuality:
+    def test_all_algorithms_converge_to_similar_rmse(self, results, bundle):
+        final = {
+            name: result.final_test_rmse
+            for name, result in results.items()
+        }
+        best = min(final.values())
+        worst = max(final.values())
+        assert worst < 1.15 * best
+        assert best < 1.6 * bundle.spec.synthetic.noise_std
+
+    def test_rmse_curves_are_decreasing_overall(self, results):
+        for result in results.values():
+            curve = [value for _, value in result.rmse_curve()]
+            assert curve[-1] < curve[0]
+
+    def test_hsgd_star_reaches_target_before_hsgd(self, results):
+        """Figure 13: given the same RMSE target, HSGD* gets there sooner."""
+        target = results["hsgd"].final_test_rmse
+        star_time = results["hsgd_star"].time_to_rmse(target)
+        hsgd_time = results["hsgd"].simulated_time
+        assert star_time is not None
+        assert star_time <= hsgd_time * 1.02
+
+
+class TestCostModelAndScheduling:
+    def test_paper_cost_model_beats_qilin(self, results):
+        """Table II: HSGD*-M is at least as fast as HSGD*-Q."""
+        assert (
+            results["hsgd_star_m"].simulated_time
+            <= results["hsgd_star_q"].simulated_time * 1.02
+        )
+
+    def test_dynamic_scheduling_beats_static(self, results):
+        """Table III: the full HSGD* is at least as fast as HSGD*-M."""
+        assert (
+            results["hsgd_star"].simulated_time
+            <= results["hsgd_star_m"].simulated_time * 1.01
+        )
+
+    def test_dynamic_variant_actually_steals(self, results):
+        assert results["hsgd_star"].trace.stolen_task_count() > 0
+        assert results["hsgd_star_m"].trace.stolen_task_count() == 0
+
+    def test_qilin_assigns_more_to_gpu_than_its_block_speed_supports(self, results):
+        """Qilin's aggregate linear fit over-assigns the GPU (Section V)."""
+        assert results["hsgd_star_q"].alpha > results["hsgd_star_m"].alpha
+
+
+class TestUpdateImbalance:
+    def test_hsgd_imbalance_exceeds_hsgd_star(self, bundle, training, hardware, preset):
+        """Example 3: the greedy uniform scheduler concentrates updates."""
+        stats = {}
+        for algorithm in ("hsgd", "hsgd_star"):
+            spec = get_algorithm(algorithm)
+            trainer = HeterogeneousTrainer(
+                algorithm=algorithm, hardware=hardware, training=training,
+                preset=preset,
+            )
+            alpha = None
+            if spec.division == "nonuniform":
+                split = trainer.workload_split(bundle.train)
+                alpha = split.alpha
+            grid = build_grid(spec, bundle.train, hardware, alpha=alpha)
+            scheduler = build_scheduler(spec, grid, hardware)
+            engine = SimulationEngine(
+                scheduler=scheduler,
+                platform=trainer.platform,
+                train=bundle.train,
+                training=training,
+                test=bundle.test,
+            )
+            engine.run(iterations=4)
+            stats[algorithm] = update_imbalance(grid)
+        assert stats["hsgd"]["cv"] > 1.5 * stats["hsgd_star"]["cv"]
+        assert stats["hsgd"]["gini"] > stats["hsgd_star"]["gini"]
+
+
+class TestHardwareSweepTrends:
+    def test_more_gpu_workers_speed_up_gpu_only(self, bundle, training, preset):
+        times = []
+        for workers in (32, 512):
+            trainer = HeterogeneousTrainer(
+                algorithm="gpu_only",
+                hardware=HardwareConfig(
+                    cpu_threads=16, gpu_count=1, gpu_parallel_workers=workers
+                ),
+                training=training,
+                preset=preset,
+            )
+            result = trainer.fit(bundle.train, bundle.test, iterations=3)
+            times.append(result.simulated_time)
+        assert times[1] < times[0] / 2.0
+
+    def test_more_cpu_threads_speed_up_cpu_only(self, bundle, training, preset):
+        times = []
+        for threads in (4, 16):
+            trainer = HeterogeneousTrainer(
+                algorithm="cpu_only",
+                hardware=HardwareConfig(cpu_threads=threads, gpu_count=1),
+                training=training,
+                preset=preset,
+            )
+            result = trainer.fit(bundle.train, bundle.test, iterations=3)
+            times.append(result.simulated_time)
+        assert times[1] < times[0] / 2.0
+
+    def test_gpu_only_overtakes_cpu_only_at_512_workers(self, bundle, training, preset):
+        """Figure 10: the GPU-Only / CPU-Only crossover as workers grow."""
+        cpu_trainer = HeterogeneousTrainer(
+            algorithm="cpu_only",
+            hardware=HardwareConfig(cpu_threads=16, gpu_count=1),
+            training=training,
+            preset=preset,
+        )
+        cpu_time = cpu_trainer.fit(bundle.train, bundle.test, iterations=3).simulated_time
+        gpu_trainer = HeterogeneousTrainer(
+            algorithm="gpu_only",
+            hardware=HardwareConfig(
+                cpu_threads=16, gpu_count=1, gpu_parallel_workers=512
+            ),
+            training=training,
+            preset=preset,
+        )
+        gpu_time = gpu_trainer.fit(bundle.train, bundle.test, iterations=3).simulated_time
+        assert gpu_time < cpu_time

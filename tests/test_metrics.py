@@ -1,0 +1,117 @@
+"""Tests of the evaluation, imbalance and reporting helpers."""
+
+import numpy as np
+import pytest
+
+from repro.core import uniform_partition
+from repro.exceptions import ReproError
+from repro.metrics import (
+    format_curve,
+    format_table,
+    gini_coefficient,
+    relative_speedup,
+    summarize_convergence,
+    time_to_target,
+    update_imbalance,
+)
+from repro.metrics.reporting import format_mapping
+from repro.sim import ExecutionTrace, IterationRecord
+
+
+def _trace_with_curve(points):
+    trace = ExecutionTrace()
+    for index, (time, value) in enumerate(points):
+        trace.record_iteration(IterationRecord(index, time, None, value, 0))
+    trace.final_time = points[-1][0] if points else 0.0
+    return trace
+
+
+class TestEvaluation:
+    def test_time_to_target(self):
+        trace = _trace_with_curve([(1.0, 0.9), (2.0, 0.6), (3.0, 0.5)])
+        assert time_to_target(trace, 0.6) == 2.0
+        assert time_to_target(trace, 0.4) is None
+
+    def test_relative_speedup(self):
+        assert relative_speedup(10.0, 5.0) == pytest.approx(2.0)
+        with pytest.raises(ReproError):
+            relative_speedup(0.0, 5.0)
+        with pytest.raises(ReproError):
+            relative_speedup(5.0, -1.0)
+
+    def test_summarize_convergence(self):
+        trace = _trace_with_curve([(1.0, 0.9), (2.0, 0.5), (3.0, 0.55)])
+        summary = summarize_convergence(trace)
+        assert summary["iterations"] == 3.0
+        assert summary["best_rmse"] == 0.5
+        assert summary["final_rmse"] == 0.55
+
+    def test_summarize_empty_trace(self):
+        summary = summarize_convergence(ExecutionTrace())
+        assert summary["iterations"] == 0.0
+        assert np.isnan(summary["final_rmse"])
+
+
+class TestImbalance:
+    def test_gini_of_equal_values_is_zero(self):
+        assert gini_coefficient(np.ones(10)) == pytest.approx(0.0, abs=1e-9)
+
+    def test_gini_of_concentrated_values_near_one(self):
+        values = np.zeros(100)
+        values[0] = 1000.0
+        assert gini_coefficient(values) > 0.9
+
+    def test_gini_monotone_in_concentration(self):
+        even = np.array([5.0, 5.0, 5.0, 5.0])
+        skewed = np.array([17.0, 1.0, 1.0, 1.0])
+        assert gini_coefficient(skewed) > gini_coefficient(even)
+
+    def test_gini_validation(self):
+        with pytest.raises(ReproError):
+            gini_coefficient(np.array([]))
+        with pytest.raises(ReproError):
+            gini_coefficient(np.array([-1.0, 2.0]))
+        assert gini_coefficient(np.zeros(5)) == 0.0
+
+    def test_update_imbalance_uniform_counts(self, small_matrix):
+        grid = uniform_partition(small_matrix, 3, 3)
+        for block in grid.iter_blocks():
+            block.update_count = 4
+        stats = update_imbalance(grid)
+        assert stats["cv"] == pytest.approx(0.0, abs=1e-9)
+        assert stats["mean"] == 4.0
+        assert stats["min"] == 4.0 and stats["max"] == 4.0
+
+    def test_update_imbalance_detects_skew(self, small_matrix):
+        grid = uniform_partition(small_matrix, 3, 3)
+        blocks = list(grid.iter_blocks())
+        for block in blocks:
+            block.update_count = 1
+        blocks[0].update_count = 50
+        stats = update_imbalance(grid)
+        assert stats["cv"] > 1.0
+        assert stats["gini"] > 0.3
+        assert stats["max"] == 50
+
+
+class TestReporting:
+    def test_format_table_alignment(self):
+        text = format_table(["name", "value"], [("a", 1.5), ("bbbb", 22.25)])
+        lines = text.splitlines()
+        assert len(lines) == 4
+        assert lines[0].startswith("name")
+        assert "22.250" in lines[3]
+
+    def test_format_table_rejects_ragged_rows(self):
+        with pytest.raises(ReproError):
+            format_table(["a", "b"], [(1,)])
+
+    def test_format_curve(self):
+        text = format_curve([(0.5, 1.0), (1.0, 0.8)], x_label="t", y_label="rmse")
+        assert "t" in text and "rmse" in text
+        assert "0.8000" in text
+
+    def test_format_mapping(self):
+        text = format_mapping({"alpha": 0.25, "note": "ok"})
+        assert "alpha: 0.2500" in text
+        assert "note: ok" in text

@@ -1,0 +1,179 @@
+"""Property-based tests (hypothesis) of core data structures and invariants."""
+
+import numpy as np
+import pytest
+from hypothesis import HealthCheck, given, settings
+from hypothesis import strategies as st
+
+from repro.core import LockTable, nonuniform_partition, uniform_partition
+from repro.costmodel import solve_alpha
+from repro.hardware import StreamPipelineModel
+from repro.sgd import FactorModel, regularized_loss, sgd_block_sequential
+from repro.sparse import SparseRatingMatrix, balanced_boundaries
+
+SETTINGS = settings(
+    max_examples=30,
+    deadline=None,
+    suppress_health_check=[HealthCheck.too_slow],
+)
+
+
+@st.composite
+def sparse_matrices(draw, max_rows=40, max_cols=40, max_ratings=200):
+    """Random small sparse rating matrices."""
+    n_rows = draw(st.integers(min_value=2, max_value=max_rows))
+    n_cols = draw(st.integers(min_value=2, max_value=max_cols))
+    n_ratings = draw(st.integers(min_value=1, max_value=max_ratings))
+    seed = draw(st.integers(min_value=0, max_value=2 ** 16))
+    rng = np.random.default_rng(seed)
+    cells = rng.choice(n_rows * n_cols, size=min(n_ratings, n_rows * n_cols),
+                       replace=False)
+    rows = cells // n_cols
+    cols = cells % n_cols
+    vals = rng.uniform(1.0, 5.0, size=len(cells))
+    return SparseRatingMatrix(rows, cols, vals, shape=(n_rows, n_cols))
+
+
+class TestSparseProperties:
+    @SETTINGS
+    @given(matrix=sparse_matrices(), seed=st.integers(0, 1000))
+    def test_shuffle_preserves_rating_multiset(self, matrix, seed):
+        shuffled = matrix.shuffled(seed=seed)
+        assert shuffled.nnz == matrix.nnz
+        assert sorted(shuffled.vals.tolist()) == pytest.approx(
+            sorted(matrix.vals.tolist())
+        )
+
+    @SETTINGS
+    @given(matrix=sparse_matrices(), boundary=st.integers(0, 40))
+    def test_row_band_partition(self, matrix, boundary):
+        boundary = min(boundary, matrix.n_rows)
+        top = matrix.row_band(0, boundary)
+        bottom = matrix.row_band(boundary, matrix.n_rows)
+        assert top.nnz + bottom.nnz == matrix.nnz
+
+    @SETTINGS
+    @given(matrix=sparse_matrices(), parts=st.integers(1, 6))
+    def test_balanced_boundaries_cover_and_increase(self, matrix, parts):
+        parts = min(parts, matrix.n_rows)
+        bounds = balanced_boundaries(matrix.row_counts(), parts)
+        assert bounds[0] == 0
+        assert bounds[-1] == matrix.n_rows
+        assert np.all(np.diff(bounds) > 0)
+
+    @SETTINGS
+    @given(
+        matrix=sparse_matrices(),
+        rows=st.integers(1, 5),
+        cols=st.integers(1, 5),
+    )
+    def test_uniform_partition_conserves_ratings(self, matrix, rows, cols):
+        grid = uniform_partition(matrix, rows, cols)
+        assert grid.total_nnz == matrix.nnz
+        all_indices = np.concatenate(
+            [block.indices for block in grid.iter_blocks()]
+        ) if grid.n_blocks else np.array([])
+        assert len(np.unique(all_indices)) == matrix.nnz
+
+    @SETTINGS
+    @given(
+        matrix=sparse_matrices(max_rows=60, max_ratings=300),
+        alpha=st.floats(0.0, 1.0),
+        nc=st.integers(1, 6),
+        ng=st.integers(1, 2),
+    )
+    def test_nonuniform_partition_conserves_ratings(self, matrix, alpha, nc, ng):
+        grid = nonuniform_partition(matrix, alpha, nc, ng)
+        assert grid.total_nnz == matrix.nnz
+        # Bands tile the row space.
+        assert grid.row_bands[0].row_range[0] == 0
+        assert grid.row_bands[-1].row_range[1] == matrix.n_rows
+
+
+class TestKernelProperties:
+    @SETTINGS
+    @given(matrix=sparse_matrices(max_ratings=100), seed=st.integers(0, 100))
+    def test_sequential_sgd_never_increases_regularised_loss_much(self, matrix, seed):
+        """One small-step SGD sweep keeps the objective finite and (almost
+        always) reduces it; we assert finiteness and boundedness."""
+        model = FactorModel.initialize(
+            matrix.n_rows, matrix.n_cols, 4, seed=seed, scale=0.5
+        )
+        before = regularized_loss(model, matrix, 0.05, 0.05)
+        sgd_block_sequential(
+            model.p, model.q, matrix.rows, matrix.cols, matrix.vals,
+            0.001, 0.05, 0.05,
+        )
+        after = regularized_loss(model, matrix, 0.05, 0.05)
+        assert np.isfinite(after)
+        assert after <= before * 1.05 + 1e-6
+
+
+class TestLockTableProperties:
+    @SETTINGS
+    @given(
+        operations=st.lists(
+            st.tuples(st.integers(0, 7), st.integers(0, 7)), min_size=1, max_size=30
+        )
+    )
+    def test_acquired_bands_always_released_cleanly(self, operations):
+        """Acquire/release pairs in random order never corrupt the table."""
+        locks = LockTable(8, 8)
+        held = []
+        for row, col in operations:
+            if locks.can_acquire([row], [col]):
+                locks.acquire([row], [col])
+                held.append((row, col))
+            elif held:
+                release_row, release_col = held.pop()
+                locks.release([release_row], [release_col])
+        for row, col in held:
+            locks.release([row], [col])
+        assert locks.locked_rows == set()
+        assert locks.locked_cols == set()
+
+
+class TestStreamPipelineProperties:
+    @SETTINGS
+    @given(
+        times=st.lists(
+            st.tuples(
+                st.floats(0.0, 10.0), st.floats(0.0, 10.0), st.floats(0.0, 10.0)
+            ),
+            min_size=1,
+            max_size=20,
+        )
+    )
+    def test_overlapped_makespan_bounds(self, times):
+        """max(stage sums) <= overlapped makespan <= serial makespan."""
+        h2d = [t[0] for t in times]
+        kernel = [t[1] for t in times]
+        d2h = [t[2] for t in times]
+        overlapped = StreamPipelineModel(True).makespan(h2d, kernel, d2h)
+        serial = StreamPipelineModel(False).makespan(h2d, kernel, d2h)
+        assert overlapped <= serial + 1e-9
+        assert overlapped >= max(sum(h2d), sum(kernel), sum(d2h)) - 1e-9
+
+
+class TestAlphaSolverProperties:
+    @SETTINGS
+    @given(
+        gpu_speed=st.floats(1.0, 500.0),
+        cpu_speed=st.floats(1.0, 500.0),
+        nc=st.integers(1, 32),
+        ng=st.integers(1, 4),
+        total=st.floats(1e3, 1e7),
+    )
+    def test_linear_costs_balance_exactly(self, gpu_speed, cpu_speed, nc, ng, total):
+        """For linear costs the optimal alpha has a closed form."""
+        split = solve_alpha(
+            lambda p: p / gpu_speed,
+            lambda p: p / cpu_speed,
+            total_points=total,
+            n_gpus=ng,
+            n_cpu_threads=nc,
+        )
+        expected = (gpu_speed * ng) / (gpu_speed * ng + cpu_speed * nc)
+        assert split.alpha == pytest.approx(expected, abs=0.02)
+        assert 0.0 <= split.alpha <= 1.0
+        assert split.imbalance <= 0.05 * max(split.gpu_time, split.cpu_time) + 1e-9

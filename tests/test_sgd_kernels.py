@@ -1,0 +1,232 @@
+"""Tests of the SGD update kernels."""
+
+import numpy as np
+import pytest
+
+from repro.config import TrainingConfig
+from repro.exceptions import InvalidMatrixError
+from repro.sgd import FactorModel, rmse, sgd_block_minibatch, sgd_block_sequential
+from repro.sparse import SparseRatingMatrix
+
+
+def _arrays(matrix):
+    return matrix.rows, matrix.cols, matrix.vals
+
+
+class TestSequentialKernel:
+    def test_single_rating_update_matches_equations(self):
+        """One rating update must follow Equations 4-6 exactly."""
+        p = np.array([[0.5, 0.5]])
+        q = np.array([[0.2], [0.4]])
+        gamma, reg_p, reg_q = 0.1, 0.05, 0.07
+        rating = 3.0
+        error = rating - float(p[0] @ q[:, 0])
+        expected_p = p[0] + gamma * (error * q[:, 0] - reg_p * p[0])
+        expected_q = q[:, 0] + gamma * (error * p[0] - reg_q * q[:, 0])
+
+        sgd_block_sequential(
+            p, q, np.array([0]), np.array([0]), np.array([rating]), gamma, reg_p, reg_q
+        )
+        np.testing.assert_allclose(p[0], expected_p)
+        np.testing.assert_allclose(q[:, 0], expected_q)
+
+    def test_returns_count(self, tiny_matrix):
+        model = FactorModel.initialize(6, 5, 3, seed=0)
+        count = sgd_block_sequential(
+            model.p, model.q, *_arrays(tiny_matrix), 0.01, 0.05, 0.05
+        )
+        assert count == tiny_matrix.nnz
+
+    def test_reduces_training_error(self, tiny_matrix):
+        model = FactorModel.initialize(6, 5, 4, seed=0, scale=0.5)
+        before = rmse(model, tiny_matrix)
+        for _ in range(30):
+            sgd_block_sequential(
+                model.p, model.q, *_arrays(tiny_matrix), 0.05, 0.01, 0.01
+            )
+        assert rmse(model, tiny_matrix) < before * 0.5
+
+    def test_empty_block_is_noop(self):
+        model = FactorModel.initialize(3, 3, 2, seed=0)
+        p_before = model.p.copy()
+        count = sgd_block_sequential(
+            model.p,
+            model.q,
+            np.array([], dtype=np.int64),
+            np.array([], dtype=np.int64),
+            np.array([]),
+            0.01,
+            0.0,
+            0.0,
+        )
+        assert count == 0
+        np.testing.assert_array_equal(model.p, p_before)
+
+    def test_zero_regularization_no_shrink_without_error(self):
+        """With zero error and zero regularisation, factors stay put."""
+        p = np.array([[1.0, 0.0]])
+        q = np.array([[2.0], [0.0]])
+        sgd_block_sequential(
+            p, q, np.array([0]), np.array([0]), np.array([2.0]), 0.1, 0.0, 0.0
+        )
+        np.testing.assert_allclose(p, [[1.0, 0.0]])
+        np.testing.assert_allclose(q, [[2.0], [0.0]])
+
+    def test_shape_validation(self):
+        with pytest.raises(InvalidMatrixError):
+            sgd_block_sequential(
+                np.zeros((2, 3)),
+                np.zeros((4, 2)),
+                np.array([0]),
+                np.array([0]),
+                np.array([1.0]),
+                0.01,
+                0.0,
+                0.0,
+            )
+
+    def test_index_validation(self):
+        model = FactorModel.initialize(2, 2, 2, seed=0)
+        with pytest.raises(InvalidMatrixError):
+            sgd_block_sequential(
+                model.p, model.q,
+                np.array([5]), np.array([0]), np.array([1.0]), 0.01, 0.0, 0.0,
+            )
+        with pytest.raises(InvalidMatrixError):
+            sgd_block_sequential(
+                model.p, model.q,
+                np.array([0]), np.array([5]), np.array([1.0]), 0.01, 0.0, 0.0,
+            )
+
+
+class TestMinibatchKernel:
+    def test_matches_sequential_when_no_duplicates_in_batch(self):
+        """With batch size 1 the vectorised kernel is exactly sequential SGD."""
+        rows = np.array([0, 1, 2, 0, 1])
+        cols = np.array([0, 1, 2, 1, 2])
+        vals = np.array([3.0, 4.0, 2.0, 5.0, 1.0])
+        model_a = FactorModel.initialize(3, 3, 4, seed=5)
+        model_b = model_a.copy()
+
+        sgd_block_sequential(model_a.p, model_a.q, rows, cols, vals, 0.05, 0.02, 0.02)
+        sgd_block_minibatch(
+            model_b.p, model_b.q, rows, cols, vals, 0.05, 0.02, 0.02, batch_size=1
+        )
+        np.testing.assert_allclose(model_a.p, model_b.p, rtol=1e-12)
+        np.testing.assert_allclose(model_a.q, model_b.q, rtol=1e-12)
+
+    def test_close_to_sequential_on_small_block(self, tiny_matrix):
+        model_a = FactorModel.initialize(6, 5, 4, seed=1, scale=0.5)
+        model_b = model_a.copy()
+        sgd_block_sequential(
+            model_a.p, model_a.q, *_arrays(tiny_matrix), 0.02, 0.05, 0.05
+        )
+        sgd_block_minibatch(
+            model_b.p, model_b.q, *_arrays(tiny_matrix), 0.02, 0.05, 0.05,
+            batch_size=4,
+        )
+        assert np.abs(model_a.p - model_b.p).max() < 0.05
+
+    def test_reduces_training_error(self, small_matrix, small_training):
+        model = FactorModel.for_matrix(small_matrix, small_training)
+        before = rmse(model, small_matrix)
+        for _ in range(10):
+            sgd_block_minibatch(
+                model.p, model.q, *_arrays(small_matrix), 0.02, 0.05, 0.05
+            )
+        assert rmse(model, small_matrix) < before * 0.6
+
+    def test_stable_on_wide_rating_scale_with_duplicates(self):
+        """Popular columns repeated in a batch must not blow up (0-100 scale)."""
+        rng = np.random.default_rng(0)
+        n = 5_000
+        rows = rng.integers(0, 500, size=n)
+        cols = rng.integers(0, 20, size=n)  # heavy column duplication
+        vals = rng.uniform(0, 100, size=n)
+        model = FactorModel.initialize(500, 20, 8, seed=0, scale=2.5)
+        for _ in range(3):
+            sgd_block_minibatch(
+                model.p, model.q, rows, cols, vals, 0.01, 1.0, 1.0, batch_size=2048
+            )
+        assert np.all(np.isfinite(model.p))
+        assert np.all(np.isfinite(model.q))
+
+    def test_duplicate_rows_within_batch_step_bounded(self):
+        """A row repeated B times in one batch moves by at most ~gamma * error * q."""
+        p = np.array([[0.0, 0.0]])
+        q = np.array([[1.0, 1.0, 1.0], [1.0, 1.0, 1.0]])
+        rows = np.array([0, 0, 0])
+        cols = np.array([0, 1, 2])
+        vals = np.array([4.0, 4.0, 4.0])
+        sgd_block_minibatch(p, q, rows, cols, vals, 0.1, 0.0, 0.0, batch_size=3)
+        # Averaged: one effective step of gamma * 4 * [1, 1] = [0.4, 0.4].
+        np.testing.assert_allclose(p[0], [0.4, 0.4], rtol=1e-12)
+
+    def test_shuffling_with_rng_changes_order_not_result_quality(self, small_matrix):
+        model_a = FactorModel.initialize(
+            small_matrix.n_rows, small_matrix.n_cols, 4, seed=2
+        )
+        model_b = model_a.copy()
+        sgd_block_minibatch(
+            model_a.p, model_a.q, *_arrays(small_matrix), 0.02, 0.05, 0.05,
+            rng=np.random.default_rng(0),
+        )
+        sgd_block_minibatch(
+            model_b.p, model_b.q, *_arrays(small_matrix), 0.02, 0.05, 0.05,
+            rng=np.random.default_rng(1),
+        )
+        # Different orders give different factors but comparable quality.
+        assert not np.allclose(model_a.p, model_b.p)
+        assert rmse(model_a, small_matrix) == pytest.approx(
+            rmse(model_b, small_matrix), rel=0.2
+        )
+
+    def test_rejects_bad_batch_size(self, tiny_matrix):
+        model = FactorModel.initialize(6, 5, 2, seed=0)
+        with pytest.raises(InvalidMatrixError):
+            sgd_block_minibatch(
+                model.p, model.q, *_arrays(tiny_matrix), 0.01, 0.0, 0.0, batch_size=0
+            )
+
+    def test_empty_block_returns_zero(self):
+        model = FactorModel.initialize(3, 3, 2, seed=0)
+        count = sgd_block_minibatch(
+            model.p,
+            model.q,
+            np.array([], dtype=np.int64),
+            np.array([], dtype=np.int64),
+            np.array([]),
+            0.01,
+            0.0,
+            0.0,
+        )
+        assert count == 0
+
+
+class TestKernelConvergenceParity:
+    def test_both_kernels_reach_similar_quality(self, small_matrix):
+        """Both kernels must converge to a similar training RMSE."""
+        config = TrainingConfig(
+            latent_factors=8, learning_rate=0.02, reg_p=0.05, reg_q=0.05,
+            iterations=1, seed=0, init_scale=0.6,
+        )
+        exact = FactorModel.for_matrix(small_matrix, config)
+        batched = exact.copy()
+        rng = np.random.default_rng(0)
+        for _ in range(8):
+            order = rng.permutation(small_matrix.nnz)
+            args = (
+                small_matrix.rows[order],
+                small_matrix.cols[order],
+                small_matrix.vals[order],
+            )
+            sgd_block_sequential(exact.p, exact.q, *args, 0.02, 0.05, 0.05)
+            sgd_block_minibatch(batched.p, batched.q, *args, 0.02, 0.05, 0.05)
+        exact_rmse = rmse(exact, small_matrix)
+        batched_rmse = rmse(batched, small_matrix)
+        # The mini-batch relaxation trains popular entities a little more
+        # slowly per epoch; it must stay in the same quality regime.
+        assert batched_rmse < 1.6 * exact_rmse
+        assert batched_rmse < 0.8 * rmse(
+            FactorModel.for_matrix(small_matrix, config), small_matrix
+        )

@@ -1,0 +1,141 @@
+"""Tests of the factor model and the loss/error metrics."""
+
+import numpy as np
+import pytest
+
+from repro.config import TrainingConfig
+from repro.exceptions import InvalidMatrixError
+from repro.sgd import FactorModel, mae, pointwise_errors, regularized_loss, rmse
+from repro.sparse import SparseRatingMatrix
+
+
+class TestFactorModel:
+    def test_initialize_shapes(self):
+        model = FactorModel.initialize(10, 7, 4, seed=0)
+        assert model.p.shape == (10, 4)
+        assert model.q.shape == (4, 7)
+        assert model.shape == (10, 7)
+        assert model.latent_factors == 4
+
+    def test_initialize_deterministic(self):
+        a = FactorModel.initialize(5, 5, 3, seed=1)
+        b = FactorModel.initialize(5, 5, 3, seed=1)
+        np.testing.assert_array_equal(a.p, b.p)
+
+    def test_initialize_scale(self):
+        model = FactorModel.initialize(100, 100, 4, seed=0, scale=0.1)
+        assert model.p.max() <= 0.1
+        assert model.p.min() >= 0.0
+
+    def test_initialize_validation(self):
+        with pytest.raises(InvalidMatrixError):
+            FactorModel.initialize(0, 5, 3)
+        with pytest.raises(InvalidMatrixError):
+            FactorModel.initialize(5, 5, 0)
+
+    def test_constructor_validates_inner_dims(self):
+        with pytest.raises(InvalidMatrixError):
+            FactorModel(np.zeros((3, 2)), np.zeros((3, 4)))
+
+    def test_for_matrix(self, tiny_matrix):
+        config = TrainingConfig(latent_factors=6, seed=2)
+        model = FactorModel.for_matrix(tiny_matrix, config)
+        assert model.shape == tiny_matrix.shape
+        assert model.latent_factors == 6
+
+    def test_predict_matches_manual(self):
+        p = np.array([[1.0, 2.0], [0.5, 0.5]])
+        q = np.array([[1.0, 0.0], [0.0, 2.0]])
+        model = FactorModel(p, q)
+        assert model.predict_single(0, 1) == pytest.approx(4.0)
+        np.testing.assert_allclose(
+            model.predict(np.array([0, 1]), np.array([1, 0])), [4.0, 0.5]
+        )
+
+    def test_predict_matrix_order(self, tiny_matrix):
+        model = FactorModel.initialize(6, 5, 3, seed=0)
+        predictions = model.predict_matrix(tiny_matrix)
+        assert len(predictions) == tiny_matrix.nnz
+        assert predictions[0] == pytest.approx(
+            model.predict_single(int(tiny_matrix.rows[0]), int(tiny_matrix.cols[0]))
+        )
+
+    def test_full_reconstruction(self):
+        model = FactorModel.initialize(4, 3, 2, seed=0)
+        np.testing.assert_allclose(model.full_reconstruction(), model.p @ model.q)
+
+    def test_top_items_ranking(self):
+        p = np.array([[1.0, 0.0]])
+        q = np.array([[0.1, 0.9, 0.5], [0.0, 0.0, 0.0]])
+        model = FactorModel(p, q)
+        top = model.top_items(0, count=2)
+        assert top.tolist() == [1, 2]
+
+    def test_top_items_caps_count(self):
+        model = FactorModel.initialize(2, 3, 2, seed=0)
+        assert len(model.top_items(0, count=10)) == 3
+
+    def test_copy_is_independent(self):
+        model = FactorModel.initialize(3, 3, 2, seed=0)
+        clone = model.copy()
+        clone.p[0, 0] = 99.0
+        assert model.p[0, 0] != 99.0
+
+    def test_save_and_load(self, tmp_path):
+        model = FactorModel.initialize(4, 5, 3, seed=1)
+        path = tmp_path / "model"
+        model.save(path)
+        loaded = FactorModel.load(path)
+        np.testing.assert_array_equal(loaded.p, model.p)
+        np.testing.assert_array_equal(loaded.q, model.q)
+
+
+class TestLosses:
+    @pytest.fixture()
+    def perfect_model(self, tiny_matrix):
+        """A rank-30 model that reproduces the tiny matrix exactly."""
+        dense = tiny_matrix.to_dense()
+        u, s, vt = np.linalg.svd(dense, full_matrices=False)
+        p = u * s
+        return FactorModel(p, vt)
+
+    def test_rmse_zero_for_perfect_model(self, tiny_matrix, perfect_model):
+        assert rmse(perfect_model, tiny_matrix) == pytest.approx(0.0, abs=1e-9)
+
+    def test_mae_zero_for_perfect_model(self, tiny_matrix, perfect_model):
+        assert mae(perfect_model, tiny_matrix) == pytest.approx(0.0, abs=1e-9)
+
+    def test_rmse_of_zero_model(self, tiny_matrix):
+        model = FactorModel(np.zeros((6, 2)), np.zeros((2, 5)))
+        expected = float(np.sqrt(np.mean(tiny_matrix.vals ** 2)))
+        assert rmse(model, tiny_matrix) == pytest.approx(expected)
+
+    def test_pointwise_errors_sign(self, tiny_matrix):
+        model = FactorModel(np.zeros((6, 2)), np.zeros((2, 5)))
+        errors = pointwise_errors(model, tiny_matrix)
+        np.testing.assert_allclose(errors, tiny_matrix.vals)
+
+    def test_rmse_requires_ratings(self):
+        empty = SparseRatingMatrix.from_triples([], shape=(2, 2))
+        model = FactorModel.initialize(2, 2, 2)
+        with pytest.raises(InvalidMatrixError):
+            rmse(model, empty)
+        with pytest.raises(InvalidMatrixError):
+            mae(model, empty)
+
+    def test_regularized_loss_exceeds_squared_error(self, tiny_matrix):
+        model = FactorModel.initialize(6, 5, 3, seed=0)
+        plain = regularized_loss(model, tiny_matrix, reg_p=0.0, reg_q=0.0)
+        regularised = regularized_loss(model, tiny_matrix, reg_p=0.5, reg_q=0.5)
+        assert regularised > plain
+
+    def test_regularized_loss_matches_manual(self, tiny_matrix):
+        model = FactorModel.initialize(6, 5, 2, seed=3)
+        loss = regularized_loss(model, tiny_matrix, reg_p=0.1, reg_q=0.2)
+        manual = 0.0
+        for u, v, r in tiny_matrix.iter_triples():
+            error = r - model.predict_single(u, v)
+            manual += error ** 2
+            manual += 0.1 * float(model.p[u] @ model.p[u])
+            manual += 0.2 * float(model.q[:, v] @ model.q[:, v])
+        assert loss == pytest.approx(manual)

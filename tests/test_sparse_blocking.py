@@ -1,0 +1,126 @@
+"""Tests of grid banding and block extraction."""
+
+import numpy as np
+import pytest
+
+from repro.exceptions import InvalidPartitionError
+from repro.sparse import (
+    balanced_boundaries,
+    extract_block,
+    extract_grid,
+    uniform_boundaries,
+)
+from repro.sparse.blocking import grid_nnz
+
+
+class TestUniformBoundaries:
+    def test_covers_extent(self):
+        bounds = uniform_boundaries(100, 4)
+        assert bounds[0] == 0 and bounds[-1] == 100
+        assert len(bounds) == 5
+
+    def test_strictly_increasing(self):
+        bounds = uniform_boundaries(10, 7)
+        assert np.all(np.diff(bounds) > 0)
+
+    def test_single_part(self):
+        assert uniform_boundaries(10, 1).tolist() == [0, 10]
+
+    def test_extent_equal_parts(self):
+        bounds = uniform_boundaries(5, 5)
+        assert bounds.tolist() == [0, 1, 2, 3, 4, 5]
+
+    def test_rejects_too_many_parts(self):
+        with pytest.raises(InvalidPartitionError):
+            uniform_boundaries(3, 4)
+
+    def test_rejects_non_positive_parts(self):
+        with pytest.raises(InvalidPartitionError):
+            uniform_boundaries(10, 0)
+
+
+class TestBalancedBoundaries:
+    def test_balances_skewed_counts(self):
+        counts = np.array([100, 1, 1, 1, 1, 1, 1, 1, 1, 100])
+        bounds = balanced_boundaries(counts, 2)
+        left = counts[bounds[0]:bounds[1]].sum()
+        right = counts[bounds[1]:bounds[2]].sum()
+        assert abs(int(left) - int(right)) <= 100
+
+    def test_covers_extent(self):
+        counts = np.ones(50, dtype=int)
+        bounds = balanced_boundaries(counts, 5)
+        assert bounds[0] == 0 and bounds[-1] == 50
+        assert np.all(np.diff(bounds) > 0)
+
+    def test_zero_counts_fall_back_to_uniform(self):
+        bounds = balanced_boundaries(np.zeros(10, dtype=int), 2)
+        assert bounds.tolist() == [0, 5, 10]
+
+    def test_rejects_more_parts_than_indices(self):
+        with pytest.raises(InvalidPartitionError):
+            balanced_boundaries(np.ones(3, dtype=int), 5)
+
+    def test_balanced_on_real_counts(self, small_matrix):
+        bounds = balanced_boundaries(small_matrix.row_counts(), 6)
+        sums = [
+            small_matrix.row_counts()[bounds[i]:bounds[i + 1]].sum()
+            for i in range(6)
+        ]
+        assert max(sums) <= 2.0 * small_matrix.nnz / 6
+
+
+class TestExtractGrid:
+    def test_every_rating_in_exactly_one_block(self, small_matrix):
+        rows = balanced_boundaries(small_matrix.row_counts(), 4)
+        cols = balanced_boundaries(small_matrix.col_counts(), 3)
+        grid = extract_grid(small_matrix, rows, cols)
+        total = sum(block.nnz for row in grid for block in row)
+        assert total == small_matrix.nnz
+        all_indices = np.concatenate(
+            [block.indices for row in grid for block in row]
+        )
+        assert len(np.unique(all_indices)) == small_matrix.nnz
+
+    def test_blocks_respect_ranges(self, small_matrix):
+        rows = uniform_boundaries(small_matrix.n_rows, 3)
+        cols = uniform_boundaries(small_matrix.n_cols, 2)
+        grid = extract_grid(small_matrix, rows, cols)
+        for row in grid:
+            for block in row:
+                if block.nnz == 0:
+                    continue
+                r = small_matrix.rows[block.indices]
+                c = small_matrix.cols[block.indices]
+                assert r.min() >= block.row_range[0]
+                assert r.max() < block.row_range[1]
+                assert c.min() >= block.col_range[0]
+                assert c.max() < block.col_range[1]
+
+    def test_grid_shape(self, tiny_matrix):
+        grid = extract_grid(tiny_matrix, [0, 3, 6], [0, 2, 5])
+        assert len(grid) == 2
+        assert len(grid[0]) == 2
+
+    def test_grid_nnz_matrix(self, tiny_matrix):
+        grid = extract_grid(tiny_matrix, [0, 3, 6], [0, 2, 5])
+        nnz = grid_nnz(grid)
+        assert nnz.shape == (2, 2)
+        assert nnz.sum() == tiny_matrix.nnz
+
+    def test_extract_block_matches_grid(self, tiny_matrix):
+        grid = extract_grid(tiny_matrix, [0, 3, 6], [0, 2, 5])
+        manual = extract_block(tiny_matrix, (0, 3), (0, 2))
+        np.testing.assert_array_equal(np.sort(manual), grid[0][0].indices)
+
+    def test_invalid_boundaries_rejected(self, tiny_matrix):
+        with pytest.raises(InvalidPartitionError):
+            extract_grid(tiny_matrix, [0, 6], [0, 3, 3, 5])
+        with pytest.raises(InvalidPartitionError):
+            extract_grid(tiny_matrix, [1, 6], [0, 5])
+        with pytest.raises(InvalidPartitionError):
+            extract_grid(tiny_matrix, [0, 4], [0, 5])
+
+    def test_block_slice_repr(self, tiny_matrix):
+        grid = extract_grid(tiny_matrix, [0, 6], [0, 5])
+        assert "nnz=13" in repr(grid[0][0])

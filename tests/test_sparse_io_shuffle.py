@@ -1,0 +1,90 @@
+"""Tests of triple-file I/O and calibration-shuffle helpers."""
+
+import numpy as np
+import pytest
+
+from repro.exceptions import DatasetError, InvalidMatrixError
+from repro.sparse import (
+    SparseRatingMatrix,
+    read_triples,
+    shuffled_copy,
+    split_prefix_sums,
+    write_triples,
+)
+
+
+class TestTripleIO:
+    def test_round_trip(self, tiny_matrix, tmp_path):
+        path = tmp_path / "ratings.txt"
+        write_triples(tiny_matrix, path)
+        loaded = read_triples(path, shape=tiny_matrix.shape)
+        assert loaded == tiny_matrix
+
+    def test_round_trip_one_based(self, tiny_matrix, tmp_path):
+        path = tmp_path / "ratings_1based.txt"
+        write_triples(tiny_matrix, path, one_based=True)
+        loaded = read_triples(path, one_based=True, shape=tiny_matrix.shape)
+        assert loaded == tiny_matrix
+
+    def test_comma_delimiter_and_extra_fields(self, tmp_path):
+        path = tmp_path / "ratings.csv"
+        path.write_text("1,2,3.5,978300760\n2,1,4.0,978300761\n")
+        loaded = read_triples(path, delimiter=",", one_based=True)
+        assert loaded.nnz == 2
+        assert loaded.vals.tolist() == [3.5, 4.0]
+
+    def test_comments_and_blank_lines_skipped(self, tmp_path):
+        path = tmp_path / "ratings.txt"
+        path.write_text("# header\n\n0 0 1.0\n% matrix market style\n1 1 2.0\n")
+        loaded = read_triples(path)
+        assert loaded.nnz == 2
+
+    def test_missing_file(self, tmp_path):
+        with pytest.raises(DatasetError):
+            read_triples(tmp_path / "absent.txt")
+
+    def test_empty_file(self, tmp_path):
+        path = tmp_path / "empty.txt"
+        path.write_text("# nothing here\n")
+        with pytest.raises(DatasetError):
+            read_triples(path)
+
+    def test_malformed_line(self, tmp_path):
+        path = tmp_path / "bad.txt"
+        path.write_text("0 0\n")
+        with pytest.raises(DatasetError):
+            read_triples(path)
+
+    def test_unparseable_value(self, tmp_path):
+        path = tmp_path / "bad.txt"
+        path.write_text("0 0 abc\n")
+        with pytest.raises(DatasetError):
+            read_triples(path)
+
+
+class TestShuffleHelpers:
+    def test_shuffled_copy_matches_method(self, small_matrix):
+        assert shuffled_copy(small_matrix, seed=9) == small_matrix.shuffled(seed=9)
+
+    def test_prefix_sums_are_cumulative(self, small_matrix):
+        prefixes = split_prefix_sums(small_matrix, 5)
+        assert len(prefixes) == 5
+        sizes = [p.nnz for p in prefixes]
+        assert sizes == sorted(sizes)
+        assert sizes[-1] == small_matrix.nnz
+        # Each prefix extends the previous one.
+        for smaller, larger in zip(prefixes, prefixes[1:]):
+            np.testing.assert_array_equal(
+                smaller.rows, larger.rows[: smaller.nnz]
+            )
+
+    def test_prefix_sums_sizes_roughly_linear(self, small_matrix):
+        prefixes = split_prefix_sums(small_matrix, 4)
+        expected = small_matrix.nnz / 4
+        assert prefixes[0].nnz == pytest.approx(expected, rel=0.05)
+
+    def test_prefix_sums_rejects_bad_segments(self, tiny_matrix):
+        with pytest.raises(InvalidMatrixError):
+            split_prefix_sums(tiny_matrix, 0)
+        with pytest.raises(InvalidMatrixError):
+            split_prefix_sums(tiny_matrix, tiny_matrix.nnz + 1)
