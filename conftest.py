@@ -14,3 +14,12 @@ import sys
 _SRC = os.path.join(os.path.dirname(os.path.abspath(__file__)), "src")
 if _SRC not in sys.path:
     sys.path.insert(0, _SRC)
+
+
+def pytest_configure(config):
+    """Register project markers (no pytest.ini / pyproject table exists)."""
+    config.addinivalue_line(
+        "markers",
+        "slow: long-running stress tests (threaded-backend training on "
+        'Netflix-sized data); deselect with -m "not slow"',
+    )

@@ -23,6 +23,7 @@ paper-to-module mapping.
 """
 
 from .config import (
+    BACKENDS,
     ExperimentConfig,
     HardwareConfig,
     SchedulingConfig,
@@ -37,6 +38,7 @@ from .core import (
 from .costmodel import CalibrationResult, WorkloadSplit, calibrate_platform, solve_alpha
 from .datasets import dataset_names, get_dataset, load_dataset
 from .exceptions import ReproError
+from .exec import Engine, EngineResult, ThreadedEngine, ThreadedResult
 from .hardware import HeterogeneousPlatform, PlatformPreset, paper_machine_preset
 from .sgd import FactorModel, rmse, train_als, train_ccd, train_hogwild, train_serial_sgd
 from .sparse import SparseRatingMatrix
@@ -44,10 +46,15 @@ from .sparse import SparseRatingMatrix
 __version__ = "1.0.0"
 
 __all__ = [
+    "BACKENDS",
     "ExperimentConfig",
     "HardwareConfig",
     "SchedulingConfig",
     "TrainingConfig",
+    "Engine",
+    "EngineResult",
+    "ThreadedEngine",
+    "ThreadedResult",
     "ALGORITHMS",
     "HeterogeneousTrainer",
     "TrainResult",

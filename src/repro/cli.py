@@ -16,6 +16,7 @@ import sys
 from typing import List, Optional
 
 from . import __version__
+from .config import BACKENDS
 from .core import ALGORITHMS, HeterogeneousTrainer
 from .datasets import dataset_names, load_dataset
 from .experiments import (
@@ -75,6 +76,15 @@ def _build_parser() -> argparse.ArgumentParser:
     train.add_argument("--cpu-threads", type=int, default=16)
     train.add_argument("--gpu-workers", type=int, default=128)
     train.add_argument("--seed", type=int, default=0)
+    train.add_argument(
+        "--backend",
+        default="simulate",
+        choices=BACKENDS,
+        help=(
+            "execution backend: 'simulate' replays the run on the modelled "
+            "hardware, 'threads' trains with real concurrent worker threads"
+        ),
+    )
 
     for name in EXPERIMENTS:
         experiment = subparsers.add_parser(name, help=f"run the {name} experiment")
@@ -117,11 +127,15 @@ def _run_train(args: argparse.Namespace) -> None:
         preset=context.preset,
         seed=args.seed,
     )
-    result = trainer.fit(data.train, data.test, iterations=args.iterations)
+    result = trainer.fit(
+        data.train, data.test, iterations=args.iterations, backend=args.backend
+    )
+    time_label = "wall time (s)     " if args.backend == "threads" else "simulated time (s)"
     print(f"dataset            : {args.dataset} ({data.train.nnz} train ratings)")
     print(f"algorithm          : {args.algorithm}")
+    print(f"backend            : {result.backend}")
     print(f"iterations         : {len(result.trace.iterations)}")
-    print(f"simulated time (s) : {result.simulated_time:.6f}")
+    print(f"{time_label} : {result.simulated_time:.6f}")
     print(f"final test RMSE    : {result.final_test_rmse:.4f}")
     if result.alpha is not None:
         print(f"GPU workload share : {result.alpha:.3f}")

@@ -36,6 +36,10 @@ DEFAULT_GPU_COUNT = 1
 #: Default number of GPU parallel workers (CuMF_SGD definition).
 DEFAULT_GPU_PARALLEL_WORKERS = 128
 
+#: The available execution backends: the discrete-event simulator
+#: (:mod:`repro.sim`) and the real thread pool (:mod:`repro.exec`).
+BACKENDS = ("simulate", "threads")
+
 
 @dataclass(frozen=True)
 class TrainingConfig:
@@ -61,6 +65,10 @@ class TrainingConfig:
     init_scale:
         Scale of the uniform random initialisation of ``P`` and ``Q``.
         The common heuristic ``1/sqrt(k)`` is used when left ``None``.
+    backend:
+        Execution backend running the training: ``"simulate"`` (the
+        discrete-event engine with cost-model timing) or ``"threads"``
+        (real concurrent worker threads; see :mod:`repro.exec`).
     """
 
     latent_factors: int = DEFAULT_LATENT_FACTORS
@@ -70,6 +78,7 @@ class TrainingConfig:
     iterations: int = 20
     seed: int = 0
     init_scale: Optional[float] = None
+    backend: str = "simulate"
 
     def __post_init__(self) -> None:
         if self.latent_factors <= 0:
@@ -93,10 +102,18 @@ class TrainingConfig:
             raise ConfigurationError(
                 f"init_scale must be positive when given, got {self.init_scale}"
             )
+        if self.backend not in BACKENDS:
+            raise ConfigurationError(
+                f"backend must be one of {BACKENDS}, got {self.backend!r}"
+            )
 
     def with_iterations(self, iterations: int) -> "TrainingConfig":
         """Return a copy of this config with a different iteration count."""
         return dataclasses.replace(self, iterations=iterations)
+
+    def with_backend(self, backend: str) -> "TrainingConfig":
+        """Return a copy of this config with a different execution backend."""
+        return dataclasses.replace(self, backend=backend)
 
     def with_seed(self, seed: int) -> "TrainingConfig":
         """Return a copy of this config with a different random seed."""

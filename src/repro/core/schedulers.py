@@ -223,6 +223,11 @@ class HSGDStarScheduler(Scheduler):
             if task is not None:
                 self._gpu_assigned += task.nnz
                 return task
+            # Quota remains but every free GPU block is band-locked: idle
+            # until a completion frees one.  Stealing CPU blocks now would
+            # start the dynamic phase before the GPU region is exhausted,
+            # violating the Section VI-A contract.
+            return None
 
         if self.dynamic_scheduling and self._cpu_quota_left():
             task = self._single_block_task(
@@ -281,6 +286,10 @@ class HSGDStarScheduler(Scheduler):
             if task is not None:
                 self._cpu_assigned += task.nnz
                 return task
+            # Quota remains but every free CPU block is band-locked by a
+            # sibling thread: idle rather than steal — steals may only
+            # begin once the CPU band's quota is exhausted (Section VI-A).
+            return None
 
         if self.dynamic_scheduling and self._gpu_quota_left():
             task = self._single_block_task(

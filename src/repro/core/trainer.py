@@ -19,9 +19,10 @@ from __future__ import annotations
 from dataclasses import dataclass
 from typing import List, Optional, Tuple
 
-from ..config import HardwareConfig, TrainingConfig
+from ..config import BACKENDS, HardwareConfig, TrainingConfig
 from ..costmodel import CalibrationResult, WorkloadSplit, calibrate_platform, solve_alpha
 from ..exceptions import ConfigurationError
+from ..exec import Engine, ThreadedEngine
 from ..hardware import HeterogeneousPlatform, PlatformPreset, PAPER_MACHINE
 from ..sgd import FactorModel
 from ..sgd.schedules import LearningRateSchedule
@@ -46,10 +47,17 @@ class TrainResult:
     converged: bool
     alpha: Optional[float] = None
     calibration: Optional[CalibrationResult] = None
+    backend: str = "simulate"
+    """Which execution backend produced the run (``"simulate"`` or
+    ``"threads"``); determines the time base of :attr:`simulated_time`."""
 
     @property
     def simulated_time(self) -> float:
-        """Simulated wall-clock seconds of the run."""
+        """Total engine seconds of the run.
+
+        Simulated seconds for the ``"simulate"`` backend, wall-clock
+        seconds for the ``"threads"`` backend.
+        """
         return self.trace.final_time
 
     @property
@@ -221,6 +229,7 @@ class HeterogeneousTrainer:
         schedule: Optional[LearningRateSchedule] = None,
         alpha_override: Optional[float] = None,
         compute_train_rmse: bool = False,
+        backend: Optional[str] = None,
     ) -> TrainResult:
         """Divide, schedule and train on ``train``.
 
@@ -233,7 +242,8 @@ class HeterogeneousTrainer:
         target_rmse:
             Stop as soon as the test RMSE reaches this value.
         max_simulated_time:
-            Hard simulated-time budget.
+            Hard time budget (simulated seconds for the ``"simulate"``
+            backend, wall-clock seconds for ``"threads"``).
         model:
             Optional warm-start factor model.
         schedule:
@@ -243,6 +253,10 @@ class HeterogeneousTrainer:
             (used by the alpha-sensitivity ablation).
         compute_train_rmse:
             Also record training RMSE each iteration.
+        backend:
+            Execution backend override: ``"simulate"`` (discrete-event
+            engine, the default) or ``"threads"`` (real concurrent worker
+            threads).  Defaults to ``training.backend``.
         """
         alpha: Optional[float] = None
         if self.spec.division == "nonuniform":
@@ -262,11 +276,11 @@ class HeterogeneousTrainer:
         scheduler = build_scheduler(
             self.spec, grid, self._effective_hardware, seed=self.seed
         )
-        engine = SimulationEngine(
-            scheduler=scheduler,
-            platform=self._platform,
-            train=train,
-            training=self.training,
+        backend = backend if backend is not None else self.training.backend
+        engine = self._build_engine(
+            backend,
+            scheduler,
+            train,
             test=test,
             model=model,
             schedule=schedule,
@@ -284,6 +298,44 @@ class HeterogeneousTrainer:
             converged=outcome.converged,
             alpha=alpha,
             calibration=self._calibration,
+            backend=backend,
+        )
+
+    def _build_engine(
+        self,
+        backend: str,
+        scheduler,
+        train: SparseRatingMatrix,
+        test: Optional[SparseRatingMatrix],
+        model: Optional[FactorModel],
+        schedule: Optional[LearningRateSchedule],
+        compute_train_rmse: bool,
+    ) -> Engine:
+        """Construct the execution backend for one run."""
+        if backend == "simulate":
+            return SimulationEngine(
+                scheduler=scheduler,
+                platform=self._platform,
+                train=train,
+                training=self.training,
+                test=test,
+                model=model,
+                schedule=schedule,
+                compute_train_rmse=compute_train_rmse,
+            )
+        if backend == "threads":
+            return ThreadedEngine(
+                scheduler=scheduler,
+                train=train,
+                training=self.training,
+                test=test,
+                model=model,
+                schedule=schedule,
+                platform=self._platform,
+                compute_train_rmse=compute_train_rmse,
+            )
+        raise ConfigurationError(
+            f"backend must be one of {BACKENDS}, got {backend!r}"
         )
 
 
@@ -297,11 +349,14 @@ def factorize(
     iterations: Optional[int] = None,
     target_rmse: Optional[float] = None,
     seed: int = 0,
+    backend: Optional[str] = None,
 ) -> TrainResult:
-    """One-call matrix factorization on the simulated heterogeneous machine.
+    """One-call matrix factorization on the heterogeneous machine.
 
     A thin convenience wrapper around :class:`HeterogeneousTrainer` for
     examples and quick experiments; see the class for parameter details.
+    ``backend`` selects the execution backend (``"simulate"`` or
+    ``"threads"``).
     """
     trainer = HeterogeneousTrainer(
         algorithm=algorithm,
@@ -315,4 +370,5 @@ def factorize(
         test=test,
         iterations=iterations,
         target_rmse=target_rmse,
+        backend=backend,
     )

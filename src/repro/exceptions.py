@@ -55,6 +55,15 @@ class SimulationError(ReproError):
     """The discrete-event simulation engine reached an invalid state."""
 
 
+class ExecutionError(ReproError):
+    """The threaded execution backend reached an invalid state.
+
+    Raised for worker/platform mismatches, runs that can make no
+    progress (every worker idle with work remaining), and failures
+    propagated out of worker threads.
+    """
+
+
 class DatasetError(ReproError):
     """A dataset could not be generated, loaded, or parsed."""
 

@@ -1,0 +1,29 @@
+"""Execution backends: turning scheduler decisions into SGD updates.
+
+This package defines the :class:`Engine` protocol every backend
+implements and ships the real-parallelism backend:
+
+* :mod:`repro.exec.base` — the :class:`Engine` interface and the
+  backend-agnostic :class:`EngineResult`;
+* :mod:`repro.exec.threaded` — :class:`ThreadedEngine`, a thread pool of
+  genuinely concurrent workers applying conflict-free block updates to
+  the shared factor matrices (Hogwild-safe under the band-lock
+  guarantee).
+
+The discrete-event backend lives in :mod:`repro.sim` and implements the
+same protocol; select between them with ``backend="simulate"`` or
+``backend="threads"`` on :class:`~repro.config.TrainingConfig`,
+:meth:`~repro.core.trainer.HeterogeneousTrainer.fit` or the CLI.
+"""
+
+from .base import BACKENDS, Engine, EngineResult
+from .threaded import IDLE_POLL_SECONDS, ThreadedEngine, ThreadedResult
+
+__all__ = [
+    "BACKENDS",
+    "Engine",
+    "EngineResult",
+    "IDLE_POLL_SECONDS",
+    "ThreadedEngine",
+    "ThreadedResult",
+]

@@ -1,0 +1,154 @@
+"""The engine protocol shared by every execution backend.
+
+An *engine* takes a scheduler's decisions and turns them into actual SGD
+updates on the shared factor matrices.  The library ships two engines:
+
+* :class:`repro.sim.SimulationEngine` — the discrete-event simulator that
+  advances a virtual clock with cost-model task durations (the backend
+  behind every paper figure, usable without real parallel hardware);
+* :class:`repro.exec.ThreadedEngine` — genuinely concurrent CPU worker
+  threads driving the same scheduler over the same shared numpy factor
+  matrices.
+
+Both implement :class:`Engine` and produce an
+:class:`~repro.sim.trace.ExecutionTrace`, so everything downstream of a
+run — RMSE curves, worker statistics, workload shares, steal counts — is
+backend-agnostic.  Which backend a run uses is selected with the
+``backend`` option of :class:`~repro.config.TrainingConfig` /
+:meth:`~repro.core.trainer.HeterogeneousTrainer.fit`.
+"""
+
+from __future__ import annotations
+
+from abc import ABC, abstractmethod
+from dataclasses import dataclass
+from typing import TYPE_CHECKING, List, Optional, Tuple
+
+from ..config import BACKENDS  # noqa: F401  (re-exported; validated there)
+
+if TYPE_CHECKING:  # imported lazily to avoid a cycle with repro.sim
+    from ..sgd import FactorModel
+    from ..sim.trace import ExecutionTrace
+
+
+@dataclass
+class EngineResult:
+    """Outcome of one training run, regardless of the backend."""
+
+    model: "FactorModel"
+    trace: "ExecutionTrace"
+    converged: bool
+    """Whether the requested RMSE target (if any) was reached."""
+
+    @property
+    def simulated_time(self) -> float:
+        """Total engine seconds of the run.
+
+        Simulated seconds for the discrete-event backend, wall-clock
+        seconds for the threaded backend; either way the time base of the
+        trace's task and iteration records.
+        """
+        return self.trace.final_time
+
+    @property
+    def final_test_rmse(self) -> Optional[float]:
+        """Test RMSE after the last completed iteration."""
+        if not self.trace.iterations:
+            return None
+        return self.trace.iterations[-1].test_rmse
+
+    def rmse_curve(self) -> List[Tuple[float, float]]:
+        """``(time, test_rmse)`` pairs, one per iteration."""
+        return self.trace.rmse_curve()
+
+
+#: Iteration cap applied when a run is bounded only by ``target_rmse``
+#: (or a time budget): far past any convergent training, it bounds the
+#: damage of a diverging run that can never reach its target.
+MAX_UNBOUNDED_ITERATIONS = 10_000
+
+
+def resolve_stopping_conditions(
+    iterations: Optional[int],
+    target_rmse: Optional[float],
+    max_simulated_time: Optional[float],
+    default_iterations: int,
+    has_test: bool,
+    error: type,
+) -> int:
+    """Shared ``run()`` preamble of every backend.
+
+    Validates that target-RMSE stopping has a test set to evaluate,
+    applies the default iteration count when no stopping condition was
+    given at all, and derives the effective iteration cap.  Keeping this
+    in one place is what keeps the backends' stopping semantics — and
+    hence the 1-worker sim-parity guarantee — in lockstep.
+
+    Returns the iteration cap of the run; raises ``error`` on an invalid
+    combination.
+    """
+    if target_rmse is not None and not has_test:
+        raise error("target_rmse stopping requires a test set")
+    if iterations is None and target_rmse is None and max_simulated_time is None:
+        iterations = default_iterations
+    return iterations if iterations is not None else MAX_UNBOUNDED_ITERATIONS
+
+
+def apply_task_updates(model, train, task, rate, training, exact_kernel=False):
+    """Apply one task's SGD updates to the shared factor matrices.
+
+    The single kernel-invocation point used by every backend: both
+    engines must issue byte-identical kernel calls or the 1-worker
+    sim-parity guarantee breaks.
+    """
+    from ..sgd import sgd_block_minibatch, sgd_block_sequential
+
+    indices = task.indices()
+    if len(indices) == 0:
+        return
+    kernel = sgd_block_sequential if exact_kernel else sgd_block_minibatch
+    kernel(
+        model.p,
+        model.q,
+        train.rows[indices],
+        train.cols[indices],
+        train.vals[indices],
+        rate,
+        training.reg_p,
+        training.reg_q,
+    )
+
+
+class Engine(ABC):
+    """Common interface of the execution backends.
+
+    Engines are single-use: construct one per run with the scheduler,
+    data and hyper-parameters, then call :meth:`run` once.  Concrete
+    engines expose at least ``scheduler`` and ``model`` attributes so
+    callers can inspect the grid state and the trained factors.
+    """
+
+    @abstractmethod
+    def run(
+        self,
+        iterations: Optional[int] = None,
+        target_rmse: Optional[float] = None,
+        max_simulated_time: Optional[float] = None,
+    ) -> EngineResult:
+        """Train until a stopping condition is met.
+
+        Parameters
+        ----------
+        iterations:
+            Stop after this many full passes over the training ratings
+            (defaults to ``training.iterations`` when neither a target
+            RMSE nor a time budget is given).  Runs bounded only by a
+            target RMSE or a time budget are additionally capped at
+            :data:`MAX_UNBOUNDED_ITERATIONS` epochs.
+        target_rmse:
+            Stop as soon as the test RMSE at an iteration boundary is at
+            or below this value (requires a test set).
+        max_simulated_time:
+            Hard cap on engine seconds (simulated seconds for the
+            simulator, wall-clock seconds for the threaded backend).
+        """

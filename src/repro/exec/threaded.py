@@ -1,0 +1,445 @@
+"""A real thread-pool execution backend.
+
+Where :class:`repro.sim.SimulationEngine` advances a virtual clock with
+cost-model task durations, :class:`ThreadedEngine` runs the same
+scheduler with genuinely concurrent worker threads over the shared numpy
+factor matrices.  One thread is spawned per scheduler worker (CPU
+threads first, then GPUs, matching the scheduler's index space); each
+thread repeatedly asks the scheduler for a task, applies the task's SGD
+updates and reports completion.
+
+Correctness relies on the band-lock guarantee the whole paper is built
+on: the scheduler only hands out conflict-free tasks, so two in-flight
+tasks never share a row band of ``P`` or a column band of ``Q``.  The
+kernel therefore writes to disjoint slices of the shared matrices and is
+Hogwild-safe without any per-element synchronisation — only the
+*scheduler* (a plain-Python data structure) is protected by a lock, and
+the numerical work happens outside it.
+
+"GPU" workers are ordinary threads here (the container has no CUDA); an
+optional ``gpu_latency_scale`` makes them sleep for a fraction of the
+simulated device time after each task, which lets throughput experiments
+model a fast-but-latency-bound accelerator against real CPU threads.
+
+The engine produces the same :class:`~repro.sim.trace.ExecutionTrace`
+the simulator does, with wall-clock seconds as the time base, so every
+downstream analysis (RMSE curves, utilisation, steal counts) works
+unchanged on real executions.
+"""
+
+from __future__ import annotations
+
+import threading
+import time
+from dataclasses import dataclass
+from typing import Optional
+
+from ..config import TrainingConfig
+from ..exceptions import ExecutionError
+from ..hardware import HeterogeneousPlatform
+from ..sgd import FactorModel, rmse
+from ..sgd.schedules import ConstantSchedule, LearningRateSchedule
+from ..sparse import SparseRatingMatrix
+from ..core.schedulers import Scheduler
+from ..core.tasks import Task
+from ..sim.trace import ExecutionTrace, IterationRecord, TaskRecord
+from .base import (
+    Engine,
+    EngineResult,
+    apply_task_updates,
+    resolve_stopping_conditions,
+)
+
+#: Seconds an idle worker waits before re-polling the scheduler.  Idle
+#: workers are also woken explicitly whenever a task completes, so this
+#: only bounds the latency of rare missed wake-ups and of wall-clock
+#: budget expiry.
+IDLE_POLL_SECONDS = 0.05
+
+
+@dataclass
+class ThreadedResult(EngineResult):
+    """Outcome of one threaded training run.
+
+    ``trace.final_time`` (and hence :attr:`simulated_time`) is wall-clock
+    seconds from the start of :meth:`ThreadedEngine.run` to the last task
+    completion.
+    """
+
+    @property
+    def wall_time(self) -> float:
+        """Wall-clock seconds of the run (alias of :attr:`simulated_time`)."""
+        return self.trace.final_time
+
+    @property
+    def throughput(self) -> float:
+        """Ratings processed per wall-clock second."""
+        if self.trace.final_time <= 0:
+            return 0.0
+        return self.trace.total_points() / self.trace.final_time
+
+
+class ThreadedEngine(Engine):
+    """Runs a scheduler with a pool of real concurrent worker threads.
+
+    Parameters
+    ----------
+    scheduler:
+        The block scheduler to execute; one thread is created per
+        scheduler worker.
+    train:
+        Training ratings.
+    training:
+        Hyper-parameters (``k``, ``gamma``, ``lambda``).
+    test:
+        Optional held-out ratings; needed for RMSE-vs-time curves and
+        time-to-target stopping.
+    model:
+        Optional pre-initialised factor model (a fresh one is created
+        otherwise).
+    schedule:
+        Learning-rate schedule; constant by default.
+    platform:
+        Optional simulated platform description.  Only consulted for
+        ``gpu_latency_scale``; when given, its worker count must match
+        the scheduler's.
+    exact_kernel:
+        Use the exact per-rating kernel (slow; for small validation runs).
+    compute_train_rmse:
+        Also record training RMSE at iteration boundaries.
+    gpu_latency_scale:
+        When positive (requires ``platform``), each GPU worker sleeps for
+        this fraction of its task's *simulated* device time after the
+        numerical work, emulating device latency against real CPU
+        threads.  Zero (the default) disables the emulation.
+    """
+
+    def __init__(
+        self,
+        scheduler: Scheduler,
+        train: SparseRatingMatrix,
+        training: TrainingConfig,
+        test: Optional[SparseRatingMatrix] = None,
+        model: Optional[FactorModel] = None,
+        schedule: Optional[LearningRateSchedule] = None,
+        platform: Optional[HeterogeneousPlatform] = None,
+        exact_kernel: bool = False,
+        compute_train_rmse: bool = False,
+        gpu_latency_scale: float = 0.0,
+    ) -> None:
+        if platform is not None and platform.n_workers != scheduler.n_workers:
+            raise ExecutionError(
+                f"platform has {platform.n_workers} workers but the scheduler "
+                f"expects {scheduler.n_workers}"
+            )
+        if gpu_latency_scale < 0:
+            raise ExecutionError(
+                f"gpu_latency_scale must be >= 0, got {gpu_latency_scale}"
+            )
+        if gpu_latency_scale > 0 and platform is None:
+            raise ExecutionError("gpu_latency_scale needs a platform for timing")
+        self.scheduler = scheduler
+        self.train = train
+        self.test = test
+        self.training = training
+        self.model = model or FactorModel.for_matrix(train, training)
+        self.schedule = schedule or ConstantSchedule(training.learning_rate)
+        self.platform = platform
+        self.exact_kernel = exact_kernel
+        self.compute_train_rmse = compute_train_rmse
+        self.gpu_latency_scale = gpu_latency_scale
+        self.n_workers = scheduler.n_workers
+
+        # Shared run state, guarded by the condition's lock.  Workers wait
+        # on the condition while no conflict-free work exists for them and
+        # are woken by every completion (which may have released the bands
+        # or quota they need).
+        self._cond = threading.Condition()
+        self._trace: Optional[ExecutionTrace] = None
+        self._started = False
+        self._stopping = False
+        self._converged = False
+        self._error: Optional[BaseException] = None
+        self._in_flight = 0
+        self._boundary_busy = False
+        self._idle: set = set()
+        self._points_completed = 0
+        self._iteration = 0
+        self._iteration_target = 0
+        self._total_points = 0
+        self._max_iterations = 0
+        self._target_rmse: Optional[float] = None
+        self._deadline: Optional[float] = None
+        self._clock_start = 0.0
+        self._last_event = 0.0
+
+    # ------------------------------------------------------------------ #
+    # Main entry point
+    # ------------------------------------------------------------------ #
+    def run(
+        self,
+        iterations: Optional[int] = None,
+        target_rmse: Optional[float] = None,
+        max_simulated_time: Optional[float] = None,
+    ) -> ThreadedResult:
+        """Train with real worker threads until a stopping condition is met.
+
+        ``max_simulated_time`` bounds *wall-clock* seconds for this
+        backend; the parameter keeps its protocol name so callers can
+        switch backends without changing call sites.
+        """
+        if self._started:
+            raise ExecutionError("a ThreadedEngine can only be run once")
+        self._started = True
+        self._max_iterations = resolve_stopping_conditions(
+            iterations,
+            target_rmse,
+            max_simulated_time,
+            default_iterations=self.training.iterations,
+            has_test=self.test is not None,
+            error=ExecutionError,
+        )
+        self._target_rmse = target_rmse
+
+        self._total_points = self.scheduler.total_points
+        if self._total_points <= 0:
+            raise ExecutionError("the scheduler's grid contains no ratings")
+        self._iteration_target = self._total_points
+
+        trace = ExecutionTrace(target_rmse=target_rmse)
+        self._trace = trace
+        self.scheduler.start_iteration()
+        self._clock_start = time.monotonic()
+        if max_simulated_time is not None:
+            self._deadline = self._clock_start + max_simulated_time
+
+        threads = [
+            threading.Thread(
+                target=self._worker_loop,
+                args=(index,),
+                name=f"repro-exec-{index}",
+                daemon=True,
+            )
+            for index in range(self.n_workers)
+        ]
+        for thread in threads:
+            thread.start()
+        for thread in threads:
+            thread.join()
+
+        if self._error is not None:
+            if isinstance(self._error, ExecutionError):
+                raise self._error
+            raise ExecutionError(
+                f"a worker thread failed: {self._error!r}"
+            ) from self._error
+
+        trace.final_time = self._last_event
+        return ThreadedResult(
+            model=self.model, trace=trace, converged=self._converged
+        )
+
+    # ------------------------------------------------------------------ #
+    # Worker threads
+    # ------------------------------------------------------------------ #
+    def _elapsed(self) -> float:
+        return time.monotonic() - self._clock_start
+
+    def _worker_loop(self, worker_index: int) -> None:
+        is_gpu = self.scheduler.is_gpu_worker(worker_index)
+        while True:
+            with self._cond:
+                try:
+                    task, rate_iteration = self._acquire_task(worker_index)
+                except BaseException as exc:
+                    # A scheduler-side failure (e.g. a LockTable accounting
+                    # error) must surface through run(), not silently kill
+                    # this thread and hang the others.
+                    if self._error is None:
+                        self._error = exc
+                    self._cond.notify_all()
+                    return
+                if task is None:
+                    return
+            start = self._elapsed()
+            try:
+                self._execute_task(task, rate_iteration, is_gpu)
+            except BaseException as exc:  # propagate to run()
+                with self._cond:
+                    self.scheduler.abort_task(task)
+                    self._in_flight -= 1
+                    if self._error is None:
+                        self._error = exc
+                    self._cond.notify_all()
+                return
+            end = self._elapsed()
+            owns_boundary = False
+            with self._cond:
+                try:
+                    owns_boundary = self._book_completion(
+                        worker_index, is_gpu, task, start, end
+                    )
+                except BaseException as exc:
+                    # Completion bookkeeping failed: surface the error
+                    # instead of leaving the surviving workers polling a
+                    # run that can never finish.
+                    if self._error is None:
+                        self._error = exc
+                self._cond.notify_all()
+            if self._error is not None:
+                return
+            if owns_boundary:
+                try:
+                    self._process_boundaries()
+                except BaseException as exc:
+                    with self._cond:
+                        if self._error is None:
+                            self._error = exc
+                        self._boundary_busy = False
+                        self._cond.notify_all()
+                    return
+
+    def _acquire_task(self, worker_index: int):
+        """Block until a task is available, the run ends, or it deadlocks.
+
+        Returns ``(task, iteration)`` — the iteration number captured at
+        dispatch prices the learning rate even if other workers advance
+        the iteration while this task is still executing — or
+        ``(None, 0)`` when the worker should exit.  Caller holds the lock.
+        """
+        while True:
+            if self._stopping or self._error is not None:
+                return None, 0
+            if self._deadline is not None and time.monotonic() > self._deadline:
+                self._stopping = True
+                self._cond.notify_all()
+                return None, 0
+            task = self.scheduler.next_task(worker_index)
+            if task is not None:
+                self._idle.discard(worker_index)
+                self._in_flight += 1
+                return task, self._iteration
+            self._idle.add(worker_index)
+            if self._in_flight == 0 and len(self._idle) == self.n_workers:
+                # Nobody holds a task and nobody can get one: no future
+                # completion can unblock us (mirrors the simulator's
+                # all-idle check).
+                self._error = ExecutionError(
+                    "all workers are idle with work remaining; the grid or "
+                    "quota configuration cannot make progress"
+                )
+                self._cond.notify_all()
+                return None, 0
+            self._cond.wait(timeout=IDLE_POLL_SECONDS)
+
+    def _execute_task(self, task: Task, iteration: int, is_gpu: bool) -> None:
+        """Apply one task's SGD updates (no lock held — see module docstring)."""
+        apply_task_updates(
+            self.model,
+            self.train,
+            task,
+            self.schedule(iteration),
+            self.training,
+            exact_kernel=self.exact_kernel,
+        )
+        if is_gpu and self.gpu_latency_scale > 0 and self.platform is not None:
+            device = self.platform.all_devices[task.worker_index]
+            work = task.block_work(self.training.latent_factors)
+            time.sleep(device.process_time(work) * self.gpu_latency_scale)
+
+    def _book_completion(
+        self,
+        worker_index: int,
+        is_gpu: bool,
+        task: Task,
+        start: float,
+        end: float,
+    ) -> bool:
+        """Book a completed task (locked).
+
+        Returns ``True`` when this worker crossed an iteration boundary
+        and no other worker is already processing one: the caller must
+        then run :meth:`_process_boundaries` after releasing the lock.
+        """
+        self.scheduler.complete_task(task)
+        self._in_flight -= 1
+        self._points_completed += task.nnz
+        self._last_event = max(self._last_event, end)
+        self._trace.record_task(
+            TaskRecord(
+                worker_index=worker_index,
+                is_gpu=is_gpu,
+                start_time=start,
+                end_time=end,
+                points=task.nnz,
+                n_blocks=len(task.blocks),
+                stolen=task.stolen,
+                iteration=self._iteration,
+            )
+        )
+        if self._deadline is not None and time.monotonic() > self._deadline:
+            self._stopping = True
+        if (
+            not self._stopping
+            and not self._boundary_busy
+            and self._points_completed >= self._iteration_target
+        ):
+            self._boundary_busy = True
+            return True
+        return False
+
+    def _process_boundaries(self) -> None:
+        """Process iteration boundaries, evaluating RMSE outside the lock.
+
+        Iterations complete when the cumulative processed ratings reach
+        the next multiple of the grid's total, with the same accounting
+        as the simulator (other tasks may be in flight across the
+        boundary there too).  The counter advance and the scheduler's
+        quota reset happen under the lock so the other workers move on to
+        the next iteration immediately; the O(test nnz) RMSE evaluation
+        happens *outside* it — it would buy no consistency anyway, since
+        in-flight kernels mutate the factors regardless.  Only one worker
+        owns boundary processing at a time (``_boundary_busy``), which
+        keeps the iteration records ordered.
+        """
+        while True:
+            with self._cond:
+                if self._stopping or self._points_completed < self._iteration_target:
+                    self._boundary_busy = False
+                    self._cond.notify_all()
+                    return
+                index = self._iteration
+                points = self._points_completed
+                stamp = self._last_event
+                self._iteration += 1
+                self._iteration_target += self._total_points
+                self.scheduler.start_iteration()
+                # The quota reset unblocks the idle workers now — wake them
+                # before the RMSE evaluation, not after it.
+                self._cond.notify_all()
+
+            test_rmse = (
+                rmse(self.model, self.test) if self.test is not None else None
+            )
+            train_rmse = (
+                rmse(self.model, self.train) if self.compute_train_rmse else None
+            )
+
+            with self._cond:
+                self._trace.record_iteration(
+                    IterationRecord(
+                        iteration=index,
+                        simulated_time=stamp,
+                        train_rmse=train_rmse,
+                        test_rmse=test_rmse,
+                        points_processed=points,
+                    )
+                )
+                if self._target_rmse is not None and test_rmse is not None:
+                    if test_rmse <= self._target_rmse:
+                        self._converged = True
+                        self._trace.target_reached_at = stamp
+                        self._stopping = True
+                if self._iteration >= self._max_iterations:
+                    self._stopping = True
+                self._cond.notify_all()

@@ -183,9 +183,14 @@ def sgd_block_minibatch(
 
         # Average contributions of rows/columns repeated within the batch
         # (see the docstring): divide each contribution by how often its
-        # entity occurs in this batch before accumulating.
-        grad_p /= np.bincount(u)[u][:, None]
-        grad_q /= np.bincount(v)[v][:, None]
+        # entity occurs in this batch before accumulating.  The counts are
+        # derived with np.unique over the batch — sized by the number of
+        # distinct entities in the batch, not max(index)+1 as a bincount
+        # over the global row/column indices would be.
+        _, u_positions, u_counts = np.unique(u, return_inverse=True, return_counts=True)
+        _, v_positions, v_counts = np.unique(v, return_inverse=True, return_counts=True)
+        grad_p /= u_counts[u_positions][:, None]
+        grad_q /= v_counts[v_positions][:, None]
 
         np.add.at(p, u, grad_p)
         np.add.at(q.T, v, grad_q)

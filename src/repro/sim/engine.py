@@ -30,8 +30,14 @@ from typing import Optional
 
 from ..config import TrainingConfig
 from ..exceptions import SimulationError
+from ..exec.base import (
+    Engine,
+    EngineResult,
+    apply_task_updates,
+    resolve_stopping_conditions,
+)
 from ..hardware import HeterogeneousPlatform
-from ..sgd import FactorModel, rmse, sgd_block_minibatch, sgd_block_sequential
+from ..sgd import FactorModel, rmse
 from ..sgd.schedules import ConstantSchedule, LearningRateSchedule
 from ..sparse import SparseRatingMatrix
 from ..core.schedulers import Scheduler
@@ -40,28 +46,15 @@ from .trace import ExecutionTrace, IterationRecord, TaskRecord
 
 
 @dataclass
-class SimulationResult:
-    """Outcome of one simulated training run."""
+class SimulationResult(EngineResult):
+    """Outcome of one simulated training run.
 
-    model: FactorModel
-    trace: ExecutionTrace
-    converged: bool
-    """Whether the requested RMSE target (if any) was reached."""
-
-    @property
-    def simulated_time(self) -> float:
-        """Total simulated seconds of the run."""
-        return self.trace.final_time
-
-    @property
-    def final_test_rmse(self) -> Optional[float]:
-        """Test RMSE after the last completed iteration."""
-        if not self.trace.iterations:
-            return None
-        return self.trace.iterations[-1].test_rmse
+    ``trace.final_time`` (and hence :attr:`simulated_time`) is measured
+    in *simulated* seconds of the modelled platform.
+    """
 
 
-class SimulationEngine:
+class SimulationEngine(Engine):
     """Runs a scheduler against simulated hardware with real SGD updates.
 
     Parameters
@@ -122,20 +115,13 @@ class SimulationEngine:
     # ------------------------------------------------------------------ #
     def _apply_task(self, task: Task, iteration: int) -> None:
         """Apply the SGD updates of one task to the shared factor model."""
-        indices = task.indices()
-        if len(indices) == 0:
-            return
-        rate = self.schedule(iteration)
-        kernel = sgd_block_sequential if self.exact_kernel else sgd_block_minibatch
-        kernel(
-            self.model.p,
-            self.model.q,
-            self.train.rows[indices],
-            self.train.cols[indices],
-            self.train.vals[indices],
-            rate,
-            self.training.reg_p,
-            self.training.reg_q,
+        apply_task_updates(
+            self.model,
+            self.train,
+            task,
+            self.schedule(iteration),
+            self.training,
+            exact_kernel=self.exact_kernel,
         )
 
     def _task_duration(self, task: Task) -> float:
@@ -185,11 +171,14 @@ class SimulationEngine:
         -------
         SimulationResult
         """
-        if target_rmse is not None and self.test is None:
-            raise SimulationError("target_rmse stopping requires a test set")
-        if iterations is None and target_rmse is None and max_simulated_time is None:
-            iterations = self.training.iterations
-        max_iterations = iterations if iterations is not None else 10_000
+        max_iterations = resolve_stopping_conditions(
+            iterations,
+            target_rmse,
+            max_simulated_time,
+            default_iterations=self.training.iterations,
+            has_test=self.test is not None,
+            error=SimulationError,
+        )
 
         trace = ExecutionTrace(target_rmse=target_rmse)
         total_points = self.scheduler.total_points
@@ -274,7 +263,7 @@ class SimulationEngine:
                         converged = True
                         trace.target_reached_at = now
                         stopping = True
-                if iterations is not None and iteration >= max_iterations:
+                if iteration >= max_iterations:
                     stopping = True
 
             if stopping:

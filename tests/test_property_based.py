@@ -5,7 +5,14 @@ import pytest
 from hypothesis import HealthCheck, given, settings
 from hypothesis import strategies as st
 
-from repro.core import LockTable, nonuniform_partition, uniform_partition
+from repro.core import (
+    GreedyBlockScheduler,
+    HSGDStarScheduler,
+    LockTable,
+    Region,
+    nonuniform_partition,
+    uniform_partition,
+)
 from repro.costmodel import solve_alpha
 from repro.hardware import StreamPipelineModel
 from repro.sgd import FactorModel, regularized_loss, sgd_block_sequential
@@ -131,6 +138,126 @@ class TestLockTableProperties:
             locks.release([row], [col])
         assert locks.locked_rows == set()
         assert locks.locked_cols == set()
+
+
+#: Weighted interleaving actions: mostly dispatches, some completions and
+#: the occasional iteration reset (which the engines perform while tasks
+#: are still in flight, so the invariants must survive it).
+scheduler_ops = st.lists(
+    st.tuples(
+        st.sampled_from(
+            ["dispatch", "dispatch", "dispatch", "complete", "complete", "reset"]
+        ),
+        st.integers(0, 999),
+    ),
+    min_size=1,
+    max_size=60,
+)
+
+
+class TestSchedulerInterleavingProperties:
+    """Invariants of the schedulers under arbitrary dispatch/completion
+    interleavings — exactly what the threaded backend subjects them to."""
+
+    def _assert_disjoint(self, task, in_flight):
+        for other in in_flight:
+            assert not (task.row_bands & other.row_bands)
+            assert not (task.col_bands & other.col_bands)
+
+    @SETTINGS
+    @given(
+        matrix=sparse_matrices(max_rows=30, max_cols=30, max_ratings=150),
+        n_workers=st.integers(1, 4),
+        ops=scheduler_ops,
+        seed=st.integers(0, 100),
+    )
+    def test_greedy_inflight_tasks_never_share_bands(
+        self, matrix, n_workers, ops, seed
+    ):
+        grid = uniform_partition(matrix, 4, 4)
+        scheduler = GreedyBlockScheduler(grid, n_workers, 0, seed=seed)
+        scheduler.start_iteration()
+        in_flight = []
+        for kind, value in ops:
+            if kind == "dispatch":
+                task = scheduler.next_task(value % n_workers)
+                if task is None:
+                    continue
+                self._assert_disjoint(task, in_flight)
+                in_flight.append(task)
+            elif kind == "complete" and in_flight:
+                scheduler.complete_task(in_flight.pop(value % len(in_flight)))
+            elif kind == "reset":
+                scheduler.start_iteration()
+        for task in in_flight:
+            scheduler.complete_task(task)
+        assert scheduler.locks.locked_rows == set()
+        assert scheduler.locks.locked_cols == set()
+
+    @SETTINGS
+    @given(
+        matrix=sparse_matrices(max_rows=60, max_ratings=300),
+        alpha=st.floats(0.1, 0.9),
+        nc=st.integers(1, 4),
+        ng=st.integers(1, 2),
+        ops=scheduler_ops,
+        seed=st.integers(0, 100),
+    )
+    def test_hsgd_star_steals_only_after_quota_exhausted(
+        self, matrix, alpha, nc, ng, ops, seed
+    ):
+        """Band disjointness plus the dynamic-scheduling contract: a task
+        crosses regions only once the *origin* region of its worker has
+        exhausted its per-iteration quota (Section VI-A)."""
+        grid = nonuniform_partition(matrix, alpha, nc, ng)
+        scheduler = HSGDStarScheduler(
+            grid, nc, ng, dynamic_scheduling=True, seed=seed
+        )
+        scheduler.start_iteration()
+        n_workers = nc + ng
+        quota = {
+            Region.CPU: grid.region_nnz(Region.CPU),
+            Region.GPU: grid.region_nnz(Region.GPU),
+        }
+        assigned = {Region.CPU: 0, Region.GPU: 0}
+        in_flight = []
+        steals_seen = 0
+        for kind, value in ops:
+            if kind == "dispatch":
+                worker = value % n_workers
+                task = scheduler.next_task(worker)
+                if task is None:
+                    continue
+                self._assert_disjoint(task, in_flight)
+                regions = {block.region for block in task.blocks}
+                assert len(regions) == 1, "tasks never mix regions"
+                region = regions.pop()
+                origin = (
+                    Region.GPU if scheduler.is_gpu_worker(worker) else Region.CPU
+                )
+                if task.stolen:
+                    steals_seen += 1
+                    assert region != origin
+                    assert assigned[origin] >= quota[origin], (
+                        "stolen before the origin region's quota was exhausted"
+                    )
+                else:
+                    assert region == origin
+                assigned[region] += task.nnz
+                in_flight.append(task)
+            elif kind == "complete" and in_flight:
+                scheduler.complete_task(in_flight.pop(value % len(in_flight)))
+            elif kind == "reset":
+                scheduler.start_iteration()
+                assigned = {Region.CPU: 0, Region.GPU: 0}
+        assert (
+            scheduler.steal_counts["cpu"] + scheduler.steal_counts["gpu"]
+            == steals_seen
+        )
+        for task in in_flight:
+            scheduler.complete_task(task)
+        assert scheduler.locks.locked_rows == set()
+        assert scheduler.locks.locked_cols == set()
 
 
 class TestStreamPipelineProperties:

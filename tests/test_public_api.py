@@ -25,6 +25,7 @@ class TestExports:
         import repro.core
         import repro.costmodel
         import repro.datasets
+        import repro.exec
         import repro.experiments
         import repro.hardware
         import repro.metrics
@@ -33,8 +34,9 @@ class TestExports:
         import repro.sparse
 
         for module in (
-            repro.core, repro.costmodel, repro.datasets, repro.experiments,
-            repro.hardware, repro.metrics, repro.sgd, repro.sim, repro.sparse,
+            repro.core, repro.costmodel, repro.datasets, repro.exec,
+            repro.experiments, repro.hardware, repro.metrics, repro.sgd,
+            repro.sim, repro.sparse,
         ):
             for name in module.__all__:
                 assert hasattr(module, name), f"{module.__name__}.{name} missing"

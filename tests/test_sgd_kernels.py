@@ -181,6 +181,45 @@ class TestMinibatchKernel:
             rmse(model_b, small_matrix), rel=0.2
         )
 
+    def test_averaging_matches_bincount_reference(self, small_matrix):
+        """The np.unique-based duplicate averaging must reproduce the old
+        ``np.bincount(u)[u]`` formulation bit for bit.
+
+        Regression test for the perf fix that stopped allocating
+        ``max(index)+1``-sized count arrays every batch: both expressions
+        compute the per-rating multiplicity of its row/column within the
+        batch, so the kernel's output must be unchanged.
+        """
+        rows, cols, vals = _arrays(small_matrix)
+        gamma, reg_p, reg_q, batch_size = 0.02, 0.05, 0.07, 64
+        model = FactorModel.initialize(
+            small_matrix.n_rows, small_matrix.n_cols, 6, seed=4
+        )
+        reference = model.copy()
+
+        # Reference: the pre-optimisation kernel body, bincount averaging
+        # over the global index space.
+        p, q = reference.p, reference.q
+        for start in range(0, len(vals), batch_size):
+            stop = min(start + batch_size, len(vals))
+            u, v, r = rows[start:stop], cols[start:stop], vals[start:stop]
+            p_batch = p[u]
+            q_batch = q[:, v].T
+            errors = r - np.einsum("ij,ij->i", p_batch, q_batch)
+            grad_p = gamma * (errors[:, None] * q_batch - reg_p * p_batch)
+            grad_q = gamma * (errors[:, None] * p_batch - reg_q * q_batch)
+            grad_p /= np.bincount(u)[u][:, None]
+            grad_q /= np.bincount(v)[v][:, None]
+            np.add.at(p, u, grad_p)
+            np.add.at(q.T, v, grad_q)
+
+        sgd_block_minibatch(
+            model.p, model.q, rows, cols, vals, gamma, reg_p, reg_q,
+            batch_size=batch_size,
+        )
+        np.testing.assert_array_equal(model.p, reference.p)
+        np.testing.assert_array_equal(model.q, reference.q)
+
     def test_rejects_bad_batch_size(self, tiny_matrix):
         model = FactorModel.initialize(6, 5, 2, seed=0)
         with pytest.raises(InvalidMatrixError):
