@@ -1,14 +1,23 @@
-"""Wall-clock throughput of the threaded backend vs the simulator.
+"""Wall-clock throughput of the threaded backend vs the simulator, and of
+the block-major data plane vs the legacy gather-per-task path.
 
-Trains HSGD* on the Netflix-sized synthetic dataset with both execution
-backends and reports, for each, the wall-clock seconds one run takes and
-the resulting throughput in ratings per wall-clock second.  The
-simulator applies the same updates serially (its parallelism is only
-virtual), so this measures how much *real* speedup the thread pool
-extracts — which is bounded by how much of the kernel time numpy spends
-outside the GIL on the machine at hand.
+Two benchmarks run on the Netflix-sized synthetic dataset:
+
+* ``test_backend_threads_throughput`` — HSGD* with both execution
+  backends; measures how much *real* speedup the thread pool extracts
+  over the serial simulator (bounded by how much of the kernel time
+  numpy spends outside the GIL on the machine at hand).
+* ``test_kernel_data_plane_throughput`` — epoch throughput of the
+  pre-PR path (``kernel="minibatch"`` + per-task gather/validate) vs the
+  block-major path (``kernel="auto"`` + :class:`repro.sparse.BlockStore`)
+  for **both** engines, plus per-stage timings (gather vs validate vs
+  kernel vs RMSE eval).  Results are written to ``BENCH_kernels.json``
+  at the repository root; the two paths are bitwise-identical, so the
+  speedup is pure data-plane overhead removed.
 """
 
+import json
+import os
 import time
 
 from conftest import emit
@@ -17,13 +26,19 @@ from repro.config import HardwareConfig
 from repro.core import HeterogeneousTrainer
 from repro.datasets import load_dataset
 
+BENCH_JSON = os.path.join(
+    os.path.dirname(os.path.dirname(os.path.abspath(__file__))),
+    "BENCH_kernels.json",
+)
+
 
 def _iterations(profile: str) -> int:
     return {"quick": 2, "full": 10}.get(profile, 5)
 
 
-def _run(data, training, backend: str):
-    trainer = HeterogeneousTrainer(
+def _run(data, training, backend: str, kernel=None, use_block_store=True,
+         calibrated_trainer=None):
+    trainer = calibrated_trainer or HeterogeneousTrainer(
         algorithm="hsgd_star",
         hardware=HardwareConfig(cpu_threads=4, gpu_count=1),
         training=training,
@@ -31,7 +46,8 @@ def _run(data, training, backend: str):
     )
     start = time.perf_counter()
     result = trainer.fit(
-        data.train, data.test, iterations=training.iterations, backend=backend
+        data.train, data.test, iterations=training.iterations, backend=backend,
+        kernel=kernel, use_block_store=use_block_store,
     )
     wall = time.perf_counter() - start
     return result, wall
@@ -76,3 +92,151 @@ def test_backend_threads_throughput(benchmark, bench_profile):
         threaded_result.final_test_rmse - sim_result.final_test_rmse
     ) < 0.05
     assert threaded_wall < 2.0 * sim_wall
+
+
+def _stage_timings(data, training):
+    """Per-stage costs of one epoch: the legacy path's gather + validate,
+    both kernels on pre-gathered data, and the RMSE evaluation."""
+    import numpy as np
+
+    from repro.core.partition import nonuniform_partition
+    from repro.sgd import (
+        FactorModel,
+        rmse,
+        sgd_block_minibatch,
+        sgd_block_minibatch_local,
+    )
+    from repro.sparse import BlockStore
+
+    train = data.train
+    grid = nonuniform_partition(train, alpha=0.3, n_cpu_threads=4, n_gpus=1)
+    blocks = [b for row in grid.blocks for b in row if b.nnz > 0]
+    model = FactorModel.for_matrix(train, training)
+    rate = training.learning_rate
+
+    start = time.perf_counter()
+    gathered = [
+        (train.rows[b.indices], train.cols[b.indices], train.vals[b.indices])
+        for b in blocks
+    ]
+    gather_s = time.perf_counter() - start
+
+    start = time.perf_counter()
+    for rows, cols, _ in gathered:
+        rows.max(), rows.min(), cols.max(), cols.min()
+    validate_s = time.perf_counter() - start
+
+    start = time.perf_counter()
+    for rows, cols, vals in gathered:
+        sgd_block_minibatch(
+            model.p, model.q, rows, cols, vals, rate,
+            training.reg_p, training.reg_q, validate=False,
+        )
+    kernel_minibatch_s = time.perf_counter() - start
+
+    store = BlockStore(train)
+    records = [store.block_data(b) for b in blocks]
+    start = time.perf_counter()
+    for rec in records:
+        sgd_block_minibatch_local(
+            model.p, model.q, rec.local_rows, rec.local_cols, rec.vals,
+            rate, training.reg_p, training.reg_q,
+            rec.row_range, rec.col_range, validate=False,
+        )
+    kernel_local_s = time.perf_counter() - start
+
+    start = time.perf_counter()
+    rmse(model, data.test)
+    eval_s = time.perf_counter() - start
+
+    return {
+        "gather_ms": round(1e3 * gather_s, 3),
+        "validate_ms": round(1e3 * validate_s, 3),
+        "kernel_minibatch_ms": round(1e3 * kernel_minibatch_s, 3),
+        "kernel_minibatch_local_ms": round(1e3 * kernel_local_s, 3),
+        "rmse_eval_ms": round(1e3 * eval_s, 3),
+        "n_blocks": len(blocks),
+        "train_nnz": int(train.nnz),
+    }
+
+
+def test_kernel_data_plane_throughput(bench_profile):
+    """Old (gather-per-task + minibatch) vs new (BlockStore + local kernel)
+    epoch throughput, both engines; writes BENCH_kernels.json."""
+    data = load_dataset("netflix", seed=0)
+    iterations = _iterations(bench_profile)
+    training = data.spec.recommended_training(iterations=iterations, seed=0)
+
+    def calibrated():
+        trainer = HeterogeneousTrainer(
+            algorithm="hsgd_star",
+            hardware=HardwareConfig(cpu_threads=4, gpu_count=1),
+            training=training,
+            seed=0,
+        )
+        trainer.calibrate(data.train)  # keep the offline phase out of timing
+        return trainer
+
+    engines = {}
+    rows = [
+        f"{'engine':<10} {'path':<12} {'wall s':>9} {'ratings/s':>12} "
+        f"{'speedup':>8}",
+    ]
+    for backend in ("simulate", "threads"):
+        legacy_result, legacy_wall = _run(
+            data, training, backend, kernel="minibatch", use_block_store=False,
+            calibrated_trainer=calibrated(),
+        )
+        block_result, block_wall = _run(
+            data, training, backend, calibrated_trainer=calibrated(),
+        )
+        legacy_tp = legacy_result.trace.total_points() / legacy_wall
+        block_tp = block_result.trace.total_points() / block_wall
+        speedup = block_tp / legacy_tp
+        engines[backend] = {
+            "legacy_wall_s": round(legacy_wall, 4),
+            "legacy_ratings_per_s": round(legacy_tp),
+            "block_major_wall_s": round(block_wall, 4),
+            "block_major_ratings_per_s": round(block_tp),
+            "speedup": round(speedup, 3),
+        }
+        rows.append(
+            f"{backend:<10} {'legacy':<12} {legacy_wall:>9.3f} "
+            f"{legacy_tp:>12.0f} {'1.00x':>8}"
+        )
+        rows.append(
+            f"{backend:<10} {'block-major':<12} {block_wall:>9.3f} "
+            f"{block_tp:>12.0f} {speedup:>7.2f}x"
+        )
+        # Bitwise identity is enforced by the test suite; here we only
+        # require the data plane not to regress throughput.
+        assert speedup > 1.0, f"{backend}: block-major path slower than legacy"
+
+    stages = _stage_timings(data, training)
+    payload = {
+        "dataset": "netflix",
+        "iterations": iterations,
+        "profile": bench_profile,
+        "train_nnz": stages["train_nnz"],
+        "hardware": {"cpu_threads": 4, "gpu_count": 1},
+        "engines": engines,
+        "stages_per_epoch": stages,
+    }
+    with open(BENCH_JSON, "w", encoding="utf-8") as handle:
+        json.dump(payload, handle, indent=2)
+        handle.write("\n")
+
+    rows.append("")
+    rows.append(
+        "per-epoch stages (ms): "
+        + ", ".join(
+            f"{key.removesuffix('_ms')}={value}"
+            for key, value in stages.items()
+            if key.endswith("_ms")
+        )
+    )
+    emit(
+        f"Kernel data plane, netflix ({stages['train_nnz']} ratings, "
+        f"{iterations} iterations) -> {BENCH_JSON}",
+        "\n".join(rows),
+    )

@@ -16,7 +16,7 @@ import sys
 from typing import List, Optional
 
 from . import __version__
-from .config import BACKENDS
+from .config import BACKENDS, KERNEL_NAMES
 from .core import ALGORITHMS, HeterogeneousTrainer
 from .datasets import dataset_names, load_dataset
 from .experiments import (
@@ -85,6 +85,18 @@ def _build_parser() -> argparse.ArgumentParser:
             "hardware, 'threads' trains with real concurrent worker threads"
         ),
     )
+    train.add_argument(
+        "--kernel",
+        default="auto",
+        choices=KERNEL_NAMES,
+        help=(
+            "SGD update kernel: 'auto' (default) uses the block-major local "
+            "kernel over pre-gathered band data, 'minibatch' the global-index "
+            "vectorised kernel (bitwise-identical), 'minibatch_local' forces "
+            "the local kernel, 'sequential' the exact per-rating reference "
+            "loop (slow)"
+        ),
+    )
 
     for name in EXPERIMENTS:
         experiment = subparsers.add_parser(name, help=f"run the {name} experiment")
@@ -128,12 +140,14 @@ def _run_train(args: argparse.Namespace) -> None:
         seed=args.seed,
     )
     result = trainer.fit(
-        data.train, data.test, iterations=args.iterations, backend=args.backend
+        data.train, data.test, iterations=args.iterations, backend=args.backend,
+        kernel=args.kernel,
     )
     time_label = "wall time (s)     " if args.backend == "threads" else "simulated time (s)"
     print(f"dataset            : {args.dataset} ({data.train.nnz} train ratings)")
     print(f"algorithm          : {args.algorithm}")
     print(f"backend            : {result.backend}")
+    print(f"kernel             : {args.kernel}")
     print(f"iterations         : {len(result.trace.iterations)}")
     print(f"{time_label} : {result.simulated_time:.6f}")
     print(f"final test RMSE    : {result.final_test_rmse:.4f}")

@@ -40,6 +40,14 @@ DEFAULT_GPU_PARALLEL_WORKERS = 128
 #: (:mod:`repro.sim`) and the real thread pool (:mod:`repro.exec`).
 BACKENDS = ("simulate", "threads")
 
+#: The selectable SGD update kernels (see :mod:`repro.sgd.kernels`):
+#: ``"auto"`` picks the block-major local kernel whenever pre-gathered
+#: block data is available (it is bitwise-identical to ``"minibatch"``),
+#: ``"minibatch"`` forces the global-index vectorised kernel,
+#: ``"minibatch_local"`` forces the band-local kernel, and
+#: ``"sequential"`` forces the exact per-rating reference loop (slow).
+KERNEL_NAMES = ("auto", "minibatch", "minibatch_local", "sequential")
+
 
 @dataclass(frozen=True)
 class TrainingConfig:
@@ -69,6 +77,11 @@ class TrainingConfig:
         Execution backend running the training: ``"simulate"`` (the
         discrete-event engine with cost-model timing) or ``"threads"``
         (real concurrent worker threads; see :mod:`repro.exec`).
+    kernel:
+        SGD update kernel (one of :data:`KERNEL_NAMES`).  The default
+        ``"auto"`` selects the block-major local kernel, which consumes
+        per-block pre-gathered, pre-validated band-local arrays and is
+        bitwise-identical to the ``"minibatch"`` kernel.
     """
 
     latent_factors: int = DEFAULT_LATENT_FACTORS
@@ -79,6 +92,7 @@ class TrainingConfig:
     seed: int = 0
     init_scale: Optional[float] = None
     backend: str = "simulate"
+    kernel: str = "auto"
 
     def __post_init__(self) -> None:
         if self.latent_factors <= 0:
@@ -106,6 +120,10 @@ class TrainingConfig:
             raise ConfigurationError(
                 f"backend must be one of {BACKENDS}, got {self.backend!r}"
             )
+        if self.kernel not in KERNEL_NAMES:
+            raise ConfigurationError(
+                f"kernel must be one of {KERNEL_NAMES}, got {self.kernel!r}"
+            )
 
     def with_iterations(self, iterations: int) -> "TrainingConfig":
         """Return a copy of this config with a different iteration count."""
@@ -114,6 +132,10 @@ class TrainingConfig:
     def with_backend(self, backend: str) -> "TrainingConfig":
         """Return a copy of this config with a different execution backend."""
         return dataclasses.replace(self, backend=backend)
+
+    def with_kernel(self, kernel: str) -> "TrainingConfig":
+        """Return a copy of this config with a different SGD kernel."""
+        return dataclasses.replace(self, kernel=kernel)
 
     def with_seed(self, seed: int) -> "TrainingConfig":
         """Return a copy of this config with a different random seed."""

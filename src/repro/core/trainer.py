@@ -230,6 +230,8 @@ class HeterogeneousTrainer:
         alpha_override: Optional[float] = None,
         compute_train_rmse: bool = False,
         backend: Optional[str] = None,
+        kernel: Optional[str] = None,
+        use_block_store: bool = True,
     ) -> TrainResult:
         """Divide, schedule and train on ``train``.
 
@@ -257,6 +259,15 @@ class HeterogeneousTrainer:
             Execution backend override: ``"simulate"`` (discrete-event
             engine, the default) or ``"threads"`` (real concurrent worker
             threads).  Defaults to ``training.backend``.
+        kernel:
+            SGD kernel override (one of
+            :data:`repro.config.KERNEL_NAMES`).  Defaults to
+            ``training.kernel`` (normally ``"auto"``, the block-major
+            local kernel).
+        use_block_store:
+            Feed the engines through the block-major data plane (the
+            default).  ``False`` restores the legacy gather-per-task
+            path; bitwise-identical, kept for benchmarking.
         """
         alpha: Optional[float] = None
         if self.spec.division == "nonuniform":
@@ -277,14 +288,19 @@ class HeterogeneousTrainer:
             self.spec, grid, self._effective_hardware, seed=self.seed
         )
         backend = backend if backend is not None else self.training.backend
+        training = (
+            self.training if kernel is None else self.training.with_kernel(kernel)
+        )
         engine = self._build_engine(
             backend,
             scheduler,
             train,
+            training=training,
             test=test,
             model=model,
             schedule=schedule,
             compute_train_rmse=compute_train_rmse,
+            use_block_store=use_block_store,
         )
         outcome = engine.run(
             iterations=iterations,
@@ -306,10 +322,12 @@ class HeterogeneousTrainer:
         backend: str,
         scheduler,
         train: SparseRatingMatrix,
+        training: TrainingConfig,
         test: Optional[SparseRatingMatrix],
         model: Optional[FactorModel],
         schedule: Optional[LearningRateSchedule],
         compute_train_rmse: bool,
+        use_block_store: bool = True,
     ) -> Engine:
         """Construct the execution backend for one run."""
         if backend == "simulate":
@@ -317,22 +335,24 @@ class HeterogeneousTrainer:
                 scheduler=scheduler,
                 platform=self._platform,
                 train=train,
-                training=self.training,
+                training=training,
                 test=test,
                 model=model,
                 schedule=schedule,
                 compute_train_rmse=compute_train_rmse,
+                use_block_store=use_block_store,
             )
         if backend == "threads":
             return ThreadedEngine(
                 scheduler=scheduler,
                 train=train,
-                training=self.training,
+                training=training,
                 test=test,
                 model=model,
                 schedule=schedule,
                 platform=self._platform,
                 compute_train_rmse=compute_train_rmse,
+                use_block_store=use_block_store,
             )
         raise ConfigurationError(
             f"backend must be one of {BACKENDS}, got {backend!r}"
@@ -350,13 +370,14 @@ def factorize(
     target_rmse: Optional[float] = None,
     seed: int = 0,
     backend: Optional[str] = None,
+    kernel: Optional[str] = None,
 ) -> TrainResult:
     """One-call matrix factorization on the heterogeneous machine.
 
     A thin convenience wrapper around :class:`HeterogeneousTrainer` for
     examples and quick experiments; see the class for parameter details.
     ``backend`` selects the execution backend (``"simulate"`` or
-    ``"threads"``).
+    ``"threads"``); ``kernel`` the SGD update kernel (``"auto"`` default).
     """
     trainer = HeterogeneousTrainer(
         algorithm=algorithm,
@@ -371,4 +392,5 @@ def factorize(
         iterations=iterations,
         target_rmse=target_rmse,
         backend=backend,
+        kernel=kernel,
     )

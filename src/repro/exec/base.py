@@ -25,6 +25,7 @@ from dataclasses import dataclass
 from typing import TYPE_CHECKING, List, Optional, Tuple
 
 from ..config import BACKENDS  # noqa: F401  (re-exported; validated there)
+from ..exceptions import ConfigurationError
 
 if TYPE_CHECKING:  # imported lazily to avoid a cycle with repro.sim
     from ..sgd import FactorModel
@@ -94,19 +95,74 @@ def resolve_stopping_conditions(
     return iterations if iterations is not None else MAX_UNBOUNDED_ITERATIONS
 
 
-def apply_task_updates(model, train, task, rate, training, exact_kernel=False):
+def apply_task_updates(
+    model, train, task, rate, training, exact_kernel=False, store=None
+):
     """Apply one task's SGD updates to the shared factor matrices.
 
     The single kernel-invocation point used by every backend: both
     engines must issue byte-identical kernel calls or the 1-worker
     sim-parity guarantee breaks.
-    """
-    from ..sgd import sgd_block_minibatch, sgd_block_sequential
 
+    When a :class:`~repro.sparse.BlockStore` is given (the engines'
+    default), the task's ratings come as pre-gathered, pre-validated,
+    band-local contiguous arrays and the kernels run with
+    ``validate=False``; without one, the legacy path gathers
+    ``train.*[indices]`` per call and the kernels re-validate.  The two
+    paths are bitwise-identical — the store only changes *where* the
+    gather and the validation happen (once per run instead of once per
+    task per epoch).
+    """
+    from ..sgd.kernels import (
+        resolve_kernel_name,
+        sgd_block_minibatch,
+        sgd_block_minibatch_local,
+        sgd_block_sequential,
+    )
+
+    kernel_name = resolve_kernel_name(training.kernel, exact_kernel=exact_kernel)
+
+    if store is not None:
+        data = store.task_data(task)
+        if data.nnz == 0:
+            return
+        if kernel_name == "sequential":
+            sgd_block_sequential(
+                model.p, model.q, data.rows, data.cols, data.vals,
+                rate, training.reg_p, training.reg_q, validate=False,
+            )
+        elif kernel_name == "minibatch_local":
+            sgd_block_minibatch_local(
+                model.p, model.q, data.local_rows, data.local_cols, data.vals,
+                rate, training.reg_p, training.reg_q,
+                data.row_range, data.col_range, validate=False,
+            )
+        else:
+            sgd_block_minibatch(
+                model.p, model.q, data.rows, data.cols, data.vals,
+                rate, training.reg_p, training.reg_q, validate=False,
+            )
+        return
+
+    if kernel_name == "minibatch_local" and training.kernel != "auto":
+        # "auto" degrades gracefully (that is its contract), but an
+        # explicitly forced local kernel without block-major data would
+        # silently run a different kernel than requested.
+        raise ConfigurationError(
+            'kernel="minibatch_local" requires the block-major data plane; '
+            'enable the block store or use kernel="minibatch" '
+            "(bitwise-identical)"
+        )
     indices = task.indices()
     if len(indices) == 0:
         return
-    kernel = sgd_block_sequential if exact_kernel else sgd_block_minibatch
+    if kernel_name == "sequential":
+        kernel = sgd_block_sequential
+    else:
+        # Without block-major data the auto-selected local kernel has no
+        # band frame; the global mini-batch kernel is its
+        # bitwise-identical stand-in.
+        kernel = sgd_block_minibatch
     kernel(
         model.p,
         model.q,

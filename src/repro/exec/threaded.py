@@ -39,7 +39,7 @@ from ..exceptions import ExecutionError
 from ..hardware import HeterogeneousPlatform
 from ..sgd import FactorModel, rmse
 from ..sgd.schedules import ConstantSchedule, LearningRateSchedule
-from ..sparse import SparseRatingMatrix
+from ..sparse import BlockStore, SparseRatingMatrix
 from ..core.schedulers import Scheduler
 from ..core.tasks import Task
 from ..sim.trace import ExecutionTrace, IterationRecord, TaskRecord
@@ -112,6 +112,12 @@ class ThreadedEngine(Engine):
         this fraction of its task's *simulated* device time after the
         numerical work, emulating device latency against real CPU
         threads.  Zero (the default) disables the emulation.
+    use_block_store:
+        Feed the kernels through the block-major data plane
+        (:class:`~repro.sparse.BlockStore`).  Disabling it restores the
+        legacy gather-per-task path — bitwise-identical, only slower —
+        which exists for benchmarking the data plane against its
+        predecessor.
     """
 
     def __init__(
@@ -126,6 +132,7 @@ class ThreadedEngine(Engine):
         exact_kernel: bool = False,
         compute_train_rmse: bool = False,
         gpu_latency_scale: float = 0.0,
+        use_block_store: bool = True,
     ) -> None:
         if platform is not None and platform.n_workers != scheduler.n_workers:
             raise ExecutionError(
@@ -149,6 +156,9 @@ class ThreadedEngine(Engine):
         self.compute_train_rmse = compute_train_rmse
         self.gpu_latency_scale = gpu_latency_scale
         self.n_workers = scheduler.n_workers
+        # Shared, immutable after materialisation; worker threads read it
+        # concurrently without locking (see BlockStore's thread-safety note).
+        self._store = BlockStore(train) if use_block_store else None
 
         # Shared run state, guarded by the condition's lock.  Workers wait
         # on the condition while no conflict-free work exists for them and
@@ -341,6 +351,7 @@ class ThreadedEngine(Engine):
             self.schedule(iteration),
             self.training,
             exact_kernel=self.exact_kernel,
+            store=self._store,
         )
         if is_gpu and self.gpu_latency_scale > 0 and self.platform is not None:
             device = self.platform.all_devices[task.worker_index]

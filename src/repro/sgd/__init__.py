@@ -5,9 +5,11 @@ Implements the numerical core of the paper (Section II):
 * :class:`~repro.sgd.model.FactorModel` — the dense factor matrices
   ``P (m×k)`` and ``Q (k×n)`` with random initialisation, prediction and
   (de)serialisation;
-* :mod:`repro.sgd.kernels` — per-block SGD update kernels: an exact
-  per-rating reference kernel matching Algorithm 1 and a vectorised
-  mini-batch kernel used by the simulation engine for throughput;
+* :mod:`repro.sgd.kernels` — the kernel registry: an exact per-rating
+  reference kernel matching Algorithm 1, a vectorised mini-batch kernel
+  over global indices, and the block-major ``minibatch_local`` kernel
+  that consumes band-local pre-gathered data (bitwise-identical to the
+  global mini-batch kernel, selected by ``TrainingConfig(kernel=...)``);
 * :mod:`repro.sgd.losses` — the regularised squared loss of Equation 2,
   RMSE and MAE;
 * :mod:`repro.sgd.schedules` — learning-rate schedules, including the
@@ -28,7 +30,15 @@ from .losses import (
     rmse,
     squared_error_sum,
 )
-from .kernels import sgd_block_minibatch, sgd_block_sequential
+from .kernels import (
+    KERNEL_NAMES,
+    KERNELS,
+    get_kernel,
+    resolve_kernel_name,
+    sgd_block_minibatch,
+    sgd_block_minibatch_local,
+    sgd_block_sequential,
+)
 from .schedules import (
     ConstantSchedule,
     InverseTimeDecaySchedule,
@@ -47,7 +57,12 @@ __all__ = [
     "regularized_loss",
     "rmse",
     "squared_error_sum",
+    "KERNEL_NAMES",
+    "KERNELS",
+    "get_kernel",
+    "resolve_kernel_name",
     "sgd_block_minibatch",
+    "sgd_block_minibatch_local",
     "sgd_block_sequential",
     "ConstantSchedule",
     "InverseTimeDecaySchedule",

@@ -1,4 +1,4 @@
-"""Per-block SGD update kernels.
+"""Per-block SGD update kernels and the kernel registry.
 
 The paper's workers (CPU threads running the LIBMF kernel, GPUs running
 the CuMF_SGD kernel) all perform the same numerical work on a block: for
@@ -12,38 +12,84 @@ each rating ``(u, v, r)`` in the block,
 
 (Equations 4-6 / Algorithm 1 lines 4-6).
 
-Two kernels are provided:
+Three kernels are provided, selectable by name through the registry
+(:data:`KERNELS`, :func:`get_kernel`, :func:`resolve_kernel_name`):
 
-* :func:`sgd_block_sequential` — the exact per-rating loop.  This is the
-  numerical reference and the kernel used by the unit tests; it is slow in
-  pure Python, so the simulation engine only uses it on small blocks or
-  when exactness is requested.
-* :func:`sgd_block_minibatch` — a vectorised kernel that processes the
-  block in mini-batches: within one batch all errors are computed against
-  the factor values at the start of the batch, gradients of ratings
-  touching the same row/column are accumulated with ``np.add.at`` and
-  applied together.  This is the standard mini-batch relaxation of SGD;
-  the accepted substitution for the hand-tuned AVX/CUDA kernels of the
-  paper (see DESIGN.md), preserving the update rule while making epoch
-  times practical in numpy.
+* :func:`sgd_block_sequential` (``"sequential"``) — the exact per-rating
+  loop.  This is the numerical reference and the kernel used by the unit
+  tests; it is slow in pure Python, so the engines only use it on small
+  blocks or when exactness is requested.
+* :func:`sgd_block_minibatch` (``"minibatch"``) — a vectorised kernel
+  that processes the block in mini-batches over *global* row/column
+  indices: within one batch all errors are computed against the factor
+  values at the start of the batch, gradients of ratings touching the
+  same row/column are accumulated with ``np.add.at`` and applied
+  together.  This is the standard mini-batch relaxation of SGD; the
+  accepted substitution for the hand-tuned AVX/CUDA kernels of the paper
+  (see DESIGN.md), preserving the update rule while making epoch times
+  practical in numpy.
+* :func:`sgd_block_minibatch_local` (``"minibatch_local"``) — the
+  block-major production kernel.  It consumes *band-local* indices (as
+  pre-gathered once per run by :class:`repro.sparse.BlockStore`) and
+  scatters into band-slice views of ``P``/``Q``.  Every transformation
+  relative to ``sgd_block_minibatch`` is bitwise-identity-preserving —
+  same additions, same per-element order — so the two kernels produce
+  byte-identical factors (pinned by ``tests/test_kernel_registry.py``)
+  while the local kernel removes the dominant per-batch numpy overhead:
 
-Both kernels update ``P`` and ``Q`` in place and return the number of
-ratings processed so callers can account work.
+  - multiplicities come from ``np.bincount`` over the small band-local
+    index space instead of two ``np.unique`` (sort) calls;
+  - the duplicate-averaging division is skipped when a batch has no
+    repeated entities (division by 1 is an exact no-op);
+  - the ``np.add.at`` scatters run on the *flattened* contiguous band
+    with element indices, hitting numpy's fast 1-D indexed-add loop
+    instead of the slow per-row 2-D dispatch (the per-slot add order is
+    unchanged, so the result is bit-for-bit the same);
+  - gradient arrays are written into per-call scratch buffers instead of
+    fresh temporaries on every batch.
+
+``"auto"`` (the :class:`~repro.config.TrainingConfig` default) resolves
+to ``"minibatch_local"`` when block-major data is available and falls
+back to ``"minibatch"`` otherwise.
+
+All kernels update ``P`` and ``Q`` in place and return the number of
+ratings processed so callers can account work.  Validation of shapes,
+dtypes and index bounds is performed once per call by default; callers
+that validated their inputs ahead of time (the engines, through
+:class:`~repro.sparse.BlockStore`) pass ``validate=False`` to keep the
+``O(nnz)`` checks out of the per-task hot path.
 """
 
 from __future__ import annotations
 
-from typing import Optional
+from typing import Optional, Tuple
 
 import numpy as np
 
-from ..exceptions import InvalidMatrixError
+from ..config import KERNEL_NAMES
+from ..exceptions import ConfigurationError, InvalidMatrixError
 
-#: Default mini-batch length of the vectorised kernel.  Small enough that
+#: Default mini-batch length of the vectorised kernels.  Small enough that
 #: repeated rows/columns within one batch stay rare on skewed rating data
 #: (keeping the mini-batch relaxation close to sequential SGD), large
 #: enough that the per-batch numpy overhead is amortised.
 DEFAULT_BATCH_SIZE = 256
+
+
+def _as_kernel_array(array, dtype: np.dtype) -> np.ndarray:
+    """Return ``array`` as a C-contiguous ndarray of ``dtype``.
+
+    Pre-typed contiguous inputs — the common case once a
+    :class:`~repro.sparse.BlockStore` feeds the kernels — are returned
+    unchanged (no copy); everything else goes through one conversion.
+    """
+    if (
+        isinstance(array, np.ndarray)
+        and array.dtype == dtype
+        and array.flags.c_contiguous
+    ):
+        return array
+    return np.ascontiguousarray(array, dtype=dtype)
 
 
 def _check_kernel_inputs(
@@ -53,7 +99,7 @@ def _check_kernel_inputs(
     cols: np.ndarray,
     vals: np.ndarray,
 ) -> None:
-    """Validate shapes shared by both kernels; raise ``InvalidMatrixError``."""
+    """Validate shapes shared by the global kernels; raise ``InvalidMatrixError``."""
     if p.ndim != 2 or q.ndim != 2:
         raise InvalidMatrixError("P and Q must be 2-D arrays")
     if p.shape[1] != q.shape[0]:
@@ -69,6 +115,41 @@ def _check_kernel_inputs(
             raise InvalidMatrixError("column index out of range for Q")
 
 
+def _check_local_kernel_inputs(
+    p: np.ndarray,
+    q: np.ndarray,
+    local_rows: np.ndarray,
+    local_cols: np.ndarray,
+    vals: np.ndarray,
+    row_range: Tuple[int, int],
+    col_range: Tuple[int, int],
+) -> None:
+    """Validate the band-local kernel inputs; raise ``InvalidMatrixError``."""
+    if p.ndim != 2 or q.ndim != 2:
+        raise InvalidMatrixError("P and Q must be 2-D arrays")
+    if p.shape[1] != q.shape[0]:
+        raise InvalidMatrixError(
+            f"inner dimensions of P {p.shape} and Q {q.shape} do not match"
+        )
+    if not (len(local_rows) == len(local_cols) == len(vals)):
+        raise InvalidMatrixError("rows, cols and vals must have equal length")
+    r0, r1 = row_range
+    c0, c1 = col_range
+    if not (0 <= r0 <= r1 <= p.shape[0]):
+        raise InvalidMatrixError(
+            f"row band [{r0}, {r1}) does not fit P with {p.shape[0]} rows"
+        )
+    if not (0 <= c0 <= c1 <= q.shape[1]):
+        raise InvalidMatrixError(
+            f"column band [{c0}, {c1}) does not fit Q with {q.shape[1]} columns"
+        )
+    if len(local_rows) > 0:
+        if local_rows.max() >= r1 - r0 or local_rows.min() < 0:
+            raise InvalidMatrixError("row index out of range for P")
+        if local_cols.max() >= c1 - c0 or local_cols.min() < 0:
+            raise InvalidMatrixError("column index out of range for Q")
+
+
 def sgd_block_sequential(
     p: np.ndarray,
     q: np.ndarray,
@@ -78,6 +159,7 @@ def sgd_block_sequential(
     learning_rate: float,
     reg_p: float,
     reg_q: float,
+    validate: bool = True,
 ) -> int:
     """Exact per-rating SGD sweep over one block (Algorithm 1, lines 3-6).
 
@@ -91,16 +173,22 @@ def sgd_block_sequential(
         Step size ``gamma``.
     reg_p, reg_q:
         Regularisation coefficients ``lambda_P`` and ``lambda_Q``.
+    validate:
+        Check shapes, dtypes and index bounds before updating (default).
+        Callers whose inputs were validated once ahead of time — the
+        engines, via :class:`~repro.sparse.BlockStore` — pass ``False``
+        to keep the ``O(nnz)`` scans off the per-task hot path.
 
     Returns
     -------
     int
         Number of ratings processed (``len(vals)``).
     """
-    rows = np.asarray(rows, dtype=np.int64)
-    cols = np.asarray(cols, dtype=np.int64)
-    vals = np.asarray(vals, dtype=np.float64)
-    _check_kernel_inputs(p, q, rows, cols, vals)
+    rows = _as_kernel_array(rows, np.int64)
+    cols = _as_kernel_array(cols, np.int64)
+    vals = _as_kernel_array(vals, np.float64)
+    if validate:
+        _check_kernel_inputs(p, q, rows, cols, vals)
 
     gamma = float(learning_rate)
     for idx in range(len(vals)):
@@ -128,8 +216,9 @@ def sgd_block_minibatch(
     reg_q: float,
     batch_size: int = DEFAULT_BATCH_SIZE,
     rng: Optional[np.random.Generator] = None,
+    validate: bool = True,
 ) -> int:
-    """Vectorised mini-batch SGD sweep over one block.
+    """Vectorised mini-batch SGD sweep over one block (global indices).
 
     The block's ratings are visited in a (optionally shuffled) sequence of
     mini-batches.  Within one batch, errors are evaluated against the
@@ -150,10 +239,11 @@ def sgd_block_minibatch(
     int
         Number of ratings processed.
     """
-    rows = np.asarray(rows, dtype=np.int64)
-    cols = np.asarray(cols, dtype=np.int64)
-    vals = np.asarray(vals, dtype=np.float64)
-    _check_kernel_inputs(p, q, rows, cols, vals)
+    rows = _as_kernel_array(rows, np.int64)
+    cols = _as_kernel_array(cols, np.int64)
+    vals = _as_kernel_array(vals, np.float64)
+    if validate:
+        _check_kernel_inputs(p, q, rows, cols, vals)
     if batch_size <= 0:
         raise InvalidMatrixError(f"batch_size must be positive, got {batch_size}")
 
@@ -195,3 +285,243 @@ def sgd_block_minibatch(
         np.add.at(p, u, grad_p)
         np.add.at(q.T, v, grad_q)
     return count
+
+
+def _flat_band_view(band: np.ndarray) -> Optional[np.ndarray]:
+    """A flat 1-D view of a band when its memory is contiguous, else ``None``.
+
+    The flattened view is what lets the scatter run through numpy's fast
+    1-D indexed-add loop; a copy would silently discard the updates, so
+    only a true view is ever returned.
+    """
+    if band.flags.c_contiguous:
+        return band.reshape(-1)
+    return None
+
+
+def _scatter_add_with_duplicates(
+    band: np.ndarray,
+    band_flat: Optional[np.ndarray],
+    idx: np.ndarray,
+    grad: np.ndarray,
+    base_scratch: np.ndarray,
+    flat_idx_scratch: np.ndarray,
+    offsets: np.ndarray,
+) -> None:
+    """``np.add.at(band, idx, grad)``, through the flat fast path if possible.
+
+    Flattening turns one indexed add of ``b`` rows of length ``k`` into
+    ``b*k`` scalar indexed adds in the same element order, so every
+    ``(row, factor)`` slot receives exactly the same additions in exactly
+    the same sequence — bitwise-identical to the 2-D form, several times
+    faster because numpy's ``ufunc.at`` has a fast loop only for 1-D
+    contiguous targets.
+    """
+    if band_flat is None:
+        np.add.at(band, idx, grad)
+        return
+    b = len(idx)
+    k = band.shape[1]
+    base = base_scratch[:b]
+    flat = flat_idx_scratch[:b]
+    np.multiply(idx, k, out=base)
+    np.add(base[:, None], offsets, out=flat)
+    np.add.at(band_flat, flat.reshape(-1), grad.reshape(-1))
+
+
+def sgd_block_minibatch_local(
+    p: np.ndarray,
+    q: np.ndarray,
+    local_rows: np.ndarray,
+    local_cols: np.ndarray,
+    vals: np.ndarray,
+    learning_rate: float,
+    reg_p: float,
+    reg_q: float,
+    row_range: Tuple[int, int],
+    col_range: Tuple[int, int],
+    batch_size: int = DEFAULT_BATCH_SIZE,
+    rng: Optional[np.random.Generator] = None,
+    validate: bool = True,
+) -> int:
+    """Block-major mini-batch SGD sweep using band-local indices.
+
+    Numerically this is :func:`sgd_block_minibatch` — same batches, same
+    additions, same per-element order, hence bitwise-identical factors —
+    restated over the block's *own* coordinate frame: ``local_rows`` and
+    ``local_cols`` index into the band slices ``p[row_range[0]:row_range[1]]``
+    and ``q[:, col_range[0]:col_range[1]]`` instead of the full matrices.
+    See the module docstring for the list of bitwise-safe optimisations
+    this buys.
+
+    Parameters
+    ----------
+    p, q:
+        Full factor matrices, updated in place (only the band slices are
+        touched).
+    local_rows, local_cols, vals:
+        The block's ratings with indices relative to ``row_range[0]`` /
+        ``col_range[0]`` (as produced by
+        :meth:`repro.sparse.BlockData.from_slice`).
+    row_range, col_range:
+        The half-open global index intervals of the block's bands.
+    validate:
+        As in :func:`sgd_block_minibatch`; engines pass ``False`` because
+        :class:`~repro.sparse.BlockStore` validated the data once.
+
+    Returns
+    -------
+    int
+        Number of ratings processed.
+    """
+    local_rows = _as_kernel_array(local_rows, np.int64)
+    local_cols = _as_kernel_array(local_cols, np.int64)
+    vals = _as_kernel_array(vals, np.float64)
+    if validate:
+        _check_local_kernel_inputs(
+            p, q, local_rows, local_cols, vals, row_range, col_range
+        )
+    if batch_size <= 0:
+        raise InvalidMatrixError(f"batch_size must be positive, got {batch_size}")
+
+    count = len(vals)
+    if count == 0:
+        return 0
+
+    gamma = float(learning_rate)
+    if rng is not None:
+        order = rng.permutation(count)
+        local_rows = local_rows[order]
+        local_cols = local_cols[order]
+        vals = vals[order]
+
+    r0, r1 = row_range
+    c0, c1 = col_range
+    p_band = p[r0:r1]
+    # ``q.T[c0:c1]`` is the same memory as ``q[:, c0:c1].T``; when Q is
+    # stored item-major (``FactorModel`` keeps the transpose contiguous)
+    # this band is C-contiguous and both the gather and the scatter run
+    # on contiguous rows.
+    q_band_t = q.T[c0:c1]
+    p_flat = _flat_band_view(p_band)
+    q_flat = _flat_band_view(q_band_t)
+
+    k = p.shape[1]
+    cap = min(batch_size, count)
+    grad_p = np.empty((cap, k), dtype=np.float64)
+    grad_q = np.empty((cap, k), dtype=np.float64)
+    reg_scratch = np.empty((cap, k), dtype=np.float64)
+    errors_scratch = np.empty(cap, dtype=np.float64)
+    base_idx = np.empty(cap, dtype=np.int64)
+    flat_idx = np.empty((cap, k), dtype=np.int64)
+    offsets = np.arange(k, dtype=np.int64)
+
+    for start in range(0, count, batch_size):
+        stop = min(start + batch_size, count)
+        u = local_rows[start:stop]
+        v = local_cols[start:stop]
+        r = vals[start:stop]
+        b = stop - start
+
+        p_batch = np.take(p_band, u, axis=0)    # (b, k)
+        q_batch = np.take(q_band_t, v, axis=0)  # (b, k)
+        dots = np.einsum("ij,ij->i", p_batch, q_batch, out=errors_scratch[:b])
+        errors = r - dots
+        e = errors[:, None]
+
+        # gamma * (e * q_batch - reg_p * p_batch), staged through scratch
+        # buffers: the same three element-wise operations in the same
+        # order as the global kernel, without fresh temporaries per batch.
+        gp = grad_p[:b]
+        gq = grad_q[:b]
+        tmp = reg_scratch[:b]
+        np.multiply(e, q_batch, out=gp)
+        np.multiply(p_batch, reg_p, out=tmp)
+        gp -= tmp
+        gp *= gamma
+        np.multiply(e, p_batch, out=gq)
+        np.multiply(q_batch, reg_q, out=tmp)
+        gq -= tmp
+        gq *= gamma
+
+        # Duplicate multiplicities via bincount over the band-local index
+        # space (bounded by the band height/width, not the matrix
+        # dimension).
+        u_per = np.bincount(u)[u]
+        v_per = np.bincount(v)[v]
+
+        # Dividing by a multiplicity of 1 is an exact no-op and an
+        # indexed assignment with unique indices performs exactly the
+        # additions of np.add.at, so duplicate-free batches take the
+        # cheap path: one vector add plus one scatter-assignment, no
+        # flat-index build.  Batches with repeats divide (averaging, see
+        # sgd_block_minibatch) and scatter through the flat indexed add.
+        if u_per.max() == 1:
+            np.add(p_batch, gp, out=gp)
+            p_band[u] = gp
+        else:
+            np.divide(gp, u_per[:, None], out=gp)
+            _scatter_add_with_duplicates(
+                p_band, p_flat, u, gp, base_idx, flat_idx, offsets
+            )
+        if v_per.max() == 1:
+            np.add(q_batch, gq, out=gq)
+            q_band_t[v] = gq
+        else:
+            np.divide(gq, v_per[:, None], out=gq)
+            _scatter_add_with_duplicates(
+                q_band_t, q_flat, v, gq, base_idx, flat_idx, offsets
+            )
+    return count
+
+
+#: The kernel registry: name -> callable.  ``"sequential"`` and
+#: ``"minibatch"`` take global COO arrays; ``"minibatch_local"``
+#: additionally takes band-local indices and the band ranges (the calling
+#: convention the engines satisfy through :class:`repro.sparse.BlockStore`).
+KERNELS = {
+    "sequential": sgd_block_sequential,
+    "minibatch": sgd_block_minibatch,
+    "minibatch_local": sgd_block_minibatch_local,
+}
+
+if set(KERNELS) | {"auto"} != set(KERNEL_NAMES):  # pragma: no cover
+    raise ImportError(
+        "kernel registry out of sync with repro.config.KERNEL_NAMES: "
+        f"{sorted(KERNELS)} + 'auto' vs {KERNEL_NAMES}"
+    )
+
+
+def get_kernel(name: str):
+    """Look up a kernel callable by registry name.
+
+    ``"auto"`` is a configuration-level alias, not a kernel; resolve it
+    with :func:`resolve_kernel_name` first.
+    """
+    try:
+        return KERNELS[name]
+    except KeyError:
+        raise ConfigurationError(
+            f"kernel must be one of {tuple(sorted(KERNELS))}, got {name!r}"
+        ) from None
+
+
+def resolve_kernel_name(name: str, exact_kernel: bool = False) -> str:
+    """Resolve a configured kernel name to a concrete registry entry.
+
+    ``exact_kernel=True`` (the engines' validation switch) forces the
+    sequential reference kernel regardless of configuration; ``"auto"``
+    selects the block-major local kernel, which the engines feed through
+    pre-validated :class:`~repro.sparse.BlockStore` data (callers without
+    block-major data fall back to ``"minibatch"``, which is
+    bitwise-identical).
+    """
+    if exact_kernel:
+        return "sequential"
+    if name == "auto":
+        return "minibatch_local"
+    if name not in KERNELS:
+        raise ConfigurationError(
+            f"kernel must be one of {KERNEL_NAMES}, got {name!r}"
+        )
+    return name

@@ -38,7 +38,14 @@ class FactorModel:
     Notes
     -----
     The constructor validates shapes and dtype but does **not** copy the
-    arrays — workers mutate them in place during training.
+    arrays — workers mutate them in place during training.  The factory
+    methods (:meth:`initialize`, :meth:`for_matrix`, :meth:`copy`,
+    :meth:`load`) additionally store ``Q`` *item-major* (a C-contiguous
+    ``(n, k)`` buffer exposed through the usual ``(k, n)`` transposed
+    view): values are identical either way, but the contiguous transpose
+    is what lets the block-major kernel take its flat scatter fast path.
+    Directly constructed models with a plain ``(k, n)`` array still work
+    everywhere — the kernel falls back to the 2-D scatter.
     """
 
     __slots__ = ("p", "q")
@@ -86,7 +93,12 @@ class FactorModel:
         rng = np.random.default_rng(seed)
         p = rng.uniform(0.0, scale, size=(n_rows, latent_factors))
         q = rng.uniform(0.0, scale, size=(latent_factors, n_cols))
-        return cls(p, q)
+        # Store Q item-major: the (k, n) interface array is a transposed
+        # view of a C-contiguous (n, k) buffer.  Values (and hence every
+        # numerical result) are identical; the layout gives the
+        # block-major kernel contiguous per-item rows for its gathers and
+        # its flat fast-path scatter (see sgd_block_minibatch_local).
+        return cls(p, np.ascontiguousarray(q.T).T)
 
     @classmethod
     def for_matrix(
@@ -102,8 +114,12 @@ class FactorModel:
         )
 
     def copy(self) -> "FactorModel":
-        """Deep copy, used to snapshot models between experiment arms."""
-        return FactorModel(self.p.copy(), self.q.copy())
+        """Deep copy, used to snapshot models between experiment arms.
+
+        The copy preserves (in fact establishes) the item-major layout of
+        ``Q`` so snapshots keep the block-major kernel's fast path.
+        """
+        return FactorModel(self.p.copy(), self.q.T.copy().T)
 
     # ------------------------------------------------------------------ #
     # Introspection
@@ -178,8 +194,12 @@ class FactorModel:
 
     @classmethod
     def load(cls, path: PathLike) -> "FactorModel":
-        """Load a model previously written by :meth:`save`."""
+        """Load a model previously written by :meth:`save`.
+
+        ``Q`` is restored item-major so a checkpoint-resumed run keeps
+        the block-major kernel's fast path (see the class notes).
+        """
         path = os.fspath(path)
         npz_path = path if path.endswith(".npz") else path + ".npz"
         with np.load(npz_path) as data:
-            return cls(data["p"], data["q"])
+            return cls(data["p"], np.ascontiguousarray(data["q"].T).T)

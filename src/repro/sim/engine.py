@@ -39,7 +39,7 @@ from ..exec.base import (
 from ..hardware import HeterogeneousPlatform
 from ..sgd import FactorModel, rmse
 from ..sgd.schedules import ConstantSchedule, LearningRateSchedule
-from ..sparse import SparseRatingMatrix
+from ..sparse import BlockStore, SparseRatingMatrix
 from ..core.schedulers import Scheduler
 from ..core.tasks import Task
 from .trace import ExecutionTrace, IterationRecord, TaskRecord
@@ -80,6 +80,13 @@ class SimulationEngine(Engine):
         Use the exact per-rating kernel (slow; for small validation runs).
     compute_train_rmse:
         Also record training RMSE at iteration boundaries.
+    use_block_store:
+        Feed the kernels through the block-major data plane
+        (:class:`~repro.sparse.BlockStore`: per-block contiguous,
+        band-local, validated-once arrays).  Disabling it restores the
+        legacy gather-per-task path — bitwise-identical, only slower —
+        which exists for benchmarking the data plane against its
+        predecessor.
     """
 
     def __init__(
@@ -93,6 +100,7 @@ class SimulationEngine(Engine):
         schedule: Optional[LearningRateSchedule] = None,
         exact_kernel: bool = False,
         compute_train_rmse: bool = False,
+        use_block_store: bool = True,
     ) -> None:
         if platform.n_workers != scheduler.n_workers:
             raise SimulationError(
@@ -109,6 +117,7 @@ class SimulationEngine(Engine):
         self.exact_kernel = exact_kernel
         self.compute_train_rmse = compute_train_rmse
         self._devices = platform.all_devices
+        self._store = BlockStore(train) if use_block_store else None
 
     # ------------------------------------------------------------------ #
     # Task execution
@@ -122,6 +131,7 @@ class SimulationEngine(Engine):
             self.schedule(iteration),
             self.training,
             exact_kernel=self.exact_kernel,
+            store=self._store,
         )
 
     def _task_duration(self, task: Task) -> float:

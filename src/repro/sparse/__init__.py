@@ -7,6 +7,10 @@ triadic tuples ``(u, v, r_uv)``.  This subpackage provides:
   container with validation, shuffling, sampling and banding helpers;
 * :mod:`repro.sparse.blocking` — extraction of grid blocks given row and
   column boundaries, plus nonzero-balanced boundary computation;
+* :mod:`repro.sparse.blockstore` — the block-major data plane: per-block
+  contiguous, band-local, validated-once rating arrays
+  (:class:`BlockData`) cached per run (:class:`BlockStore`) so execution
+  kernels never re-gather or re-validate COO index lists;
 * :mod:`repro.sparse.io` — plain-text triple readers/writers compatible
   with the MovieLens/LIBMF layout;
 * :mod:`repro.sparse.shuffle` — deterministic permutation utilities used
@@ -21,12 +25,15 @@ from .blocking import (
     extract_grid,
     uniform_boundaries,
 )
+from .blockstore import BlockData, BlockStore
 from .io import read_triples, write_triples
 from .shuffle import shuffled_copy, split_prefix_sums
 
 __all__ = [
     "SparseRatingMatrix",
+    "BlockData",
     "BlockSlice",
+    "BlockStore",
     "balanced_boundaries",
     "extract_block",
     "extract_grid",

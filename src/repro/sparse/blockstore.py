@@ -1,0 +1,247 @@
+"""Block-major data plane: per-block contiguous rating storage.
+
+The grid machinery (:mod:`repro.sparse.blocking`, :mod:`repro.core.grid`)
+describes blocks as *index lists* into the matrix's global COO arrays.
+That is the right representation for partitioning — blocks share the
+underlying storage — but the wrong one for execution: every task would
+re-gather ``rows[indices]`` / ``cols[indices]`` / ``vals[indices]`` and
+re-validate the result on every epoch, an ``O(nnz)`` tax per pass that
+the FPSGD/LIBMF lineage explicitly avoids by keeping each block's
+ratings resident and band-local.
+
+This module materialises that layout once per run:
+
+* :class:`BlockData` — one block's ratings as contiguous parallel
+  arrays, in both global coordinates (``rows``/``cols``) and *band-local*
+  coordinates (``local_rows = rows - row_range[0]``, ``local_cols = cols
+  - col_range[0]``), validated at construction so kernels can skip their
+  own input checks (``validate=False``);
+* :class:`BlockStore` — a per-run cache mapping grid blocks (and
+  multi-block tasks) to their :class:`BlockData`, so each block is
+  gathered and validated exactly once no matter how many epochs touch it.
+
+Engines hand ``BlockData`` straight to
+:func:`repro.sgd.kernels.sgd_block_minibatch_local`, which scatters into
+band-slice views of ``P``/``Q`` using the local indices.  Every backend —
+the simulator, the thread pool, and future process/GPU backends —
+inherits the same data plane through
+:func:`repro.exec.base.apply_task_updates`.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+from typing import Dict, Tuple
+
+import numpy as np
+
+from ..exceptions import InvalidMatrixError
+from .matrix import SparseRatingMatrix
+
+
+def _read_only(array: np.ndarray) -> np.ndarray:
+    array.setflags(write=False)
+    return array
+
+
+@dataclass(frozen=True)
+class BlockData:
+    """One block's ratings, gathered, band-localised and validated once.
+
+    Attributes
+    ----------
+    row_range, col_range:
+        Half-open global index intervals of the block's bands.  For a
+        multi-block task this is the covering interval of its blocks'
+        bands (band-local scatter only ever writes at ``range_start +
+        local_index``, so a covering interval is exact even if the
+        blocks do not tile it).
+    rows, cols, vals:
+        The ratings as contiguous parallel arrays in global coordinates
+        (``int64``/``int64``/``float64``), in the same order as the
+        originating ``indices`` array.
+    local_rows, local_cols:
+        Band-local coordinates: ``rows - row_range[0]`` and
+        ``cols - col_range[0]``.
+
+    All arrays are marked read-only: ``BlockData`` is shared across
+    epochs and across worker threads.
+    """
+
+    row_range: Tuple[int, int]
+    col_range: Tuple[int, int]
+    rows: np.ndarray
+    cols: np.ndarray
+    vals: np.ndarray
+    local_rows: np.ndarray
+    local_cols: np.ndarray
+
+    @property
+    def nnz(self) -> int:
+        """Number of ratings in the block."""
+        return len(self.vals)
+
+    @classmethod
+    def from_arrays(
+        cls,
+        rows: np.ndarray,
+        cols: np.ndarray,
+        vals: np.ndarray,
+        row_range: Tuple[int, int],
+        col_range: Tuple[int, int],
+        copy: bool = True,
+    ) -> "BlockData":
+        """Build and validate a record from global-coordinate arrays.
+
+        The record owns its arrays (they are marked read-only), so with
+        ``copy=True`` (the default) inputs that already have the
+        canonical dtype are copied rather than adopted — freezing a
+        caller's array in place would be a surprising side effect.
+        Internal callers that hand over freshly gathered arrays pass
+        ``copy=False``.
+        """
+        original = (rows, cols, vals)
+        rows = np.ascontiguousarray(rows, dtype=np.int64)
+        cols = np.ascontiguousarray(cols, dtype=np.int64)
+        vals = np.ascontiguousarray(vals, dtype=np.float64)
+        if copy:
+            rows, cols, vals = (
+                converted.copy() if converted is passed else converted
+                for converted, passed in zip((rows, cols, vals), original)
+            )
+        if not (len(rows) == len(cols) == len(vals)):
+            raise InvalidMatrixError("rows, cols and vals must have equal length")
+        r0, r1 = int(row_range[0]), int(row_range[1])
+        c0, c1 = int(col_range[0]), int(col_range[1])
+        if r0 > r1 or c0 > c1 or r0 < 0 or c0 < 0:
+            raise InvalidMatrixError(
+                f"invalid block ranges rows=[{r0}, {r1}), cols=[{c0}, {c1})"
+            )
+        if len(rows) > 0:
+            if rows.min() < r0 or rows.max() >= r1:
+                raise InvalidMatrixError(
+                    f"block rating rows [{rows.min()}, {rows.max()}] fall "
+                    f"outside the row band [{r0}, {r1})"
+                )
+            if cols.min() < c0 or cols.max() >= c1:
+                raise InvalidMatrixError(
+                    f"block rating columns [{cols.min()}, {cols.max()}] fall "
+                    f"outside the column band [{c0}, {c1})"
+                )
+        local_rows = rows - r0
+        local_cols = cols - c0
+        return cls(
+            row_range=(r0, r1),
+            col_range=(c0, c1),
+            rows=_read_only(rows),
+            cols=_read_only(cols),
+            vals=_read_only(vals),
+            local_rows=_read_only(local_rows),
+            local_cols=_read_only(local_cols),
+        )
+
+    @classmethod
+    def from_slice(cls, matrix: SparseRatingMatrix, block) -> "BlockData":
+        """Materialise a grid block of ``matrix`` into contiguous arrays.
+
+        ``block`` is anything with ``indices``, ``row_range`` and
+        ``col_range`` attributes — a
+        :class:`~repro.sparse.blocking.BlockSlice` or a
+        :class:`~repro.core.grid.GridBlock`.
+        """
+        indices = np.asarray(block.indices, dtype=np.int64)
+        if len(indices) > 0 and (
+            indices.min() < 0 or indices.max() >= matrix.nnz
+        ):
+            raise InvalidMatrixError(
+                f"block indices [{indices.min()}, {indices.max()}] outside "
+                f"the matrix's {matrix.nnz} ratings"
+            )
+        return cls.from_arrays(
+            matrix.rows[indices],
+            matrix.cols[indices],
+            matrix.vals[indices],
+            block.row_range,
+            block.col_range,
+            copy=False,
+        )
+
+    def __repr__(self) -> str:
+        return (
+            f"BlockData(rows={self.row_range}, cols={self.col_range}, "
+            f"nnz={self.nnz})"
+        )
+
+
+def _covering_range(ranges) -> Tuple[int, int]:
+    starts, stops = zip(*ranges)
+    return (min(starts), max(stops))
+
+
+class BlockStore:
+    """Per-run cache of :class:`BlockData` records for a matrix.
+
+    One store is created per engine run.  Blocks are materialised lazily
+    on first use and reused for every later epoch; multi-block tasks
+    (a GPU's "large block" column of Figure 9) get one concatenated
+    record cached under the tuple of their blocks' grid cells, so the
+    per-epoch cost of the data plane is zero after the first pass.
+
+    Thread-safety: records are immutable and the cache dictionaries are
+    only mutated by interpreter-atomic ``dict.setdefault``; in the worst
+    case two worker threads materialise the same block concurrently and
+    one identical record is dropped — a benign race the threaded engine
+    accepts instead of serialising its first epoch behind a lock.
+    """
+
+    def __init__(self, matrix: SparseRatingMatrix) -> None:
+        self._matrix = matrix
+        self._blocks: Dict[Tuple[int, int], BlockData] = {}
+        self._tasks: Dict[Tuple[Tuple[int, int], ...], BlockData] = {}
+
+    @property
+    def matrix(self) -> SparseRatingMatrix:
+        """The rating matrix the store gathers from."""
+        return self._matrix
+
+    def block_data(self, block) -> BlockData:
+        """The cached :class:`BlockData` of one grid block."""
+        key = (block.row_band, block.col_band)
+        data = self._blocks.get(key)
+        if data is None:
+            data = self._blocks.setdefault(
+                key, BlockData.from_slice(self._matrix, block)
+            )
+        return data
+
+    def task_data(self, task) -> BlockData:
+        """The cached :class:`BlockData` covering all blocks of a task.
+
+        Single-block tasks (every CPU task, every stolen block) share the
+        per-block record; multi-block GPU tasks are concatenated in block
+        order — matching ``Task.indices()`` — under the covering band
+        interval.
+        """
+        blocks = task.blocks
+        if len(blocks) == 1:
+            return self.block_data(blocks[0])
+        key = tuple((block.row_band, block.col_band) for block in blocks)
+        data = self._tasks.get(key)
+        if data is None:
+            parts = [self.block_data(block) for block in blocks]
+            merged = BlockData.from_arrays(
+                np.concatenate([part.rows for part in parts]),
+                np.concatenate([part.cols for part in parts]),
+                np.concatenate([part.vals for part in parts]),
+                _covering_range([part.row_range for part in parts]),
+                _covering_range([part.col_range for part in parts]),
+                copy=False,
+            )
+            data = self._tasks.setdefault(key, merged)
+        return data
+
+    def __repr__(self) -> str:
+        return (
+            f"BlockStore(nnz={self._matrix.nnz}, "
+            f"cached_blocks={len(self._blocks)}, cached_tasks={len(self._tasks)})"
+        )

@@ -1,0 +1,213 @@
+"""Tests of the block-major data plane (repro.sparse.blockstore)."""
+
+import numpy as np
+import pytest
+
+from repro.core.grid import Region, RowBand, BlockGrid
+from repro.core.partition import nonuniform_partition
+from repro.core.schedulers import HSGDStarScheduler
+from repro.core.tasks import Task
+from repro.exceptions import InvalidMatrixError
+from repro.sparse import (
+    BlockData,
+    BlockStore,
+    balanced_boundaries,
+    extract_grid,
+    uniform_boundaries,
+)
+
+
+class TestBlockDataFromSlice:
+    def test_round_trip_matches_index_gathering(self, small_matrix):
+        """BlockData must hold exactly what gathering slice.indices yields."""
+        rows = balanced_boundaries(small_matrix.row_counts(), 4)
+        cols = balanced_boundaries(small_matrix.col_counts(), 3)
+        grid = extract_grid(small_matrix, rows, cols)
+        for row in grid:
+            for block in row:
+                data = BlockData.from_slice(small_matrix, block)
+                idx = block.indices
+                np.testing.assert_array_equal(data.rows, small_matrix.rows[idx])
+                np.testing.assert_array_equal(data.cols, small_matrix.cols[idx])
+                np.testing.assert_array_equal(data.vals, small_matrix.vals[idx])
+                assert data.nnz == block.nnz
+                assert data.row_range == block.row_range
+                assert data.col_range == block.col_range
+
+    def test_local_indices_are_band_relative(self, small_matrix):
+        rows = uniform_boundaries(small_matrix.n_rows, 3)
+        cols = uniform_boundaries(small_matrix.n_cols, 2)
+        grid = extract_grid(small_matrix, rows, cols)
+        for row in grid:
+            for block in row:
+                data = BlockData.from_slice(small_matrix, block)
+                np.testing.assert_array_equal(
+                    data.local_rows, data.rows - block.row_range[0]
+                )
+                np.testing.assert_array_equal(
+                    data.local_cols, data.cols - block.col_range[0]
+                )
+                if data.nnz:
+                    assert data.local_rows.min() >= 0
+                    assert data.local_rows.max() < (
+                        block.row_range[1] - block.row_range[0]
+                    )
+                    assert data.local_cols.min() >= 0
+                    assert data.local_cols.max() < (
+                        block.col_range[1] - block.col_range[0]
+                    )
+
+    def test_arrays_are_contiguous_typed_and_read_only(self, small_matrix):
+        grid = extract_grid(
+            small_matrix,
+            uniform_boundaries(small_matrix.n_rows, 2),
+            uniform_boundaries(small_matrix.n_cols, 2),
+        )
+        data = BlockData.from_slice(small_matrix, grid[0][0])
+        for array, dtype in (
+            (data.rows, np.int64),
+            (data.cols, np.int64),
+            (data.vals, np.float64),
+            (data.local_rows, np.int64),
+            (data.local_cols, np.int64),
+        ):
+            assert array.dtype == dtype
+            assert array.flags.c_contiguous
+            assert not array.flags.writeable
+
+
+class TestBlockDataValidation:
+    def test_out_of_band_rows_rejected(self):
+        with pytest.raises(InvalidMatrixError, match="outside the row band"):
+            BlockData.from_arrays(
+                rows=np.array([5]), cols=np.array([0]), vals=np.array([1.0]),
+                row_range=(0, 3), col_range=(0, 2),
+            )
+
+    def test_out_of_band_cols_rejected(self):
+        with pytest.raises(InvalidMatrixError, match="outside the column band"):
+            BlockData.from_arrays(
+                rows=np.array([1]), cols=np.array([4]), vals=np.array([1.0]),
+                row_range=(0, 3), col_range=(0, 2),
+            )
+
+    def test_length_mismatch_rejected(self):
+        with pytest.raises(InvalidMatrixError, match="equal length"):
+            BlockData.from_arrays(
+                rows=np.array([1, 2]), cols=np.array([0]), vals=np.array([1.0]),
+                row_range=(0, 3), col_range=(0, 2),
+            )
+
+    def test_invalid_ranges_rejected(self):
+        with pytest.raises(InvalidMatrixError, match="invalid block ranges"):
+            BlockData.from_arrays(
+                rows=np.array([], dtype=np.int64),
+                cols=np.array([], dtype=np.int64),
+                vals=np.array([]),
+                row_range=(3, 1), col_range=(0, 2),
+            )
+
+    def test_does_not_freeze_caller_arrays(self):
+        rows = np.array([0, 1], dtype=np.int64)
+        cols = np.array([0, 1], dtype=np.int64)
+        vals = np.array([1.0, 2.0])
+        BlockData.from_arrays(rows, cols, vals, (0, 2), (0, 2))
+        assert rows.flags.writeable and cols.flags.writeable and vals.flags.writeable
+
+    def test_bad_indices_rejected(self, tiny_matrix):
+        class FakeBlock:
+            indices = np.array([10_000])
+            row_range = (0, 6)
+            col_range = (0, 5)
+
+        with pytest.raises(InvalidMatrixError, match="outside"):
+            BlockData.from_slice(tiny_matrix, FakeBlock())
+
+
+def _grid_and_scheduler(train):
+    grid = nonuniform_partition(train, alpha=0.3, n_cpu_threads=4, n_gpus=1)
+    return grid, HSGDStarScheduler(grid, 4, 1, seed=0)
+
+
+class TestBlockStore:
+    def test_block_records_are_cached(self, small_split):
+        train, _ = small_split
+        grid, _ = _grid_and_scheduler(train)
+        store = BlockStore(train)
+        block = grid.blocks[0][0]
+        assert store.block_data(block) is store.block_data(block)
+
+    def test_single_block_task_shares_block_record(self, small_split):
+        train, _ = small_split
+        grid, _ = _grid_and_scheduler(train)
+        store = BlockStore(train)
+        block = grid.blocks[0][0]
+        task = Task(blocks=[block], worker_index=0)
+        assert store.task_data(task) is store.block_data(block)
+
+    def test_multi_block_task_concatenates_in_block_order(self, small_split):
+        """Multi-block records must match Task.indices() gathering exactly."""
+        train, _ = small_split
+        grid, _ = _grid_and_scheduler(train)
+        gpu_blocks = [row[1] for row in grid.blocks[:2]]
+        task = Task(blocks=gpu_blocks, worker_index=4)
+        store = BlockStore(train)
+        data = store.task_data(task)
+
+        idx = task.indices()
+        np.testing.assert_array_equal(data.rows, train.rows[idx])
+        np.testing.assert_array_equal(data.cols, train.cols[idx])
+        np.testing.assert_array_equal(data.vals, train.vals[idx])
+        # Covering ranges and consistent local indices.
+        assert data.row_range[0] == min(b.row_range[0] for b in gpu_blocks)
+        assert data.row_range[1] == max(b.row_range[1] for b in gpu_blocks)
+        np.testing.assert_array_equal(
+            data.local_rows, data.rows - data.row_range[0]
+        )
+        np.testing.assert_array_equal(
+            data.local_cols, data.cols - data.col_range[0]
+        )
+        # And the merged record is cached as well.
+        assert store.task_data(task) is data
+
+    def test_scheduler_tasks_round_trip(self, small_split):
+        """Every task an HSGD* scheduler emits must round-trip through the
+        store to exactly the ratings Task.indices() selects."""
+        train, _ = small_split
+        _, scheduler = _grid_and_scheduler(train)
+        store = BlockStore(train)
+        scheduler.start_iteration()
+        seen = 0
+        for worker in range(scheduler.n_workers):
+            task = scheduler.next_task(worker)
+            if task is None:
+                continue
+            data = store.task_data(task)
+            idx = task.indices()
+            np.testing.assert_array_equal(data.rows, train.rows[idx])
+            np.testing.assert_array_equal(data.vals, train.vals[idx])
+            seen += 1
+            scheduler.complete_task(task)
+        assert seen > 0
+
+    def test_grid_block_and_slice_both_accepted(self, small_matrix):
+        """BlockStore keys on (row_band, col_band): GridBlock and BlockSlice
+        records of the same cell coincide."""
+        rows = uniform_boundaries(small_matrix.n_rows, 2)
+        cols = uniform_boundaries(small_matrix.n_cols, 2)
+        raw = extract_grid(small_matrix, rows, cols)
+        bands = [
+            RowBand(index=i, row_range=(int(rows[i]), int(rows[i + 1])),
+                    region=Region.SHARED)
+            for i in range(2)
+        ]
+        grid = BlockGrid.build(small_matrix, bands, cols)
+        store = BlockStore(small_matrix)
+        from_slice = store.block_data(raw[1][0])
+        from_grid = store.block_data(grid.block(1, 0))
+        assert from_slice is from_grid
+
+    def test_repr(self, small_matrix):
+        store = BlockStore(small_matrix)
+        assert "cached_blocks=0" in repr(store)
+        assert store.matrix is small_matrix

@@ -110,8 +110,30 @@ class TestExtractGrid:
 
     def test_extract_block_matches_grid(self, tiny_matrix):
         grid = extract_grid(tiny_matrix, [0, 3, 6], [0, 2, 5])
-        manual = extract_block(tiny_matrix, (0, 3), (0, 2))
+        with pytest.warns(DeprecationWarning, match="extract_block"):
+            manual = extract_block(tiny_matrix, (0, 3), (0, 2))
         np.testing.assert_array_equal(np.sort(manual), grid[0][0].indices)
+
+    def test_extract_block_deprecated_wrapper_edge_cases(self, tiny_matrix):
+        """The grid-delegating wrapper keeps the mask scan's semantics."""
+        reference = {
+            "interior": (tiny_matrix.rows >= 1)
+            & (tiny_matrix.rows < 4)
+            & (tiny_matrix.cols >= 1)
+            & (tiny_matrix.cols < 3),
+            "full": np.ones(tiny_matrix.nnz, dtype=bool),
+        }
+        with pytest.warns(DeprecationWarning):
+            interior = extract_block(tiny_matrix, (1, 4), (1, 3))
+            full = extract_block(
+                tiny_matrix, (0, tiny_matrix.n_rows), (0, tiny_matrix.n_cols)
+            )
+            empty = extract_block(tiny_matrix, (2, 2), (0, 5))
+        np.testing.assert_array_equal(
+            interior, np.nonzero(reference["interior"])[0]
+        )
+        np.testing.assert_array_equal(full, np.nonzero(reference["full"])[0])
+        assert len(empty) == 0 and empty.dtype == np.int64
 
     def test_invalid_boundaries_rejected(self, tiny_matrix):
         with pytest.raises(InvalidPartitionError):
