@@ -23,3 +23,9 @@ def pytest_configure(config):
         "slow: long-running stress tests (threaded-backend training on "
         'Netflix-sized data); deselect with -m "not slow"',
     )
+    config.addinivalue_line(
+        "markers",
+        "examples: end-to-end smoke runs of the examples/ scripts on tiny "
+        "synthetic data (their own CI job); deselect with "
+        '-m "not examples"',
+    )

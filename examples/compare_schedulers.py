@@ -11,6 +11,9 @@ This is essentially a one-dataset slice of the paper's evaluation
 Run with::
 
     python examples/compare_schedulers.py [dataset]
+
+``REPRO_EXAMPLES_DATASET`` and ``REPRO_EXAMPLES_ITERATIONS`` override
+the defaults (the CI smoke job sets them to a tiny configuration).
 """
 
 import os
@@ -24,11 +27,12 @@ from repro.core import ALGORITHMS
 from repro.experiments.context import default_preset
 from repro.metrics import format_table
 
-ITERATIONS = 10
+ITERATIONS = int(os.environ.get("REPRO_EXAMPLES_ITERATIONS", "10"))
 
 
 def main() -> None:
-    dataset = sys.argv[1] if len(sys.argv) > 1 else "r1"
+    default_dataset = os.environ.get("REPRO_EXAMPLES_DATASET", "r1")
+    dataset = sys.argv[1] if len(sys.argv) > 1 else default_dataset
     data = load_dataset(dataset)
     training = data.spec.recommended_training(iterations=ITERATIONS)
     hardware = HardwareConfig(cpu_threads=16, gpu_count=1, gpu_parallel_workers=128)

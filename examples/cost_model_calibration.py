@@ -26,9 +26,13 @@ from repro.hardware import BlockWork
 from repro.metrics import format_table
 
 
+DATASET = os.environ.get("REPRO_EXAMPLES_DATASET", "yahoomusic")
+ITERATIONS = int(os.environ.get("REPRO_EXAMPLES_ITERATIONS", "10"))
+
+
 def main() -> None:
-    data = load_dataset("yahoomusic")
-    training = data.spec.recommended_training(iterations=10)
+    data = load_dataset(DATASET)
+    training = data.spec.recommended_training(iterations=ITERATIONS)
     hardware = HardwareConfig(cpu_threads=16, gpu_count=1)
     preset = default_preset()
 

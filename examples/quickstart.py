@@ -8,6 +8,9 @@ the canonical downstream use of a matrix-factorization model.
 Run with::
 
     python examples/quickstart.py
+
+``REPRO_EXAMPLES_DATASET`` and ``REPRO_EXAMPLES_ITERATIONS`` override
+the defaults (the CI smoke job sets them to a tiny configuration).
 """
 
 import os
@@ -18,21 +21,24 @@ sys.path.insert(0, os.path.join(os.path.dirname(__file__), "..", "src"))
 from repro import factorize, load_dataset
 from repro.experiments.context import default_preset
 
+DATASET = os.environ.get("REPRO_EXAMPLES_DATASET", "movielens")
+ITERATIONS = int(os.environ.get("REPRO_EXAMPLES_ITERATIONS", "10"))
+
 
 def main() -> None:
-    data = load_dataset("movielens")
+    data = load_dataset(DATASET)
     print(f"dataset   : {data.spec.name}")
     print(f"train/test: {data.train.nnz} / {data.test.nnz} ratings "
           f"({data.train.n_rows} users x {data.train.n_cols} items)")
 
-    training = data.spec.recommended_training(iterations=10)
+    training = data.spec.recommended_training(iterations=ITERATIONS)
     result = factorize(
         data.train,
         data.test,
         algorithm="hsgd_star",
         training=training,
         preset=default_preset(),
-        iterations=10,
+        iterations=ITERATIONS,
     )
 
     print(f"\nalgorithm            : HSGD* (nonuniform division + dynamic scheduling)")

@@ -42,9 +42,13 @@ def hit_rate_at_n(model: FactorModel, test, n: int = 10, max_users: int = 200) -
     return hits / len(sample)
 
 
+DATASET = os.environ.get("REPRO_EXAMPLES_DATASET", "netflix")
+ITERATIONS = int(os.environ.get("REPRO_EXAMPLES_ITERATIONS", "20"))
+
+
 def main() -> None:
-    data = load_dataset("netflix")
-    training = data.spec.recommended_training(iterations=20)
+    data = load_dataset(DATASET)
+    training = data.spec.recommended_training(iterations=ITERATIONS)
     trainer = HeterogeneousTrainer(
         algorithm="hsgd_star",
         hardware=HardwareConfig(cpu_threads=16, gpu_count=1),
@@ -53,8 +57,10 @@ def main() -> None:
     )
 
     target = data.spec.target_rmse
-    print(f"training until test RMSE <= {target} (max 20 iterations) ...")
-    result = trainer.fit(data.train, data.test, iterations=20, target_rmse=target)
+    print(f"training until test RMSE <= {target} (max {ITERATIONS} iterations) ...")
+    result = trainer.fit(
+        data.train, data.test, iterations=ITERATIONS, target_rmse=target
+    )
     print(f"  reached RMSE {result.final_test_rmse:.4f} after "
           f"{len(result.trace.iterations)} iterations "
           f"({result.simulated_time * 1e3:.2f} ms simulated)")

@@ -38,12 +38,29 @@ from .core import (
 from .costmodel import CalibrationResult, WorkloadSplit, calibrate_platform, solve_alpha
 from .datasets import dataset_names, get_dataset, load_dataset
 from .exceptions import ReproError
-from .exec import Engine, EngineResult, ThreadedEngine, ThreadedResult
+from .exec import (
+    Callback,
+    Checkpoint,
+    EarlyStopping,
+    Engine,
+    EngineResult,
+    EngineSession,
+    EpochReport,
+    JsonlLogger,
+    ThreadedEngine,
+    ThreadedResult,
+    TimeBudget,
+    TrainCheckpoint,
+    backend_names,
+    get_backend,
+    register_backend,
+    unregister_backend,
+)
 from .hardware import HeterogeneousPlatform, PlatformPreset, paper_machine_preset
 from .sgd import FactorModel, rmse, train_als, train_ccd, train_hogwild, train_serial_sgd
 from .sparse import SparseRatingMatrix
 
-__version__ = "1.0.0"
+__version__ = "1.1.0"
 
 __all__ = [
     "BACKENDS",
@@ -53,6 +70,18 @@ __all__ = [
     "TrainingConfig",
     "Engine",
     "EngineResult",
+    "EngineSession",
+    "EpochReport",
+    "Callback",
+    "Checkpoint",
+    "EarlyStopping",
+    "JsonlLogger",
+    "TimeBudget",
+    "TrainCheckpoint",
+    "backend_names",
+    "get_backend",
+    "register_backend",
+    "unregister_backend",
     "ThreadedEngine",
     "ThreadedResult",
     "ALGORITHMS",

@@ -16,8 +16,9 @@ import sys
 from typing import List, Optional
 
 from . import __version__
-from .config import BACKENDS, KERNEL_NAMES
+from .config import KERNEL_NAMES
 from .core import ALGORITHMS, HeterogeneousTrainer
+from .exec import Checkpoint, EarlyStopping, JsonlLogger, backend_names
 from .datasets import dataset_names, load_dataset
 from .experiments import (
     ExperimentContext,
@@ -79,11 +80,85 @@ def _build_parser() -> argparse.ArgumentParser:
     train.add_argument(
         "--backend",
         default="simulate",
-        choices=BACKENDS,
+        # Resolved at parser-build time so backends added with
+        # repro.exec.register_backend() are accepted without a CLI edit.
+        choices=backend_names(),
         help=(
             "execution backend: 'simulate' replays the run on the modelled "
-            "hardware, 'threads' trains with real concurrent worker threads"
+            "hardware, 'threads' trains with real concurrent worker threads; "
+            "any backend registered via repro.exec.register_backend() is "
+            "accepted"
         ),
+    )
+    train.add_argument(
+        "--target-rmse",
+        type=float,
+        default=None,
+        help="stop as soon as the test RMSE reaches this value",
+    )
+    train.add_argument(
+        "--max-time",
+        type=float,
+        default=None,
+        help=(
+            "hard time budget in engine seconds (simulated seconds for the "
+            "'simulate' backend, wall-clock seconds for 'threads')"
+        ),
+    )
+    train.add_argument(
+        "--checkpoint",
+        metavar="PATH",
+        default=None,
+        help=(
+            "write a resumable checkpoint to PATH (.npz) every "
+            "--checkpoint-every epochs; a '{epoch}' placeholder in PATH "
+            "keeps one file per boundary"
+        ),
+    )
+    train.add_argument(
+        "--checkpoint-every",
+        type=int,
+        default=1,
+        metavar="N",
+        help="checkpoint frequency in epochs (default: every epoch)",
+    )
+    train.add_argument(
+        "--resume",
+        metavar="PATH",
+        default=None,
+        help=(
+            "resume from a checkpoint written by --checkpoint; the other "
+            "flags must reproduce the checkpointed run (same dataset, "
+            "algorithm, workers and seed), and --iterations counts the "
+            "total epochs including the checkpointed ones"
+        ),
+    )
+    train.add_argument(
+        "--log-jsonl",
+        metavar="PATH",
+        default=None,
+        help=(
+            "write one JSON line per epoch (RMSE/time trajectory) to PATH; "
+            "a fresh run truncates the file, a --resume run appends so the "
+            "combined trajectory survives"
+        ),
+    )
+    train.add_argument(
+        "--early-stop-patience",
+        type=int,
+        default=None,
+        metavar="N",
+        help=(
+            "stop after N consecutive epochs without test-RMSE improvement "
+            "of at least --early-stop-min-delta"
+        ),
+    )
+    train.add_argument(
+        "--early-stop-min-delta",
+        type=float,
+        default=0.0,
+        metavar="D",
+        help="minimum RMSE decrease that counts as an improvement (default 0)",
     )
     train.add_argument(
         "--kernel",
@@ -124,6 +199,36 @@ def _context(args: argparse.Namespace) -> ExperimentContext:
     return context
 
 
+#: Human-readable labels for the run's ``stop_reason``.
+_STOP_REASON_LABELS = {
+    "iterations": "iteration cap reached",
+    "target_rmse": "target RMSE reached",
+    "time_budget": "time budget exhausted",
+    "early_stopping": "early stopping (no RMSE improvement)",
+    "wall_time_budget": "wall-clock budget exhausted",
+    "callback": "stopped by callback",
+    "aborted": "aborted",
+}
+
+
+def _train_callbacks(args: argparse.Namespace) -> List:
+    callbacks: List = []
+    if args.early_stop_patience is not None:
+        callbacks.append(
+            EarlyStopping(
+                patience=args.early_stop_patience,
+                min_delta=args.early_stop_min_delta,
+            )
+        )
+    if args.checkpoint is not None:
+        callbacks.append(Checkpoint(args.checkpoint, every_n=args.checkpoint_every))
+    if args.log_jsonl is not None:
+        # A resumed run appends so the checkpointed prefix's trajectory
+        # is not wiped.
+        callbacks.append(JsonlLogger(args.log_jsonl, append=args.resume is not None))
+    return callbacks
+
+
 def _run_train(args: argparse.Namespace) -> None:
     data = load_dataset(args.dataset, seed=args.seed)
     context = ExperimentContext(
@@ -142,15 +247,28 @@ def _run_train(args: argparse.Namespace) -> None:
     result = trainer.fit(
         data.train, data.test, iterations=args.iterations, backend=args.backend,
         kernel=args.kernel,
+        target_rmse=args.target_rmse,
+        max_simulated_time=args.max_time,
+        callbacks=_train_callbacks(args),
+        resume_from=args.resume,
     )
     time_label = "wall time (s)     " if args.backend == "threads" else "simulated time (s)"
+    stop_label = _STOP_REASON_LABELS.get(result.stop_reason, result.stop_reason)
     print(f"dataset            : {args.dataset} ({data.train.nnz} train ratings)")
     print(f"algorithm          : {args.algorithm}")
     print(f"backend            : {result.backend}")
     print(f"kernel             : {args.kernel}")
+    if args.resume is not None:
+        print(f"resumed from       : {args.resume}")
+    rmse_label = (
+        f"{result.final_test_rmse:.4f}"
+        if result.final_test_rmse is not None
+        else "n/a (no completed epoch)"
+    )
     print(f"iterations         : {len(result.trace.iterations)}")
-    print(f"{time_label} : {result.simulated_time:.6f}")
-    print(f"final test RMSE    : {result.final_test_rmse:.4f}")
+    print(f"{time_label} : {result.engine_time:.6f}")
+    print(f"final test RMSE    : {rmse_label}")
+    print(f"stopped because    : {stop_label}")
     if result.alpha is not None:
         print(f"GPU workload share : {result.alpha:.3f}")
     share = result.trace.resource_share()

@@ -36,8 +36,13 @@ DEFAULT_GPU_COUNT = 1
 #: Default number of GPU parallel workers (CuMF_SGD definition).
 DEFAULT_GPU_PARALLEL_WORKERS = 128
 
-#: The available execution backends: the discrete-event simulator
+#: The *built-in* execution backends: the discrete-event simulator
 #: (:mod:`repro.sim`) and the real thread pool (:mod:`repro.exec`).
+#: The authoritative, extensible list lives in the backend registry
+#: (:func:`repro.exec.registry.backend_names`), which validation and the
+#: CLI consult — backends added with
+#: :func:`repro.exec.register_backend` are accepted everywhere without
+#: touching this constant.
 BACKENDS = ("simulate", "threads")
 
 #: The selectable SGD update kernels (see :mod:`repro.sgd.kernels`):
@@ -116,9 +121,13 @@ class TrainingConfig:
             raise ConfigurationError(
                 f"init_scale must be positive when given, got {self.init_scale}"
             )
-        if self.backend not in BACKENDS:
+        # Imported lazily: the registry lives under repro.exec, whose
+        # engine modules import this one at module load.
+        from .exec.registry import backend_names, is_registered
+
+        if not is_registered(self.backend):
             raise ConfigurationError(
-                f"backend must be one of {BACKENDS}, got {self.backend!r}"
+                f"backend must be one of {backend_names()}, got {self.backend!r}"
             )
         if self.kernel not in KERNEL_NAMES:
             raise ConfigurationError(

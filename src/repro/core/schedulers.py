@@ -97,6 +97,47 @@ class Scheduler(ABC):
         return self.grid.total_nnz
 
     # ------------------------------------------------------------------ #
+    # Checkpoint support
+    # ------------------------------------------------------------------ #
+    def state_dict(self) -> dict:
+        """Serializable scheduler state for training checkpoints.
+
+        Captures everything future scheduling decisions depend on: the
+        tie-break RNG and the per-block counters.  Lock-table occupancy
+        is *not* captured — it is implied by the in-flight tasks, which
+        the engine session serializes and re-acquires on restore.
+        """
+        return {
+            "rng_state": self._rng.bit_generator.state,
+            "update_counts": self.grid.update_counts(),
+            "points_this_iteration": np.array(
+                [[block.points_this_iteration for block in row]
+                 for row in self.grid.blocks],
+                dtype=np.int64,
+            ),
+        }
+
+    def load_state_dict(self, state: dict) -> None:
+        """Restore state captured by :meth:`state_dict`.
+
+        Only valid on a freshly built scheduler over the identical grid
+        (same division of the same ratings, same seed).
+        """
+        self._rng.bit_generator.state = state["rng_state"]
+        update_counts = np.asarray(state["update_counts"], dtype=np.int64)
+        points = np.asarray(state["points_this_iteration"], dtype=np.int64)
+        expected = (self.grid.n_row_bands, self.grid.n_col_bands)
+        if update_counts.shape != expected or points.shape != expected:
+            raise SchedulingError(
+                f"checkpointed counter grids {update_counts.shape} do not "
+                f"match this scheduler's grid {expected}"
+            )
+        for i, row in enumerate(self.grid.blocks):
+            for j, block in enumerate(row):
+                block.update_count = int(update_counts[i, j])
+                block.points_this_iteration = int(points[i, j])
+
+    # ------------------------------------------------------------------ #
     # Shared selection helpers
     # ------------------------------------------------------------------ #
     def _freely_schedulable(self, blocks: List[GridBlock]) -> List[GridBlock]:
@@ -182,6 +223,22 @@ class HSGDStarScheduler(Scheduler):
         super().start_iteration()
         self._gpu_assigned = 0
         self._cpu_assigned = 0
+
+    def state_dict(self) -> dict:
+        state = super().state_dict()
+        state["gpu_assigned"] = self._gpu_assigned
+        state["cpu_assigned"] = self._cpu_assigned
+        state["steal_counts"] = dict(self.steal_counts)
+        return state
+
+    def load_state_dict(self, state: dict) -> None:
+        super().load_state_dict(state)
+        self._gpu_assigned = int(state["gpu_assigned"])
+        self._cpu_assigned = int(state["cpu_assigned"])
+        self.steal_counts = {
+            "gpu": int(state["steal_counts"]["gpu"]),
+            "cpu": int(state["steal_counts"]["cpu"]),
+        }
 
     def _gpu_quota_left(self) -> bool:
         return self._gpu_assigned < self._gpu_region_quota

@@ -16,17 +16,22 @@ examples and quick experiments.
 
 from __future__ import annotations
 
+import os
 from dataclasses import dataclass
-from typing import List, Optional, Tuple
+from typing import Optional, Sequence, Union
 
-from ..config import BACKENDS, HardwareConfig, TrainingConfig
+from ..config import HardwareConfig, TrainingConfig
 from ..costmodel import CalibrationResult, WorkloadSplit, calibrate_platform, solve_alpha
 from ..exceptions import ConfigurationError
-from ..exec import Engine, ThreadedEngine
+from ..exec import Engine
+from ..exec.base import EngineResult
+from ..exec.callbacks import Callback, CallbackList
+from ..exec.checkpoint import TrainCheckpoint
+from ..exec.registry import get_backend
+from ..exec.session import run_session
 from ..hardware import HeterogeneousPlatform, PlatformPreset, PAPER_MACHINE
 from ..sgd import FactorModel
 from ..sgd.schedules import LearningRateSchedule
-from ..sim import ExecutionTrace, SimulationEngine
 from ..sparse import SparseRatingMatrix
 from .algorithms import (
     AlgorithmSpec,
@@ -38,42 +43,23 @@ from .algorithms import (
 
 
 @dataclass
-class TrainResult:
-    """Everything produced by one training run."""
+class TrainResult(EngineResult):
+    """Everything produced by one training run.
 
-    algorithm: str
-    model: FactorModel
-    trace: ExecutionTrace
-    converged: bool
+    Extends the backend-agnostic :class:`~repro.exec.base.EngineResult`
+    (which supplies :attr:`engine_time`, :attr:`final_test_rmse`,
+    :meth:`rmse_curve` and :meth:`time_to_rmse`) with what only the
+    trainer knows: the algorithm, the cost-model split and the backend
+    that executed the run.
+    """
+
+    algorithm: str = ""
     alpha: Optional[float] = None
     calibration: Optional[CalibrationResult] = None
     backend: str = "simulate"
-    """Which execution backend produced the run (``"simulate"`` or
-    ``"threads"``); determines the time base of :attr:`simulated_time`."""
-
-    @property
-    def simulated_time(self) -> float:
-        """Total engine seconds of the run.
-
-        Simulated seconds for the ``"simulate"`` backend, wall-clock
-        seconds for the ``"threads"`` backend.
-        """
-        return self.trace.final_time
-
-    @property
-    def final_test_rmse(self) -> Optional[float]:
-        """Test RMSE after the last completed iteration."""
-        if not self.trace.iterations:
-            return None
-        return self.trace.iterations[-1].test_rmse
-
-    def rmse_curve(self) -> List[Tuple[float, float]]:
-        """``(simulated_time, test_rmse)`` pairs, one per iteration."""
-        return self.trace.rmse_curve()
-
-    def time_to_rmse(self, target: float) -> Optional[float]:
-        """Earliest simulated time at which the test RMSE reached ``target``."""
-        return self.trace.time_to_rmse(target)
+    """Which execution backend produced the run (a
+    :mod:`repro.exec.registry` name, e.g. ``"simulate"`` or
+    ``"threads"``); determines the time base of :attr:`engine_time`."""
 
 
 class HeterogeneousTrainer:
@@ -232,6 +218,8 @@ class HeterogeneousTrainer:
         backend: Optional[str] = None,
         kernel: Optional[str] = None,
         use_block_store: bool = True,
+        callbacks: Optional[Sequence[Callback]] = None,
+        resume_from: Optional[Union[str, os.PathLike, TrainCheckpoint]] = None,
     ) -> TrainResult:
         """Divide, schedule and train on ``train``.
 
@@ -241,6 +229,10 @@ class HeterogeneousTrainer:
             Training ratings and optional held-out ratings.
         iterations:
             Number of full passes; defaults to ``training.iterations``.
+            When resuming from a checkpoint, this is the *total* epoch
+            cap — checkpointed epochs included — so ``fit(...,
+            iterations=10, resume_from=ckpt)`` after a 5-epoch
+            checkpoint runs 5 more epochs.
         target_rmse:
             Stop as soon as the test RMSE reaches this value.
         max_simulated_time:
@@ -256,9 +248,11 @@ class HeterogeneousTrainer:
         compute_train_rmse:
             Also record training RMSE each iteration.
         backend:
-            Execution backend override: ``"simulate"`` (discrete-event
-            engine, the default) or ``"threads"`` (real concurrent worker
-            threads).  Defaults to ``training.backend``.
+            Execution backend override: any name registered with
+            :func:`repro.exec.register_backend` (built-ins:
+            ``"simulate"``, the discrete-event engine, and ``"threads"``,
+            real concurrent worker threads).  Defaults to
+            ``training.backend``.
         kernel:
             SGD kernel override (one of
             :data:`repro.config.KERNEL_NAMES`).  Defaults to
@@ -268,6 +262,16 @@ class HeterogeneousTrainer:
             Feed the engines through the block-major data plane (the
             default).  ``False`` restores the legacy gather-per-task
             path; bitwise-identical, kept for benchmarking.
+        callbacks:
+            Epoch-boundary callbacks (:mod:`repro.exec.callbacks`):
+            early stopping, checkpointing, JSONL logging, wall-clock
+            budgets, or any custom :class:`~repro.exec.callbacks.Callback`.
+        resume_from:
+            A :class:`~repro.exec.checkpoint.TrainCheckpoint` (or a path
+            to one) to resume.  The trainer must be constructed
+            identically to the checkpointed run (same data, algorithm,
+            hardware and seed); resuming on the simulate backend is then
+            bitwise-identical to the uninterrupted run.
         """
         alpha: Optional[float] = None
         if self.spec.division == "nonuniform":
@@ -302,16 +306,31 @@ class HeterogeneousTrainer:
             compute_train_rmse=compute_train_rmse,
             use_block_store=use_block_store,
         )
-        outcome = engine.run(
+        checkpoint: Optional[TrainCheckpoint] = None
+        if resume_from is not None:
+            checkpoint = (
+                resume_from
+                if isinstance(resume_from, TrainCheckpoint)
+                else TrainCheckpoint.load(resume_from)
+            )
+        callback_list = CallbackList(callbacks)
+        session = engine.start(
             iterations=iterations,
             target_rmse=target_rmse,
             max_simulated_time=max_simulated_time,
+            pause_on_epoch=(
+                callback_list.pause_at if callback_list.requires_pause else False
+            ),
         )
+        if checkpoint is not None:
+            checkpoint.restore(session)
+        outcome = run_session(session, callback_list)
         return TrainResult(
-            algorithm=self.spec.key,
             model=outcome.model,
             trace=outcome.trace,
             converged=outcome.converged,
+            stop_reason=outcome.stop_reason,
+            algorithm=self.spec.key,
             alpha=alpha,
             calibration=self._calibration,
             backend=backend,
@@ -329,33 +348,24 @@ class HeterogeneousTrainer:
         compute_train_rmse: bool,
         use_block_store: bool = True,
     ) -> Engine:
-        """Construct the execution backend for one run."""
-        if backend == "simulate":
-            return SimulationEngine(
-                scheduler=scheduler,
-                platform=self._platform,
-                train=train,
-                training=training,
-                test=test,
-                model=model,
-                schedule=schedule,
-                compute_train_rmse=compute_train_rmse,
-                use_block_store=use_block_store,
-            )
-        if backend == "threads":
-            return ThreadedEngine(
-                scheduler=scheduler,
-                train=train,
-                training=training,
-                test=test,
-                model=model,
-                schedule=schedule,
-                platform=self._platform,
-                compute_train_rmse=compute_train_rmse,
-                use_block_store=use_block_store,
-            )
-        raise ConfigurationError(
-            f"backend must be one of {BACKENDS}, got {backend!r}"
+        """Construct the execution backend for one run.
+
+        Backends are resolved through :mod:`repro.exec.registry`, so any
+        backend registered with
+        :func:`repro.exec.register_backend` — built-in or third-party —
+        is constructible here without editing this method.
+        """
+        factory = get_backend(backend)
+        return factory(
+            scheduler=scheduler,
+            train=train,
+            training=training,
+            test=test,
+            model=model,
+            schedule=schedule,
+            platform=self._platform,
+            compute_train_rmse=compute_train_rmse,
+            use_block_store=use_block_store,
         )
 
 
@@ -368,16 +378,29 @@ def factorize(
     preset: Optional[PlatformPreset] = None,
     iterations: Optional[int] = None,
     target_rmse: Optional[float] = None,
+    max_simulated_time: Optional[float] = None,
     seed: int = 0,
     backend: Optional[str] = None,
     kernel: Optional[str] = None,
+    schedule: Optional[LearningRateSchedule] = None,
+    compute_train_rmse: bool = False,
+    use_block_store: bool = True,
+    callbacks: Optional[Sequence[Callback]] = None,
+    resume_from: Optional[Union[str, os.PathLike, TrainCheckpoint]] = None,
 ) -> TrainResult:
     """One-call matrix factorization on the heterogeneous machine.
 
     A thin convenience wrapper around :class:`HeterogeneousTrainer` for
-    examples and quick experiments; see the class for parameter details.
-    ``backend`` selects the execution backend (``"simulate"`` or
-    ``"threads"``); ``kernel`` the SGD update kernel (``"auto"`` default).
+    examples and quick experiments; it accepts the full set of
+    :meth:`HeterogeneousTrainer.fit` run options — stopping conditions
+    (``iterations`` / ``target_rmse`` / ``max_simulated_time``), the
+    learning-rate ``schedule``, per-iteration training RMSE
+    (``compute_train_rmse``), the data-plane toggle
+    (``use_block_store``), epoch ``callbacks`` and checkpoint
+    resumption (``resume_from``) — see the method for parameter details.
+    ``backend`` selects the execution backend (any registered name;
+    ``"simulate"`` or ``"threads"`` built in); ``kernel`` the SGD update
+    kernel (``"auto"`` default).
     """
     trainer = HeterogeneousTrainer(
         algorithm=algorithm,
@@ -391,6 +414,12 @@ def factorize(
         test=test,
         iterations=iterations,
         target_rmse=target_rmse,
+        max_simulated_time=max_simulated_time,
         backend=backend,
         kernel=kernel,
+        schedule=schedule,
+        compute_train_rmse=compute_train_rmse,
+        use_block_store=use_block_store,
+        callbacks=callbacks,
+        resume_from=resume_from,
     )

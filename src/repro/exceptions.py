@@ -68,5 +68,15 @@ class DatasetError(ReproError):
     """A dataset could not be generated, loaded, or parsed."""
 
 
+class CheckpointError(ReproError):
+    """A training checkpoint could not be captured, read, or restored.
+
+    Raised for corrupt or version-mismatched checkpoint files, restores
+    into a session that already stepped, and checkpoints whose run
+    fingerprint (matrix shape, grid, worker count) does not match the
+    session they are being restored into.
+    """
+
+
 class ConfigurationError(ReproError):
     """A configuration object carries contradictory or invalid values."""

@@ -1,29 +1,92 @@
 """Execution backends: turning scheduler decisions into SGD updates.
 
-This package defines the :class:`Engine` protocol every backend
-implements and ships the real-parallelism backend:
+This package defines the execution API every backend implements and the
+machinery built on top of it:
 
-* :mod:`repro.exec.base` — the :class:`Engine` interface and the
-  backend-agnostic :class:`EngineResult`;
+* :mod:`repro.exec.base` — the :class:`Engine` interface (``start()`` /
+  ``run()``) and the backend-agnostic :class:`EngineResult`;
+* :mod:`repro.exec.session` — the stepwise session protocol
+  (:class:`EngineSession`, :class:`EpochReport`): one ``step()`` per
+  epoch, observable and stoppable between steps;
+* :mod:`repro.exec.callbacks` — epoch-boundary callbacks
+  (:class:`EarlyStopping`, :class:`Checkpoint`, :class:`JsonlLogger`,
+  :class:`TimeBudget`);
+* :mod:`repro.exec.checkpoint` — :class:`TrainCheckpoint`, serializable
+  snapshots that resume bitwise-identically on the simulator;
+* :mod:`repro.exec.registry` — the pluggable backend registry
+  (:func:`register_backend` / :func:`get_backend`), consulted by config
+  validation, the trainer and the CLI;
 * :mod:`repro.exec.threaded` — :class:`ThreadedEngine`, a thread pool of
   genuinely concurrent workers applying conflict-free block updates to
   the shared factor matrices (Hogwild-safe under the band-lock
   guarantee).
 
 The discrete-event backend lives in :mod:`repro.sim` and implements the
-same protocol; select between them with ``backend="simulate"`` or
-``backend="threads"`` on :class:`~repro.config.TrainingConfig`,
+same protocol; select between backends with ``backend="simulate"`` /
+``"threads"`` (or any registered name) on
+:class:`~repro.config.TrainingConfig`,
 :meth:`~repro.core.trainer.HeterogeneousTrainer.fit` or the CLI.
 """
 
+from .session import (
+    STOP_CALLBACK,
+    STOP_ITERATIONS,
+    STOP_TARGET_RMSE,
+    STOP_TIME_BUDGET,
+    EngineSession,
+    EpochReport,
+    run_session,
+)
 from .base import BACKENDS, Engine, EngineResult
-from .threaded import IDLE_POLL_SECONDS, ThreadedEngine, ThreadedResult
+from .callbacks import (
+    CONTINUE,
+    STOP,
+    Callback,
+    CallbackList,
+    Checkpoint,
+    EarlyStopping,
+    JsonlLogger,
+    TimeBudget,
+)
+from .checkpoint import TrainCheckpoint
+from .registry import (
+    BUILTIN_BACKENDS,
+    backend_names,
+    get_backend,
+    is_registered,
+    register_backend,
+    unregister_backend,
+)
+from .threaded import IDLE_POLL_SECONDS, ThreadedEngine, ThreadedResult, ThreadedSession
 
 __all__ = [
     "BACKENDS",
+    "BUILTIN_BACKENDS",
     "Engine",
     "EngineResult",
+    "EngineSession",
+    "EpochReport",
+    "run_session",
+    "STOP_CALLBACK",
+    "STOP_ITERATIONS",
+    "STOP_TARGET_RMSE",
+    "STOP_TIME_BUDGET",
+    "CONTINUE",
+    "STOP",
+    "Callback",
+    "CallbackList",
+    "Checkpoint",
+    "EarlyStopping",
+    "JsonlLogger",
+    "TimeBudget",
+    "TrainCheckpoint",
+    "backend_names",
+    "get_backend",
+    "is_registered",
+    "register_backend",
+    "unregister_backend",
     "IDLE_POLL_SECONDS",
     "ThreadedEngine",
     "ThreadedResult",
+    "ThreadedSession",
 ]

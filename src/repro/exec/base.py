@@ -22,10 +22,11 @@ from __future__ import annotations
 
 from abc import ABC, abstractmethod
 from dataclasses import dataclass
-from typing import TYPE_CHECKING, List, Optional, Tuple
+from typing import TYPE_CHECKING, Callable, List, Optional, Tuple, Union
 
 from ..config import BACKENDS  # noqa: F401  (re-exported; validated there)
 from ..exceptions import ConfigurationError
+from .session import EngineSession, run_session
 
 if TYPE_CHECKING:  # imported lazily to avoid a cycle with repro.sim
     from ..sgd import FactorModel
@@ -34,15 +35,28 @@ if TYPE_CHECKING:  # imported lazily to avoid a cycle with repro.sim
 
 @dataclass
 class EngineResult:
-    """Outcome of one training run, regardless of the backend."""
+    """Outcome of one training run, regardless of the backend.
+
+    This is the single implementation of the run-outcome surface
+    (:attr:`engine_time`, :attr:`final_test_rmse`, :meth:`rmse_curve`,
+    :meth:`time_to_rmse`); the high-level
+    :class:`~repro.core.trainer.TrainResult` subclasses it rather than
+    duplicating the accessors.
+    """
 
     model: "FactorModel"
     trace: "ExecutionTrace"
     converged: bool
     """Whether the requested RMSE target (if any) was reached."""
 
+    stop_reason: str = "iterations"
+    """Why the run ended: ``"iterations"``, ``"target_rmse"``,
+    ``"time_budget"``, a callback-supplied reason (``"callback"``,
+    ``"early_stopping"``, ``"wall_time_budget"``), or ``"aborted"`` for a
+    session finished before any stopping condition fired."""
+
     @property
-    def simulated_time(self) -> float:
+    def engine_time(self) -> float:
         """Total engine seconds of the run.
 
         Simulated seconds for the discrete-event backend, wall-clock
@@ -50,6 +64,17 @@ class EngineResult:
         trace's task and iteration records.
         """
         return self.trace.final_time
+
+    @property
+    def simulated_time(self) -> float:
+        """Deprecated alias of :attr:`engine_time`.
+
+        .. deprecated:: 1.1
+           The name predates the threaded backend, whose time base is
+           wall-clock rather than simulated seconds.  Use
+           :attr:`engine_time`; this alias is kept for existing callers.
+        """
+        return self.engine_time
 
     @property
     def final_test_rmse(self) -> Optional[float]:
@@ -61,6 +86,10 @@ class EngineResult:
     def rmse_curve(self) -> List[Tuple[float, float]]:
         """``(time, test_rmse)`` pairs, one per iteration."""
         return self.trace.rmse_curve()
+
+    def time_to_rmse(self, target: float) -> Optional[float]:
+        """Earliest engine time at which the test RMSE reached ``target``."""
+        return self.trace.time_to_rmse(target)
 
 
 #: Iteration cap applied when a run is bounded only by ``target_rmse``
@@ -179,19 +208,26 @@ class Engine(ABC):
     """Common interface of the execution backends.
 
     Engines are single-use: construct one per run with the scheduler,
-    data and hyper-parameters, then call :meth:`run` once.  Concrete
-    engines expose at least ``scheduler`` and ``model`` attributes so
-    callers can inspect the grid state and the trained factors.
+    data and hyper-parameters, then either call :meth:`run` once or
+    drive the run epoch by epoch through :meth:`start` (the stepwise
+    session protocol of :mod:`repro.exec.session`).  Concrete engines
+    expose at least ``scheduler`` and ``model`` attributes so callers
+    can inspect the grid state and the trained factors, plus a
+    ``backend_name`` matching their registry name.
     """
 
+    #: Registry name of the backend (see :mod:`repro.exec.registry`).
+    backend_name: str = ""
+
     @abstractmethod
-    def run(
+    def start(
         self,
         iterations: Optional[int] = None,
         target_rmse: Optional[float] = None,
         max_simulated_time: Optional[float] = None,
-    ) -> EngineResult:
-        """Train until a stopping condition is met.
+        pause_on_epoch: Union[bool, Callable[[int], bool]] = False,
+    ) -> EngineSession:
+        """Begin a stepwise run and return its session.
 
         Parameters
         ----------
@@ -200,11 +236,49 @@ class Engine(ABC):
             (defaults to ``training.iterations`` when neither a target
             RMSE nor a time budget is given).  Runs bounded only by a
             target RMSE or a time budget are additionally capped at
-            :data:`MAX_UNBOUNDED_ITERATIONS` epochs.
+            :data:`MAX_UNBOUNDED_ITERATIONS` epochs.  When resuming from
+            a checkpoint this is the *total* epoch cap, checkpointed
+            epochs included.
         target_rmse:
             Stop as soon as the test RMSE at an iteration boundary is at
             or below this value (requires a test set).
         max_simulated_time:
             Hard cap on engine seconds (simulated seconds for the
             simulator, wall-clock seconds for the threaded backend).
+        pause_on_epoch:
+            Ask for a fully quiescent pause at epoch boundaries: ``True``
+            pauses every boundary, a ``(epoch) -> bool`` predicate only
+            the selected ones.  The simulator pauses inherently; the
+            threaded backend drains in-flight tasks at the selected
+            boundaries — required for checkpointing, unnecessary for
+            mere observation.
         """
+
+    def run(
+        self,
+        iterations: Optional[int] = None,
+        target_rmse: Optional[float] = None,
+        max_simulated_time: Optional[float] = None,
+        callbacks=None,
+    ) -> EngineResult:
+        """Train until a stopping condition is met.
+
+        A thin loop over the session protocol: ``start()``, ``step()``
+        until exhausted (invoking ``callbacks`` at each epoch boundary),
+        ``finish()``.  See :meth:`start` for the stopping parameters and
+        :mod:`repro.exec.callbacks` for the callback API.
+        """
+        from .callbacks import CallbackList
+
+        callback_list = CallbackList(callbacks)
+        session = self.start(
+            iterations=iterations,
+            target_rmse=target_rmse,
+            max_simulated_time=max_simulated_time,
+            # Pause only at the boundaries some callback will actually
+            # capture (e.g. Checkpoint(every_n=10) drains one in ten).
+            pause_on_epoch=(
+                callback_list.pause_at if callback_list.requires_pause else False
+            ),
+        )
+        return run_session(session, callback_list)

@@ -1,0 +1,322 @@
+"""Epoch-boundary callbacks for training sessions.
+
+A callback observes a run at every epoch boundary through
+:meth:`Callback.on_epoch_end` and may end it early by returning
+:data:`STOP`.  Callbacks are accepted by
+:meth:`~repro.core.trainer.HeterogeneousTrainer.fit`,
+:func:`~repro.core.trainer.factorize` and every ``Engine.run`` via the
+``callbacks=`` argument; the built-ins cover the common production
+needs:
+
+* :class:`EarlyStopping` — stop when the monitored RMSE stops improving;
+* :class:`Checkpoint` — periodically persist a resumable
+  :class:`~repro.exec.checkpoint.TrainCheckpoint`;
+* :class:`JsonlLogger` — append one JSON line per epoch (RMSE/time
+  trajectory, i.e. the raw material of Figure 12);
+* :class:`TimeBudget` — stop after a wall-clock budget, regardless of
+  backend time semantics.
+
+Callbacks run on the controller side of the session protocol, never
+inside worker threads, so they can do I/O freely; a callback that
+mutates the factor matrices voids the bitwise-resume guarantee.
+"""
+
+from __future__ import annotations
+
+import json
+import time
+from typing import TYPE_CHECKING, Iterable, List, Optional
+
+from ..exceptions import ConfigurationError
+
+if TYPE_CHECKING:  # pragma: no cover - typing only
+    from .base import EngineResult
+    from .session import EngineSession, EpochReport
+
+
+class _Decision:
+    """Sentinel decision values returned by ``on_epoch_end``."""
+
+    __slots__ = ("_name",)
+
+    def __init__(self, name: str) -> None:
+        self._name = name
+
+    def __repr__(self) -> str:
+        return self._name
+
+
+#: Keep training (also conveyed by returning ``None``).
+CONTINUE = _Decision("CONTINUE")
+#: Stop training gracefully at this epoch boundary.
+STOP = _Decision("STOP")
+
+
+class Callback:
+    """Base class of epoch-boundary callbacks.
+
+    Subclasses override any of the three hooks; all default to no-ops.
+    ``on_epoch_end`` may return :data:`STOP` to end the run (anything
+    else — including ``None`` — continues).
+    """
+
+    #: Whether this callback needs the engine paused (quiescent) at some
+    #: epoch boundaries.  The simulator pauses inherently; the threaded
+    #: backend only drains its in-flight tasks at boundaries when some
+    #: callback requires it (checkpointing does — a checkpoint captured
+    #: mid-flight would not be resumable).  Which boundaries actually
+    #: pause is refined per epoch by :meth:`pause_at`.
+    requires_pause: bool = False
+
+    def pause_at(self, epoch: int) -> bool:
+        """Whether the 0-based ``epoch``'s boundary must be quiescent.
+
+        Only consulted when :attr:`requires_pause` is set; the default
+        pauses every boundary.  Periodic callbacks override this so the
+        threaded pool is not drained at boundaries they will ignore.
+        """
+        return self.requires_pause
+
+    def on_train_begin(self, session: "EngineSession") -> None:
+        """Called once, before the first epoch of the run."""
+
+    def on_epoch_end(
+        self, report: "EpochReport", session: "EngineSession"
+    ) -> Optional[_Decision]:
+        """Called at every epoch boundary with that epoch's report."""
+        return CONTINUE
+
+    def on_train_end(self, result: Optional["EngineResult"]) -> None:
+        """Called once, after the session finished.
+
+        ``result`` is ``None`` when the run failed (a callback, step or
+        finish raised) — implementations should release their resources
+        either way.
+        """
+
+
+class CallbackList(Callback):
+    """Compose callbacks; ``STOP`` wins if any member requests it."""
+
+    def __init__(self, callbacks: Optional[Iterable[Callback]] = None) -> None:
+        if callbacks is None:
+            callbacks = ()
+        elif isinstance(callbacks, Callback):
+            callbacks = (callbacks,)
+        self.callbacks: List[Callback] = list(callbacks)
+        for callback in self.callbacks:
+            if not isinstance(callback, Callback):
+                raise ConfigurationError(
+                    f"callbacks must be Callback instances, got {callback!r}"
+                )
+
+    @property
+    def requires_pause(self) -> bool:  # type: ignore[override]
+        return any(callback.requires_pause for callback in self.callbacks)
+
+    def pause_at(self, epoch: int) -> bool:
+        return any(
+            callback.requires_pause and callback.pause_at(epoch)
+            for callback in self.callbacks
+        )
+
+    def on_train_begin(self, session: "EngineSession") -> None:
+        for callback in self.callbacks:
+            callback.on_train_begin(session)
+
+    def on_epoch_end(
+        self, report: "EpochReport", session: "EngineSession"
+    ) -> Optional[_Decision]:
+        decision = CONTINUE
+        for callback in self.callbacks:
+            if callback.on_epoch_end(report, session) is STOP:
+                decision = STOP
+        return decision
+
+    def on_train_end(self, result: "EngineResult") -> None:
+        for callback in self.callbacks:
+            callback.on_train_end(result)
+
+
+class EarlyStopping(Callback):
+    """Stop when the monitored RMSE stops improving.
+
+    Parameters
+    ----------
+    patience:
+        Number of consecutive epochs without an improvement of at least
+        ``min_delta`` after which the run is stopped.
+    min_delta:
+        Minimum RMSE decrease that counts as an improvement.
+    monitor:
+        ``"test_rmse"`` (default) or ``"train_rmse"``.  Monitoring the
+        training RMSE requires the engine to compute it
+        (``compute_train_rmse=True``).
+    """
+
+    def __init__(
+        self,
+        patience: int = 3,
+        min_delta: float = 0.0,
+        monitor: str = "test_rmse",
+    ) -> None:
+        if patience <= 0:
+            raise ConfigurationError(f"patience must be positive, got {patience}")
+        if min_delta < 0:
+            raise ConfigurationError(f"min_delta must be >= 0, got {min_delta}")
+        if monitor not in ("test_rmse", "train_rmse"):
+            raise ConfigurationError(
+                f'monitor must be "test_rmse" or "train_rmse", got {monitor!r}'
+            )
+        self.patience = patience
+        self.min_delta = min_delta
+        self.monitor = monitor
+        self.best: Optional[float] = None
+        self.stale_epochs = 0
+        self.stopped_at: Optional[int] = None
+
+    def on_train_begin(self, session: "EngineSession") -> None:
+        self.best = None
+        self.stale_epochs = 0
+        self.stopped_at = None
+
+    def on_epoch_end(self, report, session) -> Optional[_Decision]:
+        value = getattr(report, self.monitor)
+        if value is None:
+            raise ConfigurationError(
+                f"EarlyStopping monitors {self.monitor!r} but the report has "
+                "no such metric; pass a test set (or compute_train_rmse=True)"
+            )
+        if self.best is None or value < self.best - self.min_delta:
+            self.best = value
+            self.stale_epochs = 0
+            return CONTINUE
+        self.stale_epochs += 1
+        if self.stale_epochs >= self.patience:
+            self.stopped_at = report.epoch
+            session.stop(reason="early_stopping")
+            return STOP
+        return CONTINUE
+
+
+class Checkpoint(Callback):
+    """Persist a resumable checkpoint every ``every_n`` epochs.
+
+    Parameters
+    ----------
+    path:
+        Destination file (``.npz`` is appended if missing).  A
+        ``{epoch}`` placeholder, if present, is formatted with the
+        0-based epoch index — without one the file is overwritten in
+        place, always holding the latest boundary.
+    every_n:
+        Checkpoint frequency in epochs.
+
+    The callback declares ``requires_pause``: on the threaded backend the
+    session drains in-flight tasks at each boundary so the captured state
+    is quiescent and exactly resumable (see
+    :class:`~repro.exec.checkpoint.TrainCheckpoint`).
+    """
+
+    requires_pause = True
+
+    def __init__(self, path, every_n: int = 1) -> None:
+        if every_n <= 0:
+            raise ConfigurationError(f"every_n must be positive, got {every_n}")
+        self.path = path
+        self.every_n = every_n
+        self.saved_paths: List[str] = []
+
+    def pause_at(self, epoch: int) -> bool:
+        # Only the boundaries this callback will actually capture need
+        # to quiesce the threaded pool.
+        return (epoch + 1) % self.every_n == 0
+
+    def on_epoch_end(self, report, session) -> Optional[_Decision]:
+        if (report.epoch + 1) % self.every_n != 0:
+            return CONTINUE
+        from .checkpoint import TrainCheckpoint
+
+        path = str(self.path)
+        if "{epoch}" in path:
+            path = path.format(epoch=report.epoch)
+        saved = TrainCheckpoint.capture(session).save(path)
+        self.saved_paths.append(saved)
+        return CONTINUE
+
+
+class JsonlLogger(Callback):
+    """Append one JSON line per epoch to ``path``.
+
+    Each line carries ``epoch``, ``engine_time``, ``train_rmse``,
+    ``test_rmse`` and ``points_processed`` — the per-iteration trajectory
+    the paper evaluates (Figure 12) in a grep/pandas-friendly format.  A
+    final line with ``"event": "end"`` records the stop reason.
+    """
+
+    def __init__(self, path, append: bool = False) -> None:
+        self.path = path
+        self.append = append
+        self._handle = None
+
+    def on_train_begin(self, session: "EngineSession") -> None:
+        mode = "a" if self.append else "w"
+        self._handle = open(self.path, mode, encoding="utf-8")
+
+    def on_epoch_end(self, report, session) -> Optional[_Decision]:
+        record = {
+            "event": "epoch",
+            "epoch": report.epoch,
+            "engine_time": report.engine_time,
+            "train_rmse": report.train_rmse,
+            "test_rmse": report.test_rmse,
+            "points_processed": report.points_processed,
+        }
+        self._handle.write(json.dumps(record) + "\n")
+        self._handle.flush()
+        return CONTINUE
+
+    def on_train_end(self, result) -> None:
+        if self._handle is None:
+            return
+        if result is None:
+            record = {"event": "end", "error": True}
+        else:
+            record = {
+                "event": "end",
+                "epochs": len(result.trace.iterations),
+                "engine_time": result.engine_time,
+                "final_test_rmse": result.final_test_rmse,
+                "converged": result.converged,
+                "stop_reason": result.stop_reason,
+            }
+        self._handle.write(json.dumps(record) + "\n")
+        self._handle.close()
+        self._handle = None
+
+
+class TimeBudget(Callback):
+    """Stop after ``max_seconds`` of wall-clock time.
+
+    Unlike the engines' ``max_simulated_time`` (simulated seconds on the
+    simulator), this bounds real elapsed time on any backend — the knob a
+    service uses for time-sliced training.  The budget is checked at
+    epoch boundaries, so a run overshoots by at most one epoch.
+    """
+
+    def __init__(self, max_seconds: float) -> None:
+        if max_seconds <= 0:
+            raise ConfigurationError(
+                f"max_seconds must be positive, got {max_seconds}"
+            )
+        self.max_seconds = float(max_seconds)
+        self._deadline: Optional[float] = None
+
+    def on_train_begin(self, session: "EngineSession") -> None:
+        self._deadline = time.monotonic() + self.max_seconds
+
+    def on_epoch_end(self, report, session) -> Optional[_Decision]:
+        if self._deadline is not None and time.monotonic() >= self._deadline:
+            session.stop(reason="wall_time_budget")
+            return STOP
+        return CONTINUE

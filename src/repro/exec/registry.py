@@ -1,0 +1,184 @@
+"""The execution-backend registry.
+
+Backends used to be a hardcoded tuple (``config.BACKENDS``) plus an
+``if/elif`` chain inside :meth:`HeterogeneousTrainer._build_engine`;
+adding a backend meant editing ``core/`` and ``config.py``.  This module
+replaces both with a registry: a backend is a **factory** registered
+under a name, and everything that needs the backend list — config
+validation, the trainer, :func:`~repro.core.trainer.factorize`, the CLI
+``--backend`` choices — consults the registry instead of a constant.  A
+process-pool or GPU backend therefore becomes::
+
+    from repro.exec import register_backend
+
+    def my_backend(*, scheduler, train, training, test, model, schedule,
+                   platform, compute_train_rmse, use_block_store):
+        return MyEngine(...)
+
+    register_backend("mypool", my_backend)
+
+after which ``TrainingConfig(backend="mypool")``,
+``fit(backend="mypool")`` and ``repro-mf train --backend mypool`` all
+work without touching any core module.
+
+Factory contract
+----------------
+A factory is called with keyword arguments only::
+
+    factory(scheduler=..., train=..., training=..., test=..., model=...,
+            schedule=..., platform=..., compute_train_rmse=...,
+            use_block_store=...) -> Engine
+
+and must return an object implementing the :class:`repro.exec.Engine`
+protocol (``start()`` / ``run()``).  Factories may ignore arguments they
+have no use for (the threaded backend, for example, only consults the
+platform for GPU latency emulation).
+
+The two built-in backends — ``"simulate"`` (the discrete-event engine
+behind every paper figure) and ``"threads"`` (real concurrent worker
+threads) — are registered at import time with lazily-imported factories,
+so importing the registry never pulls in the engines themselves.
+"""
+
+from __future__ import annotations
+
+from typing import Callable, Dict, Tuple
+
+from ..exceptions import ConfigurationError
+
+#: A backend factory: keyword-only callable returning an ``Engine``.
+BackendFactory = Callable[..., object]
+
+#: Names of the backends that ship with the library.
+BUILTIN_BACKENDS: Tuple[str, ...] = ("simulate", "threads")
+
+_REGISTRY: Dict[str, BackendFactory] = {}
+
+
+def register_backend(
+    name: str, factory: BackendFactory, *, replace: bool = False
+) -> None:
+    """Register an execution backend under ``name``.
+
+    Parameters
+    ----------
+    name:
+        The identifier used by ``TrainingConfig(backend=...)``,
+        ``fit(backend=...)`` and the CLI.
+    factory:
+        Keyword-only callable building an engine (see the module
+        docstring for the exact signature).
+    replace:
+        Allow overwriting an existing registration.  Off by default so a
+        typo cannot silently shadow a built-in backend.
+    """
+    if not name or not isinstance(name, str):
+        raise ConfigurationError(f"backend name must be a non-empty string, got {name!r}")
+    if not callable(factory):
+        raise ConfigurationError(f"backend factory for {name!r} must be callable")
+    if name in _REGISTRY and not replace:
+        raise ConfigurationError(
+            f"backend {name!r} is already registered; pass replace=True to override"
+        )
+    _REGISTRY[name] = factory
+
+
+def unregister_backend(name: str) -> None:
+    """Remove a registered backend (built-ins included — tests use this)."""
+    if name not in _REGISTRY:
+        raise ConfigurationError(f"backend {name!r} is not registered")
+    del _REGISTRY[name]
+
+
+def get_backend(name: str) -> BackendFactory:
+    """Return the factory registered under ``name``.
+
+    Raises
+    ------
+    ConfigurationError
+        If no backend of that name is registered; the message lists the
+        currently available names.
+    """
+    try:
+        return _REGISTRY[name]
+    except KeyError:
+        raise ConfigurationError(
+            f"backend must be one of {backend_names()}, got {name!r}"
+        ) from None
+
+
+def backend_names() -> Tuple[str, ...]:
+    """The currently registered backend names, built-ins first."""
+    builtins = [name for name in BUILTIN_BACKENDS if name in _REGISTRY]
+    extras = sorted(name for name in _REGISTRY if name not in BUILTIN_BACKENDS)
+    return tuple(builtins + extras)
+
+
+def is_registered(name: str) -> bool:
+    """Whether ``name`` denotes a registered backend."""
+    return name in _REGISTRY
+
+
+# --------------------------------------------------------------------- #
+# Built-in backends
+# --------------------------------------------------------------------- #
+def _simulate_factory(
+    *,
+    scheduler,
+    train,
+    training,
+    test=None,
+    model=None,
+    schedule=None,
+    platform=None,
+    compute_train_rmse=False,
+    use_block_store=True,
+):
+    from ..sim.engine import SimulationEngine
+
+    if platform is None:
+        raise ConfigurationError(
+            'the "simulate" backend needs a platform to price task durations'
+        )
+    return SimulationEngine(
+        scheduler=scheduler,
+        platform=platform,
+        train=train,
+        training=training,
+        test=test,
+        model=model,
+        schedule=schedule,
+        compute_train_rmse=compute_train_rmse,
+        use_block_store=use_block_store,
+    )
+
+
+def _threads_factory(
+    *,
+    scheduler,
+    train,
+    training,
+    test=None,
+    model=None,
+    schedule=None,
+    platform=None,
+    compute_train_rmse=False,
+    use_block_store=True,
+):
+    from .threaded import ThreadedEngine
+
+    return ThreadedEngine(
+        scheduler=scheduler,
+        train=train,
+        training=training,
+        test=test,
+        model=model,
+        schedule=schedule,
+        platform=platform,
+        compute_train_rmse=compute_train_rmse,
+        use_block_store=use_block_store,
+    )
+
+
+register_backend("simulate", _simulate_factory)
+register_backend("threads", _threads_factory)

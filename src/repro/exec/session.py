@@ -1,0 +1,231 @@
+"""The stepwise training-session protocol.
+
+``Engine.run()`` used to be an opaque call: the whole online phase
+(Algorithm 2) ran to completion inside one function and every stopping
+rule had to be baked into both engines.  The session protocol opens the
+loop at its natural grain — the epoch, whose per-iteration RMSE/time
+trajectory *is* the paper's evaluation (Figure 12, Table III)::
+
+    session = engine.start(iterations=10)
+    while (report := session.step()) is not None:
+        ...                      # observe, checkpoint, or session.stop()
+    result = session.finish()
+
+* :meth:`EngineSession.step` advances the engine until the next epoch
+  boundary and returns an :class:`EpochReport`, or ``None`` once no
+  further epoch will complete;
+* :meth:`EngineSession.stop` requests a graceful stop at the next
+  opportunity (used by callbacks such as early stopping);
+* :meth:`EngineSession.finish` releases in-flight work and produces the
+  same :class:`~repro.exec.base.EngineResult` the old ``run()`` returned.
+
+``run()`` itself is now a thin loop over this protocol
+(:func:`run_session`), so the single-call API is unchanged while
+observation, early stopping, checkpointing and resumption
+(:mod:`repro.exec.callbacks`, :mod:`repro.exec.checkpoint`) all build on
+``step()`` without touching the engines' numerics.
+
+Step boundaries are epoch boundaries on purpose: an epoch boundary is
+where both engines already synchronise their accounting (quota reset,
+RMSE evaluation), so pausing there observes the band-lock guarantee and
+preserves the 1-worker sim-parity contract — the sequence of scheduler
+decisions and kernel calls of a stepped run is identical to an
+uninterrupted one.
+"""
+
+from __future__ import annotations
+
+from abc import ABC, abstractmethod
+from dataclasses import dataclass
+from typing import TYPE_CHECKING, Optional
+
+if TYPE_CHECKING:  # pragma: no cover - typing only
+    from ..core.schedulers import Scheduler
+    from ..sgd import FactorModel
+    from ..sim.trace import ExecutionTrace
+    from .base import EngineResult
+
+
+#: ``stop_reason`` values produced by the engines themselves.
+STOP_ITERATIONS = "iterations"
+STOP_TARGET_RMSE = "target_rmse"
+STOP_TIME_BUDGET = "time_budget"
+STOP_CALLBACK = "callback"
+
+
+@dataclass(frozen=True)
+class EpochReport:
+    """What a session reports at one epoch boundary.
+
+    Attributes
+    ----------
+    epoch:
+        0-based index of the epoch that just completed.
+    engine_time:
+        Engine seconds at the boundary — simulated seconds for the
+        ``"simulate"`` backend, wall-clock seconds for ``"threads"``.
+    train_rmse:
+        Training RMSE at the boundary (``None`` unless the engine was
+        asked to compute it).
+    test_rmse:
+        Test RMSE at the boundary (``None`` without a test set).
+    points_processed:
+        Cumulative ratings processed since the start of the run.
+    converged:
+        Whether the target RMSE (if any) has been reached by this epoch.
+    """
+
+    epoch: int
+    engine_time: float
+    train_rmse: Optional[float]
+    test_rmse: Optional[float]
+    points_processed: int
+    converged: bool = False
+
+    def to_state(self) -> dict:
+        """Plain JSON-able form, used by session/checkpoint serialization."""
+        return {
+            "epoch": self.epoch,
+            "engine_time": self.engine_time,
+            "train_rmse": self.train_rmse,
+            "test_rmse": self.test_rmse,
+            "points_processed": self.points_processed,
+            "converged": self.converged,
+        }
+
+    @classmethod
+    def from_state(cls, state: dict) -> "EpochReport":
+        """Inverse of :meth:`to_state`."""
+        return cls(**state)
+
+
+class EngineSession(ABC):
+    """One in-progress training run, advanced epoch by epoch.
+
+    Sessions are single-use and stateful: obtain one from
+    :meth:`Engine.start`, drive it with :meth:`step` and close it with
+    :meth:`finish`.  Between ``step()`` calls the run is paused at an
+    epoch boundary (the simulator inherently; the threaded backend when
+    started with ``pause_on_epoch=True``), which is the only state a
+    checkpoint may capture.
+    """
+
+    @property
+    @abstractmethod
+    def engine(self):
+        """The engine this session belongs to."""
+
+    @property
+    @abstractmethod
+    def epoch(self) -> int:
+        """Number of epochs completed so far."""
+
+    @property
+    @abstractmethod
+    def done(self) -> bool:
+        """Whether the run has ended (no further ``step()`` will report)."""
+
+    @property
+    def model(self) -> "FactorModel":
+        """The factor model being trained (shared with the engine)."""
+        return self.engine.model
+
+    @property
+    def scheduler(self) -> "Scheduler":
+        """The scheduler driving the run (shared with the engine)."""
+        return self.engine.scheduler
+
+    @property
+    @abstractmethod
+    def trace(self) -> "ExecutionTrace":
+        """The execution trace recorded so far."""
+
+    @abstractmethod
+    def step(self) -> Optional[EpochReport]:
+        """Advance to the next epoch boundary.
+
+        Returns the report of the epoch that completed, or ``None`` when
+        the run is over (stopping condition met, :meth:`stop` requested,
+        or no work remains).  Calling ``step()`` after ``None`` keeps
+        returning ``None``.
+        """
+
+    @abstractmethod
+    def stop(self, reason: str = STOP_CALLBACK) -> None:
+        """Request a graceful stop; the next ``step()`` returns ``None``.
+
+        ``reason`` becomes the result's ``stop_reason``.
+        """
+
+    @abstractmethod
+    def finish(self) -> "EngineResult":
+        """End the run, release in-flight work and build the result.
+
+        Idempotent: repeated calls return the same result object.
+        """
+
+    # ------------------------------------------------------------------ #
+    # Checkpoint support
+    # ------------------------------------------------------------------ #
+    @property
+    @abstractmethod
+    def backend_name(self) -> str:
+        """Registry name of the backend that produced this session."""
+
+    @property
+    @abstractmethod
+    def started(self) -> bool:
+        """Whether the session has begun executing (first ``step()`` ran)."""
+
+    @abstractmethod
+    def state_dict(self) -> dict:
+        """Serializable engine-loop state at the current epoch boundary.
+
+        Together with the factor matrices, the scheduler state and the
+        trace (all captured by
+        :class:`~repro.exec.checkpoint.TrainCheckpoint`), this is
+        everything needed to resume the run exactly where it paused.
+        """
+
+    @abstractmethod
+    def load_state_dict(self, state: dict) -> None:
+        """Restore engine-loop state; only valid before the first ``step()``."""
+
+
+def run_session(session: EngineSession, callbacks=None) -> "EngineResult":
+    """Drive a session to completion, invoking callbacks at each epoch.
+
+    This is the loop behind every ``run()`` and
+    :meth:`~repro.core.trainer.HeterogeneousTrainer.fit`: step, hand the
+    report to the callbacks, honour a ``STOP`` decision, finish.
+    """
+    from .callbacks import STOP, CallbackList
+
+    callback_list = callbacks if isinstance(callbacks, CallbackList) else CallbackList(callbacks)
+    try:
+        callback_list.on_train_begin(session)
+        while True:
+            report = session.step()
+            if report is None:
+                break
+            if callback_list.on_epoch_end(report, session) is STOP:
+                session.stop()
+        result = session.finish()
+    except BaseException:
+        # A failing callback, step or finish must not leave the run
+        # alive — the threaded backend's workers would keep mutating the
+        # model after the caller's fit() has raised — and callbacks get
+        # one (best-effort) chance to release their resources.  The
+        # original exception wins over any secondary teardown failure.
+        session.stop(reason="error")
+        try:
+            session.finish()
+        except Exception:
+            pass
+        try:
+            callback_list.on_train_end(None)
+        except Exception:
+            pass
+        raise
+    callback_list.on_train_end(result)
+    return result

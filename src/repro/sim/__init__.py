@@ -12,7 +12,7 @@ figures (12, 13) and the running-time figures (10, 11) without a GPU.
 """
 
 from .trace import ExecutionTrace, IterationRecord, TaskRecord, WorkerStats
-from .engine import SimulationEngine, SimulationResult
+from .engine import SimulationEngine, SimulationResult, SimulationSession
 
 __all__ = [
     "ExecutionTrace",
@@ -21,4 +21,5 @@ __all__ = [
     "WorkerStats",
     "SimulationEngine",
     "SimulationResult",
+    "SimulationSession",
 ]

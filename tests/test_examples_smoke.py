@@ -1,0 +1,59 @@
+"""Smoke-run every script in ``examples/`` on tiny synthetic data.
+
+The examples are the documented entry points of the public API; an API
+redesign that breaks one of them would otherwise only surface when a
+user runs it.  Each script honours ``REPRO_EXAMPLES_DATASET`` /
+``REPRO_EXAMPLES_ITERATIONS``, so the smoke runs use the smallest
+synthetic analogue (movielens, ~30k ratings) with two epochs and finish
+in seconds.  CI runs this module as its own job via the ``examples``
+marker (excluded from the fast and slow matrix jobs so nothing runs
+twice); a plain ``pytest`` from the repo root still includes it.
+"""
+
+import os
+import subprocess
+import sys
+
+import pytest
+
+EXAMPLES_DIR = os.path.join(os.path.dirname(__file__), "..", "examples")
+
+EXAMPLE_SCRIPTS = sorted(
+    name for name in os.listdir(EXAMPLES_DIR) if name.endswith(".py")
+)
+
+#: Substring each example must print when it succeeds end to end.
+EXPECTED_OUTPUT = {
+    "quickstart.py": "final test RMSE",
+    "compare_schedulers.py": "speedup vs CPU",
+    "cost_model_calibration.py": "Workload split chosen",
+    "recommender_pipeline.py": "hit-rate@10",
+    "resumable_training.py": "bitwise identical : True",
+}
+
+
+def test_every_example_is_covered():
+    """A new example script must be added to the expectations table."""
+    assert set(EXAMPLE_SCRIPTS) == set(EXPECTED_OUTPUT)
+
+
+@pytest.mark.examples
+@pytest.mark.parametrize("script", EXAMPLE_SCRIPTS)
+def test_example_runs_on_tiny_data(script):
+    env = dict(os.environ)
+    env["REPRO_EXAMPLES_DATASET"] = "movielens"
+    env["REPRO_EXAMPLES_ITERATIONS"] = "2"
+    result = subprocess.run(
+        [sys.executable, os.path.join(EXAMPLES_DIR, script)],
+        capture_output=True,
+        text=True,
+        timeout=600,
+        env=env,
+    )
+    assert result.returncode == 0, (
+        f"{script} failed\nstdout:\n{result.stdout}\nstderr:\n{result.stderr}"
+    )
+    assert EXPECTED_OUTPUT[script] in result.stdout, (
+        f"{script} ran but did not produce its expected output\n"
+        f"stdout:\n{result.stdout}"
+    )

@@ -138,6 +138,85 @@ class TestSimParity:
         ]
 
 
+class TestResumeParitySimVsThreads:
+    """One worker + fixed seed: checkpoint/resume preserves the backends'
+    bitwise equality.  Each backend checkpoints its own run at epoch 3
+    and resumes to epoch 6; both resumed runs — and a threads checkpoint
+    resumed on the simulator — must equal the uninterrupted 6-epoch
+    simulator run exactly."""
+
+    def _engine(self, backend, train, test, training, platform):
+        grid = uniform_partition(train, 3, 3)
+        scheduler = GreedyBlockScheduler(grid, 1, 0, seed=0)
+        if backend == "simulate":
+            return SimulationEngine(
+                scheduler=scheduler, platform=platform, train=train,
+                training=training, test=test,
+            )
+        return ThreadedEngine(
+            scheduler=scheduler, train=train, training=training, test=test,
+        )
+
+    def _checkpoint_at(self, backend, train, test, training, platform, epoch):
+        from repro.exec import TrainCheckpoint
+
+        engine = self._engine(backend, train, test, training, platform)
+        session = engine.start(iterations=epoch, pause_on_epoch=True)
+        while session.step() is not None:
+            pass
+        checkpoint = TrainCheckpoint.capture(session)
+        session.finish()
+        return checkpoint
+
+    def _resume(self, backend, checkpoint, train, test, training, platform, total):
+        engine = self._engine(backend, train, test, training, platform)
+        session = engine.start(iterations=total)
+        checkpoint.restore(session)
+        while session.step() is not None:
+            pass
+        return session.finish()
+
+    def test_one_worker_resume_matches_across_backends(
+        self, small_split, one_worker_platform, small_training
+    ):
+        train, test = small_split
+        args = (train, test, small_training, one_worker_platform)
+
+        reference = self._engine("simulate", *args).run(iterations=6)
+
+        sim_ckpt = self._checkpoint_at("simulate", *args, epoch=3)
+        thr_ckpt = self._checkpoint_at("threads", *args, epoch=3)
+
+        resumed_sim = self._resume("simulate", sim_ckpt, *args, total=6)
+        resumed_thr = self._resume("threads", thr_ckpt, *args, total=6)
+        # A 1-worker checkpoint is quiescent on both backends, so the
+        # threads checkpoint also resumes on the simulator.
+        resumed_cross = self._resume("simulate", thr_ckpt, *args, total=6)
+
+        for resumed in (resumed_sim, resumed_thr, resumed_cross):
+            np.testing.assert_array_equal(reference.model.p, resumed.model.p)
+            np.testing.assert_array_equal(reference.model.q, resumed.model.q)
+        assert [t.points for t in reference.trace.tasks] == [
+            t.points for t in resumed_thr.trace.tasks
+        ]
+        assert [r.test_rmse for r in reference.trace.iterations] == [
+            r.test_rmse for r in resumed_thr.trace.iterations
+        ]
+
+    def test_one_worker_checkpoints_agree_across_backends(
+        self, small_split, one_worker_platform, small_training
+    ):
+        """The serialized factor state at an epoch boundary is itself
+        backend-independent with one worker."""
+        train, test = small_split
+        args = (train, test, small_training, one_worker_platform)
+        sim_ckpt = self._checkpoint_at("simulate", *args, epoch=2)
+        thr_ckpt = self._checkpoint_at("threads", *args, epoch=2)
+        np.testing.assert_array_equal(sim_ckpt.p, thr_ckpt.p)
+        np.testing.assert_array_equal(sim_ckpt.q, thr_ckpt.q)
+        np.testing.assert_array_equal(sim_ckpt.update_counts, thr_ckpt.update_counts)
+
+
 class TestConcurrentInvariants:
     """With N workers the schedule is nondeterministic but accounting holds."""
 

@@ -178,6 +178,64 @@ class TestCLI:
         assert "final test RMSE" in output
         assert "simulated time" in output
 
+    def test_train_reports_stopping_condition(self, capsys):
+        code = main([
+            "train", "--dataset", "movielens", "--algorithm", "hsgd",
+            "--iterations", "2", "--cpu-threads", "4",
+        ])
+        assert code == 0
+        assert "stopped because    : iteration cap reached" in capsys.readouterr().out
+
+    def test_train_target_rmse_flag(self, capsys):
+        code = main([
+            "train", "--dataset", "movielens", "--algorithm", "hsgd_star",
+            "--iterations", "50", "--cpu-threads", "4", "--target-rmse", "0.9",
+        ])
+        assert code == 0
+        output = capsys.readouterr().out
+        assert "stopped because    : target RMSE reached" in output
+
+    def test_train_max_time_flag(self, capsys):
+        code = main([
+            "train", "--dataset", "movielens", "--algorithm", "hsgd",
+            "--iterations", "50", "--cpu-threads", "4", "--max-time", "1e-9",
+        ])
+        assert code == 0
+        assert "stopped because    : time budget exhausted" in capsys.readouterr().out
+
+    def test_train_early_stop_flag(self, capsys):
+        code = main([
+            "train", "--dataset", "movielens", "--algorithm", "hsgd",
+            "--iterations", "50", "--cpu-threads", "4",
+            "--early-stop-patience", "1", "--early-stop-min-delta", "10.0",
+        ])
+        assert code == 0
+        assert "stopped because    : early stopping" in capsys.readouterr().out
+
+    def test_train_checkpoint_resume_and_jsonl(self, capsys, tmp_path):
+        import json
+
+        ckpt = str(tmp_path / "cli-ckpt")
+        log = str(tmp_path / "cli-log.jsonl")
+        assert main([
+            "train", "--dataset", "movielens", "--algorithm", "hsgd_star",
+            "--iterations", "2", "--cpu-threads", "4",
+            "--checkpoint", ckpt, "--log-jsonl", log,
+        ]) == 0
+        capsys.readouterr()
+        assert main([
+            "train", "--dataset", "movielens", "--algorithm", "hsgd_star",
+            "--iterations", "4", "--cpu-threads", "4",
+            "--resume", ckpt + ".npz", "--log-jsonl", log,
+        ]) == 0
+        output = capsys.readouterr().out
+        assert "resumed from" in output
+        assert "iterations         : 4" in output
+        # The resumed run appends, so the combined trajectory survives.
+        lines = [json.loads(line) for line in open(log, encoding="utf-8")]
+        assert [l["epoch"] for l in lines if l["event"] == "epoch"] == [0, 1, 2, 3]
+        assert lines[-1]["event"] == "end"
+
     def test_table1_command(self, capsys):
         assert main(["table1"]) == 0
         assert "movielens" in capsys.readouterr().out
