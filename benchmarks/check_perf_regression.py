@@ -1,0 +1,130 @@
+"""Thresholded perf-regression guard over the scaling benchmark.
+
+Compares a freshly measured scaling run (``REPRO_BENCH_OUT`` of
+``bench_backend_scaling.py::test_backend_scaling_curve``) against the
+committed ``BENCH_exec.json`` baseline and **fails** (exit 1) when any
+real backend's throughput dropped more than ``--max-drop`` (default
+30%) below the baseline at a worker count both files measured.
+
+The compared quantity is each backend's ratings/s **normalised by the
+same run's serial-simulator ratings/s** at the same worker count.  The
+simulator executes the identical kernels inline, so it is a live probe
+of the machine the run happened on — dividing by it cancels
+machine-speed and load differences between the baseline host and the CI
+runner, leaving exactly the thing this guard exists to catch: a backend
+becoming slower *relative to the same work executed serially* (a new
+copy on the hot path, lock contention, a dispatch stall).  A global
+slowdown that hits every backend equally is the kernels' business and is
+covered by ``BENCH_kernels.json`` and the tier-1 suite; the simulator
+row is the normaliser here and is reported but never gated.
+
+Usage (what the CI perf-guard job runs)::
+
+    REPRO_BENCH_WORKERS=2 REPRO_BENCH_OUT=bench_current.json \\
+        python -m pytest benchmarks/bench_backend_scaling.py \\
+        -k scaling_curve -q -s
+    python benchmarks/check_perf_regression.py \\
+        --baseline BENCH_exec.json --current bench_current.json
+
+Improvements and new worker counts are reported but never fail; a
+backend or worker count missing from the baseline is skipped (it has no
+reference to regress against).
+"""
+
+from __future__ import annotations
+
+import argparse
+import json
+import sys
+
+
+def _index(payload: dict) -> dict:
+    """``{(workers, backend): ratings_per_s}`` from a bench JSON."""
+    table = {}
+    for entry in payload.get("scaling", []):
+        workers = entry["workers"]
+        for backend, stats in entry.items():
+            if backend == "workers" or not isinstance(stats, dict):
+                continue
+            table[(workers, backend)] = float(stats["ratings_per_s"])
+    return table
+
+
+def _normalised(table: dict) -> dict:
+    """``{(workers, backend): tp / simulate_tp}`` for the real backends."""
+    out = {}
+    for (workers, backend), tp in table.items():
+        if backend == "simulate":
+            continue
+        serial = table.get((workers, "simulate"))
+        if serial and serial > 0:
+            out[(workers, backend)] = tp / serial
+    return out
+
+
+def compare(baseline: dict, current: dict, max_drop: float) -> int:
+    cur_raw = _index(current)
+    base = _normalised(_index(baseline))
+    cur = _normalised(cur_raw)
+    if not cur:
+        print("error: current run contains no comparable scaling measurements")
+        return 1
+    for (workers, backend), tp in sorted(cur_raw.items()):
+        if backend == "simulate":
+            print(f"  normaliser simulate @ {workers}w: {tp:.0f} ratings/s")
+    failures = []
+    for key in sorted(cur):
+        workers, backend = key
+        if key not in base:
+            print(
+                f"  (new)    {backend} @ {workers}w: {cur[key]:.2f}x of serial "
+                "(no baseline, skipped)"
+            )
+            continue
+        ratio = cur[key] / base[key] if base[key] > 0 else float("inf")
+        status = "ok" if ratio >= 1.0 - max_drop else "REGRESSED"
+        print(
+            f"  {status:>9} {backend} @ {workers}w: {cur[key]:.2f}x of serial "
+            f"vs baseline {base[key]:.2f}x ({ratio:.2f} of baseline)"
+        )
+        if status == "REGRESSED":
+            failures.append((workers, backend, ratio))
+    if failures:
+        print(
+            f"\nperf regression: {len(failures)} backend(s) dropped more than "
+            f"{max_drop:.0%} below the committed baseline (serial-normalised)"
+        )
+        return 1
+    print("\nno backend regressed beyond the threshold")
+    return 0
+
+
+def main(argv=None) -> int:
+    parser = argparse.ArgumentParser(description=__doc__.splitlines()[0])
+    parser.add_argument("--baseline", required=True, help="committed BENCH_exec.json")
+    parser.add_argument("--current", required=True, help="freshly measured run")
+    parser.add_argument(
+        "--max-drop",
+        type=float,
+        default=0.30,
+        help=(
+            "maximum tolerated fractional drop of serial-normalised "
+            "ratings/s (default 0.30)"
+        ),
+    )
+    args = parser.parse_args(argv)
+    with open(args.baseline, encoding="utf-8") as handle:
+        baseline = json.load(handle)
+    with open(args.current, encoding="utf-8") as handle:
+        current = json.load(handle)
+    print(
+        f"baseline: {args.baseline} "
+        f"({baseline.get('hardware', {}).get('usable_cores', '?')} cores); "
+        f"current: {args.current} "
+        f"({current.get('hardware', {}).get('usable_cores', '?')} cores)"
+    )
+    return compare(baseline, current, args.max_drop)
+
+
+if __name__ == "__main__":
+    sys.exit(main())

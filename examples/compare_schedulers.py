@@ -49,13 +49,13 @@ def main() -> None:
         )
         result = trainer.fit(data.train, data.test, iterations=ITERATIONS)
         if key == "cpu_only":
-            baseline_time = result.simulated_time
+            baseline_time = result.engine_time
         share = result.trace.resource_share()
         rows.append(
             (
                 ALGORITHMS[key].label,
-                result.simulated_time * 1e3,
-                baseline_time / result.simulated_time,
+                result.engine_time * 1e3,
+                baseline_time / result.engine_time,
                 result.final_test_rmse,
                 f"{share['gpu']:.2f}",
                 result.trace.stolen_task_count(),

@@ -43,7 +43,7 @@ def main() -> None:
 
     print(f"\nalgorithm            : HSGD* (nonuniform division + dynamic scheduling)")
     print(f"GPU workload share   : {result.alpha:.2%}")
-    print(f"simulated time       : {result.simulated_time * 1e3:.3f} ms "
+    print(f"simulated time       : {result.engine_time * 1e3:.3f} ms "
           f"(simulated machine, scaled datasets)")
     print(f"final test RMSE      : {result.final_test_rmse:.4f}")
     print("RMSE after each iteration:")

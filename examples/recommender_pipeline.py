@@ -63,7 +63,7 @@ def main() -> None:
     )
     print(f"  reached RMSE {result.final_test_rmse:.4f} after "
           f"{len(result.trace.iterations)} iterations "
-          f"({result.simulated_time * 1e3:.2f} ms simulated)")
+          f"({result.engine_time * 1e3:.2f} ms simulated)")
 
     with tempfile.TemporaryDirectory() as directory:
         path = os.path.join(directory, "netflix_model")

@@ -16,7 +16,7 @@ Quick start::
     data = load_dataset("movielens")
     result = factorize(data.train, data.test, algorithm="hsgd_star",
                        iterations=10)
-    print(result.final_test_rmse, result.simulated_time)
+    print(result.final_test_rmse, result.engine_time)
 
 See ``README.md`` for the architecture overview and ``DESIGN.md`` for the
 paper-to-module mapping.
@@ -47,6 +47,8 @@ from .exec import (
     EngineSession,
     EpochReport,
     JsonlLogger,
+    ProcessEngine,
+    ProcessResult,
     ThreadedEngine,
     ThreadedResult,
     TimeBudget,
@@ -82,6 +84,8 @@ __all__ = [
     "get_backend",
     "register_backend",
     "unregister_backend",
+    "ProcessEngine",
+    "ProcessResult",
     "ThreadedEngine",
     "ThreadedResult",
     "ALGORITHMS",

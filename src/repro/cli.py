@@ -16,7 +16,7 @@ import sys
 from typing import List, Optional
 
 from . import __version__
-from .config import KERNEL_NAMES
+from .config import AUTO_BACKEND, DEFAULT_BATCH_SIZE, KERNEL_NAMES
 from .core import ALGORITHMS, HeterogeneousTrainer
 from .exec import Checkpoint, EarlyStopping, JsonlLogger, backend_names
 from .datasets import dataset_names, load_dataset
@@ -75,6 +75,17 @@ def _build_parser() -> argparse.ArgumentParser:
     train.add_argument("--algorithm", default="hsgd_star", choices=sorted(ALGORITHMS))
     train.add_argument("--iterations", type=int, default=10)
     train.add_argument("--cpu-threads", type=int, default=16)
+    train.add_argument(
+        "--workers",
+        type=int,
+        default=None,
+        metavar="N",
+        help=(
+            "number of CPU workers (overrides --cpu-threads): one worker "
+            "thread/process per scheduler worker on the real execution "
+            "backends"
+        ),
+    )
     train.add_argument("--gpu-workers", type=int, default=128)
     train.add_argument("--seed", type=int, default=0)
     train.add_argument(
@@ -82,12 +93,14 @@ def _build_parser() -> argparse.ArgumentParser:
         default="simulate",
         # Resolved at parser-build time so backends added with
         # repro.exec.register_backend() are accepted without a CLI edit.
-        choices=backend_names(),
+        choices=(AUTO_BACKEND,) + backend_names(),
         help=(
             "execution backend: 'simulate' replays the run on the modelled "
-            "hardware, 'threads' trains with real concurrent worker threads; "
-            "any backend registered via repro.exec.register_backend() is "
-            "accepted"
+            "hardware, 'threads' trains with real concurrent worker threads, "
+            "'processes' with worker processes over shared-memory factors "
+            "(true multicore scaling), 'auto' picks processes for "
+            "multi-worker runs when the platform supports them; any backend "
+            "registered via repro.exec.register_backend() is accepted"
         ),
     )
     train.add_argument(
@@ -172,6 +185,17 @@ def _build_parser() -> argparse.ArgumentParser:
             "loop (slow)"
         ),
     )
+    train.add_argument(
+        "--batch-size",
+        type=int,
+        default=None,
+        metavar="B",
+        help=(
+            "mini-batch length of the vectorised kernels (default "
+            f"{DEFAULT_BATCH_SIZE}); the 'sequential' reference kernel "
+            "ignores it"
+        ),
+    )
 
     for name in EXPERIMENTS:
         experiment = subparsers.add_parser(name, help=f"run the {name} experiment")
@@ -231,8 +255,9 @@ def _train_callbacks(args: argparse.Namespace) -> List:
 
 def _run_train(args: argparse.Namespace) -> None:
     data = load_dataset(args.dataset, seed=args.seed)
+    cpu_threads = args.workers if args.workers is not None else args.cpu_threads
     context = ExperimentContext(
-        cpu_threads=args.cpu_threads, gpu_parallel_workers=args.gpu_workers
+        cpu_threads=cpu_threads, gpu_parallel_workers=args.gpu_workers
     )
     training = data.spec.recommended_training(
         iterations=args.iterations, seed=args.seed
@@ -247,12 +272,19 @@ def _run_train(args: argparse.Namespace) -> None:
     result = trainer.fit(
         data.train, data.test, iterations=args.iterations, backend=args.backend,
         kernel=args.kernel,
+        batch_size=args.batch_size,
         target_rmse=args.target_rmse,
         max_simulated_time=args.max_time,
         callbacks=_train_callbacks(args),
         resume_from=args.resume,
     )
-    time_label = "wall time (s)     " if args.backend == "threads" else "simulated time (s)"
+    # result.backend is the *resolved* name ("auto" never reaches here).
+    if result.backend == "simulate":
+        time_label = "simulated time (s)"
+    elif result.backend in ("threads", "processes"):
+        time_label = "wall time (s)     "
+    else:
+        time_label = "engine time (s)   "
     stop_label = _STOP_REASON_LABELS.get(result.stop_reason, result.stop_reason)
     print(f"dataset            : {args.dataset} ({data.train.nnz} train ratings)")
     print(f"algorithm          : {args.algorithm}")

@@ -37,13 +37,27 @@ DEFAULT_GPU_COUNT = 1
 DEFAULT_GPU_PARALLEL_WORKERS = 128
 
 #: The *built-in* execution backends: the discrete-event simulator
-#: (:mod:`repro.sim`) and the real thread pool (:mod:`repro.exec`).
+#: (:mod:`repro.sim`), the real thread pool (:mod:`repro.exec`), and the
+#: shared-memory process pool (:mod:`repro.exec.process`).
 #: The authoritative, extensible list lives in the backend registry
 #: (:func:`repro.exec.registry.backend_names`), which validation and the
 #: CLI consult — backends added with
 #: :func:`repro.exec.register_backend` are accepted everywhere without
 #: touching this constant.
-BACKENDS = ("simulate", "threads")
+BACKENDS = ("simulate", "threads", "processes")
+
+#: Pseudo-backend name resolved per run by
+#: :func:`repro.exec.registry.resolve_backend_name`: real worker
+#: processes when the run has more than one worker and the platform
+#: supports shared-memory multiprocessing, worker threads otherwise.
+AUTO_BACKEND = "auto"
+
+#: Default mini-batch length of the vectorised SGD kernels, used when
+#: :attr:`TrainingConfig.batch_size` is left ``None``.  Small enough that
+#: repeated rows/columns within one batch stay rare on skewed rating data
+#: (keeping the mini-batch relaxation close to sequential SGD), large
+#: enough that the per-batch numpy overhead is amortised.
+DEFAULT_BATCH_SIZE = 256
 
 #: The selectable SGD update kernels (see :mod:`repro.sgd.kernels`):
 #: ``"auto"`` picks the block-major local kernel whenever pre-gathered
@@ -87,6 +101,11 @@ class TrainingConfig:
         ``"auto"`` selects the block-major local kernel, which consumes
         per-block pre-gathered, pre-validated band-local arrays and is
         bitwise-identical to the ``"minibatch"`` kernel.
+    batch_size:
+        Mini-batch length of the vectorised kernels
+        (:data:`DEFAULT_BATCH_SIZE` when ``None``).  Only affects the
+        mini-batch relaxation — the ``"sequential"`` reference kernel
+        updates rating by rating and ignores it.
     """
 
     latent_factors: int = DEFAULT_LATENT_FACTORS
@@ -98,6 +117,7 @@ class TrainingConfig:
     init_scale: Optional[float] = None
     backend: str = "simulate"
     kernel: str = "auto"
+    batch_size: Optional[int] = None
 
     def __post_init__(self) -> None:
         if self.latent_factors <= 0:
@@ -121,13 +141,18 @@ class TrainingConfig:
             raise ConfigurationError(
                 f"init_scale must be positive when given, got {self.init_scale}"
             )
+        if self.batch_size is not None and self.batch_size <= 0:
+            raise ConfigurationError(
+                f"batch_size must be positive when given, got {self.batch_size}"
+            )
         # Imported lazily: the registry lives under repro.exec, whose
         # engine modules import this one at module load.
         from .exec.registry import backend_names, is_registered
 
-        if not is_registered(self.backend):
+        if self.backend != AUTO_BACKEND and not is_registered(self.backend):
             raise ConfigurationError(
-                f"backend must be one of {backend_names()}, got {self.backend!r}"
+                f"backend must be one of {(AUTO_BACKEND,) + backend_names()}, "
+                f"got {self.backend!r}"
             )
         if self.kernel not in KERNEL_NAMES:
             raise ConfigurationError(
@@ -145,6 +170,17 @@ class TrainingConfig:
     def with_kernel(self, kernel: str) -> "TrainingConfig":
         """Return a copy of this config with a different SGD kernel."""
         return dataclasses.replace(self, kernel=kernel)
+
+    def with_batch_size(self, batch_size: Optional[int]) -> "TrainingConfig":
+        """Return a copy of this config with a different mini-batch size."""
+        return dataclasses.replace(self, batch_size=batch_size)
+
+    @property
+    def effective_batch_size(self) -> int:
+        """The mini-batch length the vectorised kernels actually use."""
+        if self.batch_size is not None:
+            return self.batch_size
+        return DEFAULT_BATCH_SIZE
 
     def with_seed(self, seed: int) -> "TrainingConfig":
         """Return a copy of this config with a different random seed."""

@@ -27,7 +27,7 @@ from ..exec import Engine
 from ..exec.base import EngineResult
 from ..exec.callbacks import Callback, CallbackList
 from ..exec.checkpoint import TrainCheckpoint
-from ..exec.registry import get_backend
+from ..exec.registry import get_backend, resolve_backend_name
 from ..exec.session import run_session
 from ..hardware import HeterogeneousPlatform, PlatformPreset, PAPER_MACHINE
 from ..sgd import FactorModel
@@ -217,6 +217,7 @@ class HeterogeneousTrainer:
         compute_train_rmse: bool = False,
         backend: Optional[str] = None,
         kernel: Optional[str] = None,
+        batch_size: Optional[int] = None,
         use_block_store: bool = True,
         callbacks: Optional[Sequence[Callback]] = None,
         resume_from: Optional[Union[str, os.PathLike, TrainCheckpoint]] = None,
@@ -250,14 +251,22 @@ class HeterogeneousTrainer:
         backend:
             Execution backend override: any name registered with
             :func:`repro.exec.register_backend` (built-ins:
-            ``"simulate"``, the discrete-event engine, and ``"threads"``,
-            real concurrent worker threads).  Defaults to
+            ``"simulate"``, the discrete-event engine; ``"threads"``,
+            real concurrent worker threads; ``"processes"``, worker
+            processes over shared-memory factors), or ``"auto"`` to pick
+            processes when the run has more than one worker and the
+            platform supports them, threads otherwise.  Defaults to
             ``training.backend``.
         kernel:
             SGD kernel override (one of
             :data:`repro.config.KERNEL_NAMES`).  Defaults to
             ``training.kernel`` (normally ``"auto"``, the block-major
             local kernel).
+        batch_size:
+            Mini-batch length override for the vectorised kernels
+            (defaults to ``training.batch_size``, itself defaulting to
+            :data:`repro.config.DEFAULT_BATCH_SIZE`).  The sequential
+            reference kernel is unaffected.
         use_block_store:
             Feed the engines through the block-major data plane (the
             default).  ``False`` restores the legacy gather-per-task
@@ -292,9 +301,14 @@ class HeterogeneousTrainer:
             self.spec, grid, self._effective_hardware, seed=self.seed
         )
         backend = backend if backend is not None else self.training.backend
-        training = (
-            self.training if kernel is None else self.training.with_kernel(kernel)
+        backend = resolve_backend_name(
+            backend, n_workers=scheduler.n_workers, use_block_store=use_block_store
         )
+        training = self.training
+        if kernel is not None:
+            training = training.with_kernel(kernel)
+        if batch_size is not None:
+            training = training.with_batch_size(batch_size)
         engine = self._build_engine(
             backend,
             scheduler,
@@ -382,6 +396,8 @@ def factorize(
     seed: int = 0,
     backend: Optional[str] = None,
     kernel: Optional[str] = None,
+    batch_size: Optional[int] = None,
+    workers: Optional[int] = None,
     schedule: Optional[LearningRateSchedule] = None,
     compute_train_rmse: bool = False,
     use_block_store: bool = True,
@@ -399,9 +415,14 @@ def factorize(
     (``use_block_store``), epoch ``callbacks`` and checkpoint
     resumption (``resume_from``) — see the method for parameter details.
     ``backend`` selects the execution backend (any registered name;
-    ``"simulate"`` or ``"threads"`` built in); ``kernel`` the SGD update
-    kernel (``"auto"`` default).
+    ``"simulate"``, ``"threads"`` and ``"processes"`` built in, plus the
+    ``"auto"`` rule); ``kernel`` the SGD update kernel (``"auto"``
+    default); ``batch_size`` the vectorised kernels' mini-batch length.
+    ``workers`` overrides the CPU worker count of ``hardware`` — the
+    handy knob when sweeping real thread/process parallelism.
     """
+    if workers is not None:
+        hardware = (hardware or HardwareConfig()).with_cpu_threads(workers)
     trainer = HeterogeneousTrainer(
         algorithm=algorithm,
         hardware=hardware,
@@ -417,6 +438,7 @@ def factorize(
         max_simulated_time=max_simulated_time,
         backend=backend,
         kernel=kernel,
+        batch_size=batch_size,
         schedule=schedule,
         compute_train_rmse=compute_train_rmse,
         use_block_store=use_block_store,

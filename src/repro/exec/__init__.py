@@ -19,12 +19,16 @@ machinery built on top of it:
 * :mod:`repro.exec.threaded` — :class:`ThreadedEngine`, a thread pool of
   genuinely concurrent workers applying conflict-free block updates to
   the shared factor matrices (Hogwild-safe under the band-lock
-  guarantee).
+  guarantee);
+* :mod:`repro.exec.process` — :class:`ProcessEngine`, worker *processes*
+  over ``multiprocessing.shared_memory``-backed factors and block data:
+  the same band-lock execution model without the GIL, for true multicore
+  scaling.
 
 The discrete-event backend lives in :mod:`repro.sim` and implements the
 same protocol; select between backends with ``backend="simulate"`` /
-``"threads"`` (or any registered name) on
-:class:`~repro.config.TrainingConfig`,
+``"threads"`` / ``"processes"`` (or any registered name, or ``"auto"``)
+on :class:`~repro.config.TrainingConfig`,
 :meth:`~repro.core.trainer.HeterogeneousTrainer.fit` or the CLI.
 """
 
@@ -37,7 +41,7 @@ from .session import (
     EpochReport,
     run_session,
 )
-from .base import BACKENDS, Engine, EngineResult
+from .base import BACKENDS, Engine, EngineResult, WallClockResult
 from .callbacks import (
     CONTINUE,
     STOP,
@@ -55,15 +59,23 @@ from .registry import (
     get_backend,
     is_registered,
     register_backend,
+    resolve_backend_name,
     unregister_backend,
 )
 from .threaded import IDLE_POLL_SECONDS, ThreadedEngine, ThreadedResult, ThreadedSession
+from .process import (
+    ProcessEngine,
+    ProcessResult,
+    ProcessSession,
+    process_backend_supported,
+)
 
 __all__ = [
     "BACKENDS",
     "BUILTIN_BACKENDS",
     "Engine",
     "EngineResult",
+    "WallClockResult",
     "EngineSession",
     "EpochReport",
     "run_session",
@@ -84,9 +96,14 @@ __all__ = [
     "get_backend",
     "is_registered",
     "register_backend",
+    "resolve_backend_name",
     "unregister_backend",
     "IDLE_POLL_SECONDS",
     "ThreadedEngine",
     "ThreadedResult",
     "ThreadedSession",
+    "ProcessEngine",
+    "ProcessResult",
+    "ProcessSession",
+    "process_backend_supported",
 ]

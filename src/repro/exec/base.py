@@ -20,6 +20,7 @@ backend-agnostic.  Which backend a run uses is selected with the
 
 from __future__ import annotations
 
+import warnings
 from abc import ABC, abstractmethod
 from dataclasses import dataclass
 from typing import TYPE_CHECKING, Callable, List, Optional, Tuple, Union
@@ -70,10 +71,17 @@ class EngineResult:
         """Deprecated alias of :attr:`engine_time`.
 
         .. deprecated:: 1.1
-           The name predates the threaded backend, whose time base is
-           wall-clock rather than simulated seconds.  Use
-           :attr:`engine_time`; this alias is kept for existing callers.
+           The name predates the real-execution backends, whose time base
+           is wall-clock rather than simulated seconds.  Use
+           :attr:`engine_time`; this alias warns and will be removed.
         """
+        warnings.warn(
+            "EngineResult.simulated_time is deprecated (the threaded and "
+            "process backends measure wall-clock, not simulated, seconds); "
+            "use engine_time",
+            DeprecationWarning,
+            stacklevel=2,
+        )
         return self.engine_time
 
     @property
@@ -90,6 +98,29 @@ class EngineResult:
     def time_to_rmse(self, target: float) -> Optional[float]:
         """Earliest engine time at which the test RMSE reached ``target``."""
         return self.trace.time_to_rmse(target)
+
+
+@dataclass
+class WallClockResult(EngineResult):
+    """Outcome of a run whose time base is real wall-clock seconds.
+
+    The shared result surface of the real-execution backends (threads,
+    processes): ``trace.final_time`` is wall-clock seconds from the
+    start of the run to the last task completion, which makes a
+    throughput accessor meaningful.
+    """
+
+    @property
+    def wall_time(self) -> float:
+        """Wall-clock seconds of the run (alias of :attr:`engine_time`)."""
+        return self.trace.final_time
+
+    @property
+    def throughput(self) -> float:
+        """Ratings processed per wall-clock second."""
+        if self.trace.final_time <= 0:
+            return 0.0
+        return self.trace.total_points() / self.trace.final_time
 
 
 #: Iteration cap applied when a run is bounded only by ``target_rmse``
@@ -142,35 +173,14 @@ def apply_task_updates(
     gather and the validation happen (once per run instead of once per
     task per epoch).
     """
-    from ..sgd.kernels import (
-        resolve_kernel_name,
-        sgd_block_minibatch,
-        sgd_block_minibatch_local,
-        sgd_block_sequential,
-    )
+    from ..sgd.kernels import resolve_kernel_name, sgd_block_minibatch, sgd_block_sequential
 
     kernel_name = resolve_kernel_name(training.kernel, exact_kernel=exact_kernel)
 
     if store is not None:
-        data = store.task_data(task)
-        if data.nnz == 0:
-            return
-        if kernel_name == "sequential":
-            sgd_block_sequential(
-                model.p, model.q, data.rows, data.cols, data.vals,
-                rate, training.reg_p, training.reg_q, validate=False,
-            )
-        elif kernel_name == "minibatch_local":
-            sgd_block_minibatch_local(
-                model.p, model.q, data.local_rows, data.local_cols, data.vals,
-                rate, training.reg_p, training.reg_q,
-                data.row_range, data.col_range, validate=False,
-            )
-        else:
-            sgd_block_minibatch(
-                model.p, model.q, data.rows, data.cols, data.vals,
-                rate, training.reg_p, training.reg_q, validate=False,
-            )
+        apply_block_data(
+            model.p, model.q, store.task_data(task), rate, training, kernel_name
+        )
         return
 
     if kernel_name == "minibatch_local" and training.kernel != "auto":
@@ -192,16 +202,57 @@ def apply_task_updates(
         # band frame; the global mini-batch kernel is its
         # bitwise-identical stand-in.
         kernel = sgd_block_minibatch
-    kernel(
-        model.p,
-        model.q,
-        train.rows[indices],
-        train.cols[indices],
-        train.vals[indices],
-        rate,
-        training.reg_p,
-        training.reg_q,
+    if kernel_name == "sequential":
+        kernel(
+            model.p, model.q,
+            train.rows[indices], train.cols[indices], train.vals[indices],
+            rate, training.reg_p, training.reg_q,
+        )
+    else:
+        kernel(
+            model.p, model.q,
+            train.rows[indices], train.cols[indices], train.vals[indices],
+            rate, training.reg_p, training.reg_q,
+            batch_size=training.effective_batch_size,
+        )
+
+
+def apply_block_data(p, q, data, rate, training, kernel_name):
+    """Apply one pre-gathered block record's SGD updates to ``p``/``q``.
+
+    The store-fed half of :func:`apply_task_updates`, factored out so the
+    process backend's workers — which hold shared-memory factor arrays
+    and :class:`~repro.sparse.SharedBlockStore` records rather than a
+    model and a task — issue byte-identical kernel calls to the in-process
+    engines.  ``kernel_name`` must already be resolved
+    (:func:`~repro.sgd.kernels.resolve_kernel_name`).
+    """
+    from ..sgd.kernels import (
+        sgd_block_minibatch,
+        sgd_block_minibatch_local,
+        sgd_block_sequential,
     )
+
+    if data.nnz == 0:
+        return
+    if kernel_name == "sequential":
+        sgd_block_sequential(
+            p, q, data.rows, data.cols, data.vals,
+            rate, training.reg_p, training.reg_q, validate=False,
+        )
+    elif kernel_name == "minibatch_local":
+        sgd_block_minibatch_local(
+            p, q, data.local_rows, data.local_cols, data.vals,
+            rate, training.reg_p, training.reg_q,
+            data.row_range, data.col_range,
+            batch_size=training.effective_batch_size, validate=False,
+        )
+    else:
+        sgd_block_minibatch(
+            p, q, data.rows, data.cols, data.vals,
+            rate, training.reg_p, training.reg_q,
+            batch_size=training.effective_batch_size, validate=False,
+        )
 
 
 class Engine(ABC):

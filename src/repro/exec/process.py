@@ -1,0 +1,910 @@
+"""A zero-copy multiprocess execution backend.
+
+:class:`ThreadedEngine` proved that real concurrent workers can drive
+the paper's schedulers over shared factor matrices — but its workers are
+OS threads, so on CPython the numerical kernels contend for the GIL and
+four workers can end up *slower* than the serial simulator.
+:class:`ProcessEngine` (``backend="processes"``) keeps the exact same
+execution model and moves the workers into separate **processes**, which
+scale across cores for real:
+
+* the factor matrices ``P`` and ``Q`` live in
+  ``multiprocessing.shared_memory`` segments
+  (:class:`~repro.shm.SharedSegment`); every worker maps the same
+  physical pages, so kernel updates are visible everywhere with zero
+  copies and zero serialisation;
+* the block-major rating arrays are materialised once into a shared
+  segment (:meth:`repro.sparse.BlockStore.to_shared`) that workers
+  attach by name — per task, the controller sends only the task's grid
+  keys and the learning rate (a few dozen bytes);
+* the **controller** (the parent process) runs the scheduler, exactly as
+  the simulator does: it hands conflict-free tasks to free workers,
+  books completions, advances epoch accounting and evaluates RMSE.
+  Workers never see the scheduler — they are pure kernel executors.
+
+Correctness rests on the same band-lock guarantee as the threaded
+backend: the scheduler only dispatches tasks whose row and column bands
+are disjoint from every in-flight task's, so concurrent worker processes
+write to disjoint slices of the shared segments and need no per-element
+synchronisation (see DESIGN.md, "Process safety of the band lock").
+
+Sessions follow the stepwise protocol: ``step()`` pumps completions
+until the next epoch boundary; with ``pause_on_epoch`` the controller
+stops dispatching at selected boundaries and drains in-flight tasks, so
+checkpoints observe a quiescent run — :class:`TrainCheckpoint` snapshots
+**copy out of** the shared segments and stay valid after the segments
+are unlinked.  With one worker the sequence of scheduler decisions and
+kernel calls is identical to the simulator's, so 1-worker runs are
+bitwise-identical to ``backend="simulate"`` (pinned by the parity
+suite), and quiescent checkpoints are portable across all backends.
+
+Lifecycle: the controller owns every segment and unlinks them exactly
+once when the session finishes — including when a worker dies mid-epoch
+or a callback raises (``finish()`` is the single cleanup point and is
+idempotent).  Workers close their attachments on the way out.
+"""
+
+from __future__ import annotations
+
+import multiprocessing
+import queue
+import time
+import traceback
+from dataclasses import dataclass
+from typing import Callable, Dict, List, Optional, Union
+
+import numpy as np
+
+from ..config import TrainingConfig
+from ..exceptions import CheckpointError, ExecutionError
+from ..hardware import HeterogeneousPlatform
+from ..sgd import FactorModel, rmse
+from ..sgd.schedules import ConstantSchedule, LearningRateSchedule
+from ..shm import SharedSegment
+from ..sparse import BlockStore, SharedBlockStore, SparseRatingMatrix
+from ..core.schedulers import Scheduler
+from ..core.tasks import Task
+from ..sim.trace import ExecutionTrace, IterationRecord, TaskRecord
+from .base import (
+    Engine,
+    WallClockResult,
+    apply_block_data,
+    resolve_stopping_conditions,
+)
+from .session import (
+    STOP_ITERATIONS,
+    STOP_TARGET_RMSE,
+    STOP_TIME_BUDGET,
+    EngineSession,
+    EpochReport,
+)
+from .threaded import IDLE_POLL_SECONDS
+
+#: Seconds ``finish()`` waits for a worker to exit after its shutdown
+#: sentinel before escalating to ``terminate()``.
+SHUTDOWN_GRACE_SECONDS = 10.0
+
+
+def process_backend_supported() -> bool:
+    """Whether this platform can run the shared-memory process backend.
+
+    Requires ``multiprocessing.shared_memory`` (CPython >= 3.8 on
+    POSIX/Windows) and at least one usable process start method.
+    """
+    try:
+        from multiprocessing import shared_memory  # noqa: F401
+    except ImportError:  # pragma: no cover - exotic platforms only
+        return False
+    try:
+        return bool(multiprocessing.get_all_start_methods())
+    except Exception:  # pragma: no cover - defensive
+        return False
+
+
+def _default_start_method() -> str:
+    """``fork`` where available (fast, Linux), else the platform default."""
+    methods = multiprocessing.get_all_start_methods()
+    if "fork" in methods:
+        return "fork"
+    return multiprocessing.get_start_method(allow_none=False)
+
+
+@dataclass(frozen=True)
+class SharedFactorHandle:
+    """Picklable descriptor of the shared factor segments.
+
+    ``q`` is stored item-major — the segment holds a C-contiguous
+    ``(n, k)`` buffer whose transpose is the usual ``(k, n)`` interface
+    view — matching :class:`~repro.sgd.FactorModel`'s layout contract so
+    the block-major kernel keeps its flat-scatter fast path in every
+    worker.
+    """
+
+    p_name: str
+    q_name: str
+    n_rows: int
+    n_cols: int
+    latent_factors: int
+
+
+def _attach_model(handle: SharedFactorHandle):
+    """Map the factor segments and build a zero-copy model over them."""
+    p_seg = SharedSegment.attach(handle.p_name)
+    q_seg = SharedSegment.attach(handle.q_name)
+    p = p_seg.ndarray((handle.n_rows, handle.latent_factors), np.float64)
+    q = q_seg.ndarray((handle.n_cols, handle.latent_factors), np.float64).T
+    return FactorModel.over_buffers(p, q), p_seg, q_seg
+
+
+def _worker_main(
+    worker_index: int,
+    factors: SharedFactorHandle,
+    store_handle,
+    training: TrainingConfig,
+    kernel_name: str,
+    clock_start: float,
+    task_queue,
+    done_queue,
+) -> None:
+    """Loop of one worker process: attach, execute tasks, close.
+
+    Messages in are ``(keys, rate, sleep_s)`` — the task's grid-block
+    keys, its learning rate (priced by the controller at dispatch) and
+    an optional GPU-latency-emulation sleep — or ``None`` to shut down.
+    Messages out are ``(worker_index, start, end, error)`` with wall
+    times on the controller's clock (``CLOCK_MONOTONIC`` is system-wide
+    on the platforms with a working ``fork``/``spawn``).
+    """
+    p_seg = q_seg = store = model = data = None
+    try:
+        model, p_seg, q_seg = _attach_model(factors)
+        store = SharedBlockStore.attach(store_handle)
+        while True:
+            message = task_queue.get()
+            if message is None:
+                break
+            keys, rate, sleep_s = message
+            start = time.monotonic() - clock_start
+            data = store.task_data(keys)
+            apply_block_data(model.p, model.q, data, rate, training, kernel_name)
+            data = None
+            if sleep_s > 0.0:
+                time.sleep(sleep_s)
+            end = time.monotonic() - clock_start
+            done_queue.put((worker_index, start, end, None))
+    except BaseException:
+        try:
+            done_queue.put((worker_index, 0.0, 0.0, traceback.format_exc()))
+        except Exception:  # pragma: no cover - queue already torn down
+            pass
+    finally:
+        # Drop every view pinning the segments, then detach.  The owner
+        # (controller) is the only side that unlinks.
+        model = data = None
+        if store is not None:
+            try:
+                store.close()
+            except Exception:  # pragma: no cover - best-effort teardown
+                pass
+        for seg in (p_seg, q_seg):
+            if seg is not None:
+                try:
+                    seg.close()
+                except Exception:  # pragma: no cover - best-effort teardown
+                    pass
+
+
+@dataclass
+class ProcessResult(WallClockResult):
+    """Outcome of one multiprocess training run (wall-clock time base)."""
+
+
+class ProcessSession(EngineSession):
+    """One multiprocess run, driven by the controller's completion pump.
+
+    Unlike :class:`~repro.exec.threaded.ThreadedSession` there is no
+    shared mutable state to lock: the scheduler, the trace and all
+    accounting live in the controller, and workers communicate only
+    through queues.  ``step()`` dispatches to free workers and consumes
+    completions until an epoch boundary report is produced.
+    """
+
+    def __init__(
+        self,
+        engine: "ProcessEngine",
+        iterations: Optional[int] = None,
+        target_rmse: Optional[float] = None,
+        max_simulated_time: Optional[float] = None,
+        pause_on_epoch: Union[bool, Callable[[int], bool]] = False,
+    ) -> None:
+        self._engine = engine
+        self._max_iterations = resolve_stopping_conditions(
+            iterations,
+            target_rmse,
+            max_simulated_time,
+            default_iterations=engine.training.iterations,
+            has_test=engine.test is not None,
+            error=ExecutionError,
+        )
+        self._target_rmse = target_rmse
+        self._max_time = max_simulated_time
+        self._pause_on_epoch = pause_on_epoch
+
+        self._total_points = engine.scheduler.total_points
+        if self._total_points <= 0:
+            raise ExecutionError("the scheduler's grid contains no ratings")
+
+        self._trace = ExecutionTrace(target_rmse=target_rmse)
+        self._launched = False
+        self._restored = False
+        self._paused = False
+        self._stopping = False
+        self._converged = False
+        self._stop_reason: Optional[str] = None
+        self._error: Optional[BaseException] = None
+        self._result: Optional[ProcessResult] = None
+        self._in_flight: Dict[int, Task] = {}
+        self._points_completed = 0
+        self._iteration = 0
+        self._iteration_target = self._total_points
+        self._deadline: Optional[float] = None
+        self._clock_start = 0.0
+        self._last_event = 0.0
+        self._time_offset = 0.0
+        self._reports: List[EpochReport] = []
+
+        # Pool / shared-memory state (populated by _launch).
+        self._procs: List = []
+        self._task_queues: List = []
+        self._done_queue = None
+        self._p_seg: Optional[SharedSegment] = None
+        self._q_seg: Optional[SharedSegment] = None
+        self._shared_store: Optional[SharedBlockStore] = None
+        self._orig_p: Optional[np.ndarray] = None
+        self._orig_q: Optional[np.ndarray] = None
+        self._torn_down = False
+
+    # ------------------------------------------------------------------ #
+    # Protocol surface
+    # ------------------------------------------------------------------ #
+    @property
+    def engine(self) -> "ProcessEngine":
+        return self._engine
+
+    @property
+    def epoch(self) -> int:
+        return self._iteration
+
+    @property
+    def done(self) -> bool:
+        if self._result is not None:
+            return True
+        if self._reports:
+            return False
+        return self._stopping or self._error is not None
+
+    @property
+    def trace(self) -> ExecutionTrace:
+        return self._trace
+
+    @property
+    def backend_name(self) -> str:
+        return "processes"
+
+    @property
+    def started(self) -> bool:
+        return self._launched
+
+    def stop(self, reason: str = "callback") -> None:
+        if not self._stopping:
+            self._stopping = True
+            if self._stop_reason is None:
+                self._stop_reason = reason
+        self._paused = False
+
+    def step(self) -> Optional[EpochReport]:
+        if self._reports:
+            return self._reports.pop(0)
+        if self._result is not None or self._stopping or self._error is not None:
+            return None
+        if self._iteration >= self._max_iterations:
+            # Only reachable on a restored session: a checkpoint taken at
+            # (or past) this run's epoch cap has nothing left to do.
+            self._stopping = True
+            if self._stop_reason is None:
+                self._stop_reason = STOP_ITERATIONS
+            return None
+        if not self._launched:
+            self._launch()
+        self._paused = False
+        return self._pump_until_report()
+
+    def finish(self) -> ProcessResult:
+        if self._result is not None:
+            return self._result
+        if not self._stopping:
+            self._stopping = True
+            if self._stop_reason is None:
+                # finish() before any stopping condition fired: the
+                # caller is abandoning the run.
+                self._stop_reason = "aborted"
+        self._paused = False
+        if self._launched:
+            try:
+                if self._error is None:
+                    self._drain_in_flight()
+            finally:
+                self._shutdown_workers()
+                self._teardown_shared()
+
+        if self._error is not None:
+            if isinstance(self._error, ExecutionError):
+                raise self._error
+            raise ExecutionError(  # pragma: no cover - non-Execution errors
+                f"a worker process failed: {self._error!r}"
+            ) from self._error
+
+        self._trace.final_time = self._last_event
+        self._result = ProcessResult(
+            model=self._engine.model,
+            trace=self._trace,
+            converged=self._converged,
+            stop_reason=self._stop_reason or STOP_ITERATIONS,
+        )
+        return self._result
+
+    # ------------------------------------------------------------------ #
+    # Checkpoint support (mirrors ThreadedSession's quiescent contract)
+    # ------------------------------------------------------------------ #
+    def state_dict(self) -> dict:
+        if self._launched and self._in_flight:
+            raise CheckpointError(
+                "a process session can only be checkpointed while quiescent "
+                "at an epoch boundary; start the session with "
+                "pause_on_epoch=True (the Checkpoint callback does this "
+                "automatically)"
+            )
+        if self._launched and not (self._paused or self._stopping):
+            raise CheckpointError(
+                "a process session can only be checkpointed while paused at "
+                "an epoch boundary (pause_on_epoch=True)"
+            )
+        return {
+            "iteration": self._iteration,
+            "iteration_target": self._iteration_target,
+            "points_completed": self._points_completed,
+            "now": self._last_event,
+            "seq": len(self._trace.tasks),
+            "converged": self._converged,
+            "idle_workers": [],
+            "pending_dispatch": None,
+            "in_flight": [],
+            "pending_reports": [report.to_state() for report in self._reports],
+        }
+
+    def load_state_dict(self, state: dict) -> None:
+        if self._launched:
+            raise CheckpointError(
+                "session state can only be restored before the first step()"
+            )
+        if state["in_flight"]:
+            raise CheckpointError(
+                "this checkpoint carries simulated in-flight tasks (it was "
+                "captured from a multi-worker simulator run); resume it on "
+                'the "simulate" backend'
+            )
+        self._restored = True
+        self._iteration = int(state["iteration"])
+        self._iteration_target = int(state["iteration_target"])
+        self._points_completed = int(state["points_completed"])
+        self._converged = bool(state["converged"])
+        self._time_offset = float(state["now"])
+        self._last_event = float(state["now"])
+        self._reports = [
+            EpochReport.from_state(report) for report in state["pending_reports"]
+        ]
+
+    # ------------------------------------------------------------------ #
+    # Launch / teardown
+    # ------------------------------------------------------------------ #
+    def _launch(self) -> None:
+        from ..sgd.kernels import resolve_kernel_name
+
+        engine = self._engine
+        self._launched = True
+        if not self._restored:
+            engine.scheduler.start_iteration()
+        try:
+            factor_handle = self._setup_shared_factors()
+            self._shared_store = engine._store.to_shared(
+                engine.scheduler.grid.iter_blocks()
+            )
+            self._clock_start = time.monotonic() - self._time_offset
+            if self._max_time is not None:
+                self._deadline = self._clock_start + self._max_time
+
+            ctx = multiprocessing.get_context(engine.start_method)
+            self._done_queue = ctx.Queue()
+            kernel_name = resolve_kernel_name(
+                engine.training.kernel, exact_kernel=engine.exact_kernel
+            )
+            for index in range(engine.n_workers):
+                task_queue = ctx.SimpleQueue()
+                proc = ctx.Process(
+                    target=_worker_main,
+                    args=(
+                        index,
+                        factor_handle,
+                        self._shared_store.handle,
+                        engine.training,
+                        kernel_name,
+                        self._clock_start,
+                        task_queue,
+                        self._done_queue,
+                    ),
+                    name=f"repro-exec-proc-{index}",
+                    daemon=True,
+                )
+                proc.start()
+                self._task_queues.append(task_queue)
+                self._procs.append(proc)
+        except BaseException:
+            # A failed launch must not leak segments or processes.
+            self._stopping = True
+            self._shutdown_workers()
+            self._teardown_shared()
+            raise
+
+    def _setup_shared_factors(self) -> SharedFactorHandle:
+        """Move the engine's factor matrices into shared segments.
+
+        The engine's :class:`FactorModel` object keeps its identity —
+        its ``p``/``q`` attributes are re-pointed at the shared views, so
+        callbacks and RMSE evaluation observe live worker updates — and
+        the original private arrays are kept to copy the final factors
+        back into before the segments are unlinked.
+        """
+        model = self._engine.model
+        m, k = model.p.shape
+        n = model.q.shape[1]
+        self._p_seg = SharedSegment.create(m * k * 8, purpose="p")
+        self._q_seg = SharedSegment.create(n * k * 8, purpose="q")
+        p_view = self._p_seg.ndarray((m, k), np.float64)
+        q_buf = self._q_seg.ndarray((n, k), np.float64)
+        p_view[...] = model.p
+        q_buf[...] = model.q.T  # item-major, preserving the layout contract
+        self._orig_p, self._orig_q = model.p, model.q
+        model.p = p_view
+        model.q = q_buf.T
+        return SharedFactorHandle(
+            p_name=self._p_seg.name,
+            q_name=self._q_seg.name,
+            n_rows=m,
+            n_cols=n,
+            latent_factors=k,
+        )
+
+    def _teardown_shared(self) -> None:
+        """Copy factors out of shared memory and unlink every segment.
+
+        Runs exactly once (guarded), on every exit path — normal finish,
+        worker death, callback exception — so no ``/dev/shm`` segment
+        outlives the session.
+        """
+        if self._torn_down:
+            return
+        self._torn_down = True
+        model = self._engine.model
+        if self._orig_p is not None:
+            self._orig_p[...] = model.p
+            self._orig_q[...] = model.q
+            model.p = self._orig_p
+            model.q = self._orig_q
+            self._orig_p = self._orig_q = None
+        if self._shared_store is not None:
+            self._shared_store.unlink()
+            self._shared_store = None
+        for seg_attr in ("_p_seg", "_q_seg"):
+            seg = getattr(self, seg_attr)
+            if seg is not None:
+                seg.unlink()
+                setattr(self, seg_attr, None)
+
+    def _shutdown_workers(self) -> None:
+        for task_queue in self._task_queues:
+            try:
+                task_queue.put(None)
+            except Exception:  # pragma: no cover - broken pipe on dead child
+                pass
+        deadline = time.monotonic() + SHUTDOWN_GRACE_SECONDS
+        for proc in self._procs:
+            proc.join(timeout=max(0.1, deadline - time.monotonic()))
+            if proc.is_alive():  # pragma: no cover - wedged worker
+                proc.terminate()
+                proc.join(timeout=5.0)
+                if proc.is_alive():
+                    proc.kill()
+                    proc.join()
+        self._procs = []
+        for task_queue in self._task_queues:
+            try:
+                task_queue.close()
+            except Exception:  # pragma: no cover
+                pass
+        self._task_queues = []
+        if self._done_queue is not None:
+            try:
+                self._done_queue.close()
+                self._done_queue.join_thread()
+            except Exception:  # pragma: no cover
+                pass
+            self._done_queue = None
+
+    # ------------------------------------------------------------------ #
+    # Controller pump
+    # ------------------------------------------------------------------ #
+    def _should_pause(self, epoch: int) -> bool:
+        if callable(self._pause_on_epoch):
+            return bool(self._pause_on_epoch(epoch))
+        return bool(self._pause_on_epoch)
+
+    def _elapsed_deadline(self) -> bool:
+        if self._deadline is not None and time.monotonic() > self._deadline:
+            self._stopping = True
+            if self._stop_reason is None:
+                self._stop_reason = STOP_TIME_BUDGET
+            return True
+        return False
+
+    def _pump_until_report(self) -> Optional[EpochReport]:
+        while True:
+            if self._error is not None:
+                return None
+            if not self._paused and not self._stopping:
+                self._dispatch_free_workers()
+            if self._reports:
+                if self._paused:
+                    # Quiesce: the boundary asked for a pause, so drain
+                    # the in-flight remainder before handing control to
+                    # the caller (checkpoints need a still run).
+                    self._drain_in_flight()
+                return self._reports.pop(0)
+            if self._stopping:
+                return None
+            if not self._in_flight:
+                # Nobody holds a task and dispatch produced none: no
+                # future completion can unblock us (mirrors the
+                # simulator's and thread pool's all-idle check).
+                self._error = ExecutionError(
+                    "all workers are idle with work remaining; the grid or "
+                    "quota configuration cannot make progress"
+                )
+                return None
+            self._await_completion(block=True)
+
+    def _dispatch_free_workers(self) -> None:
+        engine = self._engine
+        if self._elapsed_deadline():
+            return
+        for worker_index in range(engine.n_workers):
+            if worker_index in self._in_flight:
+                continue
+            task = engine.scheduler.next_task(worker_index)
+            if task is None:
+                continue
+            self._in_flight[worker_index] = task
+            rate = engine.schedule(self._iteration)
+            sleep_s = engine._gpu_sleep_seconds(worker_index, task)
+            keys = tuple(
+                (int(block.row_band), int(block.col_band)) for block in task.blocks
+            )
+            self._task_queues[worker_index].put((keys, rate, sleep_s))
+
+    def _await_completion(self, block: bool) -> None:
+        """Consume completion messages, booking each (non-blocking drain
+        after an optional blocking first read)."""
+        first = True
+        while True:
+            try:
+                if first and block:
+                    message = self._done_queue.get(timeout=IDLE_POLL_SECONDS)
+                else:
+                    message = self._done_queue.get_nowait()
+            except queue.Empty:
+                if first and block:
+                    self._elapsed_deadline()
+                    self._check_workers_alive()
+                return
+            first = False
+            worker_index, start, end, error = message
+            if error is not None:
+                task = self._in_flight.pop(worker_index, None)
+                if task is not None:
+                    self._engine.scheduler.abort_task(task)
+                self._error = ExecutionError(
+                    f"worker process {worker_index} failed:\n{error}"
+                )
+                return
+            self._book_completion(worker_index, start, end)
+
+    def _check_workers_alive(self) -> None:
+        for worker_index, proc in enumerate(self._procs):
+            if proc.is_alive():
+                continue
+            task = self._in_flight.pop(worker_index, None)
+            if task is not None:
+                self._engine.scheduler.abort_task(task)
+                self._error = ExecutionError(
+                    f"worker process {worker_index} (pid {proc.pid}) died "
+                    f"mid-task with exit code {proc.exitcode}"
+                )
+                return
+
+    def _book_completion(self, worker_index: int, start: float, end: float) -> None:
+        engine = self._engine
+        task = self._in_flight.pop(worker_index, None)
+        if task is None:  # pragma: no cover - defensive
+            raise ExecutionError(
+                f"completion from worker {worker_index} with no task in flight"
+            )
+        engine.scheduler.complete_task(task)
+        self._points_completed += task.nnz
+        self._last_event = max(self._last_event, end)
+        self._trace.record_task(
+            TaskRecord(
+                worker_index=worker_index,
+                is_gpu=engine.scheduler.is_gpu_worker(worker_index),
+                start_time=start,
+                end_time=end,
+                points=task.nnz,
+                n_blocks=len(task.blocks),
+                stolen=task.stolen,
+                iteration=self._iteration,
+            )
+        )
+        self._elapsed_deadline()
+        while (
+            self._points_completed >= self._iteration_target and not self._stopping
+        ):
+            self._process_boundary()
+
+    def _process_boundary(self) -> None:
+        """Advance one epoch boundary (same accounting as the other
+        backends: counters and quota reset first, then RMSE).
+
+        With several workers the freed ones are re-dispatched *before*
+        the RMSE evaluation so they crunch the next epoch while the
+        controller scores this one — the threaded backend's behaviour,
+        and equally well-defined because in-flight kernels only touch
+        bands the evaluation would race with anyway.  With one worker
+        the evaluation runs first: the run is then fully quiescent at
+        the boundary, which is what makes 1-worker runs bitwise-identical
+        to the serial simulator.
+        """
+        engine = self._engine
+        index = self._iteration
+        points = self._points_completed
+        stamp = self._last_event
+        self._iteration += 1
+        self._iteration_target += self._total_points
+        engine.scheduler.start_iteration()
+        pause_here = self._should_pause(index)
+        if pause_here:
+            self._paused = True
+        elif engine.n_workers > 1 and not self._paused:
+            self._dispatch_free_workers()
+
+        test_rmse = rmse(engine.model, engine.test) if engine.test is not None else None
+        train_rmse = (
+            rmse(engine.model, engine.train) if engine.compute_train_rmse else None
+        )
+        self._trace.record_iteration(
+            IterationRecord(
+                iteration=index,
+                simulated_time=stamp,
+                train_rmse=train_rmse,
+                test_rmse=test_rmse,
+                points_processed=points,
+            )
+        )
+        if self._target_rmse is not None and test_rmse is not None:
+            if test_rmse <= self._target_rmse:
+                self._converged = True
+                self._trace.target_reached_at = stamp
+                self._stopping = True
+                if self._stop_reason is None:
+                    self._stop_reason = STOP_TARGET_RMSE
+        if self._iteration >= self._max_iterations and not self._stopping:
+            self._stopping = True
+            if self._stop_reason is None:
+                self._stop_reason = STOP_ITERATIONS
+        self._reports.append(
+            EpochReport(
+                epoch=index,
+                engine_time=stamp,
+                train_rmse=train_rmse,
+                test_rmse=test_rmse,
+                points_processed=points,
+                converged=self._converged,
+            )
+        )
+
+    def _drain_in_flight(self) -> None:
+        """Book every outstanding completion (no new dispatch).
+
+        The grace deadline is *per completion*: as long as workers keep
+        finishing tasks the drain waits indefinitely (a task is allowed
+        to be long — GPU-latency emulation sleeps, loaded machines);
+        only a full grace period with zero progress and every worker
+        still alive is treated as a wedge.
+        """
+        grace = time.monotonic() + SHUTDOWN_GRACE_SECONDS
+        while self._in_flight and self._error is None:
+            outstanding = len(self._in_flight)
+            self._await_completion(block=True)
+            if len(self._in_flight) < outstanding:
+                grace = time.monotonic() + SHUTDOWN_GRACE_SECONDS
+                continue
+            if time.monotonic() > grace and self._in_flight:
+                self._check_workers_alive()
+                if self._error is None:  # pragma: no cover - wedged worker
+                    for worker_index in list(self._in_flight):
+                        self._engine.scheduler.abort_task(
+                            self._in_flight.pop(worker_index)
+                        )
+                    self._error = ExecutionError(
+                        "in-flight tasks did not complete within the "
+                        "shutdown grace period"
+                    )
+
+
+class ProcessEngine(Engine):
+    """Runs a scheduler with a pool of worker *processes* over shared memory.
+
+    The drop-in multicore sibling of :class:`ThreadedEngine`: same
+    construction surface, same session protocol, same trace output —
+    but the workers are OS processes updating
+    ``multiprocessing.shared_memory``-backed factor matrices, so the SGD
+    kernels run genuinely in parallel instead of contending for the GIL.
+
+    Parameters
+    ----------
+    scheduler:
+        The block scheduler to execute; one worker process is created
+        per scheduler worker.
+    train:
+        Training ratings (materialised block-major into shared memory at
+        launch; see :meth:`repro.sparse.BlockStore.to_shared`).
+    training:
+        Hyper-parameters (``k``, ``gamma``, ``lambda``, batch size).
+    test:
+        Optional held-out ratings for RMSE curves and target stopping.
+    model:
+        Optional pre-initialised factor model.  Its arrays are copied
+        into shared segments for the run and the final factors are
+        copied back when the session finishes.
+    schedule:
+        Learning-rate schedule; constant by default.  Rates are priced
+        by the controller at dispatch, so the schedule never crosses the
+        process boundary.
+    platform:
+        Optional simulated platform; only consulted for
+        ``gpu_latency_scale``.
+    exact_kernel:
+        Use the exact per-rating kernel (slow; for small validation runs).
+    compute_train_rmse:
+        Also record training RMSE at iteration boundaries.
+    gpu_latency_scale:
+        As in :class:`ThreadedEngine`: make "GPU" workers sleep for this
+        fraction of their simulated device time per task.
+    use_block_store:
+        Must remain ``True``: the shared-memory data plane *is* how
+        rating data reaches the workers.  (The legacy gather-per-task
+        path would mean pickling index arrays per task — the copy tax
+        this backend exists to kill.)
+    start_method:
+        ``multiprocessing`` start method (``"fork"`` where available by
+        default; ``"spawn"`` and ``"forkserver"`` also work — workers
+        attach all state by segment name, nothing relies on inheritance).
+    """
+
+    backend_name = "processes"
+
+    def __init__(
+        self,
+        scheduler: Scheduler,
+        train: SparseRatingMatrix,
+        training: TrainingConfig,
+        test: Optional[SparseRatingMatrix] = None,
+        model: Optional[FactorModel] = None,
+        schedule: Optional[LearningRateSchedule] = None,
+        platform: Optional[HeterogeneousPlatform] = None,
+        exact_kernel: bool = False,
+        compute_train_rmse: bool = False,
+        gpu_latency_scale: float = 0.0,
+        use_block_store: bool = True,
+        start_method: Optional[str] = None,
+    ) -> None:
+        if not process_backend_supported():  # pragma: no cover - exotic platforms
+            raise ExecutionError(
+                "this platform does not support the shared-memory process "
+                'backend; use backend="threads"'
+            )
+        if platform is not None and platform.n_workers != scheduler.n_workers:
+            raise ExecutionError(
+                f"platform has {platform.n_workers} workers but the scheduler "
+                f"expects {scheduler.n_workers}"
+            )
+        if gpu_latency_scale < 0:
+            raise ExecutionError(
+                f"gpu_latency_scale must be >= 0, got {gpu_latency_scale}"
+            )
+        if gpu_latency_scale > 0 and platform is None:
+            raise ExecutionError("gpu_latency_scale needs a platform for timing")
+        if not use_block_store:
+            raise ExecutionError(
+                'the "processes" backend requires the block-major data plane '
+                "(its shared-memory segments are the only zero-copy channel "
+                "for rating data); use the threads backend to benchmark the "
+                "legacy gather path"
+            )
+        if start_method is not None:
+            if start_method not in multiprocessing.get_all_start_methods():
+                raise ExecutionError(
+                    f"start_method must be one of "
+                    f"{multiprocessing.get_all_start_methods()}, got "
+                    f"{start_method!r}"
+                )
+        self.scheduler = scheduler
+        self.train = train
+        self.test = test
+        self.training = training
+        self.model = model or FactorModel.for_matrix(train, training)
+        self.schedule = schedule or ConstantSchedule(training.learning_rate)
+        self.platform = platform
+        self.exact_kernel = exact_kernel
+        self.compute_train_rmse = compute_train_rmse
+        self.gpu_latency_scale = gpu_latency_scale
+        self.start_method = start_method or _default_start_method()
+        self.n_workers = scheduler.n_workers
+        self._store = BlockStore(train)
+        self._started = False
+
+    def _gpu_sleep_seconds(self, worker_index: int, task: Task) -> float:
+        """Latency-emulation sleep for a GPU worker's task (0 for CPUs)."""
+        if (
+            self.gpu_latency_scale <= 0
+            or self.platform is None
+            or not self.scheduler.is_gpu_worker(worker_index)
+        ):
+            return 0.0
+        device = self.platform.all_devices[task.worker_index]
+        work = task.block_work(self.training.latent_factors)
+        return device.process_time(work) * self.gpu_latency_scale
+
+    # ------------------------------------------------------------------ #
+    # Session protocol
+    # ------------------------------------------------------------------ #
+    def start(
+        self,
+        iterations: Optional[int] = None,
+        target_rmse: Optional[float] = None,
+        max_simulated_time: Optional[float] = None,
+        pause_on_epoch: Union[bool, Callable[[int], bool]] = False,
+    ) -> ProcessSession:
+        """Begin a stepwise multiprocess run (see :class:`ProcessSession`).
+
+        ``max_simulated_time`` bounds *wall-clock* seconds for this
+        backend; the parameter keeps its protocol name so callers can
+        switch backends without changing call sites.
+        """
+        if self._started:
+            raise ExecutionError("a ProcessEngine can only be run once")
+        self._started = True
+        return ProcessSession(
+            self,
+            iterations=iterations,
+            target_rmse=target_rmse,
+            max_simulated_time=max_simulated_time,
+            pause_on_epoch=pause_on_epoch,
+        )

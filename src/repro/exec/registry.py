@@ -42,15 +42,16 @@ so importing the registry never pulls in the engines themselves.
 
 from __future__ import annotations
 
-from typing import Callable, Dict, Tuple
+from typing import Callable, Dict, Optional, Tuple
 
+from ..config import AUTO_BACKEND
 from ..exceptions import ConfigurationError
 
 #: A backend factory: keyword-only callable returning an ``Engine``.
 BackendFactory = Callable[..., object]
 
 #: Names of the backends that ship with the library.
-BUILTIN_BACKENDS: Tuple[str, ...] = ("simulate", "threads")
+BUILTIN_BACKENDS: Tuple[str, ...] = ("simulate", "threads", "processes")
 
 _REGISTRY: Dict[str, BackendFactory] = {}
 
@@ -119,6 +120,42 @@ def is_registered(name: str) -> bool:
     return name in _REGISTRY
 
 
+def resolve_backend_name(
+    name: str,
+    n_workers: Optional[int] = None,
+    use_block_store: bool = True,
+) -> str:
+    """Resolve the ``"auto"`` pseudo-backend to a concrete registry name.
+
+    ``"auto"`` picks real execution hardware for the run at hand:
+
+    * ``"processes"`` when the run has more than one worker, the
+      platform supports the shared-memory process backend (true
+      multicore scaling — worker processes are not GIL-bound), and the
+      run uses the block-major data plane (the process backend's only
+      rating-data channel);
+    * ``"threads"`` otherwise — a single worker gains nothing from
+      process isolation, threads need no spawn/attach setup, and only
+      threads support the legacy ``use_block_store=False`` gather path.
+
+    Concrete names (registered or not — validation happens at
+    :func:`get_backend` time) pass through unchanged, so callers can
+    resolve unconditionally.
+    """
+    if name != AUTO_BACKEND:
+        return name
+    from .process import process_backend_supported
+
+    if (
+        n_workers is not None
+        and n_workers > 1
+        and use_block_store
+        and process_backend_supported()
+    ):
+        return "processes"
+    return "threads"
+
+
 # --------------------------------------------------------------------- #
 # Built-in backends
 # --------------------------------------------------------------------- #
@@ -180,5 +217,33 @@ def _threads_factory(
     )
 
 
+def _processes_factory(
+    *,
+    scheduler,
+    train,
+    training,
+    test=None,
+    model=None,
+    schedule=None,
+    platform=None,
+    compute_train_rmse=False,
+    use_block_store=True,
+):
+    from .process import ProcessEngine
+
+    return ProcessEngine(
+        scheduler=scheduler,
+        train=train,
+        training=training,
+        test=test,
+        model=model,
+        schedule=schedule,
+        platform=platform,
+        compute_train_rmse=compute_train_rmse,
+        use_block_store=use_block_store,
+    )
+
+
 register_backend("simulate", _simulate_factory)
 register_backend("threads", _threads_factory)
+register_backend("processes", _processes_factory)

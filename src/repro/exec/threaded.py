@@ -55,7 +55,7 @@ from ..core.tasks import Task
 from ..sim.trace import ExecutionTrace, IterationRecord, TaskRecord
 from .base import (
     Engine,
-    EngineResult,
+    WallClockResult,
     apply_task_updates,
     resolve_stopping_conditions,
 )
@@ -75,24 +75,8 @@ IDLE_POLL_SECONDS = 0.05
 
 
 @dataclass
-class ThreadedResult(EngineResult):
-    """Outcome of one threaded training run.
-
-    ``trace.final_time`` (and hence :attr:`engine_time`) is wall-clock
-    seconds from the start of the run to the last task completion.
-    """
-
-    @property
-    def wall_time(self) -> float:
-        """Wall-clock seconds of the run (alias of :attr:`engine_time`)."""
-        return self.trace.final_time
-
-    @property
-    def throughput(self) -> float:
-        """Ratings processed per wall-clock second."""
-        if self.trace.final_time <= 0:
-            return 0.0
-        return self.trace.total_points() / self.trace.final_time
+class ThreadedResult(WallClockResult):
+    """Outcome of one threaded training run (wall-clock time base)."""
 
 
 class ThreadedSession(EngineSession):

@@ -52,7 +52,7 @@ def ablation_alpha_sensitivity(
     model_run = run_algorithm(
         context, dataset, "hsgd_star_m", iterations=iterations
     )
-    result.times["cost-model"] = model_run.simulated_time
+    result.times["cost-model"] = model_run.engine_time
     for alpha in alphas:
         run = run_algorithm(
             context,
@@ -61,7 +61,7 @@ def ablation_alpha_sensitivity(
             iterations=iterations,
             alpha_override=alpha,
         )
-        result.times[f"alpha={alpha:.2f}"] = run.simulated_time
+        result.times[f"alpha={alpha:.2f}"] = run.engine_time
     return result
 
 
@@ -82,7 +82,7 @@ def ablation_column_rule(
             iterations=iterations,
             column_scale=scale,
         )
-        result.times[f"columns x{scale:g}"] = run.simulated_time
+        result.times[f"columns x{scale:g}"] = run.engine_time
     return result
 
 
@@ -105,6 +105,6 @@ def ablation_stream_overlap(
                 iterations=iterations,
                 stream_overlap=overlap,
             )
-            result.times[label] = run.simulated_time
+            result.times[label] = run.engine_time
         results.append(result)
     return results

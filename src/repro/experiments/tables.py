@@ -161,7 +161,7 @@ def table2_cost_models(
             alpha = run.alpha if run.alpha is not None else 0.0
             comparison.gpu_share[variant] = alpha
             comparison.cpu_share[variant] = 1.0 - alpha
-            comparison.running_time[variant] = run.simulated_time
+            comparison.running_time[variant] = run.engine_time
         results.append(comparison)
     return results
 
@@ -219,8 +219,8 @@ def table3_dynamic_scheduling(
         results.append(
             DynamicSchedulingComparison(
                 dataset=dataset,
-                static_time=static_run.simulated_time,
-                dynamic_time=dynamic_run.simulated_time,
+                static_time=static_run.engine_time,
+                dynamic_time=dynamic_run.engine_time,
                 stolen_tasks=dynamic_run.trace.stolen_task_count(),
             )
         )

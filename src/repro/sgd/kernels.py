@@ -66,14 +66,18 @@ from typing import Optional, Tuple
 
 import numpy as np
 
-from ..config import KERNEL_NAMES
+from ..config import DEFAULT_BATCH_SIZE, KERNEL_NAMES
 from ..exceptions import ConfigurationError, InvalidMatrixError
 
-#: Default mini-batch length of the vectorised kernels.  Small enough that
-#: repeated rows/columns within one batch stay rare on skewed rating data
-#: (keeping the mini-batch relaxation close to sequential SGD), large
-#: enough that the per-batch numpy overhead is amortised.
-DEFAULT_BATCH_SIZE = 256
+__all__ = [
+    "DEFAULT_BATCH_SIZE",  # canonical home: repro.config (re-exported here)
+    "KERNELS",
+    "get_kernel",
+    "resolve_kernel_name",
+    "sgd_block_minibatch",
+    "sgd_block_minibatch_local",
+    "sgd_block_sequential",
+]
 
 
 def _as_kernel_array(array, dtype: np.dtype) -> np.ndarray:

@@ -113,6 +113,35 @@ class FactorModel:
             scale=config.effective_init_scale,
         )
 
+    @classmethod
+    def over_buffers(cls, p: np.ndarray, q: np.ndarray) -> "FactorModel":
+        """Construct a model over caller-owned buffers, adopting them as-is.
+
+        The plain constructor already avoids copying, but silently falls
+        back to a conversion copy for the wrong dtype or a non-array —
+        fatal when the buffers are shared-memory segments that worker
+        processes must see mutations of.  This factory *guarantees*
+        adoption: it raises instead of copying.  ``q`` should be the
+        usual ``(k, n)`` interface view of an item-major buffer (see the
+        class notes); the values are the caller's responsibility.
+
+        This is how the process execution backend
+        (:mod:`repro.exec.process`) builds its models over
+        ``multiprocessing.shared_memory`` arrays so that P and Q live in
+        pages every worker maps.
+        """
+        for name, array in (("p", p), ("q", q)):
+            if not isinstance(array, np.ndarray) or array.dtype != np.float64:
+                raise InvalidMatrixError(
+                    f"over_buffers requires float64 ndarray buffers; {name} "
+                    f"is {type(array).__name__}"
+                    + (f" of dtype {array.dtype}" if isinstance(array, np.ndarray) else "")
+                )
+        model = cls(p, q)
+        if model.p is not p or model.q is not q:  # pragma: no cover - defensive
+            raise InvalidMatrixError("constructor copied a provided buffer")
+        return model
+
     def copy(self) -> "FactorModel":
         """Deep copy, used to snapshot models between experiment arms.
 

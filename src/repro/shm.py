@@ -1,0 +1,214 @@
+"""Shared-memory segments with explicit, audited lifecycle.
+
+The process execution backend (:mod:`repro.exec.process`) keeps the hot
+state of a run — the factor matrices and the block-major rating arrays —
+in :class:`multiprocessing.shared_memory.SharedMemory` segments so worker
+processes update the *same* physical pages the controller reads: zero
+copies on the training hot path.
+
+Raw ``SharedMemory`` has two sharp edges this module files down:
+
+* **lifecycle**: a segment must be closed by every process that mapped
+  it and unlinked by exactly one (the creator), or it leaks in
+  ``/dev/shm`` until reboot.  :class:`SharedSegment` makes ``close()``
+  and ``unlink()`` idempotent, ties creator-ship to unlink permission,
+  and records every live mapping in a module-level registry
+  (:func:`live_segment_names`) that the lifecycle tests assert empty;
+* **the resource tracker**: worker processes inherit the creator's
+  resource-tracker process, so only the creating side may own a
+  segment's tracker registration.  Attaching must therefore never add
+  (or remove!) tracker state: on CPython 3.13+ attachments pass
+  ``track=False`` explicitly; earlier versions do not register
+  attachments in the first place, and the creator's registration is left
+  untouched as a crash safety net (its unlink unregisters normally).
+
+Segment names carry a recognisable prefix (``repro-<pid>-…``) so stray
+segments are attributable, and creation retries on name collisions.
+"""
+
+from __future__ import annotations
+
+import os
+import secrets
+import threading
+from multiprocessing import shared_memory
+from typing import Dict, Tuple
+
+import numpy as np
+
+from .exceptions import ExecutionError
+
+#: Prefix of every segment created by this module; tests sweep
+#: ``/dev/shm`` for it to prove nothing leaked.
+SEGMENT_PREFIX = "repro-shm"
+
+# name -> role ("owner" created it and must unlink; "attached" only maps
+# it).  Guarded by a lock: the threaded controller and callbacks may
+# close segments from different threads.
+_LIVE: Dict[str, str] = {}
+_LIVE_LOCK = threading.Lock()
+
+
+def live_segment_names() -> Tuple[str, ...]:
+    """Names of the segments this process currently has mapped.
+
+    Lifecycle bookkeeping for tests: after an engine run (successful,
+    failed, or killed mid-epoch) this must be empty — every segment was
+    closed, and owned segments were also unlinked, exactly once.
+    """
+    with _LIVE_LOCK:
+        return tuple(sorted(_LIVE))
+
+
+def _attach_shared_memory(name: str) -> shared_memory.SharedMemory:
+    """Open an existing segment without touching the resource tracker.
+
+    CPython 3.13+ takes ``track=False``; older versions never register
+    attachments, so a plain open is already tracker-neutral.
+    """
+    try:
+        return shared_memory.SharedMemory(name=name, create=False, track=False)
+    except TypeError:  # no track parameter before 3.13
+        return shared_memory.SharedMemory(name=name, create=False)
+
+
+class SharedSegment:
+    """One shared-memory segment plus its numpy view machinery.
+
+    Create with :meth:`create` (owner side — the only side allowed to
+    ``unlink()``) or :meth:`attach` (worker side).  Both sides must
+    ``close()``; both calls are idempotent so error paths can clean up
+    unconditionally.
+    """
+
+    def __init__(self, shm: shared_memory.SharedMemory, owner: bool) -> None:
+        self._shm = shm
+        self._owner = owner
+        self._closed = False
+        self._unlinked = False
+        with _LIVE_LOCK:
+            _LIVE[shm.name] = "owner" if owner else "attached"
+
+    # ------------------------------------------------------------------ #
+    # Construction
+    # ------------------------------------------------------------------ #
+    @classmethod
+    def create(cls, nbytes: int, purpose: str = "seg") -> "SharedSegment":
+        """Allocate a fresh segment of ``nbytes`` bytes (owner side)."""
+        if nbytes <= 0:
+            raise ExecutionError(f"segment size must be positive, got {nbytes}")
+        for _ in range(8):
+            name = f"{SEGMENT_PREFIX}-{os.getpid()}-{purpose}-{secrets.token_hex(4)}"
+            try:
+                shm = shared_memory.SharedMemory(
+                    name=name, create=True, size=nbytes
+                )
+            except FileExistsError:  # pragma: no cover - 2^32 collision
+                continue
+            return cls(shm, owner=True)
+        raise ExecutionError(
+            "could not allocate a shared-memory segment (name collisions)"
+        )  # pragma: no cover
+
+    @classmethod
+    def attach(cls, name: str) -> "SharedSegment":
+        """Map an existing segment by name (worker side)."""
+        try:
+            shm = _attach_shared_memory(name)
+        except FileNotFoundError:
+            raise ExecutionError(
+                f"shared-memory segment {name!r} does not exist (was the "
+                "owning engine already finished?)"
+            ) from None
+        return cls(shm, owner=False)
+
+    # ------------------------------------------------------------------ #
+    # Introspection
+    # ------------------------------------------------------------------ #
+    @property
+    def name(self) -> str:
+        """Kernel name of the segment (pass to :meth:`attach`)."""
+        return self._shm.name
+
+    @property
+    def owner(self) -> bool:
+        """Whether this handle created the segment (may ``unlink()``)."""
+        return self._owner
+
+    @property
+    def closed(self) -> bool:
+        return self._closed
+
+    def ndarray(
+        self,
+        shape: Tuple[int, ...],
+        dtype: np.dtype,
+        offset: int = 0,
+        readonly: bool = False,
+    ) -> np.ndarray:
+        """A numpy view over the segment's buffer (no copy).
+
+        The returned array shares the segment's pages: writes from any
+        process mapping the segment are visible in every other one.
+        """
+        if self._closed:
+            raise ExecutionError(
+                f"segment {self.name!r} is closed; no views can be taken"
+            )
+        dtype = np.dtype(dtype)
+        end = offset + int(np.prod(shape, dtype=np.int64)) * dtype.itemsize
+        if end > self._shm.size:
+            raise ExecutionError(
+                f"view of {end} bytes exceeds segment {self.name!r} "
+                f"({self._shm.size} bytes)"
+            )
+        view = np.ndarray(shape, dtype=dtype, buffer=self._shm.buf, offset=offset)
+        if readonly:
+            view.setflags(write=False)
+        return view
+
+    # ------------------------------------------------------------------ #
+    # Lifecycle
+    # ------------------------------------------------------------------ #
+    def close(self) -> None:
+        """Drop this process's mapping (idempotent)."""
+        if self._closed:
+            return
+        self._closed = True
+        if not self._owner:
+            with _LIVE_LOCK:
+                _LIVE.pop(self._shm.name, None)
+        try:
+            self._shm.close()
+        except BufferError:
+            # A live numpy view still pins the buffer.  Re-raising would
+            # leave lifecycle state inconsistent; surface it loudly.
+            self._closed = False
+            raise ExecutionError(
+                f"segment {self.name!r} still has exported views; drop them "
+                "before closing"
+            ) from None
+
+    def unlink(self) -> None:
+        """Destroy the segment (owner only, idempotent, implies close)."""
+        if not self._owner:
+            raise ExecutionError(
+                f"segment {self.name!r} was attached, not created, by this "
+                "process; only the owner may unlink it"
+            )
+        if not self._closed:
+            self.close()
+        if self._unlinked:
+            return
+        self._unlinked = True
+        with _LIVE_LOCK:
+            _LIVE.pop(self._shm.name, None)
+        try:
+            self._shm.unlink()
+        except FileNotFoundError:  # pragma: no cover - already gone
+            pass
+
+    def __repr__(self) -> str:  # pragma: no cover - debugging aid
+        state = "unlinked" if self._unlinked else ("closed" if self._closed else "open")
+        role = "owner" if self._owner else "attached"
+        return f"SharedSegment({self._shm.name!r}, {role}, {state})"

@@ -21,11 +21,16 @@ from .matrix import SparseRatingMatrix
 from .blocking import (
     BlockSlice,
     balanced_boundaries,
-    extract_block,
     extract_grid,
     uniform_boundaries,
 )
-from .blockstore import BlockData, BlockStore
+from .blockstore import (
+    BlockData,
+    BlockStore,
+    SharedBlockStore,
+    SharedBlockStoreHandle,
+    merge_block_data,
+)
 from .io import read_triples, write_triples
 from .shuffle import shuffled_copy, split_prefix_sums
 
@@ -34,9 +39,11 @@ __all__ = [
     "BlockData",
     "BlockSlice",
     "BlockStore",
+    "SharedBlockStore",
+    "SharedBlockStoreHandle",
     "balanced_boundaries",
-    "extract_block",
     "extract_grid",
+    "merge_block_data",
     "uniform_boundaries",
     "read_triples",
     "write_triples",

@@ -20,7 +20,6 @@ This module provides the low-level machinery:
 
 from __future__ import annotations
 
-import warnings
 from dataclasses import dataclass
 from typing import List, Sequence, Tuple
 
@@ -159,40 +158,6 @@ def balanced_boundaries(counts: np.ndarray, parts: int) -> np.ndarray:
         if bounds[i] >= bounds[i + 1]:
             bounds[i] = bounds[i + 1] - 1
     return _validate_boundaries(bounds, extent, "balanced")
-
-
-def extract_block(
-    matrix: SparseRatingMatrix,
-    row_range: Tuple[int, int],
-    col_range: Tuple[int, int],
-) -> np.ndarray:
-    """Return the COO positions of ratings inside one rectangular block.
-
-    .. deprecated::
-        ``extract_block`` scans the full matrix per call — ``O(nnz)`` for
-        *every* block, the exact pattern the block-major data plane
-        exists to kill.  Use :func:`extract_grid` to bucket all blocks in
-        one pass (and :class:`repro.sparse.BlockStore` to materialise
-        them); this wrapper delegates to the same grid bucketing and only
-        remains for callers that genuinely need a single ad-hoc block.
-    """
-    warnings.warn(
-        "extract_block performs an O(nnz) scan per block and is deprecated; "
-        "bucket all blocks in one pass with extract_grid (and materialise "
-        "them with repro.sparse.BlockStore)",
-        DeprecationWarning,
-        stacklevel=2,
-    )
-    r0 = max(int(row_range[0]), 0)
-    r1 = min(int(row_range[1]), matrix.n_rows)
-    c0 = max(int(col_range[0]), 0)
-    c1 = min(int(col_range[1]), matrix.n_cols)
-    if r0 >= r1 or c0 >= c1:
-        return np.empty(0, dtype=np.int64)
-    row_bounds = sorted({0, r0, r1, matrix.n_rows})
-    col_bounds = sorted({0, c0, c1, matrix.n_cols})
-    grid = extract_grid(matrix, row_bounds, col_bounds)
-    return grid[row_bounds.index(r0)][col_bounds.index(c0)].indices
 
 
 def extract_grid(

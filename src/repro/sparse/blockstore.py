@@ -31,11 +31,11 @@ inherits the same data plane through
 from __future__ import annotations
 
 from dataclasses import dataclass
-from typing import Dict, Tuple
+from typing import Dict, Iterable, List, Tuple
 
 import numpy as np
 
-from ..exceptions import InvalidMatrixError
+from ..exceptions import ExecutionError, InvalidMatrixError
 from .matrix import SparseRatingMatrix
 
 
@@ -178,6 +178,25 @@ def _covering_range(ranges) -> Tuple[int, int]:
     return (min(starts), max(stops))
 
 
+def merge_block_data(parts: List[BlockData]) -> BlockData:
+    """Concatenate several blocks' records into one multi-block record.
+
+    Used for multi-block GPU tasks: parts are concatenated in block order
+    (matching ``Task.indices()``) under the covering band interval.  Both
+    the in-process :class:`BlockStore` and the worker-side
+    :class:`SharedBlockStore` cache the merged record, so the
+    concatenation happens once per distinct task, not per epoch.
+    """
+    return BlockData.from_arrays(
+        np.concatenate([part.rows for part in parts]),
+        np.concatenate([part.cols for part in parts]),
+        np.concatenate([part.vals for part in parts]),
+        _covering_range([part.row_range for part in parts]),
+        _covering_range([part.col_range for part in parts]),
+        copy=False,
+    )
+
+
 class BlockStore:
     """Per-run cache of :class:`BlockData` records for a matrix.
 
@@ -228,20 +247,218 @@ class BlockStore:
         key = tuple((block.row_band, block.col_band) for block in blocks)
         data = self._tasks.get(key)
         if data is None:
-            parts = [self.block_data(block) for block in blocks]
-            merged = BlockData.from_arrays(
-                np.concatenate([part.rows for part in parts]),
-                np.concatenate([part.cols for part in parts]),
-                np.concatenate([part.vals for part in parts]),
-                _covering_range([part.row_range for part in parts]),
-                _covering_range([part.col_range for part in parts]),
-                copy=False,
-            )
+            merged = merge_block_data([self.block_data(block) for block in blocks])
             data = self._tasks.setdefault(key, merged)
         return data
+
+    def to_shared(self, blocks: Iterable) -> "SharedBlockStore":
+        """Materialise ``blocks`` into a shared-memory segment.
+
+        Gathers every given grid block, packs all five per-block arrays
+        into one :class:`multiprocessing.shared_memory`-backed segment
+        that worker processes attach by name
+        (:meth:`SharedBlockStore.attach`) — the zero-copy data plane of
+        the ``"processes"`` backend — and then **drops this store's
+        private caches**: once the data lives in the segment, a second
+        resident copy in the controller would double its memory for the
+        whole run.  The caller owns the returned store's lifecycle:
+        ``close()`` + ``unlink()`` when the run ends (see
+        :class:`repro.shm.SharedSegment`).
+        """
+        shared = SharedBlockStore.create(
+            [(block, self.block_data(block)) for block in blocks]
+        )
+        self.clear_cache()
+        return shared
+
+    def clear_cache(self) -> None:
+        """Drop every cached record (they re-materialise lazily on use)."""
+        self._blocks = {}
+        self._tasks = {}
 
     def __repr__(self) -> str:
         return (
             f"BlockStore(nnz={self._matrix.nnz}, "
             f"cached_blocks={len(self._blocks)}, cached_tasks={len(self._tasks)})"
+        )
+
+
+#: The parallel arrays of one :class:`BlockData`, in segment layout order.
+_SHARED_FIELDS = ("rows", "cols", "vals", "local_rows", "local_cols")
+_SHARED_DTYPES = (np.int64, np.int64, np.float64, np.int64, np.int64)
+
+
+@dataclass(frozen=True)
+class SharedBlockStoreHandle:
+    """Picklable descriptor of a shared block store.
+
+    Everything a worker process needs to reconstruct zero-copy
+    :class:`BlockData` views: the segment name, the total rating count
+    (the segment holds five parallel ``nnz``-long arrays back to back)
+    and, per block key, its slice ``[offset, offset + length)`` plus its
+    band intervals.
+    """
+
+    segment: str
+    nnz: int
+    #: ``(row_band, col_band, offset, length, r0, r1, c0, c1)`` per block.
+    entries: Tuple[Tuple[int, int, int, int, int, int, int, int], ...]
+
+
+class SharedBlockStore:
+    """Block-major rating arrays resident in shared memory.
+
+    Two roles share this class:
+
+    * the **owner** (built by :meth:`BlockStore.to_shared` in the
+      controller process) creates the segment, copies every block's
+      arrays in once, and must eventually ``close()`` and ``unlink()``;
+    * **workers** :meth:`attach` by name and read the same physical
+      pages — block lookups return :class:`BlockData` whose arrays are
+      read-only views into the segment, so the per-epoch data-plane cost
+      is zero and nothing is ever pickled or copied per task.
+
+    Multi-block (GPU) task records are merged on first use and cached
+    locally per process, exactly like :meth:`BlockStore.task_data`.
+    """
+
+    def __init__(self, segment, handle: SharedBlockStoreHandle) -> None:
+        self._segment = segment
+        self._handle = handle
+        self._blocks: Dict[Tuple[int, int], BlockData] = {}
+        self._tasks: Dict[Tuple[Tuple[int, int], ...], BlockData] = {}
+        self._build_views()
+
+    def _build_views(self) -> None:
+        nnz = self._handle.nnz
+        itemsize = 8  # int64 and float64 alike
+        arrays = [
+            self._segment.ndarray((nnz,), dtype, offset=index * nnz * itemsize)
+            for index, dtype in enumerate(_SHARED_DTYPES)
+        ]
+        for row_band, col_band, offset, length, r0, r1, c0, c1 in self._handle.entries:
+            views = [array[offset : offset + length] for array in arrays]
+            for view in views:
+                view.setflags(write=False)
+            rows, cols, vals, local_rows, local_cols = views
+            # Direct construction: the arrays were validated by
+            # BlockData.from_slice when the owner materialised them, and
+            # copying here would defeat the shared segment entirely.
+            self._blocks[(row_band, col_band)] = BlockData(
+                row_range=(r0, r1),
+                col_range=(c0, c1),
+                rows=rows,
+                cols=cols,
+                vals=vals,
+                local_rows=local_rows,
+                local_cols=local_cols,
+            )
+
+    # ------------------------------------------------------------------ #
+    # Construction
+    # ------------------------------------------------------------------ #
+    @classmethod
+    def create(cls, materialised: List[Tuple[object, BlockData]]) -> "SharedBlockStore":
+        """Pack materialised ``(block, BlockData)`` pairs into a segment."""
+        from ..shm import SharedSegment
+
+        if not materialised:
+            raise ExecutionError("cannot share an empty block set")
+        nnz = sum(data.nnz for _, data in materialised)
+        if nnz <= 0:
+            raise ExecutionError("cannot share a block set with no ratings")
+        segment = SharedSegment.create(nnz * 8 * len(_SHARED_FIELDS), purpose="blocks")
+        try:
+            itemsize = 8
+            arrays = [
+                segment.ndarray((nnz,), dtype, offset=index * nnz * itemsize)
+                for index, dtype in enumerate(_SHARED_DTYPES)
+            ]
+            entries = []
+            offset = 0
+            seen = set()
+            for block, data in materialised:
+                key = (int(block.row_band), int(block.col_band))
+                if key in seen:
+                    raise ExecutionError(f"duplicate grid block {key} in shared store")
+                seen.add(key)
+                for array, name in zip(arrays, _SHARED_FIELDS):
+                    array[offset : offset + data.nnz] = getattr(data, name)
+                entries.append(
+                    key
+                    + (offset, data.nnz)
+                    + tuple(int(x) for x in data.row_range)
+                    + tuple(int(x) for x in data.col_range)
+                )
+                offset += data.nnz
+            del arrays
+            handle = SharedBlockStoreHandle(
+                segment=segment.name, nnz=nnz, entries=tuple(entries)
+            )
+            return cls(segment, handle)
+        except BaseException:
+            segment.unlink()
+            raise
+
+    @classmethod
+    def attach(cls, handle: SharedBlockStoreHandle) -> "SharedBlockStore":
+        """Map an owner's segment in a worker process (no copies)."""
+        from ..shm import SharedSegment
+
+        return cls(SharedSegment.attach(handle.segment), handle)
+
+    # ------------------------------------------------------------------ #
+    # Lookup
+    # ------------------------------------------------------------------ #
+    @property
+    def handle(self) -> SharedBlockStoreHandle:
+        """The picklable descriptor workers attach with."""
+        return self._handle
+
+    def block_data(self, key: Tuple[int, int]) -> BlockData:
+        """The shared-memory record of one grid block ``(row_band, col_band)``."""
+        try:
+            return self._blocks[key]
+        except KeyError:
+            raise ExecutionError(
+                f"grid block {key} is not part of this shared store"
+            ) from None
+
+    def task_data(self, keys: Tuple[Tuple[int, int], ...]) -> BlockData:
+        """The record covering a task given its blocks' grid keys.
+
+        Single-block tasks are served straight from the segment;
+        multi-block tasks are merged once per distinct key tuple and
+        cached in *private* memory (a per-process, per-run cost — the
+        per-epoch hot path stays zero-copy).
+        """
+        if len(keys) == 1:
+            return self.block_data(keys[0])
+        keys = tuple(keys)
+        data = self._tasks.get(keys)
+        if data is None:
+            data = merge_block_data([self.block_data(key) for key in keys])
+            self._tasks[keys] = data
+        return data
+
+    # ------------------------------------------------------------------ #
+    # Lifecycle
+    # ------------------------------------------------------------------ #
+    def close(self) -> None:
+        """Drop every view and this process's mapping (idempotent)."""
+        # The BlockData views pin the segment's buffer; release them
+        # before closing or SharedMemory.close() refuses.
+        self._blocks = {}
+        self._tasks = {}
+        self._segment.close()
+
+    def unlink(self) -> None:
+        """Destroy the segment (owner side only; implies :meth:`close`)."""
+        self.close()
+        self._segment.unlink()
+
+    def __repr__(self) -> str:  # pragma: no cover - debugging aid
+        return (
+            f"SharedBlockStore(segment={self._handle.segment!r}, "
+            f"nnz={self._handle.nnz}, blocks={len(self._blocks)})"
         )

@@ -86,7 +86,7 @@ class TestHeterogeneousTrainer:
         )
         result = trainer.fit(train, test, iterations=3)
         assert result.algorithm == "hsgd_star"
-        assert result.simulated_time > 0
+        assert result.engine_time > 0
         assert result.final_test_rmse is not None
         assert 0.0 <= result.alpha <= 1.0
         assert result.calibration is not None

@@ -74,7 +74,7 @@ class TestEngineProtocol:
         assert threaded_result.throughput > 0
 
     def test_backend_names_agree(self):
-        assert EXEC_BACKENDS == BACKENDS == ("simulate", "threads")
+        assert EXEC_BACKENDS == BACKENDS == ("simulate", "threads", "processes")
 
 
 class TestSimParity:
@@ -347,7 +347,7 @@ class TestBackendPlumbing:
         result = trainer.fit(train, test, iterations=3, backend="threads")
         assert result.backend == "threads"
         assert len(result.trace.iterations) == 3
-        assert result.simulated_time > 0
+        assert result.engine_time > 0
         assert result.final_test_rmse is not None
 
     def test_fit_backend_defaults_to_training_config(self, small_split, small_hardware, small_training, scaled_preset):

@@ -68,22 +68,22 @@ def results(bundle, training, hardware, preset):
 
 class TestHeadlineSpeedups:
     def test_hsgd_star_is_fastest(self, results):
-        star = results["hsgd_star"].simulated_time
-        assert star < results["cpu_only"].simulated_time
-        assert star < results["gpu_only"].simulated_time
-        assert star < results["hsgd"].simulated_time
+        star = results["hsgd_star"].engine_time
+        assert star < results["cpu_only"].engine_time
+        assert star < results["gpu_only"].engine_time
+        assert star < results["hsgd"].engine_time
 
     def test_speedup_magnitudes_in_paper_range(self, results):
         """The paper reports 1.4-2.3x over CPU-Only and GPU-Only at defaults."""
-        star = results["hsgd_star"].simulated_time
-        speedup_cpu = results["cpu_only"].simulated_time / star
-        speedup_gpu = results["gpu_only"].simulated_time / star
+        star = results["hsgd_star"].engine_time
+        speedup_cpu = results["cpu_only"].engine_time / star
+        speedup_gpu = results["gpu_only"].engine_time / star
         assert 1.1 < speedup_cpu < 3.0
         assert 1.2 < speedup_gpu < 3.0
 
     def test_gpu_only_slower_than_cpu_only_at_default_workers(self, results):
         """At 128 parallel workers the paper's GPU-Only trails 16-thread CPU-Only."""
-        assert results["gpu_only"].simulated_time > results["cpu_only"].simulated_time
+        assert results["gpu_only"].engine_time > results["cpu_only"].engine_time
 
     def test_both_resources_contribute_in_hsgd_star(self, results):
         share = results["hsgd_star"].trace.resource_share()
@@ -111,7 +111,7 @@ class TestConvergenceQuality:
         """Figure 13: given the same RMSE target, HSGD* gets there sooner."""
         target = results["hsgd"].final_test_rmse
         star_time = results["hsgd_star"].time_to_rmse(target)
-        hsgd_time = results["hsgd"].simulated_time
+        hsgd_time = results["hsgd"].engine_time
         assert star_time is not None
         assert star_time <= hsgd_time * 1.02
 
@@ -120,15 +120,15 @@ class TestCostModelAndScheduling:
     def test_paper_cost_model_beats_qilin(self, results):
         """Table II: HSGD*-M is at least as fast as HSGD*-Q."""
         assert (
-            results["hsgd_star_m"].simulated_time
-            <= results["hsgd_star_q"].simulated_time * 1.02
+            results["hsgd_star_m"].engine_time
+            <= results["hsgd_star_q"].engine_time * 1.02
         )
 
     def test_dynamic_scheduling_beats_static(self, results):
         """Table III: the full HSGD* is at least as fast as HSGD*-M."""
         assert (
-            results["hsgd_star"].simulated_time
-            <= results["hsgd_star_m"].simulated_time * 1.01
+            results["hsgd_star"].engine_time
+            <= results["hsgd_star_m"].engine_time * 1.01
         )
 
     def test_dynamic_variant_actually_steals(self, results):
@@ -182,7 +182,7 @@ class TestHardwareSweepTrends:
                 preset=preset,
             )
             result = trainer.fit(bundle.train, bundle.test, iterations=3)
-            times.append(result.simulated_time)
+            times.append(result.engine_time)
         assert times[1] < times[0] / 2.0
 
     def test_more_cpu_threads_speed_up_cpu_only(self, bundle, training, preset):
@@ -195,7 +195,7 @@ class TestHardwareSweepTrends:
                 preset=preset,
             )
             result = trainer.fit(bundle.train, bundle.test, iterations=3)
-            times.append(result.simulated_time)
+            times.append(result.engine_time)
         assert times[1] < times[0] / 2.0
 
     def test_gpu_only_overtakes_cpu_only_at_512_workers(self, bundle, training, preset):
@@ -206,7 +206,7 @@ class TestHardwareSweepTrends:
             training=training,
             preset=preset,
         )
-        cpu_time = cpu_trainer.fit(bundle.train, bundle.test, iterations=3).simulated_time
+        cpu_time = cpu_trainer.fit(bundle.train, bundle.test, iterations=3).engine_time
         gpu_trainer = HeterogeneousTrainer(
             algorithm="gpu_only",
             hardware=HardwareConfig(
@@ -215,5 +215,5 @@ class TestHardwareSweepTrends:
             training=training,
             preset=preset,
         )
-        gpu_time = gpu_trainer.fit(bundle.train, bundle.test, iterations=3).simulated_time
+        gpu_time = gpu_trainer.fit(bundle.train, bundle.test, iterations=3).engine_time
         assert gpu_time < cpu_time

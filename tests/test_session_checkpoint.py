@@ -626,15 +626,20 @@ class TestResultDedup:
         assert isinstance(result, TrainResult)
         assert isinstance(result, EngineResult)
         # engine_time is the canonical name; simulated_time the
-        # docstring-deprecated alias.
-        assert result.engine_time == result.simulated_time == result.trace.final_time
+        # deprecated alias, which must both warn and keep returning the
+        # same value until it is removed.
+        with pytest.warns(DeprecationWarning, match="engine_time"):
+            alias = result.simulated_time
+        assert result.engine_time == alias == result.trace.final_time
         assert result.time_to_rmse(10.0) is not None
         assert result.stop_reason == "iterations"
 
     def test_engine_result_exposes_engine_time(self, small_split, small_training, scaled_preset):
         train, test = small_split
         outcome = _sim_engine(train, test, small_training, scaled_preset).run(iterations=1)
-        assert outcome.engine_time == outcome.simulated_time
+        with pytest.warns(DeprecationWarning, match="simulated_time is deprecated"):
+            alias = outcome.simulated_time
+        assert outcome.engine_time == alias
         assert outcome.time_to_rmse(0.0) is None
 
 

@@ -32,7 +32,7 @@ class TestEngineBasics:
         result = engine.run(iterations=3)
         assert len(result.trace.iterations) == 3
         assert result.trace.final_time > 0
-        assert result.simulated_time == result.trace.final_time
+        assert result.engine_time == result.trace.final_time
 
     def test_processed_points_match_iterations(self, small_split, small_platform, small_training):
         train, test = small_split

@@ -6,7 +6,6 @@ import pytest
 from repro.exceptions import InvalidPartitionError
 from repro.sparse import (
     balanced_boundaries,
-    extract_block,
     extract_grid,
     uniform_boundaries,
 )
@@ -108,32 +107,28 @@ class TestExtractGrid:
         assert nnz.shape == (2, 2)
         assert nnz.sum() == tiny_matrix.nnz
 
-    def test_extract_block_matches_grid(self, tiny_matrix):
-        grid = extract_grid(tiny_matrix, [0, 3, 6], [0, 2, 5])
-        with pytest.warns(DeprecationWarning, match="extract_block"):
-            manual = extract_block(tiny_matrix, (0, 3), (0, 2))
-        np.testing.assert_array_equal(np.sort(manual), grid[0][0].indices)
-
-    def test_extract_block_deprecated_wrapper_edge_cases(self, tiny_matrix):
-        """The grid-delegating wrapper keeps the mask scan's semantics."""
-        reference = {
-            "interior": (tiny_matrix.rows >= 1)
+    def test_single_block_via_grid_bucketing(self, tiny_matrix):
+        """The one-pass grid bucketing serves ad-hoc single-block lookups
+        (the migration target of the removed extract_block shim)."""
+        reference = (
+            (tiny_matrix.rows >= 1)
             & (tiny_matrix.rows < 4)
             & (tiny_matrix.cols >= 1)
-            & (tiny_matrix.cols < 3),
-            "full": np.ones(tiny_matrix.nnz, dtype=bool),
-        }
-        with pytest.warns(DeprecationWarning):
-            interior = extract_block(tiny_matrix, (1, 4), (1, 3))
-            full = extract_block(
-                tiny_matrix, (0, tiny_matrix.n_rows), (0, tiny_matrix.n_cols)
-            )
-            empty = extract_block(tiny_matrix, (2, 2), (0, 5))
-        np.testing.assert_array_equal(
-            interior, np.nonzero(reference["interior"])[0]
+            & (tiny_matrix.cols < 3)
         )
-        np.testing.assert_array_equal(full, np.nonzero(reference["full"])[0])
-        assert len(empty) == 0 and empty.dtype == np.int64
+        grid = extract_grid(tiny_matrix, [0, 1, 4, 6], [0, 1, 3, 5])
+        np.testing.assert_array_equal(
+            grid[1][1].indices, np.nonzero(reference)[0]
+        )
+
+    def test_extract_block_shim_is_gone(self):
+        """PR 2 deprecated extract_block; this PR removes it for good."""
+        import repro.sparse
+        import repro.sparse.blocking
+
+        assert not hasattr(repro.sparse, "extract_block")
+        assert not hasattr(repro.sparse.blocking, "extract_block")
+        assert "extract_block" not in repro.sparse.__all__
 
     def test_invalid_boundaries_rejected(self, tiny_matrix):
         with pytest.raises(InvalidPartitionError):
