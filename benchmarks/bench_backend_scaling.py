@@ -218,8 +218,6 @@ def test_backend_scaling_curve(bench_profile):
 def _stage_timings(data, training):
     """Per-stage costs of one epoch: the legacy path's gather + validate,
     both kernels on pre-gathered data, and the RMSE evaluation."""
-    import numpy as np
-
     from repro.core.partition import nonuniform_partition
     from repro.sgd import (
         FactorModel,

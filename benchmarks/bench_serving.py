@@ -1,0 +1,208 @@
+"""Top-K serving throughput: chunked batch scoring vs the naive loop.
+
+One benchmark, Netflix-sized catalogue (the paper's 17 770 items at the
+paper's ``k = 128``):
+
+* ``test_serving_throughput`` — users/s of the chunked
+  :class:`repro.serve.Scorer` over a ``(batch_size, chunk_items)``
+  sweep, against two same-run baselines: the **naive per-user
+  ``top_items`` loop** (the acceptance bar: best chunked configuration
+  must reach >= 3x its users/s) and the **unchunked full-matmul**
+  implementation, whose users/s is the runner-speed normaliser the CI
+  perf guard divides by (``check_perf_regression.py`` — same idea as
+  the serial-simulator normaliser of ``BENCH_exec.json``).  Also
+  measures 1- and 2-reader *process* serving from one published
+  shared-memory model (asserting every reader mapped the same segment),
+  exercises a hot-swap, and asserts the :mod:`repro.shm` registry is
+  empty afterwards — no leaked ``/dev/shm`` segments.
+
+Results go to ``BENCH_serve.json`` (override with
+``REPRO_BENCH_SERVE_OUT``; CI writes a fresh file and compares it
+against the committed baseline).
+"""
+
+import json
+import os
+
+import numpy as np
+
+from conftest import emit
+
+from repro.serve import ModelStore
+from repro.serve.bench import (
+    measure_chunked,
+    measure_full_matmul,
+    measure_multi_reader,
+    measure_naive,
+    synthetic_model,
+    user_pool,
+)
+from repro.sgd import FactorModel
+from repro.shm import live_segment_names
+
+_ROOT = os.path.dirname(os.path.dirname(os.path.abspath(__file__)))
+BENCH_SERVE_JSON = os.environ.get(
+    "REPRO_BENCH_SERVE_OUT", os.path.join(_ROOT, "BENCH_serve.json")
+)
+
+#: Serving-realistic shapes: the paper's Netflix catalogue and latent k.
+N_USERS = 20_000
+N_ITEMS = 17_770
+LATENT = 128
+TOP_K = 10
+
+BATCH_SIZES = (32, 256)
+CHUNK_SIZES = (1_024, 4_096)
+
+#: Acceptance bar: best chunked configuration vs the naive per-user loop.
+TARGET_SPEEDUP = 3.0
+
+
+def _pool_size(profile: str) -> int:
+    return {"quick": 512, "full": 8_192}.get(profile, 2_048)
+
+
+def _usable_cores() -> int:
+    try:
+        return len(os.sched_getaffinity(0))
+    except AttributeError:  # pragma: no cover - non-Linux
+        return os.cpu_count() or 1
+
+
+def _hot_swap_is_clean(model) -> bool:
+    """Publish, hot-swap under a pinned lease, and verify nothing leaks."""
+    with ModelStore() as store:
+        store.publish(model)
+        lease = store.acquire()
+        swapped = FactorModel.initialize(
+            model.p.shape[0], model.q.shape[1], model.latent_factors, seed=9
+        )
+        store.publish(swapped)
+        pinned = store.live_versions == (1, 2)
+        lease.release()
+        deferred_unlink = store.live_versions == (2,)
+    return pinned and deferred_unlink and live_segment_names() == ()
+
+
+def test_serving_throughput(bench_profile):
+    """Chunked scorer sweep + baselines + multi-reader -> BENCH_serve.json."""
+    model = synthetic_model(N_USERS, N_ITEMS, LATENT, seed=0)
+    pool = user_pool(N_USERS, _pool_size(bench_profile), seed=0)
+    cores = _usable_cores()
+
+    naive = measure_naive(model, pool, TOP_K)
+    reference = measure_full_matmul(
+        model, pool, TOP_K, batch_size=max(BATCH_SIZES)
+    )
+
+    rows = [
+        f"{'configuration':<26} {'users/s':>10} {'vs naive':>9} {'vs matmul':>10}"
+    ]
+
+    def _row(sample):
+        rows.append(
+            f"{sample.label:<26} {sample.users_per_s:>10.0f} "
+            f"{sample.users_per_s / naive.users_per_s:>8.2f}x "
+            f"{sample.users_per_s / reference.users_per_s:>9.2f}x"
+        )
+
+    _row(naive)
+    _row(reference)
+
+    serving = []
+    best = None
+    for batch_size in BATCH_SIZES:
+        for chunk_items in CHUNK_SIZES:
+            sample = measure_chunked(model, pool, TOP_K, batch_size, chunk_items)
+            _row(sample)
+            entry = {
+                "batch_size": batch_size,
+                "chunk_items": chunk_items,
+                "users_per_s": round(sample.users_per_s),
+                "speedup_vs_naive": round(
+                    sample.users_per_s / naive.users_per_s, 3
+                ),
+                "normalised_vs_full_matmul": round(
+                    sample.users_per_s / reference.users_per_s, 4
+                ),
+            }
+            serving.append(entry)
+            if best is None or entry["users_per_s"] > best["users_per_s"]:
+                best = entry
+
+    multi_reader = []
+    for readers in (1, 2):
+        sample = measure_multi_reader(
+            model,
+            pool,
+            TOP_K,
+            batch_size=best["batch_size"],
+            chunk_items=best["chunk_items"],
+            readers=readers,
+        )
+        _row(sample)
+        multi_reader.append(
+            {
+                "readers": readers,
+                "batch_size": best["batch_size"],
+                "chunk_items": best["chunk_items"],
+                "users_per_s": round(sample.users_per_s),
+            }
+        )
+    # measure_multi_reader asserts every reader mapped the published
+    # segment; here we additionally assert the registry drained.
+    single_shared_copy = live_segment_names() == ()
+
+    hot_swap_clean = _hot_swap_is_clean(model)
+
+    acceptance = {
+        "target": (
+            f"best chunked configuration >= {TARGET_SPEEDUP}x the naive "
+            "per-user predict loop (users/s)"
+        ),
+        "best": best,
+        "best_speedup_vs_naive": best["speedup_vs_naive"],
+        "met": best["speedup_vs_naive"] >= TARGET_SPEEDUP,
+        "single_shared_copy": single_shared_copy,
+        "hot_swap_clean": hot_swap_clean,
+    }
+
+    payload = {
+        "model_shape": {
+            "users": N_USERS,
+            "items": N_ITEMS,
+            "latent_factors": LATENT,
+        },
+        "top_k": TOP_K,
+        "pool": len(pool),
+        "profile": bench_profile,
+        "hardware": {"cpu_count": os.cpu_count(), "usable_cores": cores},
+        "baselines": {
+            "naive_users_per_s": round(naive.users_per_s),
+            "full_matmul_users_per_s": round(reference.users_per_s),
+            "full_matmul_batch": max(BATCH_SIZES),
+        },
+        "serving": serving,
+        "multi_reader": multi_reader,
+        "acceptance": acceptance,
+    }
+    with open(BENCH_SERVE_JSON, "w", encoding="utf-8") as handle:
+        json.dump(payload, handle, indent=2)
+        handle.write("\n")
+
+    emit(
+        f"Serving throughput, {N_USERS} users x {N_ITEMS} items, k={LATENT}, "
+        f"top-{TOP_K}, {len(pool)} requests ({cores} usable cores) -> "
+        f"{BENCH_SERVE_JSON}",
+        "\n".join(rows),
+    )
+
+    assert single_shared_copy, "a shared-memory segment leaked after serving"
+    assert hot_swap_clean, "hot-swap left segments or refcounts behind"
+    assert np.isfinite(naive.users_per_s) and naive.users_per_s > 0
+    assert acceptance["met"], (
+        f"chunked serving acceptance failed: best configuration "
+        f"{best['batch_size']}x{best['chunk_items']} reached only "
+        f"{best['speedup_vs_naive']}x the naive loop "
+        f"(target {TARGET_SPEEDUP}x)"
+    )

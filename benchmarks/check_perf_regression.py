@@ -1,22 +1,28 @@
-"""Thresholded perf-regression guard over the scaling benchmark.
+"""Thresholded perf-regression guard over the scaling and serving benchmarks.
 
-Compares a freshly measured scaling run (``REPRO_BENCH_OUT`` of
-``bench_backend_scaling.py::test_backend_scaling_curve``) against the
-committed ``BENCH_exec.json`` baseline and **fails** (exit 1) when any
-real backend's throughput dropped more than ``--max-drop`` (default
-30%) below the baseline at a worker count both files measured.
+Compares a freshly measured run against a committed baseline and
+**fails** (exit 1) when any measured configuration dropped more than
+``--max-drop`` (default 30%) below the baseline.  The payload kind is
+auto-detected:
 
-The compared quantity is each backend's ratings/s **normalised by the
-same run's serial-simulator ratings/s** at the same worker count.  The
-simulator executes the identical kernels inline, so it is a live probe
-of the machine the run happened on — dividing by it cancels
-machine-speed and load differences between the baseline host and the CI
-runner, leaving exactly the thing this guard exists to catch: a backend
-becoming slower *relative to the same work executed serially* (a new
-copy on the hot path, lock contention, a dispatch stall).  A global
-slowdown that hits every backend equally is the kernels' business and is
-covered by ``BENCH_kernels.json`` and the tier-1 suite; the simulator
-row is the normaliser here and is reported but never gated.
+* **execution scaling** (``BENCH_exec.json`` /
+  ``bench_backend_scaling.py``): each real backend's ratings/s at each
+  worker count, **normalised by the same run's serial-simulator
+  ratings/s** — the simulator executes the identical kernels inline, so
+  dividing by it cancels machine-speed and load differences between the
+  baseline host and the CI runner;
+* **serving throughput** (``BENCH_serve.json`` / ``bench_serving.py``):
+  each ``(batch_size, chunk_items)`` configuration's users/s,
+  **normalised by the same run's naive full-matmul users/s** — pure
+  BLAS + selection with no serving-layer logic, the serving analogue of
+  the simulator normaliser.
+
+Either way the guard catches exactly what it exists to catch: the
+subsystem becoming slower *relative to the same work done the obvious
+way on the same machine* (a new copy on the hot path, lock contention, a
+lost fast path).  A global slowdown that hits baseline and subsystem
+equally is covered elsewhere (``BENCH_kernels.json``, the tier-1 suite);
+normaliser rows are reported but never gated.
 
 Usage (what the CI perf-guard job runs)::
 
@@ -26,9 +32,14 @@ Usage (what the CI perf-guard job runs)::
     python benchmarks/check_perf_regression.py \\
         --baseline BENCH_exec.json --current bench_current.json
 
-Improvements and new worker counts are reported but never fail; a
-backend or worker count missing from the baseline is skipped (it has no
-reference to regress against).
+    REPRO_BENCH_SERVE_OUT=bench_serve_current.json \\
+        python -m pytest benchmarks/bench_serving.py -q -s
+    python benchmarks/check_perf_regression.py \\
+        --baseline BENCH_serve.json --current bench_serve_current.json
+
+Improvements and new configurations are reported but never fail; a
+configuration missing from the baseline is skipped (it has no reference
+to regress against).
 """
 
 from __future__ import annotations
@@ -39,7 +50,7 @@ import sys
 
 
 def _index(payload: dict) -> dict:
-    """``{(workers, backend): ratings_per_s}`` from a bench JSON."""
+    """``{(workers, backend): ratings_per_s}`` from a scaling bench JSON."""
     table = {}
     for entry in payload.get("scaling", []):
         workers = entry["workers"]
@@ -62,7 +73,43 @@ def _normalised(table: dict) -> dict:
     return out
 
 
-def compare(baseline: dict, current: dict, max_drop: float) -> int:
+def _normalised_serving(payload: dict) -> dict:
+    """``{(batch, chunk): users_per_s / full_matmul_users_per_s}``."""
+    reference = float(
+        payload.get("baselines", {}).get("full_matmul_users_per_s", 0.0)
+    )
+    out = {}
+    if reference <= 0:
+        return out
+    for entry in payload.get("serving", []):
+        key = (int(entry["batch_size"]), int(entry["chunk_items"]))
+        out[key] = float(entry["users_per_s"]) / reference
+    return out
+
+
+def _report(base: dict, cur: dict, labeller, unit: str, max_drop: float) -> list:
+    """Print the per-configuration comparison; return the failures."""
+    failures = []
+    for key in sorted(cur):
+        label = labeller(key)
+        if key not in base:
+            print(
+                f"  (new)    {label}: {cur[key]:.2f}x of {unit} "
+                "(no baseline, skipped)"
+            )
+            continue
+        ratio = cur[key] / base[key] if base[key] > 0 else float("inf")
+        status = "ok" if ratio >= 1.0 - max_drop else "REGRESSED"
+        print(
+            f"  {status:>9} {label}: {cur[key]:.2f}x of {unit} "
+            f"vs baseline {base[key]:.2f}x ({ratio:.2f} of baseline)"
+        )
+        if status == "REGRESSED":
+            failures.append((key, ratio))
+    return failures
+
+
+def compare_scaling(baseline: dict, current: dict, max_drop: float) -> int:
     cur_raw = _index(current)
     base = _normalised(_index(baseline))
     cur = _normalised(cur_raw)
@@ -72,23 +119,13 @@ def compare(baseline: dict, current: dict, max_drop: float) -> int:
     for (workers, backend), tp in sorted(cur_raw.items()):
         if backend == "simulate":
             print(f"  normaliser simulate @ {workers}w: {tp:.0f} ratings/s")
-    failures = []
-    for key in sorted(cur):
-        workers, backend = key
-        if key not in base:
-            print(
-                f"  (new)    {backend} @ {workers}w: {cur[key]:.2f}x of serial "
-                "(no baseline, skipped)"
-            )
-            continue
-        ratio = cur[key] / base[key] if base[key] > 0 else float("inf")
-        status = "ok" if ratio >= 1.0 - max_drop else "REGRESSED"
-        print(
-            f"  {status:>9} {backend} @ {workers}w: {cur[key]:.2f}x of serial "
-            f"vs baseline {base[key]:.2f}x ({ratio:.2f} of baseline)"
-        )
-        if status == "REGRESSED":
-            failures.append((workers, backend, ratio))
+    failures = _report(
+        base,
+        cur,
+        lambda key: f"{key[1]} @ {key[0]}w",
+        "serial",
+        max_drop,
+    )
     if failures:
         print(
             f"\nperf regression: {len(failures)} backend(s) dropped more than "
@@ -99,9 +136,58 @@ def compare(baseline: dict, current: dict, max_drop: float) -> int:
     return 0
 
 
+def compare_serving(baseline: dict, current: dict, max_drop: float) -> int:
+    base = _normalised_serving(baseline)
+    cur = _normalised_serving(current)
+    if not cur:
+        print("error: current run contains no comparable serving measurements")
+        return 1
+    reference = current.get("baselines", {}).get("full_matmul_users_per_s")
+    print(f"  normaliser full-matmul: {reference} users/s")
+    failures = _report(
+        base,
+        cur,
+        lambda key: f"batch {key[0]} x chunk {key[1]}",
+        "full-matmul",
+        max_drop,
+    )
+    if failures:
+        print(
+            f"\nperf regression: {len(failures)} serving configuration(s) "
+            f"dropped more than {max_drop:.0%} below the committed baseline "
+            "(full-matmul-normalised)"
+        )
+        return 1
+    print("\nno serving configuration regressed beyond the threshold")
+    return 0
+
+
+def compare(baseline: dict, current: dict, max_drop: float) -> int:
+    """Auto-detect the payload kind and dispatch."""
+    kinds = {
+        "scaling" if "scaling" in payload else
+        "serving" if "serving" in payload else "unknown"
+        for payload in (baseline, current)
+    }
+    if kinds == {"scaling"}:
+        return compare_scaling(baseline, current, max_drop)
+    if kinds == {"serving"}:
+        return compare_serving(baseline, current, max_drop)
+    print(
+        "error: baseline and current must both be scaling "
+        "(BENCH_exec.json) or both serving (BENCH_serve.json) payloads; "
+        f"got {sorted(kinds)}"
+    )
+    return 1
+
+
 def main(argv=None) -> int:
     parser = argparse.ArgumentParser(description=__doc__.splitlines()[0])
-    parser.add_argument("--baseline", required=True, help="committed BENCH_exec.json")
+    parser.add_argument(
+        "--baseline",
+        required=True,
+        help="committed BENCH_exec.json or BENCH_serve.json",
+    )
     parser.add_argument("--current", required=True, help="freshly measured run")
     parser.add_argument(
         "--max-drop",

@@ -59,10 +59,18 @@ from .exec import (
     unregister_backend,
 )
 from .hardware import HeterogeneousPlatform, PlatformPreset, paper_machine_preset
+from .serve import (
+    ModelHandle,
+    ModelStore,
+    Recommendation,
+    RecommendationService,
+    Scorer,
+    attach_model,
+)
 from .sgd import FactorModel, rmse, train_als, train_ccd, train_hogwild, train_serial_sgd
 from .sparse import SparseRatingMatrix
 
-__version__ = "1.1.0"
+__version__ = "1.2.0"
 
 __all__ = [
     "BACKENDS",
@@ -103,6 +111,12 @@ __all__ = [
     "HeterogeneousPlatform",
     "PlatformPreset",
     "paper_machine_preset",
+    "ModelHandle",
+    "ModelStore",
+    "Recommendation",
+    "RecommendationService",
+    "Scorer",
+    "attach_model",
     "FactorModel",
     "rmse",
     "train_als",

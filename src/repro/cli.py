@@ -1,12 +1,15 @@
 """Command-line interface.
 
-``repro-mf`` (or ``python -m repro.cli``) exposes the experiment harness
-so every table and figure of the paper can be regenerated from a shell::
+``repro`` (alias ``repro-mf``, or ``python -m repro.cli``) exposes the
+experiment harness so every table and figure of the paper can be
+regenerated from a shell, plus training and serving entry points::
 
-    repro-mf list                      # show available experiments
-    repro-mf train --dataset movielens --algorithm hsgd_star
-    repro-mf figure10                  # time-to-target vs GPU workers
-    repro-mf table2 --full             # Table II with the paper's sweep
+    repro list                      # show available experiments
+    repro train --dataset movielens --algorithm hsgd_star
+    repro recommend --dataset movielens --users 0 1 2   # train + top-K
+    repro serve-bench --items 17770                     # serving throughput
+    repro figure10                  # time-to-target vs GPU workers
+    repro table2 --full             # Table II with the paper's sweep
 """
 
 from __future__ import annotations
@@ -19,6 +22,7 @@ from . import __version__
 from .config import AUTO_BACKEND, DEFAULT_BATCH_SIZE, KERNEL_NAMES
 from .core import ALGORITHMS, HeterogeneousTrainer
 from .exec import Checkpoint, EarlyStopping, JsonlLogger, backend_names
+from .serve import DEFAULT_CHUNK_ITEMS
 from .datasets import dataset_names, load_dataset
 from .experiments import (
     ExperimentContext,
@@ -59,7 +63,7 @@ EXPERIMENTS = (
 
 def _build_parser() -> argparse.ArgumentParser:
     parser = argparse.ArgumentParser(
-        prog="repro-mf",
+        prog="repro",
         description=(
             "Reproduction of 'Efficient Matrix Factorization on "
             "Heterogeneous CPU-GPU Systems' (ICDE 2021)."
@@ -197,6 +201,84 @@ def _build_parser() -> argparse.ArgumentParser:
         ),
     )
 
+    recommend = subparsers.add_parser(
+        "recommend",
+        help="train (or load) a model and print top-K recommendations",
+    )
+    recommend.add_argument("--dataset", default="movielens", choices=dataset_names())
+    recommend.add_argument(
+        "--model",
+        metavar="PATH",
+        default=None,
+        help=(
+            "serve from a model saved with FactorModel.save instead of "
+            "training one first"
+        ),
+    )
+    recommend.add_argument("--iterations", type=int, default=10)
+    recommend.add_argument("--seed", type=int, default=0)
+    recommend.add_argument(
+        "--users",
+        type=int,
+        nargs="+",
+        default=[0],
+        help="user ids to recommend for",
+    )
+    recommend.add_argument("--top", type=int, default=10, metavar="K")
+    recommend.add_argument(
+        "--exclude-seen",
+        action="store_true",
+        help="never recommend items the user already rated in the training set",
+    )
+    recommend.add_argument(
+        "--chunk-items",
+        type=int,
+        default=DEFAULT_CHUNK_ITEMS,
+        metavar="C",
+        help=f"item-axis tile width of the scorer (default: {DEFAULT_CHUNK_ITEMS})",
+    )
+
+    serve_bench = subparsers.add_parser(
+        "serve-bench",
+        help="measure top-K serving throughput (chunked vs naive vs full matmul)",
+    )
+    serve_bench.add_argument("--users", type=int, default=20_000, metavar="M")
+    serve_bench.add_argument(
+        "--items",
+        type=int,
+        default=17_770,
+        metavar="N",
+        help="catalogue size (default: the paper's Netflix item count)",
+    )
+    serve_bench.add_argument(
+        "--factors",
+        type=int,
+        default=128,
+        metavar="K",
+        help="latent dimensionality (default: the paper's k = 128)",
+    )
+    serve_bench.add_argument(
+        "--pool", type=int, default=2_048, help="number of user requests to score"
+    )
+    serve_bench.add_argument("--top", type=int, default=10, metavar="K")
+    serve_bench.add_argument(
+        "--batch-sizes", type=int, nargs="+", default=[32, 256], metavar="B"
+    )
+    serve_bench.add_argument(
+        "--chunk-sizes", type=int, nargs="+", default=[2_048, 8_192], metavar="C"
+    )
+    serve_bench.add_argument(
+        "--readers",
+        type=int,
+        default=0,
+        metavar="R",
+        help=(
+            "also measure R reader processes serving from one shared-memory "
+            "model copy (0: skip)"
+        ),
+    )
+    serve_bench.add_argument("--seed", type=int, default=0)
+
     for name in EXPERIMENTS:
         experiment = subparsers.add_parser(name, help=f"run the {name} experiment")
         experiment.add_argument(
@@ -308,6 +390,100 @@ def _run_train(args: argparse.Namespace) -> None:
     print(f"stolen tasks       : {result.trace.stolen_task_count()}")
 
 
+def _run_recommend(args: argparse.Namespace) -> None:
+    from .serve import PAD_ITEM, Scorer
+    from .sgd import FactorModel
+
+    data = load_dataset(args.dataset, seed=args.seed)
+    if args.model is not None:
+        model = FactorModel.load(args.model)
+        print(f"model              : loaded from {args.model} ({model!r})")
+    else:
+        from .core import factorize
+
+        result = factorize(
+            data.train,
+            data.test,
+            algorithm="hsgd_star",
+            training=data.spec.recommended_training(
+                iterations=args.iterations, seed=args.seed
+            ),
+            iterations=args.iterations,
+            seed=args.seed,
+        )
+        model = result.model
+        print(
+            f"model              : trained {args.iterations} iterations, "
+            f"test RMSE {result.final_test_rmse:.4f}"
+        )
+    scorer = Scorer(
+        model,
+        exclude=data.train if args.exclude_seen else None,
+        chunk_items=args.chunk_items,
+    )
+    import numpy as np
+
+    items, scores = scorer.top_k(np.asarray(args.users), args.top)
+    print(f"excluding seen     : {args.exclude_seen}")
+    for row, user in enumerate(args.users):
+        ranked = ", ".join(
+            f"{item}({score:.2f})"
+            for item, score in zip(items[row], scores[row])
+            if item != PAD_ITEM
+        )
+        print(f"top-{args.top} for user {user}: {ranked}")
+
+
+def _run_serve_bench(args: argparse.Namespace) -> None:
+    from .serve.bench import (
+        measure_chunked,
+        measure_full_matmul,
+        measure_multi_reader,
+        measure_naive,
+        synthetic_model,
+        user_pool,
+    )
+
+    model = synthetic_model(args.users, args.items, args.factors, seed=args.seed)
+    pool = user_pool(args.users, args.pool, seed=args.seed)
+    print(
+        f"model: {args.users} users x {args.items} items, k={args.factors}; "
+        f"scoring {args.pool} requests, top-{args.top}"
+    )
+    naive = measure_naive(model, pool, args.top)
+    print(f"{'configuration':<28} {'users/s':>10} {'vs naive':>9}")
+    print(f"{naive.label:<28} {naive.users_per_s:>10.0f} {'1.00x':>9}")
+    reference = measure_full_matmul(
+        model, pool, args.top, batch_size=max(args.batch_sizes)
+    )
+    print(
+        f"{reference.label:<28} {reference.users_per_s:>10.0f} "
+        f"{reference.users_per_s / naive.users_per_s:>8.2f}x"
+    )
+    for batch_size in args.batch_sizes:
+        for chunk_items in args.chunk_sizes:
+            sample = measure_chunked(
+                model, pool, args.top, batch_size, chunk_items
+            )
+            print(
+                f"{sample.label:<28} {sample.users_per_s:>10.0f} "
+                f"{sample.users_per_s / naive.users_per_s:>8.2f}x"
+            )
+    if args.readers > 0:
+        sample = measure_multi_reader(
+            model,
+            pool,
+            args.top,
+            batch_size=max(args.batch_sizes),
+            chunk_items=max(args.chunk_sizes),
+            readers=args.readers,
+        )
+        print(
+            f"{sample.label:<28} {sample.users_per_s:>10.0f} "
+            f"{sample.users_per_s / naive.users_per_s:>8.2f}x"
+        )
+
+
 def _run_experiment(name: str, args: argparse.Namespace) -> None:
     context = _context(args)
     if name == "figure3":
@@ -393,6 +569,10 @@ def main(argv: Optional[List[str]] = None) -> int:
         _run_list()
     elif args.command == "train":
         _run_train(args)
+    elif args.command == "recommend":
+        _run_recommend(args)
+    elif args.command == "serve-bench":
+        _run_serve_bench(args)
     else:
         _run_experiment(args.command, args)
     return 0

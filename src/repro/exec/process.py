@@ -467,12 +467,9 @@ class ProcessSession(EngineSession):
         model = self._engine.model
         m, k = model.p.shape
         n = model.q.shape[1]
-        self._p_seg = SharedSegment.create(m * k * 8, purpose="p")
-        self._q_seg = SharedSegment.create(n * k * 8, purpose="q")
-        p_view = self._p_seg.ndarray((m, k), np.float64)
-        q_buf = self._q_seg.ndarray((n, k), np.float64)
-        p_view[...] = model.p
-        q_buf[...] = model.q.T  # item-major, preserving the layout contract
+        self._p_seg, p_view = SharedSegment.from_array(model.p, purpose="p")
+        # Item-major, preserving the layout contract.
+        self._q_seg, q_buf = SharedSegment.from_array(model.q.T, purpose="q")
         self._orig_p, self._orig_q = model.p, model.q
         model.p = p_view
         model.q = q_buf.T

@@ -1,0 +1,41 @@
+"""Top-K recommendation serving over trained factor models.
+
+The serving layer turns a trained :class:`~repro.sgd.FactorModel` into
+recommendations at memory-bandwidth speed and publishes it to reader
+processes without copies:
+
+* :class:`Scorer` — chunked ``P[batch] @ Q`` batch top-K with
+  deterministic tie handling and optional exclusion of already-rated
+  items (:mod:`repro.serve.scorer`);
+* :class:`ModelStore` / :func:`attach_model` — versioned publication of
+  models into shared memory with atomic hot-swap and refcounted unlink
+  (:mod:`repro.serve.store`);
+* :class:`RecommendationService` — the request front-end: coalesces
+  single-user requests into scoring batches, caches slates per
+  ``(model_version, user)``, hot-reloads across published versions
+  (:mod:`repro.serve.service`);
+* :mod:`repro.serve.bench` — the measurement helpers behind
+  ``repro serve-bench`` and ``benchmarks/bench_serving.py``.
+
+See README.md ("Serving") for the quick start and DESIGN.md ("The
+serving memory model") for why readers never copy ``Q`` and when an old
+version's segment is unlinked.
+"""
+
+from .scorer import DEFAULT_CHUNK_ITEMS, PAD_ITEM, Scorer, brute_force_top_k
+from .service import Recommendation, RecommendationService, ServiceStats
+from .store import ModelHandle, ModelLease, ModelStore, attach_model
+
+__all__ = [
+    "DEFAULT_CHUNK_ITEMS",
+    "PAD_ITEM",
+    "Scorer",
+    "brute_force_top_k",
+    "Recommendation",
+    "RecommendationService",
+    "ServiceStats",
+    "ModelHandle",
+    "ModelLease",
+    "ModelStore",
+    "attach_model",
+]

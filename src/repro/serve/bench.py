@@ -1,0 +1,226 @@
+"""Measurement helpers for serving throughput.
+
+Shared by the ``repro serve-bench`` CLI subcommand and
+``benchmarks/bench_serving.py`` so the committed ``BENCH_serve.json``
+numbers and the ad-hoc CLI numbers come from the same code paths.
+
+Three measured configurations:
+
+* **naive** — the pre-serving baseline: one
+  :meth:`repro.sgd.FactorModel.top_items` call per user (a ``p_u @ Q``
+  matvec plus one ``argpartition``); this is the loop the tentpole's
+  ">= 3x users/s" acceptance is measured against;
+* **full matmul** — ``P[batch] @ Q`` in one unchunked BLAS-3 call, then
+  per-row ``argpartition`` top-K.  Because it is pure BLAS + selection
+  with no serving-layer logic, it doubles as the *runner-speed normaliser* for
+  the CI perf guard: dividing a chunked configuration's users/s by the
+  same run's full-matmul users/s cancels machine differences between
+  the baseline host and the CI runner;
+* **chunked** — the real :class:`repro.serve.Scorer` at a given
+  ``(batch_size, chunk_items)``.
+
+Every measurement scores the same user pool and reports users/s.
+"""
+
+from __future__ import annotations
+
+import time
+from dataclasses import dataclass
+from typing import Optional
+
+import numpy as np
+
+from ..sgd.model import FactorModel
+from ..sparse import SparseRatingMatrix
+from .scorer import Scorer
+
+
+def synthetic_model(
+    n_users: int, n_items: int, latent_factors: int, seed: int = 0
+) -> FactorModel:
+    """A random factor model of serving-realistic shape.
+
+    Serving throughput depends only on shapes, never on factor values,
+    so benchmarks build models directly instead of training one — which
+    is what lets the bench run at the *paper's* item-catalogue sizes
+    (Netflix: 17 770 items) in seconds.
+    """
+    return FactorModel.initialize(n_users, n_items, latent_factors, seed=seed)
+
+
+@dataclass(frozen=True)
+class ThroughputSample:
+    """One measured configuration."""
+
+    label: str
+    users_scored: int
+    seconds: float
+
+    @property
+    def users_per_s(self) -> float:
+        return self.users_scored / max(self.seconds, 1e-12)
+
+
+def measure_naive(
+    model: FactorModel, users: np.ndarray, k: int
+) -> ThroughputSample:
+    """Per-user ``top_items`` loop — the baseline serving replaced."""
+    start = time.perf_counter()
+    for user in users:
+        model.top_items(int(user), count=k)
+    return ThroughputSample(
+        label="naive_per_user",
+        users_scored=len(users),
+        seconds=time.perf_counter() - start,
+    )
+
+
+def measure_full_matmul(
+    model: FactorModel, users: np.ndarray, k: int, batch_size: int
+) -> ThroughputSample:
+    """Unchunked ``P[batch] @ Q`` + per-row ``argpartition`` top-K.
+
+    The obvious batched implementation — one BLAS-3 call over the whole
+    catalogue, no chunking, no tie discipline.  Pure BLAS + selection
+    with no serving-layer logic, which is what makes it the guard
+    normaliser (see the module docstring).
+    """
+    n = model.shape[1]
+    k = min(k, n)
+    start = time.perf_counter()
+    for base in range(0, len(users), batch_size):
+        batch = users[base : base + batch_size]
+        scores = model.p[batch] @ model.q
+        if k < n:
+            top = np.argpartition(-scores, k - 1, axis=1)[:, :k]
+        else:
+            top = np.broadcast_to(np.arange(n), scores.shape)
+        order = np.argsort(
+            np.take_along_axis(-scores, top, axis=1), axis=1
+        )
+        np.take_along_axis(top, order, axis=1)
+    return ThroughputSample(
+        label=f"full_matmul_b{batch_size}",
+        users_scored=len(users),
+        seconds=time.perf_counter() - start,
+    )
+
+
+def measure_chunked(
+    model: FactorModel,
+    users: np.ndarray,
+    k: int,
+    batch_size: int,
+    chunk_items: int,
+    exclude: Optional[SparseRatingMatrix] = None,
+) -> ThroughputSample:
+    """The production scorer at one ``(batch_size, chunk_items)`` point."""
+    scorer = Scorer(model, exclude=exclude, chunk_items=chunk_items)
+    start = time.perf_counter()
+    for base in range(0, len(users), batch_size):
+        scorer.top_k(users[base : base + batch_size], k)
+    return ThroughputSample(
+        label=f"chunked_b{batch_size}_c{chunk_items}",
+        users_scored=len(users),
+        seconds=time.perf_counter() - start,
+    )
+
+
+def user_pool(n_users: int, pool: int, seed: int = 0) -> np.ndarray:
+    """A reproducible pool of user ids to score."""
+    rng = np.random.default_rng(seed)
+    return rng.integers(0, n_users, size=pool, dtype=np.int64)
+
+
+def _reader_main(
+    handle, users, k, batch_size, chunk_items, done_queue
+) -> None:
+    """One reader process: attach the published model, score, report.
+
+    Module-level so it pickles under every multiprocessing start method.
+    """
+    from .store import attach_model
+
+    model = segment = None
+    try:
+        model, segment = attach_model(handle)
+        scorer = Scorer(model, chunk_items=chunk_items)
+        start = time.perf_counter()
+        for base in range(0, len(users), batch_size):
+            scorer.top_k(users[base : base + batch_size], k)
+        seconds = time.perf_counter() - start
+        done_queue.put((segment.name, len(users), seconds, None))
+    except BaseException as error:  # pragma: no cover - diagnosed by caller
+        done_queue.put((None, 0, 0.0, repr(error)))
+    finally:
+        scorer = model = None
+        if segment is not None:
+            segment.close()
+
+
+def measure_multi_reader(
+    model: FactorModel,
+    users: np.ndarray,
+    k: int,
+    batch_size: int,
+    chunk_items: int,
+    readers: int,
+) -> ThroughputSample:
+    """Aggregate users/s of ``readers`` processes over ONE published copy.
+
+    Publishes the model into a :class:`~repro.serve.ModelStore`, splits
+    the user pool across reader processes that each
+    :func:`~repro.serve.attach_model` by name, and asserts every reader
+    mapped the *same* segment — the factors exist once in physical
+    memory no matter how many readers serve from them.  The store is
+    closed before returning; the caller can assert
+    :func:`repro.shm.live_segment_names` is empty.
+    """
+    import multiprocessing
+
+    from ..exceptions import ExecutionError
+    from .store import ModelStore
+
+    if readers <= 0:
+        raise ExecutionError(f"readers must be positive, got {readers}")
+    method = (
+        "fork"
+        if "fork" in multiprocessing.get_all_start_methods()
+        else multiprocessing.get_start_method(allow_none=False)
+    )
+    ctx = multiprocessing.get_context(method)
+    with ModelStore() as store:
+        handle = store.publish(model)
+        done_queue = ctx.Queue()
+        shares = np.array_split(users, readers)
+        procs = [
+            ctx.Process(
+                target=_reader_main,
+                args=(handle, share, k, batch_size, chunk_items, done_queue),
+                daemon=True,
+            )
+            for share in shares
+        ]
+        start = time.perf_counter()
+        for proc in procs:
+            proc.start()
+        results = [done_queue.get(timeout=600.0) for _ in procs]
+        seconds = time.perf_counter() - start
+        for proc in procs:
+            proc.join(timeout=60.0)
+        done_queue.close()
+        done_queue.join_thread()
+    segments = {name for name, _, _, error in results if error is None}
+    errors = [error for _, _, _, error in results if error is not None]
+    if errors:
+        raise ExecutionError(f"reader process failed: {errors[0]}")
+    if segments != {handle.segment}:
+        raise ExecutionError(
+            f"readers mapped segments {segments}, expected exactly "
+            f"{{{handle.segment!r}}} — the model must exist once"
+        )
+    return ThroughputSample(
+        label=f"readers{readers}_b{batch_size}_c{chunk_items}",
+        users_scored=int(sum(count for _, count, _, _ in results)),
+        seconds=seconds,
+    )

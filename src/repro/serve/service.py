@@ -1,0 +1,294 @@
+"""Request-facing serving front-end: batching, caching, hot reload.
+
+:class:`RecommendationService` is the layer between "a request for one
+user's recommendations" and the batch-oriented
+:class:`~repro.serve.Scorer`:
+
+* **request coalescing** — single-user requests queue up
+  (:meth:`enqueue`) and are scored together in one chunked matmul when
+  the batch fills or :meth:`flush` is called, so a stream of singles
+  gets batch throughput instead of one matvec each;
+* **LRU cache** keyed on ``(model_version, user)`` — repeat requests for
+  a user are served without touching the factors, and a hot-swap
+  invalidates naturally because the key's version component changes;
+* **hot reload** — when built over a :class:`~repro.serve.ModelStore`,
+  every flush checks the store's current version and re-leases the
+  scorer onto a newly published model, releasing the old lease so its
+  segment can be unlinked.
+
+The service is deliberately synchronous: coalescing is explicit
+(enqueue/flush) rather than timer-driven, which keeps behaviour
+deterministic and testable; an async front door would own the timers
+and call the same two methods.
+"""
+
+from __future__ import annotations
+
+from collections import OrderedDict
+from dataclasses import dataclass, field
+from typing import Dict, List, Optional, Sequence, Tuple, Union
+
+import numpy as np
+
+from ..exceptions import ExecutionError
+from ..sgd.model import FactorModel
+from ..sparse import SparseRatingMatrix
+from .scorer import DEFAULT_CHUNK_ITEMS, Scorer
+from .store import ModelLease, ModelStore
+
+
+@dataclass(frozen=True)
+class Recommendation:
+    """One user's scored top-K slate."""
+
+    user: int
+    model_version: int
+    items: np.ndarray
+    scores: np.ndarray
+
+
+@dataclass
+class ServiceStats:
+    """Operation counters (exposed for tests and benchmarks)."""
+
+    requests: int = 0
+    cache_hits: int = 0
+    batches_scored: int = 0
+    users_scored: int = 0
+    reloads: int = 0
+
+    def as_dict(self) -> Dict[str, int]:
+        return dict(vars(self))
+
+
+@dataclass
+class _PendingRequest:
+    """A queued single-user request, resolved at the next flush."""
+
+    user: int
+    result: Optional[Recommendation] = field(default=None)
+
+    @property
+    def ready(self) -> bool:
+        return self.result is not None
+
+
+class RecommendationService:
+    """Serves top-K requests over a live (hot-swappable) model.
+
+    Parameters
+    ----------
+    source:
+        Either a :class:`ModelStore` (hot reload across published
+        versions) or a plain :class:`FactorModel` (fixed version 0).
+    k:
+        Slate size returned for every request.
+    batch_size:
+        Coalescing threshold: :meth:`enqueue` auto-flushes when this
+        many distinct users are pending.
+    cache_size:
+        Maximum ``(version, user)`` entries kept in the LRU cache.
+    exclude:
+        Optional training matrix; already-rated items never appear in a
+        slate (see :class:`Scorer`).
+    chunk_items:
+        Item-axis tile width of the underlying scorer.
+    """
+
+    def __init__(
+        self,
+        source: Union[ModelStore, FactorModel],
+        k: int = 10,
+        batch_size: int = 64,
+        cache_size: int = 4096,
+        exclude: Optional[SparseRatingMatrix] = None,
+        chunk_items: int = DEFAULT_CHUNK_ITEMS,
+    ) -> None:
+        if k <= 0:
+            raise ExecutionError(f"k must be positive, got {k}")
+        if batch_size <= 0:
+            raise ExecutionError(f"batch_size must be positive, got {batch_size}")
+        if cache_size < 0:
+            raise ExecutionError(f"cache_size must be >= 0, got {cache_size}")
+        self.k = int(k)
+        self.batch_size = int(batch_size)
+        self.cache_size = int(cache_size)
+        self._exclude = exclude
+        self._chunk_items = chunk_items
+        self._cache: "OrderedDict[Tuple[int, int], Recommendation]" = OrderedDict()
+        self._pending: "OrderedDict[int, List[_PendingRequest]]" = OrderedDict()
+        self.stats = ServiceStats()
+        self._closed = False
+
+        self._store: Optional[ModelStore] = None
+        self._lease: Optional[ModelLease] = None
+        if isinstance(source, ModelStore):
+            self._store = source
+            self._lease = source.acquire()
+            self._version = self._lease.version
+            self._scorer = self._make_scorer(self._lease.model)
+        else:
+            self._version = 0
+            self._scorer = self._make_scorer(source)
+
+    def _make_scorer(self, model: FactorModel) -> Scorer:
+        return Scorer(model, exclude=self._exclude, chunk_items=self._chunk_items)
+
+    # ------------------------------------------------------------------ #
+    # Hot reload
+    # ------------------------------------------------------------------ #
+    @property
+    def model_version(self) -> int:
+        """The version currently being served from."""
+        return self._version
+
+    def _maybe_reload(self) -> None:
+        """Re-lease onto the store's current version if it moved.
+
+        Called at every flush boundary — a batch is scored entirely
+        against one version, so a mid-batch swap can never mix factors.
+        """
+        if self._store is None:
+            return
+        current = self._store.current_version
+        if current is None or current == self._version:
+            return
+        old_lease = self._lease
+        self._lease = self._store.acquire()
+        self._version = self._lease.version
+        self._scorer = self._make_scorer(self._lease.model)
+        if old_lease is not None:
+            old_lease.release()
+        self.stats.reloads += 1
+
+    # ------------------------------------------------------------------ #
+    # Requests
+    # ------------------------------------------------------------------ #
+    def _check_open(self) -> None:
+        if self._closed:
+            raise ExecutionError("the recommendation service is closed")
+
+    def _cache_get(self, user: int) -> Optional[Recommendation]:
+        key = (self._version, user)
+        hit = self._cache.get(key)
+        if hit is not None:
+            self._cache.move_to_end(key)
+        return hit
+
+    def _cache_put(self, result: Recommendation) -> None:
+        if self.cache_size == 0:
+            return
+        self._cache[(result.model_version, result.user)] = result
+        while len(self._cache) > self.cache_size:
+            self._cache.popitem(last=False)
+
+    def enqueue(self, user: int) -> _PendingRequest:
+        """Queue one user for the next coalesced scoring batch.
+
+        Returns a pending handle whose ``result`` is filled by the flush
+        that scores it; enqueueing the ``batch_size``-th distinct user
+        flushes automatically.  Cached users resolve immediately.
+        """
+        self._check_open()
+        # Notice a hot-swap *before* the cache lookup: the cache key's
+        # version component must roll immediately, or cached users would
+        # keep being served from the retired model.
+        self._maybe_reload()
+        user = int(user)
+        self.stats.requests += 1
+        hit = self._cache_get(user)
+        if hit is not None:
+            self.stats.cache_hits += 1
+            return _PendingRequest(user=user, result=hit)
+        request = _PendingRequest(user=user)
+        self._pending.setdefault(user, []).append(request)
+        if len(self._pending) >= self.batch_size:
+            self.flush()
+        return request
+
+    def flush(self) -> int:
+        """Score every pending user in one batch; returns the batch size.
+
+        Duplicate requests for the same user share one scored row.  The
+        model version is re-checked here, so a flush is also the hot
+        reload boundary.
+        """
+        self._check_open()
+        if not self._pending:
+            return 0
+        self._maybe_reload()
+        pending, self._pending = self._pending, OrderedDict()
+        # A reload may have made cache entries for the new version
+        # available; serve those without scoring.
+        users: List[int] = []
+        for user, requests in list(pending.items()):
+            hit = self._cache_get(user)
+            if hit is not None:
+                self.stats.cache_hits += len(requests)
+                for request in requests:
+                    request.result = hit
+                del pending[user]
+            else:
+                users.append(user)
+        if users:
+            batch = np.asarray(users, dtype=np.int64)
+            items, scores = self._scorer.top_k(batch, self.k)
+            self.stats.batches_scored += 1
+            self.stats.users_scored += len(users)
+            for row, user in enumerate(users):
+                result = Recommendation(
+                    user=user,
+                    model_version=self._version,
+                    items=items[row],
+                    scores=scores[row],
+                )
+                self._cache_put(result)
+                for request in pending[user]:
+                    request.result = result
+        return len(users)
+
+    def recommend(self, user: int) -> Recommendation:
+        """Serve one user synchronously (cache, then coalesced batch).
+
+        A miss flushes the current pending batch including this user, so
+        interactive callers still benefit from whatever has queued up.
+        """
+        request = self.enqueue(user)
+        if not request.ready:
+            self.flush()
+        return request.result
+
+    def recommend_many(self, users: Sequence[int]) -> List[Recommendation]:
+        """Serve a batch of users (cache-checked, one scoring call)."""
+        requests = [self.enqueue(int(user)) for user in users]
+        self.flush()
+        return [request.result for request in requests]
+
+    # ------------------------------------------------------------------ #
+    # Lifecycle
+    # ------------------------------------------------------------------ #
+    def close(self) -> None:
+        """Release the model lease (idempotent).  Pending requests are
+        dropped; the store itself belongs to the caller."""
+        if self._closed:
+            return
+        self._closed = True
+        self._pending.clear()
+        self._cache.clear()
+        self._scorer = None
+        if self._lease is not None:
+            self._lease.release()
+            self._lease = None
+
+    def __enter__(self) -> "RecommendationService":
+        return self
+
+    def __exit__(self, *exc_info) -> None:
+        self.close()
+
+    def __repr__(self) -> str:  # pragma: no cover - debugging aid
+        return (
+            f"RecommendationService(version={self._version}, k={self.k}, "
+            f"batch_size={self.batch_size}, pending={len(self._pending)}, "
+            f"cached={len(self._cache)})"
+        )

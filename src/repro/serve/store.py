@@ -1,0 +1,314 @@
+"""Versioned publication of factor models into shared memory.
+
+Serving wants N reader processes scoring against the *same* trained
+model without N copies of ``Q`` — on the Netflix-scale configurations
+the paper targets, the factors are hundreds of megabytes and the readers
+are an autoscaled pool.  :class:`ModelStore` reuses the training stack's
+shared-memory substrate (:class:`repro.shm.SharedSegment`, the same
+pages-not-pickles channel the ``"processes"`` backend trains over):
+
+* :meth:`ModelStore.publish` copies a :class:`~repro.sgd.FactorModel`
+  into **one** fresh segment per version — ``P`` first, then ``Q``
+  stored item-major, preserving the model's layout contract — and
+  atomically swaps the store's *current* pointer to it;
+* readers attach by the version's :class:`ModelHandle` (a picklable
+  name + shapes descriptor) with :func:`attach_model`, building a
+  zero-copy :class:`~repro.sgd.FactorModel` over read-only views via
+  ``FactorModel.over_buffers``;
+* hot-swap is **refcounted**: every in-process lease
+  (:meth:`ModelStore.acquire`) pins its version, and a retired version's
+  segment is unlinked exactly when its last lease is released.  Reader
+  *processes* that attached before the unlink keep working — POSIX
+  removes the name, not the mapped pages — so a swap never tears a
+  request mid-score (see DESIGN.md, "The serving memory model").
+
+The store is the single owner of every segment it creates; ``close()``
+is idempotent and the lifecycle tests assert
+:func:`repro.shm.live_segment_names` is empty afterwards, exactly like
+the training engines.
+"""
+
+from __future__ import annotations
+
+import threading
+from dataclasses import dataclass
+from typing import Dict, Optional, Tuple
+
+import numpy as np
+
+from ..exceptions import ExecutionError
+from ..sgd.model import FactorModel
+from ..shm import SharedSegment
+
+
+@dataclass(frozen=True)
+class ModelHandle:
+    """Picklable descriptor of one published model version.
+
+    Carries everything a reader process needs to map the model
+    zero-copy: the segment name, the shapes, and the version number the
+    service uses as its cache key.  ``Q`` occupies the segment
+    item-major starting at byte ``m * k * 8``.
+    """
+
+    version: int
+    segment: str
+    n_rows: int
+    n_cols: int
+    latent_factors: int
+
+    @property
+    def nbytes(self) -> int:
+        """Payload size: ``P`` plus ``Q`` as float64."""
+        return (self.n_rows + self.n_cols) * self.latent_factors * 8
+
+
+def _model_views(
+    segment: SharedSegment, handle: ModelHandle, readonly: bool
+) -> FactorModel:
+    """Build the zero-copy model over a mapped segment."""
+    m, n, k = handle.n_rows, handle.n_cols, handle.latent_factors
+    p = segment.ndarray((m, k), np.float64, readonly=readonly)
+    q = segment.ndarray(
+        (n, k), np.float64, offset=m * k * 8, readonly=readonly
+    ).T
+    return FactorModel.over_buffers(p, q)
+
+
+def attach_model(handle: ModelHandle) -> Tuple[FactorModel, SharedSegment]:
+    """Map a published version in a reader process (no copies).
+
+    Returns ``(model, segment)``; the caller must ``segment.close()``
+    when done (after dropping the model, which pins the mapping).  The
+    views are read-only — readers share one physical copy of the
+    factors, and a stray in-place write would corrupt every reader.
+    """
+    segment = SharedSegment.attach(handle.segment)
+    return _model_views(segment, handle, readonly=True), segment
+
+
+class ModelLease:
+    """One acquired reference to a published version (publisher side).
+
+    Holds a zero-copy read-only :class:`FactorModel` over the version's
+    segment and pins the segment against unlink until :meth:`release` —
+    which the store calls the hot-swap "refcount".  Usable as a context
+    manager.
+    """
+
+    def __init__(
+        self, store: "ModelStore", handle: ModelHandle, model: FactorModel
+    ) -> None:
+        self._store = store
+        self.handle = handle
+        self.model = model
+        self._released = False
+
+    @property
+    def version(self) -> int:
+        """The pinned version number."""
+        return self.handle.version
+
+    def release(self) -> None:
+        """Unpin the version (idempotent); may trigger a deferred unlink."""
+        if self._released:
+            return
+        self._released = True
+        self.model = None  # drop the views pinning the buffer
+        self._store._release(self.handle.version)
+
+    def __enter__(self) -> "ModelLease":
+        return self
+
+    def __exit__(self, *exc_info) -> None:
+        self.release()
+
+
+@dataclass
+class _Published:
+    """Store-internal record of one version's segment and refcount."""
+
+    handle: ModelHandle
+    segment: SharedSegment
+    refcount: int = 0
+    retired: bool = False
+
+
+class ModelStore:
+    """Publishes model versions into shared memory with atomic hot-swap.
+
+    Typical lifecycle::
+
+        store = ModelStore()
+        v1 = store.publish(trained_model)        # version 1 live
+        handle = store.current_handle()          # ship to reader processes
+        ...
+        store.publish(retrained_model)           # hot-swap: version 2 live,
+                                                 # v1 unlinked once unpinned
+        store.close()                            # everything unlinked
+
+    Thread-safety: all state is guarded by one lock; ``publish`` builds
+    the new segment outside the lock and swaps the current pointer
+    inside it, so readers never observe a half-written version.
+    """
+
+    def __init__(self) -> None:
+        self._lock = threading.Lock()
+        self._versions: Dict[int, _Published] = {}
+        self._current: Optional[int] = None
+        self._next_version = 1
+        self._closed = False
+
+    # ------------------------------------------------------------------ #
+    # Publication
+    # ------------------------------------------------------------------ #
+    def publish(self, model: FactorModel) -> ModelHandle:
+        """Copy ``model`` into a fresh segment and make it current.
+
+        The previous current version (if any) is retired: it stays
+        mapped for exactly as long as leases pin it, then its segment is
+        unlinked.  Returns the new version's handle.
+        """
+        if self._closed:
+            raise ExecutionError("the model store is closed")
+        m, k = model.p.shape
+        n = model.q.shape[1]
+        segment = SharedSegment.create((m + n) * k * 8, purpose="model")
+        try:
+            segment.ndarray((m, k), np.float64)[...] = model.p
+            # Item-major Q, preserving FactorModel's layout contract so
+            # readers keep the block-major gather-friendly layout.
+            segment.ndarray((n, k), np.float64, offset=m * k * 8)[...] = model.q.T
+        except BaseException:  # pragma: no cover - copy cannot really fail
+            segment.unlink()
+            raise
+        with self._lock:
+            if self._closed:
+                # close() won the race while the factors were being
+                # copied; registering the segment now would leak it
+                # forever (close is idempotent and will not run again).
+                segment.unlink()
+                raise ExecutionError("the model store is closed")
+            version = self._next_version
+            self._next_version += 1
+            handle = ModelHandle(
+                version=version,
+                segment=segment.name,
+                n_rows=m,
+                n_cols=n,
+                latent_factors=k,
+            )
+            self._versions[version] = _Published(handle=handle, segment=segment)
+            previous, self._current = self._current, version
+            if previous is not None:
+                self._retire_locked(previous)
+        return handle
+
+    def _retire_locked(self, version: int) -> None:
+        record = self._versions.get(version)
+        if record is None or record.retired:
+            return
+        record.retired = True
+        if record.refcount == 0:
+            self._unlink_locked(version)
+
+    def _unlink_locked(self, version: int) -> None:
+        record = self._versions.pop(version)
+        record.segment.unlink()
+
+    def _release(self, version: int) -> None:
+        with self._lock:
+            record = self._versions.get(version)
+            if record is None:  # pragma: no cover - release after close
+                return
+            record.refcount -= 1
+            if record.retired and record.refcount <= 0:
+                self._unlink_locked(version)
+
+    # ------------------------------------------------------------------ #
+    # Introspection / acquisition
+    # ------------------------------------------------------------------ #
+    @property
+    def current_version(self) -> Optional[int]:
+        """Version number of the live model (``None`` before the first
+        publish)."""
+        with self._lock:
+            return self._current
+
+    @property
+    def live_versions(self) -> Tuple[int, ...]:
+        """Versions whose segments still exist (current + pinned retirees)."""
+        with self._lock:
+            return tuple(sorted(self._versions))
+
+    def current_handle(self) -> ModelHandle:
+        """The live version's handle (ship this to reader processes)."""
+        with self._lock:
+            if self._current is None:
+                raise ExecutionError("no model has been published yet")
+            return self._versions[self._current].handle
+
+    def acquire(self, version: Optional[int] = None) -> ModelLease:
+        """Pin a version (default: current) and map it zero-copy.
+
+        The lease's model shares the published pages; release it to let
+        a retired version's segment be unlinked.
+        """
+        with self._lock:
+            if self._closed:
+                raise ExecutionError("the model store is closed")
+            if version is None:
+                version = self._current
+            record = self._versions.get(version) if version is not None else None
+            if record is None:
+                raise ExecutionError(
+                    f"model version {version!r} is not available (published "
+                    f"versions: {sorted(self._versions)})"
+                )
+            record.refcount += 1
+            handle, segment = record.handle, record.segment
+        model = _model_views(segment, handle, readonly=True)
+        return ModelLease(self, handle, model)
+
+    # ------------------------------------------------------------------ #
+    # Lifecycle
+    # ------------------------------------------------------------------ #
+    def close(self) -> None:
+        """Unlink every remaining segment (idempotent).
+
+        Raises if a version is still pinned by an unreleased lease: its
+        numpy views hold the mapping open, so unlinking now would leave
+        lifecycle state inconsistent.  Release (or ``with``-scope) every
+        lease before closing the store.  Reader *processes* are
+        unaffected either way — unlink removes the segment's name, not
+        pages they already mapped.
+        """
+        with self._lock:
+            if self._closed:
+                return
+            pinned = sorted(
+                version
+                for version, record in self._versions.items()
+                if record.refcount > 0
+            )
+            if pinned:
+                raise ExecutionError(
+                    f"cannot close the model store: version(s) {pinned} "
+                    "still have unreleased leases"
+                )
+            self._closed = True
+            self._current = None
+            for version in sorted(self._versions):
+                self._unlink_locked(version)
+
+    def __enter__(self) -> "ModelStore":
+        return self
+
+    def __exit__(self, *exc_info) -> None:
+        self.close()
+
+    def __repr__(self) -> str:  # pragma: no cover - debugging aid
+        return (
+            f"ModelStore(current={self._current}, "
+            f"live={list(self._versions)}, closed={self._closed})"
+        )

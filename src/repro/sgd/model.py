@@ -172,14 +172,38 @@ class FactorModel:
     # ------------------------------------------------------------------ #
     # Prediction
     # ------------------------------------------------------------------ #
+    def _check_ids(self, ids: np.ndarray, count: int, kind: str) -> None:
+        """Reject out-of-range ids (including negatives, which numpy's
+        fancy indexing would silently wrap around)."""
+        if ids.size and (ids.min() < 0 or ids.max() >= count):
+            raise InvalidMatrixError(
+                f"{kind} indices must lie in [0, {count}), got range "
+                f"[{ids.min()}, {ids.max()}]"
+            )
+
     def predict(self, users: np.ndarray, items: np.ndarray) -> np.ndarray:
-        """Predicted ratings ``p_u · q_v`` for parallel index arrays."""
+        """Predicted ratings ``p_u · q_v`` for parallel index arrays.
+
+        Indices are validated against the model's shape — a negative or
+        too-large id raises :class:`InvalidMatrixError` instead of
+        silently wrapping around.  The result is always ``float64``, the
+        dtype of the factor matrices.
+        """
         users = np.asarray(users, dtype=np.int64)
         items = np.asarray(items, dtype=np.int64)
+        if users.shape != items.shape:
+            raise InvalidMatrixError(
+                f"users and items must have equal shapes, got "
+                f"{users.shape} and {items.shape}"
+            )
+        self._check_ids(users, self.p.shape[0], "user")
+        self._check_ids(items, self.q.shape[1], "item")
         return np.einsum("ik,ki->i", self.p[users], self.q[:, items])
 
     def predict_single(self, user: int, item: int) -> float:
         """Predicted rating for one ``(user, item)`` pair."""
+        self._check_ids(np.asarray([user]), self.p.shape[0], "user")
+        self._check_ids(np.asarray([item]), self.q.shape[1], "item")
         return float(self.p[user] @ self.q[:, item])
 
     def predict_matrix(self, matrix: SparseRatingMatrix) -> np.ndarray:

@@ -111,6 +111,24 @@ class SharedSegment:
         )  # pragma: no cover
 
     @classmethod
+    def from_array(
+        cls, array: np.ndarray, purpose: str = "array"
+    ) -> Tuple["SharedSegment", np.ndarray]:
+        """Allocate a segment holding a copy of ``array`` (owner side).
+
+        Returns ``(segment, view)`` where ``view`` is the segment's numpy
+        view with ``array``'s shape and dtype, already filled with its
+        contents.  This is the one-liner both the process execution
+        backend and the serving model store need: "put this matrix into
+        shared pages".
+        """
+        array = np.asarray(array)
+        segment = cls.create(int(array.nbytes), purpose=purpose)
+        view = segment.ndarray(array.shape, array.dtype)
+        view[...] = array
+        return segment, view
+
+    @classmethod
     def attach(cls, name: str) -> "SharedSegment":
         """Map an existing segment by name (worker side)."""
         try:
@@ -138,6 +156,12 @@ class SharedSegment:
     @property
     def closed(self) -> bool:
         return self._closed
+
+    @property
+    def nbytes(self) -> int:
+        """Allocated size of the segment in bytes (may exceed the
+        requested size — the kernel rounds up to page granularity)."""
+        return self._shm.size
 
     def ndarray(
         self,

@@ -45,7 +45,7 @@ class SparseRatingMatrix:
     without defensive copying.
     """
 
-    __slots__ = ("_rows", "_cols", "_vals", "_m", "_n")
+    __slots__ = ("_rows", "_cols", "_vals", "_m", "_n", "_csr")
 
     def __init__(
         self,
@@ -103,6 +103,7 @@ class SparseRatingMatrix:
         self._vals = vals
         self._m = m
         self._n = n
+        self._csr: Optional[Tuple[np.ndarray, np.ndarray]] = None
 
     # ------------------------------------------------------------------ #
     # Basic properties
@@ -191,6 +192,38 @@ class SparseRatingMatrix:
     def col_counts(self) -> np.ndarray:
         """Number of ratings per item, as an ``(n,)`` int array."""
         return np.bincount(self._cols, minlength=self._n).astype(np.int64)
+
+    def csr_rows(self) -> Tuple[np.ndarray, np.ndarray]:
+        """Per-user item lists in CSR layout: ``(indptr, indices)``.
+
+        ``indices[indptr[u]:indptr[u + 1]]`` are the (sorted, read-only)
+        item ids user ``u`` has rated.  The serving layer uses these rows
+        to exclude already-rated items from top-K candidates
+        (:class:`repro.serve.Scorer`); the sorted order is what lets the
+        scorer ``searchsorted`` a user's seen items per item chunk.
+
+        Computed once and cached on the matrix — the container is
+        immutable, so the CSR view can never go stale.
+        """
+        if self._csr is None:
+            order = np.lexsort((self._cols, self._rows))
+            indices = self._cols[order]
+            counts = np.bincount(self._rows, minlength=self._m)
+            indptr = np.zeros(self._m + 1, dtype=np.int64)
+            np.cumsum(counts, out=indptr[1:])
+            indices.setflags(write=False)
+            indptr.setflags(write=False)
+            self._csr = (indptr, indices)
+        return self._csr
+
+    def items_of(self, user: int) -> np.ndarray:
+        """The sorted item ids rated by ``user`` (a read-only CSR row)."""
+        if not 0 <= user < self._m:
+            raise InvalidMatrixError(
+                f"user index {user} outside [0, {self._m})"
+            )
+        indptr, indices = self.csr_rows()
+        return indices[indptr[user] : indptr[user + 1]]
 
     def rating_range(self) -> Tuple[float, float]:
         """``(min, max)`` of the explicit ratings."""

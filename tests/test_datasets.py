@@ -4,7 +4,6 @@ import numpy as np
 import pytest
 
 from repro.datasets import (
-    DATASETS,
     SyntheticConfig,
     dataset_names,
     generate_synthetic_matrix,

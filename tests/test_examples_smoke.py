@@ -29,6 +29,7 @@ EXPECTED_OUTPUT = {
     "cost_model_calibration.py": "Workload split chosen",
     "recommender_pipeline.py": "hit-rate@10",
     "resumable_training.py": "bitwise identical : True",
+    "serving_pipeline.py": "clean shutdown, leaked segments: none",
 }
 
 

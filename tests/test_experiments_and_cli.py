@@ -166,7 +166,7 @@ class TestCLI:
 
     def test_no_command_shows_help(self, capsys):
         assert main([]) == 1
-        assert "repro-mf" in capsys.readouterr().out
+        assert "usage: repro" in capsys.readouterr().out
 
     def test_train_command(self, capsys):
         code = main([

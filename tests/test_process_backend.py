@@ -31,7 +31,6 @@ from repro.core import (
 from repro.core.partition import nonuniform_partition, uniform_partition
 from repro.exceptions import ConfigurationError, ExecutionError, InvalidMatrixError
 from repro.exec import (
-    Engine,
     EngineResult,
     ProcessEngine,
     ProcessResult,

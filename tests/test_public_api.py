@@ -8,7 +8,7 @@ from repro import exceptions
 
 class TestExports:
     def test_version_is_exposed(self):
-        assert repro.__version__ == "1.1.0"
+        assert repro.__version__ == "1.2.0"
 
     def test_all_names_resolve(self):
         for name in repro.__all__:
@@ -29,14 +29,15 @@ class TestExports:
         import repro.experiments
         import repro.hardware
         import repro.metrics
+        import repro.serve
         import repro.sgd
         import repro.sim
         import repro.sparse
 
         for module in (
             repro.core, repro.costmodel, repro.datasets, repro.exec,
-            repro.experiments, repro.hardware, repro.metrics, repro.sgd,
-            repro.sim, repro.sparse,
+            repro.experiments, repro.hardware, repro.metrics, repro.serve,
+            repro.sgd, repro.sim, repro.sparse,
         ):
             for name in module.__all__:
                 assert hasattr(module, name), f"{module.__name__}.{name} missing"

@@ -1,0 +1,191 @@
+"""The chunked top-K scorer: exactness, ties, masking, edge cases.
+
+The scorer's determinism contract — score descending, item id ascending
+among exact ties, independent of chunk size — is pinned against the
+brute-force lexsort reference.  Float scores can differ by an ulp
+between BLAS shapes (GEMV vs GEMM), so bitwise *score* assertions use
+integer-valued factors whose dot products are exact in float64; index
+assertions run on ordinary random models too.
+"""
+
+import numpy as np
+import pytest
+
+from repro.exceptions import InvalidMatrixError
+from repro.serve import PAD_ITEM, Scorer, brute_force_top_k
+from repro.sgd import FactorModel
+from repro.sparse import SparseRatingMatrix
+
+CHUNKS = (1, 3, 7, 16, 64, 10_000)
+
+
+@pytest.fixture(scope="module")
+def random_model() -> FactorModel:
+    return FactorModel.initialize(60, 47, 8, seed=5)
+
+
+@pytest.fixture(scope="module")
+def integer_model() -> FactorModel:
+    """Factors with small integer values: exact float64 dot products and
+    plenty of tied scores."""
+    rng = np.random.default_rng(17)
+    p = rng.integers(0, 4, size=(40, 5)).astype(np.float64)
+    q = rng.integers(0, 4, size=(5, 33)).astype(np.float64)
+    return FactorModel(p, q)
+
+
+def reference(model: FactorModel, users: np.ndarray, k: int):
+    return brute_force_top_k(model.p[users] @ model.q, k)
+
+
+class TestScorerExactness:
+    @pytest.mark.parametrize("chunk", CHUNKS)
+    def test_indices_match_reference_any_chunking(self, random_model, chunk):
+        users = np.arange(random_model.shape[0])
+        ref_ids, ref_scores = reference(random_model, users, 10)
+        ids, scores = Scorer(random_model, chunk_items=chunk).top_k(users, 10)
+        np.testing.assert_array_equal(ids, ref_ids)
+        np.testing.assert_allclose(scores, ref_scores, rtol=1e-12, atol=0)
+
+    @pytest.mark.parametrize("chunk", CHUNKS)
+    def test_bitwise_on_exact_scores_with_ties(self, integer_model, chunk):
+        users = np.arange(integer_model.shape[0])
+        ref_ids, ref_scores = reference(integer_model, users, 8)
+        ids, scores = Scorer(integer_model, chunk_items=chunk).top_k(users, 8)
+        np.testing.assert_array_equal(ids, ref_ids)
+        np.testing.assert_array_equal(scores, ref_scores)
+
+    @pytest.mark.parametrize("chunk", (2, 5, 9))
+    def test_all_scores_tied_ranks_by_item_id(self, chunk):
+        model = FactorModel(np.ones((4, 2)), np.ones((2, 9)))
+        ids, scores = Scorer(model, chunk_items=chunk).top_k(np.arange(4), 5)
+        np.testing.assert_array_equal(ids, np.tile(np.arange(5), (4, 1)))
+        np.testing.assert_array_equal(scores, np.full((4, 5), 2.0))
+
+    def test_k_greater_than_catalogue_returns_everything(self, integer_model):
+        n = integer_model.shape[1]
+        ids, scores = Scorer(integer_model, chunk_items=8).top_k(
+            np.asarray([0, 3]), k=n + 100
+        )
+        assert ids.shape == (2, n)
+        ref_ids, ref_scores = reference(integer_model, np.asarray([0, 3]), n)
+        np.testing.assert_array_equal(ids, ref_ids)
+        np.testing.assert_array_equal(scores, ref_scores)
+
+    def test_k_equal_one(self, random_model):
+        users = np.arange(20)
+        ids, _ = Scorer(random_model, chunk_items=5).top_k(users, 1)
+        ref_ids, _ = reference(random_model, users, 1)
+        np.testing.assert_array_equal(ids, ref_ids)
+
+    def test_output_dtypes(self, random_model):
+        ids, scores = Scorer(random_model).top_k(np.asarray([1]), 5)
+        assert ids.dtype == np.int64
+        assert scores.dtype == np.float64
+
+
+class TestScorerMasking:
+    def test_seen_items_never_recommended(self, random_model):
+        m, n = random_model.shape
+        rng = np.random.default_rng(0)
+        rows = rng.integers(0, m, size=300)
+        cols = rng.integers(0, n, size=300)
+        train = SparseRatingMatrix(
+            rows, cols, np.ones(300), shape=(m, n), check=False
+        )
+        scorer = Scorer(random_model, exclude=train, chunk_items=11)
+        users = np.arange(m)
+        ids, _ = scorer.top_k(users, 10)
+        indptr, seen = train.csr_rows()
+        for row, user in enumerate(users):
+            rated = set(seen[indptr[user] : indptr[user + 1]].tolist())
+            assert rated.isdisjoint(set(ids[row].tolist()) - {PAD_ITEM})
+
+    def test_masking_matches_masked_reference(self, integer_model):
+        m, n = integer_model.shape
+        train = SparseRatingMatrix.from_triples(
+            [(0, 1, 1.0), (0, 5, 1.0), (2, 0, 1.0)], shape=(m, n)
+        )
+        full = integer_model.p @ integer_model.q
+        full[0, [1, 5]] = -np.inf
+        full[2, 0] = -np.inf
+        ref_ids, _ = brute_force_top_k(full, 6)
+        for chunk in (2, 8, 50):
+            ids, _ = Scorer(
+                integer_model, exclude=train, chunk_items=chunk
+            ).top_k(np.arange(m), 6)
+            np.testing.assert_array_equal(ids, ref_ids)
+
+    def test_user_with_everything_seen_gets_padding(self):
+        model = FactorModel.initialize(3, 6, 2, seed=0)
+        triples = [(1, v, 1.0) for v in range(6)]
+        train = SparseRatingMatrix.from_triples(triples, shape=(3, 6))
+        ids, scores = Scorer(model, exclude=train, chunk_items=4).top_k(
+            np.asarray([1]), 4
+        )
+        np.testing.assert_array_equal(ids[0], np.full(4, PAD_ITEM))
+        assert np.isneginf(scores[0]).all()
+
+    def test_precomputed_csr_accepted(self, random_model):
+        m, n = random_model.shape
+        train = SparseRatingMatrix.from_triples(
+            [(0, 0, 1.0)], shape=(m, n)
+        )
+        by_matrix = Scorer(random_model, exclude=train)
+        by_csr = Scorer(random_model, exclude=train.csr_rows())
+        np.testing.assert_array_equal(
+            by_matrix.top_k(np.arange(5), 5)[0],
+            by_csr.top_k(np.arange(5), 5)[0],
+        )
+
+    def test_shape_mismatch_rejected(self, random_model):
+        other = SparseRatingMatrix.from_triples([(0, 0, 1.0)], shape=(2, 2))
+        with pytest.raises(InvalidMatrixError):
+            Scorer(random_model, exclude=other)
+
+
+class TestScorerValidation:
+    def test_rejects_out_of_range_users(self, random_model):
+        scorer = Scorer(random_model)
+        with pytest.raises(InvalidMatrixError):
+            scorer.top_k(np.asarray([random_model.shape[0]]), 5)
+        with pytest.raises(InvalidMatrixError):
+            scorer.top_k(np.asarray([-1]), 5)
+
+    def test_rejects_bad_k_and_chunk(self, random_model):
+        with pytest.raises(InvalidMatrixError):
+            Scorer(random_model).top_k(np.asarray([0]), 0)
+        with pytest.raises(InvalidMatrixError):
+            Scorer(random_model, chunk_items=0)
+
+    def test_empty_user_batch(self, random_model):
+        ids, scores = Scorer(random_model).top_k(np.asarray([], dtype=int), 5)
+        assert ids.shape == (0, 5)
+        assert scores.shape == (0, 5)
+
+    def test_single_scalar_user(self, random_model):
+        ids = Scorer(random_model).top_k_single(3, 7)
+        ref_ids, _ = reference(random_model, np.asarray([3]), 7)
+        np.testing.assert_array_equal(ids, ref_ids[0])
+
+
+class TestSparseCsrRows:
+    def test_csr_rows_sorted_and_complete(self, small_matrix):
+        indptr, indices = small_matrix.csr_rows()
+        assert indptr[0] == 0 and indptr[-1] == small_matrix.nnz
+        for user in range(small_matrix.n_rows):
+            row = indices[indptr[user] : indptr[user + 1]]
+            assert np.all(np.diff(row) >= 0)
+        counts = np.diff(indptr)
+        np.testing.assert_array_equal(counts, small_matrix.row_counts())
+
+    def test_csr_rows_cached(self, small_matrix):
+        first = small_matrix.csr_rows()
+        second = small_matrix.csr_rows()
+        assert first[0] is second[0] and first[1] is second[1]
+
+    def test_items_of_matches_triples(self, tiny_matrix):
+        items = tiny_matrix.items_of(0)
+        np.testing.assert_array_equal(items, [0, 2, 4])
+        with pytest.raises(InvalidMatrixError):
+            tiny_matrix.items_of(tiny_matrix.n_rows)

@@ -1,0 +1,273 @@
+"""Model publication, hot-swap lifecycle, and the serving front-end.
+
+The lifecycle tests mirror the process-backend suite: after every
+scenario — including hot-swaps and reader processes —
+``repro.shm.live_segment_names()`` must be empty and nothing may remain
+in ``/dev/shm``.
+"""
+
+import multiprocessing
+
+import numpy as np
+import pytest
+
+from repro.exceptions import ExecutionError
+from repro.serve import (
+    ModelStore,
+    Recommendation,
+    RecommendationService,
+    Scorer,
+    attach_model,
+)
+from repro.sgd import FactorModel
+from repro.shm import live_segment_names
+
+
+@pytest.fixture()
+def model() -> FactorModel:
+    return FactorModel.initialize(30, 21, 4, seed=2)
+
+
+@pytest.fixture()
+def model_b() -> FactorModel:
+    return FactorModel.initialize(30, 21, 4, seed=77)
+
+
+def _assert_no_segments():
+    assert live_segment_names() == ()
+
+
+class TestModelStore:
+    def test_publish_acquire_roundtrip(self, model):
+        with ModelStore() as store:
+            handle = store.publish(model)
+            assert handle.version == 1
+            assert store.current_version == 1
+            with store.acquire() as lease:
+                np.testing.assert_array_equal(lease.model.p, model.p)
+                np.testing.assert_array_equal(lease.model.q, model.q)
+                # Zero-copy views, not copies: the lease maps the
+                # published segment, so its buffers are read-only.
+                assert not lease.model.p.flags.writeable
+                # The published Q preserves the item-major layout
+                # contract (contiguous transpose).
+                assert lease.model.q.T.flags.c_contiguous
+        _assert_no_segments()
+
+    def test_acquire_before_publish_raises(self):
+        with ModelStore() as store:
+            with pytest.raises(ExecutionError):
+                store.acquire()
+            with pytest.raises(ExecutionError):
+                store.current_handle()
+        _assert_no_segments()
+
+    def test_hot_swap_unlinks_unpinned_old_version(self, model, model_b):
+        with ModelStore() as store:
+            store.publish(model)
+            assert store.live_versions == (1,)
+            store.publish(model_b)
+            # Nothing pinned version 1: it is gone already.
+            assert store.live_versions == (2,)
+            assert store.current_version == 2
+        _assert_no_segments()
+
+    def test_hot_swap_defers_unlink_until_release(self, model, model_b):
+        with ModelStore() as store:
+            store.publish(model)
+            lease = store.acquire()
+            store.publish(model_b)
+            # Version 1 is retired but pinned by the lease.
+            assert store.live_versions == (1, 2)
+            old_p = lease.model.p.copy()
+            np.testing.assert_array_equal(old_p, model.p)
+            lease.release()
+            assert store.live_versions == (2,)
+            lease.release()  # idempotent
+        _assert_no_segments()
+
+    def test_acquire_specific_retired_version(self, model, model_b):
+        with ModelStore() as store:
+            store.publish(model)
+            pin = store.acquire()
+            store.publish(model_b)
+            with store.acquire(version=1) as lease:
+                np.testing.assert_array_equal(lease.model.p, model.p)
+            pin.release()
+            with pytest.raises(ExecutionError):
+                store.acquire(version=1)
+        _assert_no_segments()
+
+    def test_close_with_outstanding_lease_raises(self, model):
+        store = ModelStore()
+        store.publish(model)
+        lease = store.acquire()
+        with pytest.raises(ExecutionError):
+            store.close()
+        lease.release()
+        store.close()
+        store.close()  # idempotent
+        _assert_no_segments()
+
+    def test_publish_after_close_raises(self, model):
+        store = ModelStore()
+        store.close()
+        with pytest.raises(ExecutionError):
+            store.publish(model)
+
+    def test_reader_process_attaches_one_copy(self, model):
+        with ModelStore() as store:
+            handle = store.publish(model)
+            ctx = multiprocessing.get_context(
+                "fork"
+                if "fork" in multiprocessing.get_all_start_methods()
+                else None
+            )
+            queue = ctx.Queue()
+            proc = ctx.Process(
+                target=_reader_check, args=(handle, queue), daemon=True
+            )
+            proc.start()
+            segment_name, top = queue.get(timeout=120)
+            proc.join(timeout=60)
+            assert proc.exitcode == 0
+            # The reader mapped the very segment the store published —
+            # one physical copy of the factors.
+            assert segment_name == handle.segment
+            expected = Scorer(model).top_k_single(3, 5)
+            np.testing.assert_array_equal(np.asarray(top), expected)
+        _assert_no_segments()
+
+    def test_attach_in_process_is_zero_copy(self, model, model_b):
+        with ModelStore() as store:
+            store.publish(model)
+            attached, segment = attach_model(store.current_handle())
+            # Publish v2, then mutate... nothing: the attachment still
+            # reads v1's pages even after v1 is retired and unlinked.
+            store.publish(model_b)
+            np.testing.assert_array_equal(attached.p, model.p)
+            attached = None
+            segment.close()
+        _assert_no_segments()
+
+
+def _reader_check(handle, queue):
+    model, segment = attach_model(handle)
+    try:
+        top = Scorer(model).top_k_single(3, 5)
+        queue.put((segment.name, top.tolist()))
+    finally:
+        model = None
+        segment.close()
+
+
+class TestRecommendationService:
+    def test_plain_model_source(self, model):
+        with RecommendationService(model, k=5) as service:
+            rec = service.recommend(4)
+            assert isinstance(rec, Recommendation)
+            assert rec.model_version == 0
+            np.testing.assert_array_equal(
+                rec.items, Scorer(model).top_k_single(4, 5)
+            )
+
+    def test_coalescing_scores_one_batch(self, model):
+        with RecommendationService(model, k=5, batch_size=64) as service:
+            handles = [service.enqueue(user) for user in range(10)]
+            assert not any(h.ready for h in handles)
+            scored = service.flush()
+            assert scored == 10
+            assert service.stats.batches_scored == 1
+            assert all(h.ready for h in handles)
+
+    def test_enqueue_autoflushes_at_batch_size(self, model):
+        with RecommendationService(model, k=3, batch_size=4) as service:
+            handles = [service.enqueue(user) for user in range(4)]
+            # The 4th enqueue crossed the threshold and flushed.
+            assert all(h.ready for h in handles)
+            assert service.stats.batches_scored == 1
+
+    def test_duplicate_users_share_one_row(self, model):
+        with RecommendationService(model, k=3, batch_size=64) as service:
+            first = service.enqueue(7)
+            second = service.enqueue(7)
+            assert service.flush() == 1
+            assert first.result is second.result
+
+    def test_cache_hits_skip_scoring(self, model):
+        with RecommendationService(model, k=5, batch_size=8) as service:
+            service.recommend(3)
+            before = service.stats.batches_scored
+            again = service.recommend(3)
+            assert service.stats.batches_scored == before
+            assert service.stats.cache_hits == 1
+            assert again.user == 3
+
+    def test_cache_eviction_is_lru(self, model):
+        with RecommendationService(
+            model, k=3, batch_size=1, cache_size=2
+        ) as service:
+            service.recommend(0)
+            service.recommend(1)
+            service.recommend(0)  # refresh user 0
+            service.recommend(2)  # evicts user 1
+            hits = service.stats.cache_hits
+            service.recommend(0)
+            assert service.stats.cache_hits == hits + 1
+            service.recommend(1)  # was evicted: a fresh batch
+            assert service.stats.cache_hits == hits + 1
+
+    def test_recommend_many_scores_misses_in_one_batch(self, model):
+        with RecommendationService(model, k=4, batch_size=64) as service:
+            service.recommend(2)
+            batches = service.stats.batches_scored
+            results = service.recommend_many([0, 1, 2, 3])
+            assert [r.user for r in results] == [0, 1, 2, 3]
+            assert service.stats.batches_scored == batches + 1
+            assert service.stats.cache_hits == 1
+
+    def test_hot_swap_reload_and_cache_rollover(self, model, model_b):
+        with ModelStore() as store:
+            store.publish(model)
+            with RecommendationService(store, k=5, batch_size=8) as service:
+                first = service.recommend(6)
+                assert first.model_version == 1
+                store.publish(model_b)
+                # Even a cached user must notice the swap immediately.
+                second = service.recommend(6)
+                assert second.model_version == 2
+                assert service.stats.reloads == 1
+                np.testing.assert_array_equal(
+                    second.items, Scorer(model_b).top_k_single(6, 5)
+                )
+                # The retired version was released by the reload.
+                assert store.live_versions == (2,)
+        _assert_no_segments()
+
+    def test_exclusion_respected(self, model):
+        from repro.sparse import SparseRatingMatrix
+
+        m, n = model.shape
+        train = SparseRatingMatrix.from_triples(
+            [(5, v, 1.0) for v in range(5)], shape=(m, n)
+        )
+        with RecommendationService(
+            model, k=n, batch_size=4, exclude=train
+        ) as service:
+            rec = service.recommend(5)
+            assert set(range(5)).isdisjoint(rec.items.tolist())
+
+    def test_closed_service_rejects_requests(self, model):
+        service = RecommendationService(model, k=3)
+        service.close()
+        service.close()  # idempotent
+        with pytest.raises(ExecutionError):
+            service.recommend(0)
+
+    def test_validation(self, model):
+        with pytest.raises(ExecutionError):
+            RecommendationService(model, k=0)
+        with pytest.raises(ExecutionError):
+            RecommendationService(model, batch_size=0)
+        with pytest.raises(ExecutionError):
+            RecommendationService(model, cache_size=-1)

@@ -6,7 +6,6 @@ import pytest
 from repro.config import TrainingConfig
 from repro.exceptions import InvalidMatrixError
 from repro.sgd import FactorModel, rmse, sgd_block_minibatch, sgd_block_sequential
-from repro.sparse import SparseRatingMatrix
 
 
 def _arrays(matrix):

@@ -60,6 +60,50 @@ class TestFactorModel:
             model.predict_single(int(tiny_matrix.rows[0]), int(tiny_matrix.cols[0]))
         )
 
+    def test_predict_rejects_out_of_range_users(self):
+        model = FactorModel.initialize(6, 5, 3, seed=0)
+        with pytest.raises(InvalidMatrixError):
+            model.predict(np.array([6]), np.array([0]))
+        with pytest.raises(InvalidMatrixError):
+            model.predict(np.array([0]), np.array([5]))
+
+    def test_predict_rejects_negative_ids(self):
+        # Numpy fancy indexing would silently wrap -1 to the last row;
+        # predict must refuse instead.
+        model = FactorModel.initialize(6, 5, 3, seed=0)
+        with pytest.raises(InvalidMatrixError):
+            model.predict(np.array([-1]), np.array([0]))
+        with pytest.raises(InvalidMatrixError):
+            model.predict(np.array([0]), np.array([-1]))
+        with pytest.raises(InvalidMatrixError):
+            model.predict_single(-1, 0)
+        with pytest.raises(InvalidMatrixError):
+            model.predict_single(0, -2)
+
+    def test_predict_rejects_mismatched_shapes(self):
+        model = FactorModel.initialize(6, 5, 3, seed=0)
+        with pytest.raises(InvalidMatrixError):
+            model.predict(np.array([0, 1]), np.array([0]))
+
+    def test_predict_preserves_float64_dtype(self):
+        model = FactorModel.initialize(6, 5, 3, seed=0)
+        out = model.predict([0, 1, 2], [0, 1, 2])
+        assert out.dtype == np.float64
+        # Python-list and int32 index inputs behave identically.
+        np.testing.assert_array_equal(
+            out,
+            model.predict(
+                np.array([0, 1, 2], dtype=np.int32),
+                np.array([0, 1, 2], dtype=np.int32),
+            ),
+        )
+
+    def test_predict_empty_arrays(self):
+        model = FactorModel.initialize(6, 5, 3, seed=0)
+        out = model.predict(np.array([], dtype=int), np.array([], dtype=int))
+        assert out.shape == (0,)
+        assert out.dtype == np.float64
+
     def test_full_reconstruction(self):
         model = FactorModel.initialize(4, 3, 2, seed=0)
         np.testing.assert_allclose(model.full_reconstruction(), model.p @ model.q)

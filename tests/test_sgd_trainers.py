@@ -6,7 +6,6 @@ import pytest
 from repro.config import TrainingConfig
 from repro.exceptions import ConfigurationError
 from repro.sgd import (
-    rmse,
     train_als,
     train_ccd,
     train_hogwild,

@@ -3,7 +3,11 @@
 import pytest
 
 from repro.config import HardwareConfig
-from repro.core import GreedyBlockScheduler, HSGDStarScheduler, nonuniform_partition, uniform_partition
+from repro.core import (
+    GreedyBlockScheduler,
+    HSGDStarScheduler,
+    nonuniform_partition,
+)
 from repro.core.partition import hsgd_partition
 from repro.exceptions import SimulationError
 from repro.hardware import HeterogeneousPlatform

@@ -5,7 +5,6 @@ import pytest
 
 from repro.exceptions import DatasetError, InvalidMatrixError
 from repro.sparse import (
-    SparseRatingMatrix,
     read_triples,
     shuffled_copy,
     split_prefix_sums,
