@@ -15,7 +15,11 @@ auto-detected:
   each ``(batch_size, chunk_items)`` configuration's users/s,
   **normalised by the same run's naive full-matmul users/s** — pure
   BLAS + selection with no serving-layer logic, the serving analogue of
-  the simulator normaliser.
+  the simulator normaliser;
+* **streaming fold-in** (``BENCH_stream.json`` / ``bench_stream.py``):
+  each newcomer-batch size's batched fold-in users/s, **normalised by
+  the same run's naive per-user solve loop** (the payload's
+  ``speedup_vs_naive``).
 
 Either way the guard catches exactly what it exists to catch: the
 subsystem becoming slower *relative to the same work done the obvious
@@ -162,21 +166,65 @@ def compare_serving(baseline: dict, current: dict, max_drop: float) -> int:
     return 0
 
 
+def _normalised_stream(payload: dict) -> dict:
+    """``{batch_users: users_per_s / naive_users_per_s}``."""
+    out = {}
+    for entry in payload.get("fold_in", []):
+        naive = float(entry.get("naive_users_per_s", 0.0))
+        if naive > 0:
+            out[int(entry["batch_users"])] = (
+                float(entry["users_per_s"]) / naive
+            )
+    return out
+
+
+def compare_stream(baseline: dict, current: dict, max_drop: float) -> int:
+    base = _normalised_stream(baseline)
+    cur = _normalised_stream(current)
+    if not cur:
+        print("error: current run contains no comparable fold-in measurements")
+        return 1
+    for entry in current.get("fold_in", []):
+        print(
+            f"  normaliser naive loop @ {entry['batch_users']}: "
+            f"{entry['naive_users_per_s']} users/s"
+        )
+    failures = _report(
+        base,
+        cur,
+        lambda key: f"fold-in batch {key}",
+        "naive loop",
+        max_drop,
+    )
+    if failures:
+        print(
+            f"\nperf regression: {len(failures)} fold-in batch size(s) "
+            f"dropped more than {max_drop:.0%} below the committed baseline "
+            "(naive-loop-normalised)"
+        )
+        return 1
+    print("\nno fold-in batch size regressed beyond the threshold")
+    return 0
+
+
 def compare(baseline: dict, current: dict, max_drop: float) -> int:
     """Auto-detect the payload kind and dispatch."""
     kinds = {
         "scaling" if "scaling" in payload else
-        "serving" if "serving" in payload else "unknown"
+        "serving" if "serving" in payload else
+        "stream" if "fold_in" in payload else "unknown"
         for payload in (baseline, current)
     }
     if kinds == {"scaling"}:
         return compare_scaling(baseline, current, max_drop)
     if kinds == {"serving"}:
         return compare_serving(baseline, current, max_drop)
+    if kinds == {"stream"}:
+        return compare_stream(baseline, current, max_drop)
     print(
         "error: baseline and current must both be scaling "
-        "(BENCH_exec.json) or both serving (BENCH_serve.json) payloads; "
-        f"got {sorted(kinds)}"
+        "(BENCH_exec.json), both serving (BENCH_serve.json), or both "
+        f"streaming (BENCH_stream.json) payloads; got {sorted(kinds)}"
     )
     return 1
 

@@ -1,0 +1,204 @@
+"""Streaming ingestion end to end: stream → fold-in → retrain → hot-swap.
+
+The full online loop of :mod:`repro.stream`, on a synthetic low-rank
+rating stream:
+
+1. train a base model on the historical prefix of the ratings and
+   publish it to a :class:`repro.serve.ModelStore`;
+2. replay the rest as a stream through an
+   :class:`repro.stream.IngestSession`: recent ratings sit in a
+   held-out window (the drift validation set), older ones graduate into
+   the live matrix (:meth:`SparseRatingMatrix.append`);
+3. watch brand-new users and items get **folded in** — one vectorised
+   least-squares solve against the fixed factors, no retrain;
+4. watch drift trip the policy and trigger a **warm-start retrain**
+   (``fit(resume_from=checkpoint)`` over the grown matrix);
+5. a reader process attached to the store hot-swaps to each published
+   version mid-stream and scores newcomers the base model had never
+   heard of;
+6. shut down and verify no shared-memory segment leaked.
+
+Run with::
+
+    python examples/streaming_pipeline.py
+"""
+
+import multiprocessing
+import os
+import sys
+
+sys.path.insert(0, os.path.join(os.path.dirname(__file__), "..", "src"))
+
+import numpy as np
+
+from repro import HeterogeneousTrainer
+from repro.config import HardwareConfig, TrainingConfig
+from repro.serve import ModelStore, attach_model
+from repro.shm import live_segment_names
+from repro.sparse import SparseRatingMatrix
+from repro.stream import DriftPolicy, IngestSession
+
+BASE_USERS = int(os.environ.get("REPRO_EXAMPLES_USERS", "120"))
+BASE_ITEMS = int(os.environ.get("REPRO_EXAMPLES_ITEMS", "90"))
+NEW_USERS = 30
+NEW_ITEMS = 20
+FACTORS = 6
+BASE_RATINGS = int(os.environ.get("REPRO_EXAMPLES_RATINGS", "4000"))
+STREAM_BATCHES = 8
+BATCH = 250
+WINDOW = 400
+
+
+def synthetic_world(seed: int = 7):
+    """A low-rank ground truth covering base users/items plus newcomers."""
+    rng = np.random.default_rng(seed)
+    p = rng.uniform(0.0, 1.0, (BASE_USERS + NEW_USERS, FACTORS))
+    q = rng.uniform(0.0, 1.0, (FACTORS, BASE_ITEMS + NEW_ITEMS))
+    return rng, p, q
+
+
+def reader_process(handle_queue, out_queue, probe_user_item):
+    """Hot-swap reader: attach every version the publisher announces."""
+    user, item = probe_user_item
+    seen = []
+    while True:
+        handle = handle_queue.get(timeout=120)
+        if handle is None:
+            break
+        model, segment = attach_model(handle)
+        try:
+            m, n = model.shape
+            score = (
+                float(model.predict_single(user, item))
+                if user < m and item < n
+                else None
+            )
+            seen.append((handle.version, m, n, score))
+        finally:
+            model = None
+            segment.close()
+    out_queue.put(seen)
+
+
+def main() -> None:
+    rng, p_true, q_true = synthetic_world()
+
+    rows = rng.integers(0, BASE_USERS, BASE_RATINGS)
+    cols = rng.integers(0, BASE_ITEMS, BASE_RATINGS)
+    vals = np.einsum("ik,ki->i", p_true[rows], q_true[:, cols])
+    matrix = SparseRatingMatrix(rows, cols, vals)
+
+    trainer = HeterogeneousTrainer(
+        algorithm="hsgd_star",
+        hardware=HardwareConfig(cpu_threads=4, gpu_count=1),
+        training=TrainingConfig(
+            latent_factors=FACTORS, learning_rate=0.05, iterations=8
+        ),
+        seed=0,
+    )
+
+    ctx = multiprocessing.get_context(
+        "fork" if "fork" in multiprocessing.get_all_start_methods() else None
+    )
+    handle_queue: multiprocessing.Queue = ctx.Queue()
+    out_queue: multiprocessing.Queue = ctx.Queue()
+    probe = (BASE_USERS + NEW_USERS - 1, BASE_ITEMS + NEW_ITEMS - 1)
+
+    with ModelStore() as store:
+        session = IngestSession(
+            trainer,
+            matrix,
+            store=store,
+            window_size=WINDOW,
+            policy=DriftPolicy(rmse_increase=0.02, min_coverage=0.85),
+            backend="simulate",
+            retrain_iterations=6,
+        )
+        result = session.start()
+        print(
+            f"base model: {session.model!r}, "
+            f"{len(result.trace.iterations)} epochs"
+        )
+        # Fork the reader only now, after the first publish: the child
+        # inherits the parent's running resource tracker, keeping all
+        # segment bookkeeping in one place.
+        reader = ctx.Process(
+            target=reader_process, args=(handle_queue, out_queue, probe)
+        )
+        reader.start()
+        handle_queue.put(store.current_handle())
+
+        published = 1
+        for batch in range(STREAM_BATCHES):
+            # The stream gradually shifts toward the newcomers.
+            hot = min(1.0, 0.2 + 0.1 * batch)
+            n_new = int(BATCH * hot)
+            bu = np.concatenate([
+                rng.integers(0, BASE_USERS, BATCH - n_new),
+                rng.integers(BASE_USERS, BASE_USERS + NEW_USERS, n_new),
+            ])
+            bv = np.concatenate([
+                rng.integers(0, BASE_ITEMS, BATCH - n_new),
+                rng.integers(BASE_ITEMS, BASE_ITEMS + NEW_ITEMS, n_new),
+            ])
+            bvals = np.einsum("ik,ki->i", p_true[bu], q_true[:, bv])
+            report = session.ingest(bu, bv, bvals)
+            line = (
+                f"batch {batch}: graduated {report.graduated:>4}, "
+                f"window coverage "
+                f"{'n/a' if report.drift is None else f'{report.drift.coverage:.2f}'}"
+            )
+            if report.folded_users or report.folded_items:
+                line += (
+                    f", folded +{report.folded_users}u/+{report.folded_items}i"
+                )
+            if report.retrained:
+                line += ", RETRAINED (warm start)"
+            if report.published_version is not None:
+                handle_queue.put(store.current_handle())
+                published += 1
+                line += f", published v{report.published_version}"
+            print(line)
+
+        report = session.flush()
+        if report.published_version is not None:
+            handle_queue.put(store.current_handle())
+            published += 1
+        handle_queue.put(None)
+
+        swaps = out_queue.get(timeout=120)
+        reader.join(timeout=60)
+
+        stats = session.stats
+        print(
+            f"stream done: {stats.ingested} ingested, "
+            f"{stats.folded_users} users / {stats.folded_items} items "
+            f"folded in, {stats.retrains} warm-start retrains, "
+            f"{stats.publishes} versions published"
+        )
+        print(f"final matrix {matrix.shape} with {matrix.nnz} ratings")
+
+    assert len(swaps) == published, (swaps, published)
+    versions = [v for v, _, _, _ in swaps]
+    assert versions == sorted(versions), "reader saw versions out of order"
+    first_m, first_n = swaps[0][1], swaps[0][2]
+    last = swaps[-1]
+    print(
+        f"reader hot-swapped {len(swaps)} versions: "
+        f"({first_m}, {first_n}) -> ({last[1]}, {last[2]})"
+    )
+    # The stream introduced newcomers, so the last published version
+    # must have grown and must score the probe pair the base could not.
+    assert (last[1], last[2]) == (
+        BASE_USERS + NEW_USERS,
+        BASE_ITEMS + NEW_ITEMS,
+    ), swaps
+    assert swaps[0][3] is None and last[3] is not None
+
+    leaked = [n for n in live_segment_names()]
+    print(f"clean shutdown, leaked segments: {leaked if leaked else 'none'}")
+    assert not leaked
+
+
+if __name__ == "__main__":
+    main()

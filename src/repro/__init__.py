@@ -69,8 +69,16 @@ from .serve import (
 )
 from .sgd import FactorModel, rmse, train_als, train_ccd, train_hogwild, train_serial_sgd
 from .sparse import SparseRatingMatrix
+from .stream import (
+    DriftMonitor,
+    DriftPolicy,
+    DriftReading,
+    IngestReport,
+    IngestSession,
+    IngestStats,
+)
 
-__version__ = "1.2.0"
+__version__ = "1.3.0"
 
 __all__ = [
     "BACKENDS",
@@ -124,5 +132,11 @@ __all__ = [
     "train_hogwild",
     "train_serial_sgd",
     "SparseRatingMatrix",
+    "DriftMonitor",
+    "DriftPolicy",
+    "DriftReading",
+    "IngestReport",
+    "IngestSession",
+    "IngestStats",
     "__version__",
 ]

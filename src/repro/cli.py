@@ -8,6 +8,7 @@ regenerated from a shell, plus training and serving entry points::
     repro train --dataset movielens --algorithm hsgd_star
     repro recommend --dataset movielens --users 0 1 2   # train + top-K
     repro serve-bench --items 17770                     # serving throughput
+    repro ingest --dataset movielens --publish          # streaming replay
     repro figure10                  # time-to-target vs GPU workers
     repro table2 --full             # Table II with the paper's sweep
 """
@@ -279,6 +280,81 @@ def _build_parser() -> argparse.ArgumentParser:
     )
     serve_bench.add_argument("--seed", type=int, default=0)
 
+    ingest = subparsers.add_parser(
+        "ingest",
+        help=(
+            "replay a dataset as a rating stream: train on a prefix, then "
+            "fold in / warm-start retrain / publish as the rest arrives"
+        ),
+    )
+    ingest.add_argument("--dataset", default="movielens", choices=dataset_names())
+    ingest.add_argument("--algorithm", default="hsgd_star", choices=sorted(ALGORITHMS))
+    ingest.add_argument("--seed", type=int, default=0)
+    ingest.add_argument(
+        "--backend",
+        default="simulate",
+        choices=(AUTO_BACKEND,) + backend_names(),
+        help="execution backend for the base train and every retrain",
+    )
+    ingest.add_argument("--cpu-threads", type=int, default=4)
+    ingest.add_argument("--gpu-workers", type=int, default=128)
+    ingest.add_argument("--iterations", type=int, default=10, help="base-train epochs")
+    ingest.add_argument(
+        "--retrain-iterations",
+        type=int,
+        default=None,
+        metavar="N",
+        help="epochs per warm-start retrain (default: --iterations)",
+    )
+    ingest.add_argument(
+        "--base-fraction",
+        type=float,
+        default=0.7,
+        metavar="F",
+        help=(
+            "fraction of the dataset's ratings (in storage order) the base "
+            "model trains on; the rest is replayed as the stream — ratings "
+            "referencing users/items absent from the prefix arrive as "
+            "genuine newcomers"
+        ),
+    )
+    ingest.add_argument(
+        "--batch",
+        type=int,
+        default=500,
+        metavar="B",
+        help="stream ratings ingested per batch",
+    )
+    ingest.add_argument(
+        "--window",
+        type=int,
+        default=1000,
+        metavar="W",
+        help="held-out recent window size (the drift validation set)",
+    )
+    ingest.add_argument(
+        "--rmse-increase",
+        type=float,
+        default=0.05,
+        metavar="D",
+        help="window-RMSE increase over the rebased baseline that retrains",
+    )
+    ingest.add_argument(
+        "--min-coverage",
+        type=float,
+        default=0.8,
+        metavar="C",
+        help="minimum scorable fraction of the window before retraining",
+    )
+    ingest.add_argument(
+        "--publish",
+        action="store_true",
+        help=(
+            "publish every live-model change to an in-process ModelStore "
+            "(exercises the shared-memory hot-swap path)"
+        ),
+    )
+
     for name in EXPERIMENTS:
         experiment = subparsers.add_parser(name, help=f"run the {name} experiment")
         experiment.add_argument(
@@ -434,6 +510,94 @@ def _run_recommend(args: argparse.Namespace) -> None:
         print(f"top-{args.top} for user {user}: {ranked}")
 
 
+def _run_ingest(args: argparse.Namespace) -> None:
+    import numpy as np
+
+    from .serve import ModelStore
+    from .sparse import SparseRatingMatrix
+    from .stream import DriftPolicy, IngestSession
+
+    data = load_dataset(args.dataset, seed=args.seed)
+    full = data.train
+    cut = max(1, int(full.nnz * args.base_fraction))
+    if cut >= full.nnz:
+        raise SystemExit("--base-fraction leaves no ratings to stream")
+    # The base matrix's shape comes from the prefix alone, so stream
+    # ratings referencing later users/items are genuine newcomers.
+    matrix = SparseRatingMatrix(full.rows[:cut], full.cols[:cut], full.vals[:cut])
+    context = ExperimentContext(
+        cpu_threads=args.cpu_threads, gpu_parallel_workers=args.gpu_workers
+    )
+    trainer = HeterogeneousTrainer(
+        algorithm=args.algorithm,
+        hardware=context.hardware(),
+        training=data.spec.recommended_training(
+            iterations=args.iterations, seed=args.seed
+        ),
+        preset=context.preset,
+        seed=args.seed,
+    )
+    store = ModelStore() if args.publish else None
+    session = IngestSession(
+        trainer,
+        matrix,
+        store=store,
+        window_size=args.window,
+        policy=DriftPolicy(
+            rmse_increase=args.rmse_increase, min_coverage=args.min_coverage
+        ),
+        backend=args.backend,
+        train_iterations=args.iterations,
+        retrain_iterations=args.retrain_iterations,
+    )
+    try:
+        result = session.start()
+        print(
+            f"base model         : {matrix.nnz} ratings "
+            f"({full.nnz - cut} streamed), shape {matrix.shape}, "
+            f"{len(result.trace.iterations)} epochs"
+        )
+        print(f"window             : {args.window} (batch {args.batch})")
+        stream = np.arange(cut, full.nnz)
+        for start in range(0, len(stream), args.batch):
+            chunk = stream[start : start + args.batch]
+            report = session.ingest(
+                full.rows[chunk], full.cols[chunk], full.vals[chunk]
+            )
+            drift = report.drift
+            drift_label = (
+                "n/a"
+                if drift is None or drift.rmse is None
+                else f"{drift.rmse:.4f} ({drift.reason})"
+            )
+            line = (
+                f"batch {start // args.batch:>4}: +{report.ingested} "
+                f"graduated {report.graduated:>5}  window RMSE {drift_label}"
+            )
+            if report.folded_users or report.folded_items:
+                line += (
+                    f"  folded +{report.folded_users}u/+{report.folded_items}i"
+                )
+            if report.retrained:
+                line += "  RETRAINED"
+            if report.published_version is not None:
+                line += f"  published v{report.published_version}"
+            print(line)
+        session.flush()
+        stats = session.stats
+        print(f"matrix             : {matrix.shape}, {matrix.nnz} ratings")
+        print(f"model              : {session.model!r}")
+        print(f"ingested           : {stats.ingested}")
+        print(f"folded in          : {stats.folded_users} users, "
+              f"{stats.folded_items} items")
+        print(f"retrains           : {stats.retrains}")
+        if store is not None:
+            print(f"published versions : {stats.publishes}")
+    finally:
+        if store is not None:
+            store.close()
+
+
 def _run_serve_bench(args: argparse.Namespace) -> None:
     from .serve.bench import (
         measure_chunked,
@@ -573,6 +737,8 @@ def main(argv: Optional[List[str]] = None) -> int:
         _run_recommend(args)
     elif args.command == "serve-bench":
         _run_serve_bench(args)
+    elif args.command == "ingest":
+        _run_ingest(args)
     else:
         _run_experiment(args.command, args)
     return 0

@@ -22,7 +22,7 @@ from typing import Optional, Sequence, Union
 
 from ..config import HardwareConfig, TrainingConfig
 from ..costmodel import CalibrationResult, WorkloadSplit, calibrate_platform, solve_alpha
-from ..exceptions import ConfigurationError
+from ..exceptions import CheckpointError, ConfigurationError
 from ..exec import Engine
 from ..exec.base import EngineResult
 from ..exec.callbacks import Callback, CallbackList
@@ -277,10 +277,19 @@ class HeterogeneousTrainer:
             budgets, or any custom :class:`~repro.exec.callbacks.Callback`.
         resume_from:
             A :class:`~repro.exec.checkpoint.TrainCheckpoint` (or a path
-            to one) to resume.  The trainer must be constructed
-            identically to the checkpointed run (same data, algorithm,
-            hardware and seed); resuming on the simulate backend is then
-            bitwise-identical to the uninterrupted run.
+            to one) to resume.  With ``train`` identical to the
+            checkpointed run's matrix (and the trainer constructed
+            identically: same algorithm, hardware and seed), resuming on
+            the simulate backend is bitwise-identical to the
+            uninterrupted run.  With a matrix that has since **grown**
+            (streaming appends — see
+            :meth:`~repro.sparse.SparseRatingMatrix.append`), the run
+            becomes a *warm-start retrain*: the checkpointed factors are
+            padded to the new shape with least-squares fold-in rows, the
+            grid and scheduler are re-derived from the grown matrix, and
+            the session restarts at epoch 0 (``iterations`` counts from
+            zero again).  A matrix smaller than the checkpointed one
+            raises :class:`~repro.exceptions.CheckpointError`.
         """
         alpha: Optional[float] = None
         if self.spec.division == "nonuniform":
@@ -309,6 +318,16 @@ class HeterogeneousTrainer:
             training = training.with_kernel(kernel)
         if batch_size is not None:
             training = training.with_batch_size(batch_size)
+        checkpoint: Optional[TrainCheckpoint] = None
+        if resume_from is not None:
+            checkpoint = (
+                resume_from
+                if isinstance(resume_from, TrainCheckpoint)
+                else TrainCheckpoint.load(resume_from)
+            )
+            checkpoint, model = self._dispatch_resume(
+                checkpoint, train, training, model
+            )
         engine = self._build_engine(
             backend,
             scheduler,
@@ -320,13 +339,6 @@ class HeterogeneousTrainer:
             compute_train_rmse=compute_train_rmse,
             use_block_store=use_block_store,
         )
-        checkpoint: Optional[TrainCheckpoint] = None
-        if resume_from is not None:
-            checkpoint = (
-                resume_from
-                if isinstance(resume_from, TrainCheckpoint)
-                else TrainCheckpoint.load(resume_from)
-            )
         callback_list = CallbackList(callbacks)
         session = engine.start(
             iterations=iterations,
@@ -349,6 +361,70 @@ class HeterogeneousTrainer:
             calibration=self._calibration,
             backend=backend,
         )
+
+    def _dispatch_resume(
+        self,
+        checkpoint: TrainCheckpoint,
+        train: SparseRatingMatrix,
+        training: TrainingConfig,
+        model: Optional[FactorModel],
+    ):
+        """Route ``resume_from`` to exact resume or grown warm-start.
+
+        Exact resume (the matrix is identical to the checkpointed run's:
+        same shape, same rating count) keeps the checkpoint — it is
+        restored into the fresh session and continues bitwise-identically
+        (simulate backend) to the uninterrupted run.
+
+        A *grown* matrix (streaming appends since the checkpoint: more
+        ratings and possibly new users/items) cannot restore scheduler
+        state — the grid, quotas and update counters all describe the old
+        division.  Instead the checkpointed factors are padded to the new
+        shape with least-squares fold-in rows
+        (:func:`repro.sgd.foldin.grow_model`) and handed to the engine as
+        the warm-start ``model``; the scheduler and grid are re-derived
+        from the grown matrix and the session starts at epoch 0.
+
+        A matrix *smaller* than the checkpointed one is a caller error
+        (dimensions never shrink under streaming) and raises
+        :class:`~repro.exceptions.CheckpointError`.
+
+        Returns the ``(checkpoint, model)`` pair to use: ``(checkpoint,
+        model)`` unchanged for exact resume, ``(None, grown_model)`` for
+        warm-start.
+        """
+        old_m = int(checkpoint.meta.get("n_rows", -1))
+        old_n = int(checkpoint.meta.get("n_cols", -1))
+        old_nnz = checkpoint.meta.get("total_points")
+        if train.n_rows < old_m or train.n_cols < old_n:
+            raise CheckpointError(
+                f"matrix shape ({train.n_rows}, {train.n_cols}) is smaller "
+                f"than the checkpointed ({old_m}, {old_n}); dimensions "
+                "never shrink"
+            )
+        exact = (train.n_rows, train.n_cols) == (old_m, old_n) and (
+            old_nnz is None or train.nnz == int(old_nnz)
+        )
+        if exact:
+            return checkpoint, model
+        if model is not None:
+            raise ConfigurationError(
+                "model and a grown-matrix resume_from are mutually "
+                "exclusive: the warm-start model is derived from the "
+                "checkpoint's factors"
+            )
+        from ..sgd import grow_model
+
+        grown = grow_model(
+            FactorModel(checkpoint.p, checkpoint.q),
+            train,
+            (old_m, old_n),
+            reg_p=training.reg_p,
+            reg_q=training.reg_q,
+            seed=self.seed,
+            init_scale=training.effective_init_scale,
+        )
+        return None, grown
 
     def _build_engine(
         self,

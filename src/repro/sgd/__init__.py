@@ -15,6 +15,10 @@ Implements the numerical core of the paper (Section II):
 * :mod:`repro.sgd.schedules` — learning-rate schedules, including the
   per-iteration decay schedule of Chin et al. (reference [43]) that the
   paper adopts for its parameter settings;
+* :mod:`repro.sgd.foldin` — least-squares fold-in for streaming
+  newcomers (one vectorised ridge solve against the fixed opposite
+  factor matrix) and :func:`~repro.sgd.foldin.grow_model` for
+  warm-start over a grown matrix;
 * :mod:`repro.sgd.serial` — Algorithm 1, the single-threaded reference;
 * :mod:`repro.sgd.hogwild` — the lock-free Hogwild baseline;
 * :mod:`repro.sgd.als` / :mod:`repro.sgd.ccd` — the non-SGD baselines
@@ -23,6 +27,7 @@ Implements the numerical core of the paper (Section II):
 """
 
 from .model import FactorModel
+from .foldin import fold_in_objective, grow_model, solve_fold_in
 from .losses import (
     mae,
     pointwise_errors,
@@ -52,6 +57,9 @@ from .ccd import train_ccd
 
 __all__ = [
     "FactorModel",
+    "fold_in_objective",
+    "grow_model",
+    "solve_fold_in",
     "mae",
     "pointwise_errors",
     "regularized_loss",

@@ -1,0 +1,303 @@
+"""Least-squares fold-in: factor rows for newcomers against a fixed model.
+
+Streaming ingestion (:mod:`repro.stream`) constantly meets users and
+items the trained model has never seen.  Retraining for every newcomer
+is absurd; the classical answer (and the one ALS makes exact) is
+**fold-in**: hold the opposite factor matrix fixed and solve the one
+regularised least-squares problem the newcomer participates in,
+
+.. math::
+
+    \\min_x \\; \\sum_{v \\in R_u} (r_{uv} - x^T q_v)^2
+            + \\lambda \\, |R_u| \\, \\lVert x \\rVert^2,
+
+which is exactly one half-step of :func:`repro.sgd.als.train_als`
+restricted to the newcomers — including the weighted-lambda
+regularisation (``λ`` scaled by the rating count), so a fold-in row is
+the *optimum* of the same per-user objective the trainer descends.
+That gives the test tier a sharp invariant: for a user whose ratings
+were part of training, the fold-in row's regularised objective can
+never exceed the trained row's.
+
+The batch solver is vectorised over newcomers: each group's ratings are
+packed into one zero-padded ``(n_groups, d_max, k)`` tensor and batched
+BLAS matmuls plus batched :func:`np.linalg.solve` calls handle all
+systems chunk by chunk — no Python-level loop over users (a per-group
+BLAS fallback guards against pathological skew).  When newcomers carry
+fewer ratings than latent factors — the overwhelmingly common case —
+the solver switches to the **dual** form ``x = Fᵀ(FFᵀ + λdI)⁻¹r`` and
+solves ``d``-by-``d`` kernels instead of ``k``-by-``k`` Grams.  This is
+the throughput path measured by ``benchmarks/bench_stream.py``.
+"""
+
+from __future__ import annotations
+
+from typing import Optional, Tuple
+
+import numpy as np
+
+from ..exceptions import InvalidMatrixError
+from ..sparse import SparseRatingMatrix
+from .model import FactorModel
+
+#: Element ceiling of the padded ``(n_groups, d_max, k)`` gather used by
+#: the vectorised path (~256 MB of float64).  A batch whose most-rated
+#: newcomer pushes past it — heavy skew — falls back to the per-group
+#: BLAS loop instead of materialising the tensor.
+_PAD_ELEMENT_BUDGET = 32_000_000
+
+#: Element ceiling of one ``(chunk, k, k)`` Gram stack (~16 MB of
+#: float64).  The batched Gram+solve stage processes groups in chunks of
+#: this size so the working set stays cache-resident instead of
+#: streaming a multi-hundred-MB stack through memory three times.
+_GRAM_CHUNK_ELEMENTS = 2_000_000
+
+
+def solve_fold_in(
+    fixed_factors: np.ndarray,
+    group_ids: np.ndarray,
+    fixed_ids: np.ndarray,
+    vals: np.ndarray,
+    n_groups: int,
+    regularization: float,
+) -> Tuple[np.ndarray, np.ndarray]:
+    """Solve one ridge system per group against fixed factors, batched.
+
+    Parameters
+    ----------
+    fixed_factors:
+        The held-fixed factor matrix, one row per opposite entity —
+        ``Q.T`` (shape ``(n, k)``) when folding in users, ``P`` when
+        folding in items.
+    group_ids, fixed_ids, vals:
+        Parallel per-rating arrays: the group (newcomer) index in
+        ``[0, n_groups)``, the opposite entity's row in
+        ``fixed_factors``, and the rating value.
+    n_groups:
+        Number of systems to solve.
+    regularization:
+        The per-rating (weighted-lambda) regularisation strength; group
+        ``g`` with ``d`` ratings is regularised by ``d * regularization``,
+        matching :func:`repro.sgd.losses.regularized_loss` and the ALS
+        half-step.
+
+    Returns
+    -------
+    (rows, counts):
+        ``rows`` of shape ``(n_groups, k)`` — the solved factor rows,
+        zero for groups with no ratings — and ``counts`` of shape
+        ``(n_groups,)`` with each group's rating count (callers use it
+        to substitute an init row where the solve had no data).
+    """
+    fixed_factors = np.asarray(fixed_factors, dtype=np.float64)
+    group_ids = np.asarray(group_ids, dtype=np.int64)
+    fixed_ids = np.asarray(fixed_ids, dtype=np.int64)
+    vals = np.asarray(vals, dtype=np.float64)
+    if fixed_factors.ndim != 2:
+        raise InvalidMatrixError("fixed_factors must be a 2-D (entities, k) array")
+    if not (len(group_ids) == len(fixed_ids) == len(vals)):
+        raise InvalidMatrixError("fold-in rating arrays must have equal length")
+    if n_groups <= 0:
+        raise InvalidMatrixError(f"n_groups must be positive, got {n_groups}")
+    if len(group_ids) > 0:
+        if group_ids.min() < 0 or group_ids.max() >= n_groups:
+            raise InvalidMatrixError(
+                f"group ids must lie in [0, {n_groups}), got range "
+                f"[{group_ids.min()}, {group_ids.max()}]"
+            )
+        if fixed_ids.min() < 0 or fixed_ids.max() >= fixed_factors.shape[0]:
+            raise InvalidMatrixError(
+                f"fixed ids must lie in [0, {fixed_factors.shape[0]}), got "
+                f"range [{fixed_ids.min()}, {fixed_ids.max()}]"
+            )
+
+    k = fixed_factors.shape[1]
+    counts = np.bincount(group_ids, minlength=n_groups).astype(np.int64)
+    rows = np.zeros((n_groups, k))
+    solvable = counts > 0
+    if not solvable.any():
+        return rows, counts
+
+    factors = fixed_factors[fixed_ids]  # (nnz, k)
+    d_max = int(counts.max())
+    if n_groups * d_max * k <= _PAD_ELEMENT_BUDGET:
+        # Vectorised path: pack each group's ratings into a zero-padded
+        # (n_groups, d_max, k) tensor, then batched BLAS matmuls for the
+        # Gram stacks and batched LAPACK calls for the solves.  The zero
+        # rows contribute nothing to either product.
+        order = np.argsort(group_ids, kind="stable")
+        sorted_groups = group_ids[order]
+        starts = np.concatenate([[0], np.cumsum(counts)[:-1]])
+        position = np.arange(len(order)) - starts[sorted_groups]
+        padded = np.zeros((n_groups, d_max, k))
+        padded[sorted_groups, position] = factors[order]
+        padded_vals = np.zeros((n_groups, d_max, 1))
+        padded_vals[sorted_groups, position, 0] = vals[order]
+        # Empty groups get an identity system and a zero rhs, so the
+        # batched solve hands them a zero row without special-casing.
+        ridge = np.where(solvable, regularization * counts, 1.0)
+        if d_max < k:
+            # Dual (kernel) path: with d ratings the k-by-k normal
+            # system (FᵀF + λdI)x = Fᵀr shares its solution with
+            # x = Fᵀ(FFᵀ + λdI)⁻¹r — a d-by-d solve.  Newcomers almost
+            # always carry far fewer ratings than latent factors, which
+            # makes this the cheap side (d³ ≪ k³).  Zero padding rows
+            # decouple: their kernel rows are zero off-diagonal and
+            # their rhs is zero, so they solve to zero coefficients.
+            diag = np.arange(d_max)
+            chunk = max(1, _GRAM_CHUNK_ELEMENTS // (d_max * d_max))
+            for start in range(0, n_groups, chunk):
+                span = slice(start, start + chunk)
+                padded_t = padded[span].transpose(0, 2, 1)
+                kernel = padded[span] @ padded_t
+                kernel[:, diag, diag] += ridge[span, None]
+                coef = np.linalg.solve(kernel, padded_vals[span])
+                rows[span] = (padded_t @ coef)[..., 0]
+            return rows, counts
+        diag = np.arange(k)
+        # Chunk the Gram+solve stage: one (chunk, k, k) stack at a time
+        # keeps the working set cache-resident and avoids allocating a
+        # gram stack hundreds of MB large for big batches.
+        chunk = max(1, _GRAM_CHUNK_ELEMENTS // (k * k))
+        for start in range(0, n_groups, chunk):
+            span = slice(start, start + chunk)
+            padded_t = padded[span].transpose(0, 2, 1)
+            gram = padded_t @ padded[span]
+            rhs = padded_t @ padded_vals[span]
+            gram[:, diag, diag] += ridge[span, None]
+            rows[span] = np.linalg.solve(gram, rhs)[..., 0]
+        return rows, counts
+
+    # Skewed fallback: one group's rating count is large enough that the
+    # padded tensor would blow past the memory budget, so solve group by
+    # group (each step is still BLAS over that group's ratings).
+    order = np.argsort(group_ids, kind="stable")
+    boundaries = np.concatenate([[0], np.cumsum(counts[solvable])])
+    eye = np.eye(k)
+    for index, group in enumerate(np.flatnonzero(solvable)):
+        chunk = order[boundaries[index] : boundaries[index + 1]]
+        group_factors = factors[chunk]
+        d = len(chunk)
+        if d < k:
+            # Same dual trick as the vectorised path: a d-by-d solve.
+            kernel = (
+                group_factors @ group_factors.T
+                + regularization * d * np.eye(d)
+            )
+            rows[group] = group_factors.T @ np.linalg.solve(
+                kernel, vals[chunk]
+            )
+        else:
+            gram = (
+                group_factors.T @ group_factors
+                + regularization * d * eye
+            )
+            rows[group] = np.linalg.solve(
+                gram, group_factors.T @ vals[chunk]
+            )
+    return rows, counts
+
+
+def fold_in_objective(
+    row: np.ndarray,
+    fixed_factors: np.ndarray,
+    fixed_ids: np.ndarray,
+    vals: np.ndarray,
+    regularization: float,
+) -> float:
+    """The regularised objective a fold-in row minimises (for tests).
+
+    ``sum (r - row·q)^2 + reg * d * ||row||^2`` over one entity's
+    ratings — by convexity :func:`solve_fold_in`'s row attains the
+    global minimum, so any other row (including the trained one) scores
+    greater than or equal.
+    """
+    residual = vals - fixed_factors[fixed_ids] @ row
+    return float(
+        residual @ residual
+        + regularization * len(vals) * (row @ row)
+    )
+
+
+def grow_model(
+    model: FactorModel,
+    matrix: SparseRatingMatrix,
+    old_shape: Tuple[int, int],
+    reg_p: float,
+    reg_q: float,
+    seed: int = 0,
+    init_scale: Optional[float] = None,
+) -> FactorModel:
+    """Pad a trained model to a grown matrix's shape via fold-in.
+
+    The warm-start half of streaming retrain: ``model`` was trained on
+    an ``old_shape`` matrix, ``matrix`` has since grown new users and/or
+    items (dimensions never shrink — see
+    :meth:`~repro.sparse.SparseRatingMatrix.append`).  The returned
+    model has ``matrix``'s shape with
+
+    * the trained factor rows preserved **bitwise** in their positions,
+    * new-user rows solved by fold-in against the trained ``Q`` (using
+      their ratings on pre-existing items),
+    * new-item columns solved by fold-in against the grown ``P`` (using
+      every rater, old or new),
+    * newcomers with no usable ratings falling back to the same seeded
+      uniform init as :meth:`FactorModel.initialize`.
+
+    ``Q`` stays item-major so the resumed run keeps the block-major
+    kernel's fast path.
+    """
+    old_m, old_n = int(old_shape[0]), int(old_shape[1])
+    new_m, new_n = matrix.n_rows, matrix.n_cols
+    if model.shape != (old_m, old_n):
+        raise InvalidMatrixError(
+            f"model shape {model.shape} does not match old_shape ({old_m}, {old_n})"
+        )
+    if new_m < old_m or new_n < old_n:
+        raise InvalidMatrixError(
+            f"matrix shape ({new_m}, {new_n}) is smaller than the model's "
+            f"({old_m}, {old_n}); dimensions never shrink"
+        )
+    k = model.latent_factors
+    if init_scale is None:
+        init_scale = 1.0 / np.sqrt(k)
+    rng = np.random.default_rng(seed)
+
+    p = np.empty((new_m, k))
+    p[:old_m] = model.p
+    p[old_m:] = rng.uniform(0.0, init_scale, size=(new_m - old_m, k))
+    q_t = np.empty((new_n, k))  # item-major buffer
+    q_t[:old_n] = model.q.T
+    q_t[old_n:] = rng.uniform(0.0, init_scale, size=(new_n - old_n, k))
+
+    rows, cols, vals = matrix.rows, matrix.cols, matrix.vals
+    if new_m > old_m:
+        # New users against the *trained* Q: only their ratings on
+        # pre-existing items carry signal.
+        mask = (rows >= old_m) & (cols < old_n)
+        if mask.any():
+            solved, counts = solve_fold_in(
+                q_t[:old_n],
+                rows[mask] - old_m,
+                cols[mask],
+                vals[mask],
+                new_m - old_m,
+                reg_p,
+            )
+            p[old_m:][counts > 0] = solved[counts > 0]
+    if new_n > old_n:
+        # New items against the grown P: every rater contributes (old
+        # users are trained, new users just received fold-in rows).
+        mask = cols >= old_n
+        if mask.any():
+            solved, counts = solve_fold_in(
+                p,
+                cols[mask] - old_n,
+                rows[mask],
+                vals[mask],
+                new_n - old_n,
+                reg_q,
+            )
+            q_t[old_n:][counts > 0] = solved[counts > 0]
+
+    return FactorModel(p, q_t.T)

@@ -231,6 +231,90 @@ class FactorModel:
         return top[np.argsort(-scores[top])]
 
     # ------------------------------------------------------------------ #
+    # Fold-in (streaming newcomers; see repro.sgd.foldin)
+    # ------------------------------------------------------------------ #
+    def fold_in_users(
+        self,
+        users: np.ndarray,
+        items: np.ndarray,
+        vals: np.ndarray,
+        regularization: float = 0.05,
+    ) -> Tuple[np.ndarray, np.ndarray]:
+        """Solve factor rows for users against this model's fixed ``Q``.
+
+        One regularised least-squares solve per distinct user, vectorised
+        over the batch (see :func:`repro.sgd.foldin.solve_fold_in`).  The
+        users need not exist in ``P`` — this is how brand-new users from
+        a rating stream get factors without retraining.  The model is
+        **not** mutated; callers place the rows into a grown ``P``
+        (:func:`repro.sgd.foldin.grow_model` does this during
+        warm-start).
+
+        Parameters
+        ----------
+        users, items, vals:
+            Parallel per-rating arrays.  ``items`` must index into this
+            model's ``Q``.
+        regularization:
+            Weighted-lambda strength (per rating), matching
+            ``TrainingConfig.reg_p``.
+
+        Returns
+        -------
+        (unique_users, rows):
+            The distinct user ids (sorted) and one solved ``k``-vector
+            per id.
+        """
+        from .foldin import solve_fold_in
+
+        users = np.asarray(users, dtype=np.int64)
+        items = np.asarray(items, dtype=np.int64)
+        if users.size == 0:
+            return users, np.empty((0, self.latent_factors))
+        self._check_ids(items, self.q.shape[1], "item")
+        unique_users, group_ids = np.unique(users, return_inverse=True)
+        rows, _ = solve_fold_in(
+            np.ascontiguousarray(self.q.T),
+            group_ids,
+            items,
+            vals,
+            len(unique_users),
+            regularization,
+        )
+        return unique_users, rows
+
+    def fold_in_items(
+        self,
+        users: np.ndarray,
+        items: np.ndarray,
+        vals: np.ndarray,
+        regularization: float = 0.05,
+    ) -> Tuple[np.ndarray, np.ndarray]:
+        """Solve factor columns for items against this model's fixed ``P``.
+
+        The item-side mirror of :meth:`fold_in_users`: ``users`` must
+        index into ``P``; the returned rows are item-major ``k``-vectors
+        (place row ``i`` as column ``unique_items[i]`` of a grown ``Q``).
+        """
+        from .foldin import solve_fold_in
+
+        users = np.asarray(users, dtype=np.int64)
+        items = np.asarray(items, dtype=np.int64)
+        if items.size == 0:
+            return items, np.empty((0, self.latent_factors))
+        self._check_ids(users, self.p.shape[0], "user")
+        unique_items, group_ids = np.unique(items, return_inverse=True)
+        rows, _ = solve_fold_in(
+            self.p,
+            group_ids,
+            users,
+            vals,
+            len(unique_items),
+            regularization,
+        )
+        return unique_items, rows
+
+    # ------------------------------------------------------------------ #
     # Persistence (the "data post-processing phase" of Algorithm 1)
     # ------------------------------------------------------------------ #
     def save(self, path: PathLike) -> None:

@@ -215,6 +215,7 @@ class BlockStore:
 
     def __init__(self, matrix: SparseRatingMatrix) -> None:
         self._matrix = matrix
+        self._version = matrix.version
         self._blocks: Dict[Tuple[int, int], BlockData] = {}
         self._tasks: Dict[Tuple[Tuple[int, int], ...], BlockData] = {}
 
@@ -223,8 +224,25 @@ class BlockStore:
         """The rating matrix the store gathers from."""
         return self._matrix
 
+    def _check_version(self) -> None:
+        """Drop stale records after a matrix mutation.
+
+        :meth:`SparseRatingMatrix.append` bumps the matrix's
+        :attr:`~SparseRatingMatrix.version`; records gathered before the
+        mutation describe the pre-append matrix (and a regrown grid's
+        blocks would silently alias old cache keys), so the whole cache
+        is invalidated and records re-materialise lazily against the
+        current arrays.
+        """
+        version = self._matrix.version
+        if version != self._version:
+            self._blocks = {}
+            self._tasks = {}
+            self._version = version
+
     def block_data(self, block) -> BlockData:
         """The cached :class:`BlockData` of one grid block."""
+        self._check_version()
         key = (block.row_band, block.col_band)
         data = self._blocks.get(key)
         if data is None:
@@ -244,6 +262,7 @@ class BlockStore:
         blocks = task.blocks
         if len(blocks) == 1:
             return self.block_data(blocks[0])
+        self._check_version()
         key = tuple((block.row_band, block.col_band) for block in blocks)
         data = self._tasks.get(key)
         if data is None:

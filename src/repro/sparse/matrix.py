@@ -1,13 +1,19 @@
-"""Immutable COO sparse rating matrix.
+"""Append-only COO sparse rating matrix.
 
 The rating matrix of the paper (Section II-A) is a sparse matrix
 ``R in R^{m x n}`` whose explicit entries are ratings ``r_{u,v}``.  The
 paper stores it "in the form of triadic tuple"; we mirror that with three
 parallel numpy arrays ``rows``, ``cols``, ``vals``.
 
-The container is deliberately immutable: schedulers and simulation runs
-share a single matrix object, and block extraction returns index views
-into the same arrays instead of copying ratings.
+The container is *append-only*: schedulers and simulation runs share a
+single matrix object, block extraction returns index views into the same
+arrays instead of copying ratings, and the only permitted mutation is
+:meth:`SparseRatingMatrix.append` — new ratings (and dimension growth
+for new users/items) are added at the end of the arrays, never changing
+or reordering the existing triples.  Every mutation bumps
+:attr:`SparseRatingMatrix.version` so derived caches (the CSR rows
+cached here, the :class:`~repro.sparse.blockstore.BlockStore` records)
+can detect staleness instead of silently serving pre-append state.
 """
 
 from __future__ import annotations
@@ -42,10 +48,12 @@ class SparseRatingMatrix:
     The arrays are copied into contiguous, canonical dtypes
     (``int64`` indices, ``float64`` values) and marked read-only, so a
     matrix can be shared freely between schedulers, workers and metrics
-    without defensive copying.
+    without defensive copying.  :meth:`append` replaces the arrays
+    wholesale (existing triples first, bitwise unchanged) rather than
+    writing into them, so views handed out earlier stay valid snapshots.
     """
 
-    __slots__ = ("_rows", "_cols", "_vals", "_m", "_n", "_csr")
+    __slots__ = ("_rows", "_cols", "_vals", "_m", "_n", "_csr", "_version")
 
     def __init__(
         self,
@@ -104,6 +112,7 @@ class SparseRatingMatrix:
         self._m = m
         self._n = n
         self._csr: Optional[Tuple[np.ndarray, np.ndarray]] = None
+        self._version = 0
 
     # ------------------------------------------------------------------ #
     # Basic properties
@@ -142,6 +151,17 @@ class SparseRatingMatrix:
     def nnz(self) -> int:
         """Number of explicit ratings."""
         return len(self._vals)
+
+    @property
+    def version(self) -> int:
+        """Mutation counter: bumped by every :meth:`append`.
+
+        Derived caches (the CSR rows of :meth:`csr_rows`, the
+        :class:`~repro.sparse.blockstore.BlockStore` block records)
+        remember the version they were built against and rebuild when it
+        moves, so no consumer can silently keep serving pre-append state.
+        """
+        return self._version
 
     @property
     def density(self) -> float:
@@ -202,8 +222,11 @@ class SparseRatingMatrix:
         (:class:`repro.serve.Scorer`); the sorted order is what lets the
         scorer ``searchsorted`` a user's seen items per item chunk.
 
-        Computed once and cached on the matrix — the container is
-        immutable, so the CSR view can never go stale.
+        Computed lazily and cached on the matrix; the cache is
+        invalidated by :meth:`append` (any mutation), so the rows always
+        reflect every rating ingested so far — a stale CSR would
+        silently mis-exclude (or fail to exclude) items in the serving
+        layer.
         """
         if self._csr is None:
             order = np.lexsort((self._cols, self._rows))
@@ -230,6 +253,111 @@ class SparseRatingMatrix:
         if self.nnz == 0:
             return (0.0, 0.0)
         return (float(self._vals.min()), float(self._vals.max()))
+
+    # ------------------------------------------------------------------ #
+    # Mutation (append-only: the streaming ingestion path)
+    # ------------------------------------------------------------------ #
+    def append(
+        self,
+        rows: np.ndarray,
+        cols: np.ndarray,
+        vals: np.ndarray,
+        n_rows: Optional[int] = None,
+        n_cols: Optional[int] = None,
+    ) -> int:
+        """Append new ratings in place, growing ``(m, n)`` as needed.
+
+        This is the data-plane half of streaming ingestion
+        (:mod:`repro.stream`): production traffic arrives as new triples
+        — possibly referencing brand-new users or items — and the live
+        matrix absorbs them without a rebuild.
+
+        Parameters
+        ----------
+        rows, cols, vals:
+            The new ratings as parallel coordinate arrays (empty arrays
+            are allowed, e.g. for pure dimension growth).
+        n_rows, n_cols:
+            Optional explicit new dimensions.  Dimensions only ever
+            grow: the effective new shape is the maximum of the current
+            shape, one plus the largest appended index, and these
+            arguments; asking for a dimension *smaller* than the current
+            one raises :class:`InvalidMatrixError`.
+
+        Returns
+        -------
+        int
+            The number of ratings appended.
+
+        Notes
+        -----
+        The pre-existing triples are preserved bitwise and keep their
+        storage positions — appended ratings strictly follow them — so
+        index-based views (grid blocks, splits) taken earlier remain
+        valid descriptions of the old ratings.  Every call bumps
+        :attr:`version` and invalidates the cached CSR rows
+        (:meth:`csr_rows`), which is what keeps the serving layer's
+        seen-item exclusion and the block store's records from going
+        stale.
+        """
+        rows = np.ascontiguousarray(rows, dtype=np.int64)
+        cols = np.ascontiguousarray(cols, dtype=np.int64)
+        vals = np.ascontiguousarray(vals, dtype=np.float64)
+        if rows.ndim != 1 or cols.ndim != 1 or vals.ndim != 1:
+            raise InvalidMatrixError("rows, cols and vals must be 1-D arrays")
+        if not (len(rows) == len(cols) == len(vals)):
+            raise InvalidMatrixError(
+                f"coordinate arrays must have equal length, got "
+                f"{len(rows)}, {len(cols)}, {len(vals)}"
+            )
+        if len(vals) > 0 and not np.all(np.isfinite(vals)):
+            raise InvalidMatrixError("rating values must be finite")
+        if len(rows) > 0 and (rows.min() < 0 or cols.min() < 0):
+            raise InvalidMatrixError("appended indices must be non-negative")
+        for name, requested, current in (
+            ("n_rows", n_rows, self._m),
+            ("n_cols", n_cols, self._n),
+        ):
+            if requested is not None and requested < current:
+                raise InvalidMatrixError(
+                    f"dimensions never shrink: requested {name}={requested} "
+                    f"below the current {current}"
+                )
+        new_m = max(
+            self._m,
+            int(rows.max()) + 1 if len(rows) else 0,
+            int(n_rows) if n_rows is not None else 0,
+        )
+        new_n = max(
+            self._n,
+            int(cols.max()) + 1 if len(cols) else 0,
+            int(n_cols) if n_cols is not None else 0,
+        )
+        if len(rows) > 0:
+            merged_rows = np.concatenate([self._rows, rows])
+            merged_cols = np.concatenate([self._cols, cols])
+            merged_vals = np.concatenate([self._vals, vals])
+            for array in (merged_rows, merged_cols, merged_vals):
+                array.setflags(write=False)
+            self._rows = merged_rows
+            self._cols = merged_cols
+            self._vals = merged_vals
+        self._m = new_m
+        self._n = new_n
+        # Any mutation invalidates derived caches: a stale CSR would
+        # silently mis-exclude rated items in the serving layer, and a
+        # stale BlockStore would train on pre-append data.
+        self._csr = None
+        self._version += 1
+        return len(vals)
+
+    def append_triples(self, triples) -> int:
+        """Append an iterable of ``(u, v, r)`` triples (see :meth:`append`)."""
+        triples = list(triples)
+        rows = np.array([t[0] for t in triples], dtype=np.int64)
+        cols = np.array([t[1] for t in triples], dtype=np.int64)
+        vals = np.array([t[2] for t in triples], dtype=np.float64)
+        return self.append(rows, cols, vals)
 
     # ------------------------------------------------------------------ #
     # Transformations (all return new matrices; self is never mutated)

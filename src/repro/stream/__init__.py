@@ -1,0 +1,38 @@
+"""Online ingestion: streaming ratings into a live, servable model.
+
+The offline stack factorizes a frozen matrix; this package makes it a
+living service.  Four layers, each building on an existing subsystem:
+
+* **data plane** — :meth:`repro.sparse.SparseRatingMatrix.append`
+  grows the live matrix in place (dimensions only ever grow) and
+  invalidates the CSR/BlockStore caches derived from it;
+* **fold-in** — :mod:`repro.sgd.foldin` gives brand-new users and items
+  factor rows via one vectorised regularised least-squares solve
+  against the fixed opposite matrix;
+* **warm-start** — ``fit(resume_from=checkpoint)`` over a grown matrix
+  (:meth:`repro.core.trainer.HeterogeneousTrainer.fit`) pads the
+  checkpointed factors with fold-in rows and re-derives the grid and
+  scheduler, so retrains start from the live model;
+* **policy + serving** — :class:`DriftMonitor` watches the live model's
+  RMSE on a held-out window of the most recent ratings and decides when
+  fold-in stops being enough; :class:`IngestSession` runs the loop and
+  publishes every model change to a :class:`repro.serve.ModelStore`
+  for reader hot-swap.
+
+See DESIGN.md ("Streaming model lifecycle"), ``repro ingest`` and
+``examples/streaming_pipeline.py``.
+"""
+
+from .drift import DriftMonitor, DriftPolicy, DriftReading, window_rmse
+from .ingest import CaptureCheckpoint, IngestReport, IngestSession, IngestStats
+
+__all__ = [
+    "CaptureCheckpoint",
+    "DriftMonitor",
+    "DriftPolicy",
+    "DriftReading",
+    "IngestReport",
+    "IngestSession",
+    "IngestStats",
+    "window_rmse",
+]

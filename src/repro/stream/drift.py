@@ -1,0 +1,188 @@
+"""Drift detection: when is fold-in no longer enough?
+
+Fold-in (:mod:`repro.sgd.foldin`) absorbs newcomers cheaply but holds
+every trained factor fixed — as the rating distribution moves, the live
+model's accuracy on *recent* traffic decays even though nothing about
+the model changed.  The streaming tier therefore keeps a held-out
+window of the most recent ratings (never yet trained on — see
+:class:`repro.stream.ingest.IngestSession`) and tracks the live model's
+validation RMSE on it:
+
+* right after a (re)train, the monitor **rebases**: the fresh model's
+  RMSE on the then-current window becomes the baseline;
+* on every evaluation, the *delta* of the current RMSE over that
+  baseline — plus the window *coverage*, the fraction of the window the
+  model can score at all (newcomers outside the model's shape cannot
+  be) — feeds the :class:`DriftPolicy` thresholds;
+* a tripped threshold recommends a warm-start retrain, after which the
+  monitor is rebased again.
+
+The policy is deliberately two-signal: rising RMSE catches preference
+drift among known users/items, falling coverage catches cold-start
+pressure (a flood of newcomers fold-in alone would serve with
+untrained-quality factors).
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+from typing import Optional
+
+import numpy as np
+
+from ..exceptions import ConfigurationError
+from ..sgd.model import FactorModel
+
+
+@dataclass(frozen=True)
+class DriftPolicy:
+    """Thresholds deciding fold-in vs. warm-start retrain.
+
+    Attributes
+    ----------
+    rmse_increase:
+        Absolute increase of the window RMSE over the rebased baseline
+        that triggers a retrain.
+    min_coverage:
+        Minimum fraction of the window the live model must be able to
+        score; below it, a retrain is triggered regardless of RMSE.
+    min_window:
+        Evaluations over fewer scorable ratings than this never trigger
+        (too noisy to act on).
+    """
+
+    rmse_increase: float = 0.05
+    min_coverage: float = 0.8
+    min_window: int = 20
+
+    def __post_init__(self) -> None:
+        if self.rmse_increase < 0:
+            raise ConfigurationError(
+                f"rmse_increase must be non-negative, got {self.rmse_increase}"
+            )
+        if not 0.0 <= self.min_coverage <= 1.0:
+            raise ConfigurationError(
+                f"min_coverage must lie in [0, 1], got {self.min_coverage}"
+            )
+        if self.min_window < 1:
+            raise ConfigurationError(
+                f"min_window must be positive, got {self.min_window}"
+            )
+
+
+@dataclass(frozen=True)
+class DriftReading:
+    """One evaluation of the live model against the recent window."""
+
+    rmse: Optional[float]
+    """Window RMSE over the scorable ratings (``None`` if none are)."""
+    baseline_rmse: Optional[float]
+    """The rebased baseline (``None`` before the first rebase)."""
+    coverage: float
+    """Fraction of the window the model could score."""
+    scorable: int
+    """Number of window ratings inside the model's shape."""
+    window: int
+    """Total window size at evaluation time."""
+    retrain: bool
+    """Whether the policy recommends a warm-start retrain."""
+    reason: str
+    """Human-readable trigger (``"rmse"``, ``"coverage"`` or ``"ok"``)."""
+
+    @property
+    def delta(self) -> Optional[float]:
+        """``rmse - baseline_rmse`` when both are defined."""
+        if self.rmse is None or self.baseline_rmse is None:
+            return None
+        return self.rmse - self.baseline_rmse
+
+
+def window_rmse(
+    model: FactorModel,
+    users: np.ndarray,
+    items: np.ndarray,
+    vals: np.ndarray,
+) -> tuple:
+    """``(rmse, scorable)`` of ``model`` over the window's scorable part.
+
+    A window rating is *scorable* when both its user and item fall
+    inside the model's shape; newcomers beyond it are excluded (they
+    are exactly what the coverage signal counts).
+    """
+    users = np.asarray(users, dtype=np.int64)
+    items = np.asarray(items, dtype=np.int64)
+    vals = np.asarray(vals, dtype=np.float64)
+    m, n = model.shape
+    mask = (users >= 0) & (users < m) & (items >= 0) & (items < n)
+    scorable = int(mask.sum())
+    if scorable == 0:
+        return None, 0
+    errors = model.predict(users[mask], items[mask]) - vals[mask]
+    return float(np.sqrt(errors @ errors / scorable)), scorable
+
+
+class DriftMonitor:
+    """Tracks the live model's window RMSE against a rebased baseline."""
+
+    def __init__(self, policy: Optional[DriftPolicy] = None) -> None:
+        self.policy = policy or DriftPolicy()
+        self._baseline: Optional[float] = None
+
+    @property
+    def baseline_rmse(self) -> Optional[float]:
+        """The baseline set by the last :meth:`rebase` (``None`` before)."""
+        return self._baseline
+
+    def rebase(
+        self,
+        model: FactorModel,
+        users: np.ndarray,
+        items: np.ndarray,
+        vals: np.ndarray,
+    ) -> Optional[float]:
+        """Record ``model``'s window RMSE as the new baseline.
+
+        Called right after a (re)train, with the *current* window — the
+        freshly trained model's accuracy on traffic it has never seen is
+        the honest reference future evaluations are compared against.
+        Returns the new baseline (``None`` when nothing was scorable,
+        which clears the baseline).
+        """
+        self._baseline, _ = window_rmse(model, users, items, vals)
+        return self._baseline
+
+    def evaluate(
+        self,
+        model: FactorModel,
+        users: np.ndarray,
+        items: np.ndarray,
+        vals: np.ndarray,
+    ) -> DriftReading:
+        """Score ``model`` on the window and apply the policy."""
+        window = len(np.asarray(vals))
+        rmse_value, scorable = window_rmse(model, users, items, vals)
+        coverage = scorable / window if window else 1.0
+        policy = self.policy
+        retrain = False
+        reason = "ok"
+        if window >= policy.min_window:
+            if coverage < policy.min_coverage:
+                retrain = True
+                reason = "coverage"
+            elif (
+                rmse_value is not None
+                and self._baseline is not None
+                and scorable >= policy.min_window
+                and rmse_value - self._baseline > policy.rmse_increase
+            ):
+                retrain = True
+                reason = "rmse"
+        return DriftReading(
+            rmse=rmse_value,
+            baseline_rmse=self._baseline,
+            coverage=coverage,
+            scorable=scorable,
+            window=window,
+            retrain=retrain,
+            reason=reason,
+        )

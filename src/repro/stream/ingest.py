@@ -1,0 +1,378 @@
+"""The streaming ingestion loop: append, fold in, retrain, publish.
+
+:class:`IngestSession` is the controller that turns the repo's offline
+pieces into an online system.  It owns four things:
+
+* the **live matrix** — an append-only
+  :class:`~repro.sparse.SparseRatingMatrix` that absorbs graduated
+  stream ratings (:meth:`~repro.sparse.SparseRatingMatrix.append`);
+* the **live model** — served factors, padded with least-squares
+  fold-in rows (:func:`repro.sgd.foldin.grow_model`) whenever the
+  matrix grows past the model's shape;
+* the **held-out window** — the most recent ``window_size`` stream
+  ratings, deliberately *not* yet appended to the matrix.  They are the
+  validation set of the :class:`~repro.stream.drift.DriftMonitor`:
+  because the model has never trained on them, the window RMSE is an
+  honest estimate of live accuracy.  A rating graduates into the matrix
+  only when newer ratings push it out of the window;
+* the **resume checkpoint** — captured at the last trained epoch of
+  every (re)train, so a drift-triggered retrain warm-starts from the
+  live factors (``fit(resume_from=...)`` over the grown matrix) instead
+  of random init.
+
+When a :class:`~repro.serve.ModelStore` is attached, every change to
+the live model (fold-in growth or retrain) is published as a new
+version; reader processes hot-swap at their own pace
+(:func:`repro.serve.attach_model`), which is the end-to-end path
+``examples/streaming_pipeline.py`` demonstrates.
+"""
+
+from __future__ import annotations
+
+from collections import deque
+from dataclasses import dataclass, field
+from typing import Deque, List, Optional, Tuple
+
+import numpy as np
+
+from ..core.trainer import HeterogeneousTrainer, TrainResult
+from ..exceptions import ConfigurationError
+from ..exec.callbacks import CONTINUE, Callback
+from ..exec.checkpoint import TrainCheckpoint
+from ..serve.store import ModelStore
+from ..sgd.foldin import grow_model
+from ..sgd.model import FactorModel
+from ..sparse import SparseRatingMatrix
+from .drift import DriftMonitor, DriftPolicy, DriftReading
+
+
+class CaptureCheckpoint(Callback):
+    """Keep an in-memory :class:`TrainCheckpoint` of the latest epoch.
+
+    Unlike :class:`~repro.exec.callbacks.Checkpoint` nothing touches
+    disk — the ingest loop only needs the newest boundary to warm-start
+    the *next* retrain from, so each capture replaces the previous one.
+    """
+
+    requires_pause = True
+
+    def __init__(self) -> None:
+        self.checkpoint: Optional[TrainCheckpoint] = None
+
+    def on_epoch_end(self, report, session):
+        self.checkpoint = TrainCheckpoint.capture(session)
+        return CONTINUE
+
+
+@dataclass(frozen=True)
+class IngestReport:
+    """What one :meth:`IngestSession.ingest` call did."""
+
+    ingested: int
+    """Ratings accepted into the window by this call."""
+    graduated: int
+    """Ratings that left the window and were appended to the matrix."""
+    folded_users: int
+    """New user rows added to the live model by fold-in."""
+    folded_items: int
+    """New item columns added to the live model by fold-in."""
+    drift: Optional[DriftReading]
+    """The drift evaluation (``None`` when the window was empty)."""
+    retrained: bool
+    """Whether a warm-start retrain ran."""
+    published_version: Optional[int]
+    """The version published this call (``None`` when nothing changed
+    or no store is attached)."""
+
+
+@dataclass
+class IngestStats:
+    """Running totals across a session's lifetime."""
+
+    ingested: int = 0
+    graduated: int = 0
+    folded_users: int = 0
+    folded_items: int = 0
+    retrains: int = 0
+    publishes: int = 0
+    drift_readings: List[DriftReading] = field(default_factory=list)
+
+
+class IngestSession:
+    """Consume a rating stream against a live, servable model.
+
+    Parameters
+    ----------
+    trainer:
+        The configured :class:`~repro.core.trainer.HeterogeneousTrainer`
+        used for the initial train and every warm-start retrain.
+    matrix:
+        The training matrix; the session mutates it in place via
+        :meth:`~repro.sparse.SparseRatingMatrix.append` as stream
+        ratings graduate out of the held-out window.
+    store:
+        Optional :class:`~repro.serve.ModelStore`; when given, every
+        live-model change is published as a new version.  The store
+        stays caller-owned (the session never closes it).
+    window_size:
+        Size of the held-out recent window (the drift validation set).
+    policy:
+        :class:`~repro.stream.drift.DriftPolicy` thresholds.
+    backend:
+        Execution backend override forwarded to ``trainer.fit``.
+    train_iterations / retrain_iterations:
+        Epoch counts for :meth:`start` and for drift-triggered retrains
+        (both default to the trainer's configured iterations).
+    """
+
+    def __init__(
+        self,
+        trainer: HeterogeneousTrainer,
+        matrix: SparseRatingMatrix,
+        store: Optional[ModelStore] = None,
+        window_size: int = 256,
+        policy: Optional[DriftPolicy] = None,
+        backend: Optional[str] = None,
+        train_iterations: Optional[int] = None,
+        retrain_iterations: Optional[int] = None,
+    ) -> None:
+        if window_size < 1:
+            raise ConfigurationError(
+                f"window_size must be positive, got {window_size}"
+            )
+        self.trainer = trainer
+        self.matrix = matrix
+        self.store = store
+        self.window_size = int(window_size)
+        self.monitor = DriftMonitor(policy)
+        self.stats = IngestStats()
+        self._backend = backend
+        self._train_iterations = train_iterations
+        self._retrain_iterations = retrain_iterations
+        self._pending: Deque[Tuple[int, int, float]] = deque()
+        self._model: Optional[FactorModel] = None
+        self._checkpoint: Optional[TrainCheckpoint] = None
+
+    # ------------------------------------------------------------------ #
+    # Introspection
+    # ------------------------------------------------------------------ #
+    @property
+    def model(self) -> FactorModel:
+        """The live model (:meth:`start` must have run)."""
+        if self._model is None:
+            raise ConfigurationError(
+                "the session has no model yet; call start() first"
+            )
+        return self._model
+
+    @property
+    def started(self) -> bool:
+        """Whether :meth:`start` has trained the initial model."""
+        return self._model is not None
+
+    def window(self) -> Tuple[np.ndarray, np.ndarray, np.ndarray]:
+        """The held-out window as parallel ``(users, items, vals)`` arrays."""
+        if not self._pending:
+            empty_ids = np.empty(0, dtype=np.int64)
+            return empty_ids, empty_ids.copy(), np.empty(0)
+        users, items, vals = zip(*self._pending)
+        return (
+            np.asarray(users, dtype=np.int64),
+            np.asarray(items, dtype=np.int64),
+            np.asarray(vals, dtype=np.float64),
+        )
+
+    # ------------------------------------------------------------------ #
+    # Lifecycle
+    # ------------------------------------------------------------------ #
+    def start(self) -> TrainResult:
+        """Train the base model on the current matrix and go live."""
+        if self._model is not None:
+            raise ConfigurationError("the session is already started")
+        result = self._train(resume_from=None, iterations=self._train_iterations)
+        self._publish()
+        return result
+
+    def ingest(
+        self,
+        users: np.ndarray,
+        items: np.ndarray,
+        vals: np.ndarray,
+    ) -> IngestReport:
+        """Absorb one batch of stream ratings.
+
+        The batch enters the held-out window; ratings the batch pushes
+        out of the window graduate into the training matrix.  If
+        graduation grew the matrix past the live model's shape, the
+        newcomers are folded in.  The drift monitor then scores the live
+        model on the new window, and a tripped policy triggers a
+        warm-start retrain.  Any model change is published.
+        """
+        model = self.model  # raises before start()
+        users = np.asarray(users, dtype=np.int64)
+        items = np.asarray(items, dtype=np.int64)
+        vals = np.asarray(vals, dtype=np.float64)
+        if not (len(users) == len(items) == len(vals)):
+            raise ConfigurationError(
+                "users, items and vals must have equal lengths"
+            )
+        for user, item, val in zip(users, items, vals):
+            self._pending.append((int(user), int(item), float(val)))
+        self.stats.ingested += len(vals)
+
+        graduated = []
+        while len(self._pending) > self.window_size:
+            graduated.append(self._pending.popleft())
+        folded_users, folded_items = self._graduate(graduated)
+
+        drift: Optional[DriftReading] = None
+        retrained = False
+        if self._pending:
+            if self.monitor.baseline_rmse is None:
+                # (Re)training rebases on the then-current window, which
+                # may have been empty (e.g. right after start, or after a
+                # retrain graduated it).  Re-anchor on the first window
+                # the live model has demonstrably never trained on.
+                self.monitor.rebase(self._model, *self.window())
+            drift = self.monitor.evaluate(self._model, *self.window())
+            self.stats.drift_readings.append(drift)
+            if drift.retrain:
+                # The retrain must learn from the freshest ratings — and
+                # a coverage trigger can only be cured by absorbing the
+                # window's newcomers — so the window graduates first.
+                drained = list(self._pending)
+                self._pending.clear()
+                fold_u, fold_i = self._graduate(drained)
+                graduated.extend(drained)
+                folded_users += fold_u
+                folded_items += fold_i
+                self._train(
+                    resume_from=self._checkpoint,
+                    iterations=self._retrain_iterations,
+                )
+                retrained = True
+        version = (
+            self._publish()
+            if (folded_users or folded_items or retrained)
+            else None
+        )
+        return IngestReport(
+            ingested=len(vals),
+            graduated=len(graduated),
+            folded_users=folded_users,
+            folded_items=folded_items,
+            drift=drift,
+            retrained=retrained,
+            published_version=version,
+        )
+
+    def flush(self) -> IngestReport:
+        """Graduate the entire window into the matrix (e.g. at shutdown).
+
+        Folds in any newcomers and publishes if the model changed; the
+        drift monitor is not consulted (the window is empty afterwards).
+        """
+        self.model  # raises before start()
+        graduated = list(self._pending)
+        self._pending.clear()
+        folded_users, folded_items = self._graduate(graduated)
+        version = self._publish() if (folded_users or folded_items) else None
+        return IngestReport(
+            ingested=0,
+            graduated=len(graduated),
+            folded_users=folded_users,
+            folded_items=folded_items,
+            drift=None,
+            retrained=False,
+            published_version=version,
+        )
+
+    def retrain(self) -> TrainResult:
+        """Force a warm-start retrain outside the drift policy."""
+        self.model  # raises before start()
+        return self._train(
+            resume_from=self._checkpoint, iterations=self._retrain_iterations
+        )
+
+    # ------------------------------------------------------------------ #
+    # Internals
+    # ------------------------------------------------------------------ #
+    def _graduate(self, graduated) -> Tuple[int, int]:
+        """Append graduated ratings and fold newcomers into the model."""
+        if not graduated:
+            return 0, 0
+        self.matrix.append_triples(graduated)
+        self.stats.graduated += len(graduated)
+        model = self._model
+        old_m, old_n = model.shape
+        if self.matrix.n_rows <= old_m and self.matrix.n_cols <= old_n:
+            return 0, 0
+        training = self.trainer.training
+        self._model = grow_model(
+            model,
+            self.matrix,
+            model.shape,
+            reg_p=training.reg_p,
+            reg_q=training.reg_q,
+            seed=self.trainer.seed,
+            init_scale=training.effective_init_scale,
+        )
+        folded_users = self.matrix.n_rows - old_m
+        folded_items = self.matrix.n_cols - old_n
+        self.stats.folded_users += folded_users
+        self.stats.folded_items += folded_items
+        return folded_users, folded_items
+
+    def _train(
+        self,
+        resume_from: Optional[TrainCheckpoint],
+        iterations: Optional[int],
+    ) -> TrainResult:
+        """Run one (re)train, refresh the checkpoint and rebase drift."""
+        capture = CaptureCheckpoint()
+        if iterations is None:
+            iterations = self.trainer.training.iterations
+        if resume_from is not None:
+            meta = resume_from.meta
+            exact = (
+                (self.matrix.n_rows, self.matrix.n_cols)
+                == (meta.get("n_rows"), meta.get("n_cols"))
+                and self.matrix.nnz == meta.get("total_points")
+            )
+            if exact:
+                # Exact resume counts total epochs (checkpointed ones
+                # included); a retrain means "this many *more* passes".
+                iterations = resume_from.epoch + iterations
+        result = self.trainer.fit(
+            self.matrix,
+            iterations=iterations,
+            backend=self._backend,
+            callbacks=[capture],
+            resume_from=resume_from,
+        )
+        if capture.checkpoint is None:  # pragma: no cover - defensive
+            raise ConfigurationError(
+                "training finished without reaching an epoch boundary; "
+                "cannot maintain the warm-start checkpoint"
+            )
+        if self._model is not None:  # the initial train is not a retrain
+            self.stats.retrains += 1
+        self._model = result.model
+        self._checkpoint = capture.checkpoint
+        self.monitor.rebase(self._model, *self.window())
+        return result
+
+    def _publish(self) -> Optional[int]:
+        """Publish the live model to the attached store, if any."""
+        if self.store is None:
+            return None
+        handle = self.store.publish(self.model)
+        self.stats.publishes += 1
+        return handle.version
+
+    def __repr__(self) -> str:  # pragma: no cover - debugging aid
+        return (
+            f"IngestSession(matrix={self.matrix.nnz} ratings, "
+            f"window={len(self._pending)}/{self.window_size}, "
+            f"started={self.started})"
+        )

@@ -30,6 +30,7 @@ EXPECTED_OUTPUT = {
     "recommender_pipeline.py": "hit-rate@10",
     "resumable_training.py": "bitwise identical : True",
     "serving_pipeline.py": "clean shutdown, leaked segments: none",
+    "streaming_pipeline.py": "clean shutdown, leaked segments: none",
 }
 
 

@@ -105,6 +105,96 @@ class TestStatistics:
         assert matrix.rating_range() == (0.0, 0.0)
 
 
+class TestAppend:
+    """The streaming mutation path: append-only growth."""
+
+    def _matrix(self):
+        return SparseRatingMatrix.from_triples(
+            [(0, 0, 5.0), (1, 1, 3.0), (2, 0, 4.0)], shape=(3, 2)
+        )
+
+    def test_append_grows_shape_and_nnz(self):
+        matrix = self._matrix()
+        added = matrix.append(
+            np.array([3, 4]), np.array([2, 0]), np.array([1.0, 2.0])
+        )
+        assert added == 2
+        assert matrix.shape == (5, 3)
+        assert matrix.nnz == 5
+
+    def test_append_preserves_existing_triples_bitwise(self):
+        matrix = self._matrix()
+        before = (
+            matrix.rows.copy(), matrix.cols.copy(), matrix.vals.copy()
+        )
+        matrix.append(np.array([7]), np.array([4]), np.array([2.5]))
+        np.testing.assert_array_equal(matrix.rows[:3], before[0])
+        np.testing.assert_array_equal(matrix.cols[:3], before[1])
+        np.testing.assert_array_equal(matrix.vals[:3], before[2])
+        assert (matrix.rows[3], matrix.cols[3], matrix.vals[3]) == (7, 4, 2.5)
+
+    def test_empty_append_grows_dimensions_only(self):
+        matrix = self._matrix()
+        empty = np.empty(0)
+        matrix.append(empty, empty, empty, n_rows=10, n_cols=6)
+        assert matrix.shape == (10, 6)
+        assert matrix.nnz == 3
+
+    def test_dimensions_never_shrink(self):
+        matrix = self._matrix()
+        with pytest.raises(InvalidMatrixError):
+            matrix.append(np.empty(0), np.empty(0), np.empty(0), n_rows=2)
+        with pytest.raises(InvalidMatrixError):
+            matrix.append(np.empty(0), np.empty(0), np.empty(0), n_cols=1)
+
+    def test_append_validation(self):
+        matrix = self._matrix()
+        with pytest.raises(InvalidMatrixError):
+            matrix.append(np.array([0, 1]), np.array([0]), np.array([1.0]))
+        with pytest.raises(InvalidMatrixError):
+            matrix.append(np.array([0]), np.array([0]), np.array([np.inf]))
+        with pytest.raises(InvalidMatrixError):
+            matrix.append(np.array([-1]), np.array([0]), np.array([1.0]))
+        # A failed append leaves the matrix untouched.
+        assert matrix.shape == (3, 2)
+        assert matrix.nnz == 3
+
+    def test_version_bumps_on_every_append(self):
+        matrix = self._matrix()
+        first = matrix.version
+        matrix.append(np.array([0]), np.array([0]), np.array([1.0]))
+        matrix.append(np.empty(0), np.empty(0), np.empty(0), n_rows=9)
+        assert matrix.version == first + 2
+
+    def test_csr_cache_invalidated_by_append(self):
+        """Regression pin: ``items_of`` must see post-append ratings.
+
+        The CSR rows are cached lazily; before the invalidation fix an
+        append left the stale cache in place and the serving layer's
+        seen-item exclusion silently missed the new ratings.
+        """
+        matrix = self._matrix()
+        np.testing.assert_array_equal(matrix.items_of(0), [0])  # warms cache
+        matrix.append(np.array([0, 3]), np.array([1, 0]), np.array([2.0, 4.5]))
+        np.testing.assert_array_equal(matrix.items_of(0), [0, 1])
+        np.testing.assert_array_equal(matrix.items_of(3), [0])
+        np.testing.assert_array_equal(matrix.items_of(2), [0])
+
+    def test_append_triples_convenience(self):
+        matrix = self._matrix()
+        assert matrix.append_triples([(5, 3, 1.5), (0, 1, 2.0)]) == 2
+        assert matrix.shape == (6, 4)
+        assert matrix.nnz == 5
+
+    def test_arrays_stay_read_only_after_append(self):
+        matrix = self._matrix()
+        matrix.append(np.array([0]), np.array([0]), np.array([1.0]))
+        with pytest.raises(ValueError):
+            matrix.vals[0] = 99.0
+        with pytest.raises(ValueError):
+            matrix.rows[-1] = 0
+
+
 class TestTransformations:
     def test_iter_triples_matches_storage(self, tiny_matrix):
         triples = list(tiny_matrix.iter_triples())

@@ -1,0 +1,265 @@
+"""Property-based tests (hypothesis) of the streaming tier's invariants.
+
+Three families of properties pin the contracts ``repro.stream`` relies
+on:
+
+* **append interleavings** — any sequence of appends (ratings, pure
+  dimension growth, or both) preserves the pre-existing triples bitwise
+  as a storage-order prefix, never shrinks a dimension, and bumps the
+  version exactly once per call;
+* **fold-in optimality** — the fold-in row is the exact minimiser of
+  the per-user regularised objective, so it never scores worse than any
+  other row (including a perturbed copy of itself) and always matches
+  the one-user reference solve;
+* **model growth** — :func:`repro.sgd.grow_model` preserves every
+  trained factor row bitwise and produces finite factors for newcomers.
+"""
+
+import numpy as np
+import pytest
+from hypothesis import HealthCheck, given, settings
+from hypothesis import strategies as st
+
+from repro.sgd import (
+    FactorModel,
+    fold_in_objective,
+    grow_model,
+    solve_fold_in,
+    train_als,
+)
+from repro.config import TrainingConfig
+from repro.sparse import SparseRatingMatrix
+
+SETTINGS = settings(
+    max_examples=30,
+    deadline=None,
+    suppress_health_check=[HealthCheck.too_slow],
+)
+
+
+@st.composite
+def append_batches(draw, max_batches=6, max_ratings=30, max_dim=50):
+    """A base matrix plus a sequence of append operations."""
+    seed = draw(st.integers(min_value=0, max_value=2 ** 16))
+    rng = np.random.default_rng(seed)
+    n_batches = draw(st.integers(min_value=1, max_value=max_batches))
+    batches = []
+    for _ in range(n_batches):
+        kind = draw(st.sampled_from(["ratings", "growth", "both"]))
+        count = (
+            0
+            if kind == "growth"
+            else draw(st.integers(min_value=1, max_value=max_ratings))
+        )
+        rows = rng.integers(0, max_dim, count)
+        cols = rng.integers(0, max_dim, count)
+        vals = rng.uniform(1.0, 5.0, count)
+        n_rows = (
+            draw(st.integers(min_value=0, max_value=max_dim * 2))
+            if kind in ("growth", "both")
+            else None
+        )
+        n_cols = (
+            draw(st.integers(min_value=0, max_value=max_dim * 2))
+            if kind in ("growth", "both")
+            else None
+        )
+        batches.append((rows, cols, vals, n_rows, n_cols))
+    base = SparseRatingMatrix(
+        rng.integers(0, 8, 20), rng.integers(0, 6, 20),
+        rng.uniform(1.0, 5.0, 20), shape=(8, 6),
+    )
+    return base, batches
+
+
+@st.composite
+def fold_in_problems(draw, max_groups=8, max_items=40, max_k=8):
+    """Random fold-in systems: fixed factors plus grouped ratings."""
+    seed = draw(st.integers(min_value=0, max_value=2 ** 16))
+    rng = np.random.default_rng(seed)
+    n_items = draw(st.integers(min_value=1, max_value=max_items))
+    k = draw(st.integers(min_value=1, max_value=max_k))
+    n_groups = draw(st.integers(min_value=1, max_value=max_groups))
+    counts = rng.integers(0, 12, n_groups)
+    group_ids = np.repeat(np.arange(n_groups), counts)
+    fixed_ids = rng.integers(0, n_items, len(group_ids))
+    vals = rng.uniform(1.0, 5.0, len(group_ids))
+    factors = rng.uniform(-1.0, 1.0, (n_items, k))
+    reg = draw(st.floats(min_value=0.01, max_value=1.0))
+    return factors, group_ids, fixed_ids, vals, n_groups, reg
+
+
+class TestAppendInterleavings:
+    @SETTINGS
+    @given(scenario=append_batches())
+    def test_prefix_bitwise_and_dims_monotone(self, scenario):
+        matrix, batches = scenario
+        rows0 = matrix.rows.copy()
+        cols0 = matrix.cols.copy()
+        vals0 = matrix.vals.copy()
+        shape = matrix.shape
+        version = matrix.version
+        nnz = matrix.nnz
+        for rows, cols, vals, n_rows, n_cols in batches:
+            # A requested dimension below the current one must be
+            # rejected without mutating anything; clamp it to keep the
+            # interleaving going.
+            if n_rows is not None and n_rows < matrix.n_rows:
+                n_rows = matrix.n_rows
+            if n_cols is not None and n_cols < matrix.n_cols:
+                n_cols = matrix.n_cols
+            added = matrix.append(rows, cols, vals, n_rows=n_rows, n_cols=n_cols)
+            assert added == len(vals)
+            nnz += added
+            version += 1
+            # Dimensions never shrink; every call bumps the version.
+            assert matrix.n_rows >= shape[0]
+            assert matrix.n_cols >= shape[1]
+            assert matrix.version == version
+            assert matrix.nnz == nnz
+            shape = matrix.shape
+            # The original triples survive bitwise as the storage prefix.
+            np.testing.assert_array_equal(matrix.rows[: len(rows0)], rows0)
+            np.testing.assert_array_equal(matrix.cols[: len(cols0)], cols0)
+            np.testing.assert_array_equal(matrix.vals[: len(vals0)], vals0)
+
+    @SETTINGS
+    @given(scenario=append_batches())
+    def test_csr_always_reflects_current_contents(self, scenario):
+        matrix, batches = scenario
+        for rows, cols, vals, n_rows, n_cols in batches:
+            if n_rows is not None and n_rows < matrix.n_rows:
+                n_rows = matrix.n_rows
+            if n_cols is not None and n_cols < matrix.n_cols:
+                n_cols = matrix.n_cols
+            matrix.items_of(0)  # warm the CSR cache before mutating
+            matrix.append(rows, cols, vals, n_rows=n_rows, n_cols=n_cols)
+            indptr, indices = matrix.csr_rows()
+            assert indptr[-1] == matrix.nnz
+            user = int(matrix.rows[-1]) if matrix.nnz else 0
+            expected = np.sort(matrix.cols[matrix.rows == user])
+            np.testing.assert_array_equal(matrix.items_of(user), expected)
+
+
+class TestFoldInOptimality:
+    @SETTINGS
+    @given(problem=fold_in_problems())
+    def test_matches_reference_solve(self, problem):
+        factors, group_ids, fixed_ids, vals, n_groups, reg = problem
+        rows, counts = solve_fold_in(
+            factors, group_ids, fixed_ids, vals, n_groups, reg
+        )
+        k = factors.shape[1]
+        for group in range(n_groups):
+            mask = group_ids == group
+            if not mask.any():
+                np.testing.assert_array_equal(rows[group], np.zeros(k))
+                continue
+            sub = factors[fixed_ids[mask]]
+            expected = np.linalg.solve(
+                sub.T @ sub + reg * mask.sum() * np.eye(k),
+                sub.T @ vals[mask],
+            )
+            np.testing.assert_allclose(rows[group], expected, atol=1e-8)
+
+    @SETTINGS
+    @given(
+        problem=fold_in_problems(),
+        perturb_seed=st.integers(0, 2 ** 16),
+        scale=st.floats(min_value=1e-4, max_value=10.0),
+    )
+    def test_fold_in_row_minimises_objective(
+        self, problem, perturb_seed, scale
+    ):
+        factors, group_ids, fixed_ids, vals, n_groups, reg = problem
+        rows, counts = solve_fold_in(
+            factors, group_ids, fixed_ids, vals, n_groups, reg
+        )
+        rng = np.random.default_rng(perturb_seed)
+        for group in np.flatnonzero(counts):
+            mask = group_ids == group
+            ids, group_vals = fixed_ids[mask], vals[mask]
+            optimum = fold_in_objective(
+                rows[group], factors, ids, group_vals, reg
+            )
+            other = rows[group] + rng.normal(0.0, scale, size=len(rows[group]))
+            assert optimum <= fold_in_objective(
+                other, factors, ids, group_vals, reg
+            ) + 1e-9
+
+
+class TestTrainedUserConsistency:
+    @SETTINGS
+    @given(seed=st.integers(0, 2 ** 10))
+    def test_fold_in_of_trained_user_matches_trained_row(self, seed):
+        """Fold-in against the final Q reproduces a trained user's row.
+
+        ALS ends each iteration with the Q half-step, so the trained P
+        row is the exact minimiser against the *previous* Q; near
+        convergence that is within tolerance of the fold-in solution
+        against the final Q — and by convexity the fold-in row can never
+        score a worse regularised objective.
+        """
+        rng = np.random.default_rng(seed)
+        m, n, k = 30, 20, 3
+        p_true = rng.uniform(0.0, 1.0, (m, k))
+        q_true = rng.uniform(0.0, 1.0, (k, n))
+        rows = np.repeat(np.arange(m), 8)
+        cols = rng.integers(0, n, len(rows))
+        vals = np.einsum("ik,ki->i", p_true[rows], q_true[:, cols])
+        matrix = SparseRatingMatrix(rows, cols, vals, shape=(m, n))
+        config = TrainingConfig(
+            latent_factors=k, learning_rate=0.05, iterations=25
+        )
+        model, _ = train_als(matrix, config)
+
+        user = int(rng.integers(0, m))
+        mask = rows == user
+        ids, rated = model.fold_in_users(
+            rows[mask], cols[mask], vals[mask], regularization=config.reg_p
+        )
+        assert ids.tolist() == [user]
+        folded = rated[0]
+        trained = model.p[user]
+        np.testing.assert_allclose(folded, trained, atol=5e-2)
+        q_t = model.q.T
+        assert fold_in_objective(
+            folded, q_t, cols[mask], vals[mask], config.reg_p
+        ) <= fold_in_objective(
+            trained, q_t, cols[mask], vals[mask], config.reg_p
+        ) + 1e-9
+
+
+class TestGrowModel:
+    @SETTINGS
+    @given(
+        seed=st.integers(0, 2 ** 16),
+        extra_users=st.integers(0, 10),
+        extra_items=st.integers(0, 10),
+    )
+    def test_trained_rows_preserved_bitwise(
+        self, seed, extra_users, extra_items
+    ):
+        rng = np.random.default_rng(seed)
+        m, n, k = 12, 9, 4
+        model = FactorModel.initialize(m, n, k, seed=seed)
+        p_before = model.p.copy()
+        q_before = model.q.copy()
+        count = 40
+        rows = rng.integers(0, m + extra_users, count)
+        cols = rng.integers(0, n + extra_items, count)
+        matrix = SparseRatingMatrix(
+            rows, cols, rng.uniform(1.0, 5.0, count),
+            shape=(m + extra_users, n + extra_items),
+        )
+        grown = grow_model(
+            model, matrix, (m, n), reg_p=0.05, reg_q=0.05, seed=seed
+        )
+        assert grown.shape == matrix.shape
+        np.testing.assert_array_equal(grown.p[:m], p_before)
+        np.testing.assert_array_equal(grown.q[:, :n], q_before)
+        assert np.all(np.isfinite(grown.p))
+        assert np.all(np.isfinite(grown.q))
+        # The input model is never mutated.
+        np.testing.assert_array_equal(model.p, p_before)
+        np.testing.assert_array_equal(model.q, q_before)
