@@ -1,0 +1,195 @@
+"""Fault-tolerance overhead: boundary snapshots and rollback-replay cost.
+
+Two measurements over the single-worker process backend (the bitwise
+recovery configuration):
+
+* ``snapshot tax`` — the per-boundary cost of staging a recovery
+  snapshot is one full factor copy plus the scheduler's ``state_dict``;
+  both are timed directly at the run's shapes and reported per epoch
+  boundary, alongside the failure-free wall time they are amortised
+  over;
+* ``recovery latency`` — the same run with one mid-task SIGKILL
+  (rollback + pool respawn + replay of the lost epoch prefix) and with
+  the acceptance scenario's three kills, reporting the extra wall time
+  per recovery.  Both recovered runs are asserted **bitwise identical**
+  to the failure-free factors before any timing is reported.
+
+Informational only (writes ``BENCH_recovery.json``, override with
+``REPRO_BENCH_RECOVERY_OUT``): where a kill lands inside an epoch
+changes how much work the replay re-does, so the numbers characterise
+the mechanism rather than gate CI.
+"""
+
+import json
+import os
+import time
+
+import numpy as np
+
+from conftest import emit
+
+from repro import faults
+from repro.config import TrainingConfig
+from repro.core import GreedyBlockScheduler
+from repro.core.partition import uniform_partition
+from repro.exec import ProcessEngine
+from repro.faults import FaultPlan, FaultSpec
+from repro.shm import live_segment_names
+from repro.sparse import SparseRatingMatrix
+
+_ROOT = os.path.dirname(os.path.dirname(os.path.abspath(__file__)))
+BENCH_RECOVERY_JSON = os.environ.get(
+    "REPRO_BENCH_RECOVERY_OUT", os.path.join(_ROOT, "BENCH_recovery.json")
+)
+
+N_USERS = 600
+N_ITEMS = 400
+N_RATINGS = 20_000
+LATENT = 16
+ITERATIONS = 4
+
+
+def _training() -> TrainingConfig:
+    return TrainingConfig(
+        latent_factors=LATENT,
+        learning_rate=0.01,
+        reg_p=0.05,
+        reg_q=0.05,
+        iterations=ITERATIONS,
+        seed=0,
+        init_scale=0.6,
+    )
+
+
+def _engine():
+    rng = np.random.default_rng(7)
+    train = SparseRatingMatrix(
+        rng.integers(0, N_USERS, N_RATINGS),
+        rng.integers(0, N_ITEMS, N_RATINGS),
+        rng.uniform(1.0, 5.0, N_RATINGS),
+        shape=(N_USERS, N_ITEMS),
+    )
+    grid = uniform_partition(train, 3, 3)
+    scheduler = GreedyBlockScheduler(grid, 1, 0, seed=0)
+    return ProcessEngine(scheduler=scheduler, train=train, training=_training())
+
+
+def _timed_run(plan=None):
+    if plan is not None:
+        faults.install(plan)
+    try:
+        start = time.perf_counter()
+        result = _engine().run(iterations=ITERATIONS)
+        elapsed = time.perf_counter() - start
+    finally:
+        faults.clear()
+    assert live_segment_names() == ()
+    return result, elapsed
+
+
+def _kill_plan(*ordinals):
+    specs = []
+    for index, ordinal in enumerate(ordinals):
+        mode = "kill_mid" if index % 2 == 0 else "kill"
+        specs.append(FaultSpec(point="worker.task", mode=mode, task=ordinal))
+    return FaultPlan(specs)
+
+
+def _snapshot_cost_s(result, scheduler_state_fn, repeats=5):
+    """Time one boundary snapshot: factor copy + scheduler state dict."""
+    best = float("inf")
+    for _ in range(repeats):
+        start = time.perf_counter()
+        result.model.p.copy()
+        result.model.q.copy()
+        scheduler_state_fn()
+        best = min(best, time.perf_counter() - start)
+    return best
+
+
+def test_recovery_overhead(bench_profile):
+    """Snapshot tax + rollback-replay latency -> BENCH_recovery.json."""
+    baseline, baseline_s = _timed_run()
+    assert baseline.worker_restarts == 0
+
+    one_kill, one_kill_s = _timed_run(_kill_plan(4))
+    assert one_kill.worker_restarts == 1
+    np.testing.assert_array_equal(one_kill.model.p, baseline.model.p)
+    np.testing.assert_array_equal(one_kill.model.q, baseline.model.q)
+
+    three_kills, three_kills_s = _timed_run(_kill_plan(1, 6, 13))
+    assert three_kills.worker_restarts == 3
+    np.testing.assert_array_equal(three_kills.model.p, baseline.model.p)
+    np.testing.assert_array_equal(three_kills.model.q, baseline.model.q)
+
+    # The snapshot the session stages at every boundary is one factor
+    # copy plus the scheduler's state dict; time it at the run's shapes.
+    scheduler = GreedyBlockScheduler(
+        uniform_partition(
+            SparseRatingMatrix(
+                np.zeros(1, dtype=np.int64),
+                np.zeros(1, dtype=np.int64),
+                np.ones(1),
+                shape=(N_USERS, N_ITEMS),
+            ),
+            3,
+            3,
+        ),
+        1,
+        0,
+        seed=0,
+    )
+    snapshot_s = _snapshot_cost_s(baseline, scheduler.state_dict)
+    snapshot_bytes = baseline.model.p.nbytes + baseline.model.q.nbytes
+
+    payload = {
+        "shape": {
+            "users": N_USERS,
+            "items": N_ITEMS,
+            "ratings": N_RATINGS,
+            "latent_factors": LATENT,
+            "iterations": ITERATIONS,
+        },
+        "profile": bench_profile,
+        "hardware": {"cpu_count": os.cpu_count()},
+        "failure_free_s": round(baseline_s, 3),
+        "one_kill": {
+            "wall_s": round(one_kill_s, 3),
+            "recovery_overhead_s": round(one_kill_s - baseline_s, 3),
+        },
+        "three_kills": {
+            "wall_s": round(three_kills_s, 3),
+            "recovery_overhead_s": round(three_kills_s - baseline_s, 3),
+            "overhead_per_recovery_s": round(
+                (three_kills_s - baseline_s) / 3, 3
+            ),
+        },
+        "snapshot": {
+            "bytes": snapshot_bytes,
+            "per_boundary_s": round(snapshot_s, 6),
+            "boundaries": ITERATIONS,
+            "tax_vs_failure_free": round(
+                ITERATIONS * snapshot_s / baseline_s, 5
+            ),
+        },
+        "bitwise_identical_to_failure_free": True,
+    }
+    with open(BENCH_RECOVERY_JSON, "w", encoding="utf-8") as handle:
+        json.dump(payload, handle, indent=2)
+        handle.write("\n")
+
+    rows = [
+        f"{'scenario':<28} {'wall s':>8} {'overhead s':>11}",
+        f"{'failure-free':<28} {baseline_s:>8.2f} {'-':>11}",
+        f"{'1 mid-task kill':<28} {one_kill_s:>8.2f} "
+        f"{one_kill_s - baseline_s:>11.2f}",
+        f"{'3 kills (acceptance)':<28} {three_kills_s:>8.2f} "
+        f"{three_kills_s - baseline_s:>11.2f}",
+        f"{'snapshot/boundary':<28} {snapshot_s * 1e3:>7.2f}ms "
+        f"{snapshot_bytes / 1e6:>9.2f}MB",
+    ]
+    emit(
+        f"Rollback-replay recovery, {N_USERS}x{N_ITEMS} k={LATENT}, "
+        f"1 worker -> {BENCH_RECOVERY_JSON}",
+        "\n".join(rows),
+    )

@@ -29,3 +29,8 @@ def pytest_configure(config):
         "synthetic data (their own CI job); deselect with "
         '-m "not examples"',
     )
+    config.addinivalue_line(
+        "markers",
+        "chaos: fault-injection tests (worker kills, torn publishes, "
+        "orphaned shm segments); run alone with -m chaos",
+    )

@@ -9,6 +9,7 @@ regenerated from a shell, plus training and serving entry points::
     repro recommend --dataset movielens --users 0 1 2   # train + top-K
     repro serve-bench --items 17770                     # serving throughput
     repro ingest --dataset movielens --publish          # streaming replay
+    repro gc-shm                    # reap shm segments orphaned by crashes
     repro figure10                  # time-to-target vs GPU workers
     repro table2 --full             # Table II with the paper's sweep
 """
@@ -355,6 +356,29 @@ def _build_parser() -> argparse.ArgumentParser:
         ),
     )
 
+    gc_shm = subparsers.add_parser(
+        "gc-shm",
+        help=(
+            "reap shared-memory segments whose owning process is gone "
+            "(crashed trainers/publishers leave named segments in /dev/shm; "
+            "every run records its segments in a per-pid manifest)"
+        ),
+    )
+    gc_shm.add_argument(
+        "--runtime-dir",
+        metavar="DIR",
+        default=None,
+        help=(
+            "manifest directory to scan (default: $REPRO_RUNTIME_DIR or "
+            "<tmpdir>/repro-runtime)"
+        ),
+    )
+    gc_shm.add_argument(
+        "--dry-run",
+        action="store_true",
+        help="report what would be reaped without unlinking anything",
+    )
+
     for name in EXPERIMENTS:
         experiment = subparsers.add_parser(name, help=f"run the {name} experiment")
         experiment.add_argument(
@@ -648,6 +672,22 @@ def _run_serve_bench(args: argparse.Namespace) -> None:
         )
 
 
+def _run_gc_shm(args: argparse.Namespace) -> None:
+    from .shm import reap_orphaned_segments, runtime_dir
+
+    runtime = args.runtime_dir or runtime_dir()
+    report = reap_orphaned_segments(runtime=runtime, dry_run=args.dry_run)
+    verb = "would reap" if args.dry_run else "reaped"
+    print(f"runtime dir        : {runtime}")
+    print(f"manifests scanned  : {report.scanned}")
+    print(f"owners still alive : {report.skipped_live}")
+    print(f"segments {verb:<9} : {report.total_reaped}")
+    for name in report.reaped:
+        print(f"  {verb} {name}")
+    for name in report.missing:
+        print(f"  already gone {name}")
+
+
 def _run_experiment(name: str, args: argparse.Namespace) -> None:
     context = _context(args)
     if name == "figure3":
@@ -739,6 +779,8 @@ def main(argv: Optional[List[str]] = None) -> int:
         _run_serve_bench(args)
     elif args.command == "ingest":
         _run_ingest(args)
+    elif args.command == "gc-shm":
+        _run_gc_shm(args)
     else:
         _run_experiment(args.command, args)
     return 0

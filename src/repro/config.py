@@ -59,6 +59,12 @@ AUTO_BACKEND = "auto"
 #: enough that the per-batch numpy overhead is amortised.
 DEFAULT_BATCH_SIZE = 256
 
+#: Default number of worker-process respawns the ``"processes"`` backend
+#: performs across one run before a worker death escalates to
+#: :class:`~repro.exceptions.ExecutionError` (see
+#: :attr:`TrainingConfig.max_worker_restarts`).
+DEFAULT_MAX_WORKER_RESTARTS = 3
+
 #: The selectable SGD update kernels (see :mod:`repro.sgd.kernels`):
 #: ``"auto"`` picks the block-major local kernel whenever pre-gathered
 #: block data is available (it is bitwise-identical to ``"minibatch"``),
@@ -106,6 +112,16 @@ class TrainingConfig:
         (:data:`DEFAULT_BATCH_SIZE` when ``None``).  Only affects the
         mini-batch relaxation — the ``"sequential"`` reference kernel
         updates rating by rating and ignores it.
+    max_worker_restarts:
+        Retry budget of the ``"processes"`` backend's worker
+        supervision: how many worker-process deaths one run absorbs by
+        rolling back to the last epoch-boundary recovery snapshot,
+        respawning the worker and replaying the epoch.  ``0`` restores
+        the fail-fast behaviour (any worker death aborts the run); once
+        the budget is exhausted the next death raises
+        :class:`~repro.exceptions.ExecutionError` with full
+        diagnostics.  Ignored by the simulator and thread backends
+        (threads cannot die independently of the controller).
     """
 
     latent_factors: int = DEFAULT_LATENT_FACTORS
@@ -118,6 +134,7 @@ class TrainingConfig:
     backend: str = "simulate"
     kernel: str = "auto"
     batch_size: Optional[int] = None
+    max_worker_restarts: int = DEFAULT_MAX_WORKER_RESTARTS
 
     def __post_init__(self) -> None:
         if self.latent_factors <= 0:
@@ -144,6 +161,10 @@ class TrainingConfig:
         if self.batch_size is not None and self.batch_size <= 0:
             raise ConfigurationError(
                 f"batch_size must be positive when given, got {self.batch_size}"
+            )
+        if self.max_worker_restarts < 0:
+            raise ConfigurationError(
+                f"max_worker_restarts must be >= 0, got {self.max_worker_restarts}"
             )
         # Imported lazily: the registry lives under repro.exec, whose
         # engine modules import this one at module load.
@@ -181,6 +202,10 @@ class TrainingConfig:
         if self.batch_size is not None:
             return self.batch_size
         return DEFAULT_BATCH_SIZE
+
+    def with_max_worker_restarts(self, restarts: int) -> "TrainingConfig":
+        """Return a copy with a different worker-respawn retry budget."""
+        return dataclasses.replace(self, max_worker_restarts=restarts)
 
     def with_seed(self, seed: int) -> "TrainingConfig":
         """Return a copy of this config with a different random seed."""

@@ -56,6 +56,10 @@ class EngineResult:
     ``"early_stopping"``, ``"wall_time_budget"``), or ``"aborted"`` for a
     session finished before any stopping condition fired."""
 
+    worker_restarts: int = 0
+    """Worker processes respawned after crashes during the run (always 0
+    for the simulate and threads backends)."""
+
     @property
     def engine_time(self) -> float:
         """Total engine seconds of the run.

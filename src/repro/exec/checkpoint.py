@@ -30,6 +30,14 @@ simulated in-flight completions and can only resume on ``"simulate"``.
 
 File format: a single compressed ``.npz`` holding the factor matrices,
 the integer counter grids and one JSON document for the rest.
+
+The process backend's crash recovery captures the same ingredients —
+factors, scheduler ``state_dict()``, loop counters, trace lengths — as
+a lightweight in-memory snapshot at every epoch boundary instead of a
+serialized file: rollback-replay after a worker death restores exactly
+the state a checkpoint would have recorded there (see
+``ProcessSession._stage_recovery_snapshot`` and DESIGN.md, "Failure
+model and recovery").
 """
 
 from __future__ import annotations

@@ -42,19 +42,32 @@ Lifecycle: the controller owns every segment and unlinks them exactly
 once when the session finishes — including when a worker dies mid-epoch
 or a callback raises (``finish()`` is the single cleanup point and is
 idempotent).  Workers close their attachments on the way out.
+
+Fault tolerance: the controller supervises worker liveness on every
+pump iteration.  A dead worker is respawned against the existing
+segments; if it died holding a task, the run first rolls back to an
+in-memory snapshot taken at the last epoch boundary and replays the
+epoch (bitwise-identical to a failure-free run at one worker,
+RMSE-equivalent at several).  ``TrainingConfig.max_worker_restarts``
+bounds total respawns; exhausting it raises :class:`ExecutionError`
+with per-worker diagnostics.  See "Supervision and recovery" below and
+DESIGN.md, "Failure model and recovery".
 """
 
 from __future__ import annotations
 
 import multiprocessing
+import os
 import queue
+import signal
 import time
 import traceback
 from dataclasses import dataclass
-from typing import Callable, Dict, List, Optional, Union
+from typing import Callable, Dict, List, Optional, Set, Union
 
 import numpy as np
 
+from .. import faults
 from ..config import TrainingConfig
 from ..exceptions import CheckpointError, ExecutionError
 from ..hardware import HeterogeneousPlatform
@@ -148,12 +161,18 @@ def _worker_main(
 ) -> None:
     """Loop of one worker process: attach, execute tasks, close.
 
-    Messages in are ``(keys, rate, sleep_s)`` — the task's grid-block
-    keys, its learning rate (priced by the controller at dispatch) and
-    an optional GPU-latency-emulation sleep — or ``None`` to shut down.
+    Messages in are ``(keys, rate, sleep_s, fault)`` — the task's
+    grid-block keys, its learning rate (priced by the controller at
+    dispatch), an optional GPU-latency-emulation sleep, and an optional
+    injected fault action ``(mode, seconds)`` matched by the controller
+    (see :mod:`repro.faults`; the controller evaluates the plan so fault
+    ordinals survive worker respawns) — or ``None`` to shut down.
     Messages out are ``(worker_index, start, end, error)`` with wall
     times on the controller's clock (``CLOCK_MONOTONIC`` is system-wide
-    on the platforms with a working ``fork``/``spawn``).
+    on the platforms with a working ``fork``/``spawn``).  Completion
+    tuples are far below ``PIPE_BUF``, so their pipe writes are atomic
+    even when the worker is SIGKILLed mid-put: the controller sees each
+    message entirely or not at all, never torn.
     """
     p_seg = q_seg = store = model = data = None
     try:
@@ -163,15 +182,33 @@ def _worker_main(
             message = task_queue.get()
             if message is None:
                 break
-            keys, rate, sleep_s = message
+            keys, rate, sleep_s, fault = message
+            mode = fault[0] if fault is not None else None
+            if mode == "kill":
+                # Die before touching the factors: the task is in flight
+                # on the controller but no update was applied.
+                os.kill(os.getpid(), signal.SIGKILL)
             start = time.monotonic() - clock_start
             data = store.task_data(keys)
             apply_block_data(model.p, model.q, data, rate, training, kernel_name)
             data = None
+            if mode == "kill_mid":
+                # Die after mutating shared factors but before reporting
+                # — the hard recovery case (lost completion, dirty P/Q).
+                os.kill(os.getpid(), signal.SIGKILL)
+            if mode == "stall":
+                time.sleep(fault[1])
             if sleep_s > 0.0:
                 time.sleep(sleep_s)
             end = time.monotonic() - clock_start
             done_queue.put((worker_index, start, end, None))
+            if mode == "kill_after":
+                # Die *after* the completion is delivered: flush the
+                # feeder thread so the controller books the task, then
+                # the death is an idle death needing no rollback.
+                done_queue.close()
+                done_queue.join_thread()
+                os.kill(os.getpid(), signal.SIGKILL)
     except BaseException:
         try:
             done_queue.put((worker_index, 0.0, 0.0, traceback.format_exc()))
@@ -253,7 +290,18 @@ class ProcessSession(EngineSession):
         self._time_offset = 0.0
         self._reports: List[EpochReport] = []
 
+        # Fault tolerance (see "Supervision and recovery" below).
+        self._worker_restarts = 0
+        self._dispatch_counts = [0] * engine.n_workers
+        self._recovering = False
+        self._fault_plan = None
+        self._snapshot: Optional[dict] = None
+        self._snapshot_stage: Optional[dict] = None
+
         # Pool / shared-memory state (populated by _launch).
+        self._ctx = None
+        self._kernel_name: Optional[str] = None
+        self._factor_handle: Optional[SharedFactorHandle] = None
         self._procs: List = []
         self._task_queues: List = []
         self._done_queue = None
@@ -350,6 +398,7 @@ class ProcessSession(EngineSession):
             trace=self._trace,
             converged=self._converged,
             stop_reason=self._stop_reason or STOP_ITERATIONS,
+            worker_restarts=self._worker_restarts,
         )
         return self._result
 
@@ -415,7 +464,7 @@ class ProcessSession(EngineSession):
         if not self._restored:
             engine.scheduler.start_iteration()
         try:
-            factor_handle = self._setup_shared_factors()
+            self._factor_handle = self._setup_shared_factors()
             self._shared_store = engine._store.to_shared(
                 engine.scheduler.grid.iter_blocks()
             )
@@ -423,37 +472,63 @@ class ProcessSession(EngineSession):
             if self._max_time is not None:
                 self._deadline = self._clock_start + self._max_time
 
-            ctx = multiprocessing.get_context(engine.start_method)
-            self._done_queue = ctx.Queue()
-            kernel_name = resolve_kernel_name(
+            self._ctx = multiprocessing.get_context(engine.start_method)
+            self._done_queue = self._ctx.Queue()
+            self._kernel_name = resolve_kernel_name(
                 engine.training.kernel, exact_kernel=engine.exact_kernel
             )
+            self._fault_plan = faults.active_plan()
             for index in range(engine.n_workers):
-                task_queue = ctx.SimpleQueue()
-                proc = ctx.Process(
-                    target=_worker_main,
-                    args=(
-                        index,
-                        factor_handle,
-                        self._shared_store.handle,
-                        engine.training,
-                        kernel_name,
-                        self._clock_start,
-                        task_queue,
-                        self._done_queue,
-                    ),
-                    name=f"repro-exec-proc-{index}",
-                    daemon=True,
-                )
-                proc.start()
-                self._task_queues.append(task_queue)
-                self._procs.append(proc)
+                self._spawn_worker(index)
+            # The recovery baseline before any task is dispatched: a
+            # worker death in the first epoch rolls back to here.
+            self._stage_recovery_snapshot()
+            self._finalize_recovery_snapshot()
         except BaseException:
             # A failed launch must not leak segments or processes.
             self._stopping = True
             self._shutdown_workers()
             self._teardown_shared()
             raise
+
+    def _spawn_worker(self, index: int) -> None:
+        """Start (or restart) worker ``index`` over the existing segments.
+
+        A respawned worker always gets a **fresh** task queue: any
+        message sitting undelivered in the dead worker's queue belongs
+        to a task that recovery has already rolled back, and must never
+        reach the replacement.
+        """
+        engine = self._engine
+        task_queue = self._ctx.SimpleQueue()
+        proc = self._ctx.Process(
+            target=_worker_main,
+            args=(
+                index,
+                self._factor_handle,
+                self._shared_store.handle,
+                engine.training,
+                self._kernel_name,
+                self._clock_start,
+                task_queue,
+                self._done_queue,
+            ),
+            name=f"repro-exec-proc-{index}",
+            daemon=True,
+        )
+        proc.start()
+        if index < len(self._procs):
+            self._procs[index].join(timeout=5.0)  # reap the dead child
+            old_queue = self._task_queues[index]
+            try:
+                old_queue.close()
+            except Exception:  # pragma: no cover - best-effort cleanup
+                pass
+            self._task_queues[index] = task_queue
+            self._procs[index] = proc
+        else:
+            self._task_queues.append(task_queue)
+            self._procs.append(proc)
 
     def _setup_shared_factors(self) -> SharedFactorHandle:
         """Move the engine's factor matrices into shared segments.
@@ -557,6 +632,14 @@ class ProcessSession(EngineSession):
         while True:
             if self._error is not None:
                 return None
+            # Supervision: check *every* worker's liveness on *every*
+            # pump iteration, before dispatching — a worker that died
+            # idle would otherwise never produce the completion the
+            # blocking read waits for, and a dead worker must not be
+            # handed a task.
+            self._ensure_workers_alive()
+            if self._error is not None:
+                return None
             if not self._paused and not self._stopping:
                 self._dispatch_free_workers()
             if self._reports:
@@ -581,6 +664,12 @@ class ProcessSession(EngineSession):
 
     def _dispatch_free_workers(self) -> None:
         engine = self._engine
+        if self._recovering:
+            # A booking drained during recovery may cross an epoch
+            # boundary, whose re-dispatch would hand tasks to workers
+            # that are being replaced; recovery re-dispatches via the
+            # pump once the pool is whole again.
+            return
         if self._elapsed_deadline():
             return
         for worker_index in range(engine.n_workers):
@@ -595,7 +684,20 @@ class ProcessSession(EngineSession):
             keys = tuple(
                 (int(block.row_band), int(block.col_band)) for block in task.blocks
             )
-            self._task_queues[worker_index].put((keys, rate, sleep_s))
+            # Fault injection is controller-evaluated: the per-worker
+            # dispatch ordinal lives here and survives respawns, so an
+            # injected kill fires exactly once instead of re-firing
+            # every time the replacement worker starts counting anew.
+            ordinal = self._dispatch_counts[worker_index]
+            self._dispatch_counts[worker_index] += 1
+            fault = None
+            if self._fault_plan is not None:
+                spec = self._fault_plan.take(
+                    "worker.task", worker=worker_index, ordinal=ordinal
+                )
+                if spec is not None:
+                    fault = (spec.mode, spec.seconds)
+            self._task_queues[worker_index].put((keys, rate, sleep_s, fault))
 
     def _await_completion(self, block: bool) -> None:
         """Consume completion messages, booking each (non-blocking drain
@@ -610,7 +712,7 @@ class ProcessSession(EngineSession):
             except queue.Empty:
                 if first and block:
                     self._elapsed_deadline()
-                    self._check_workers_alive()
+                    self._ensure_workers_alive()
                 return
             first = False
             worker_index, start, end, error = message
@@ -624,18 +726,202 @@ class ProcessSession(EngineSession):
                 return
             self._book_completion(worker_index, start, end)
 
-    def _check_workers_alive(self) -> None:
-        for worker_index, proc in enumerate(self._procs):
-            if proc.is_alive():
-                continue
-            task = self._in_flight.pop(worker_index, None)
-            if task is not None:
-                self._engine.scheduler.abort_task(task)
+    # ------------------------------------------------------------------ #
+    # Supervision and recovery
+    # ------------------------------------------------------------------ #
+    # A worker process can die at any moment (OOM kill, segfault in a
+    # native kernel, injected SIGKILL).  The controller recovers by
+    # rolling the run back to a cheap in-memory snapshot taken at every
+    # epoch boundary — factor copies plus scheduler state — and
+    # replaying the epoch with respawned workers.  With one worker the
+    # replay re-issues the identical task sequence over the identical
+    # factors, so a recovered run is bitwise-identical to a
+    # failure-free one (pinned by the chaos suite); with several
+    # workers in-flight kernels make the boundary snapshot inexact and
+    # recovery is RMSE-equivalent instead.  A worker that died *idle*
+    # (its completion already booked, nothing in flight) is respawned
+    # without any rollback.
+
+    def _stage_recovery_snapshot(self) -> None:
+        """Capture factors + scheduler state at an epoch boundary.
+
+        Called right after ``start_iteration()`` and *before* freed
+        workers are re-dispatched, so the scheduler state predates any
+        next-epoch decisions.  ``state_dict()`` returns fresh arrays
+        and ``load_state_dict`` copies scalars out of them, so one
+        snapshot survives any number of rollbacks.
+        """
+        model = self._engine.model
+        self._snapshot_stage = {
+            "p": np.array(model.p, copy=True),
+            "q": np.array(model.q, copy=True),
+            "scheduler": self._engine.scheduler.state_dict(),
+        }
+
+    def _finalize_recovery_snapshot(self) -> None:
+        """Seal the staged snapshot with counters and trace lengths.
+
+        Runs at the *end* of boundary processing, after the boundary's
+        iteration record is written — a rollback must keep that record
+        (it describes the epoch being rolled back *to*, and would never
+        be regenerated).
+        """
+        snapshot = self._snapshot_stage
+        self._snapshot_stage = None
+        snapshot.update(
+            iteration=self._iteration,
+            iteration_target=self._iteration_target,
+            points_completed=self._points_completed,
+            converged=self._converged,
+            n_tasks=len(self._trace.tasks),
+            n_iterations=len(self._trace.iterations),
+        )
+        self._snapshot = snapshot
+
+    def _restore_recovery_snapshot(self) -> None:
+        """Roll the run back to the last epoch boundary.
+
+        Preconditions: ``self._in_flight`` is empty and every held band
+        lock has been released via ``abort_task`` — lock occupancy is
+        not part of scheduler state (it is implied by in-flight tasks),
+        so restoring under held locks would wedge the replay.
+        ``self._reports`` is deliberately untouched: already-produced
+        reports describe boundaries at or before the snapshot and must
+        not be re-delivered or dropped.  ``_last_event`` is wall-clock
+        and keeps advancing through a rollback.
+        """
+        snapshot = self._snapshot
+        model = self._engine.model
+        model.p[...] = snapshot["p"]
+        model.q[...] = snapshot["q"]
+        self._engine.scheduler.load_state_dict(snapshot["scheduler"])
+        self._iteration = int(snapshot["iteration"])
+        self._iteration_target = int(snapshot["iteration_target"])
+        self._points_completed = int(snapshot["points_completed"])
+        self._converged = bool(snapshot["converged"])
+        del self._trace.tasks[snapshot["n_tasks"] :]
+        del self._trace.iterations[snapshot["n_iterations"] :]
+
+    def _dead_workers(self) -> Set[int]:
+        return {
+            index for index, proc in enumerate(self._procs) if not proc.is_alive()
+        }
+
+    def _ensure_workers_alive(self) -> None:
+        """Detect dead workers and recover (or fail) the run."""
+        if self._error is not None or not self._procs:
+            return
+        dead = self._dead_workers()
+        if dead:
+            self._recover_dead_workers(dead)
+
+    def _fail_restart_budget(self, dead: Set[int]) -> None:
+        budget = self._engine.training.max_worker_restarts
+        details = "; ".join(
+            f"worker {index} (pid {self._procs[index].pid}, exit code "
+            f"{self._procs[index].exitcode})"
+            for index in sorted(dead)
+        )
+        for worker_index in list(self._in_flight):
+            self._engine.scheduler.abort_task(self._in_flight.pop(worker_index))
+        self._error = ExecutionError(
+            f"{details} died at epoch {self._iteration} and the worker "
+            f"restart budget is exhausted ({self._worker_restarts} of "
+            f"{budget} restart(s) used); raise "
+            f"TrainingConfig.max_worker_restarts to tolerate more failures"
+        )
+
+    def _drain_done_messages(self) -> None:
+        """Book every already-delivered completion, without blocking.
+
+        Completion writes are atomic (< ``PIPE_BUF``), so once a worker
+        is observably dead its final message is either fully readable
+        now or was never sent.  Booking first turns died-after-reporting
+        into an idle death needing no rollback.
+        """
+        while True:
+            try:
+                message = self._done_queue.get_nowait()
+            except queue.Empty:
+                return
+            worker_index, start, end, error = message
+            if error is not None:
+                task = self._in_flight.pop(worker_index, None)
+                if task is not None:
+                    self._engine.scheduler.abort_task(task)
                 self._error = ExecutionError(
-                    f"worker process {worker_index} (pid {proc.pid}) died "
-                    f"mid-task with exit code {proc.exitcode}"
+                    f"worker process {worker_index} failed:\n{error}"
                 )
                 return
+            self._book_completion(worker_index, start, end)
+
+    def _recover_dead_workers(self, dead: Set[int]) -> None:
+        """Recover from dead workers by replacing the **whole pool**.
+
+        The done queue is one ``multiprocessing.Queue`` shared by every
+        worker, and its put side is serialised by a shared write lock.
+        A worker SIGKILLed inside a put — including the window *after*
+        the pipe write (the controller can already read the message)
+        but *before* the lock release — leaves that lock held forever,
+        silently deadlocking every later put by any worker, respawned
+        or surviving.  After any death the queue is therefore suspect
+        and is replaced wholesale, which forces replacing the whole
+        pool: survivors hold the old queue, so they are killed and
+        respawned too (they are stateless kernel executors; only their
+        in-flight work matters, and that is rolled back and replayed).
+
+        The sequence:
+
+        1. **Book** completions already delivered on the old queue —
+           their pipe writes are atomic (< ``PIPE_BUF``), so each is
+           fully readable or was never sent.  Booking first turns
+           died-after-reporting into an idle death needing no rollback.
+        2. Check the restart budget — only workers that died on their
+           own count against it, never the survivors the controller
+           kills below.
+        3. If any task is still in flight (on a dead worker *or* a
+           survivor about to be killed), abort them all — releasing
+           their band locks — and roll back to the last epoch-boundary
+           snapshot; the replay re-issues them.  Torn factor writes
+           from kernels killed mid-update are erased by the snapshot
+           restore, which rewrites every factor byte.
+        4. Kill the survivors, swap in a fresh done queue, respawn the
+           full pool over fresh task queues.
+        """
+        engine = self._engine
+        budget = engine.training.max_worker_restarts
+        self._recovering = True
+        try:
+            self._drain_done_messages()
+            if self._error is not None:
+                return
+            dead = dead | self._dead_workers()
+            if self._worker_restarts + len(dead) > budget:
+                self._fail_restart_budget(dead)
+                return
+            for proc in self._procs:
+                if proc.is_alive():
+                    proc.kill()
+            deadline = time.monotonic() + SHUTDOWN_GRACE_SECONDS
+            for proc in self._procs:
+                proc.join(timeout=max(0.1, deadline - time.monotonic()))
+            if self._in_flight:
+                for worker_index in list(self._in_flight):
+                    engine.scheduler.abort_task(self._in_flight.pop(worker_index))
+                self._restore_recovery_snapshot()
+            old_queue, self._done_queue = self._done_queue, self._ctx.Queue()
+            try:
+                # The controller never put to the old queue, so there is
+                # no feeder to flush; close just drops the pipe ends.
+                old_queue.close()
+                old_queue.join_thread()
+            except Exception:  # pragma: no cover - best-effort cleanup
+                pass
+            for index in range(engine.n_workers):
+                self._spawn_worker(index)
+            self._worker_restarts += len(dead)
+        finally:
+            self._recovering = False
 
     def _book_completion(self, worker_index: int, start: float, end: float) -> None:
         engine = self._engine
@@ -685,6 +971,11 @@ class ProcessSession(EngineSession):
         self._iteration += 1
         self._iteration_target += self._total_points
         engine.scheduler.start_iteration()
+        # Stage the recovery snapshot before any next-epoch dispatch:
+        # with one worker the run is quiescent here, so the snapshot is
+        # exact (the bitwise rollback-replay guarantee); with several,
+        # still-running kernels make it approximate (RMSE-equivalent).
+        self._stage_recovery_snapshot()
         pause_here = self._should_pause(index)
         if pause_here:
             self._paused = True
@@ -725,6 +1016,7 @@ class ProcessSession(EngineSession):
                 converged=self._converged,
             )
         )
+        self._finalize_recovery_snapshot()
 
     def _drain_in_flight(self) -> None:
         """Book every outstanding completion (no new dispatch).
@@ -743,8 +1035,9 @@ class ProcessSession(EngineSession):
                 grace = time.monotonic() + SHUTDOWN_GRACE_SECONDS
                 continue
             if time.monotonic() > grace and self._in_flight:
-                self._check_workers_alive()
-                if self._error is None:  # pragma: no cover - wedged worker
+                self._ensure_workers_alive()
+                if self._error is None and self._in_flight:
+                    # pragma: no cover - wedged worker
                     for worker_index in list(self._in_flight):
                         self._engine.scheduler.abort_task(
                             self._in_flight.pop(worker_index)

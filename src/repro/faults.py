@@ -1,0 +1,233 @@
+"""Deterministic fault injection for the chaos test tier.
+
+The supervision and recovery machinery (worker respawn in
+:mod:`repro.exec.process`, crash-atomic publication in
+:mod:`repro.serve.store`, shm manifest reaping in :mod:`repro.shm`) is
+only trustworthy if crashes can be *produced on demand*, at exact,
+repeatable points.  This module is that switchboard: code under test
+declares named **injection points**; a :class:`FaultPlan` — installed
+programmatically or parsed from the ``REPRO_FAULTS`` environment
+variable — decides which arrivals at which points fire which action.
+
+Injection points in the tree today:
+
+``worker.task``
+    Evaluated by the *controller* at every task dispatch of the process
+    backend (matching on the worker index and that worker's dispatch
+    ordinal); the matched action ships to the worker inside the task
+    message, so it survives worker respawns and stays deterministic —
+    a respawned worker never re-counts arrivals from zero.  Actions:
+    ``kill`` (SIGKILL before touching the factors), ``kill_mid``
+    (SIGKILL *after* the SGD updates are applied but before the
+    completion is reported — the partially-visible crash that forces
+    rollback), ``kill_after`` (SIGKILL after reporting: an idle death),
+    and ``stall`` (sleep ``seconds`` before executing).
+``store.publish.pre_commit``
+    Hit by :meth:`repro.serve.store.ModelStore.publish` between the
+    factor copy and the trailing commit stamp.  Action ``torn`` raises
+    :class:`FaultInjected`, simulating a publisher that died with a
+    named-but-uncommitted segment in ``/dev/shm``.
+``serve.reader.start``
+    Hit by each benchmark reader process on startup (action ``kill``) —
+    drives the fail-fast reader-collection path of
+    :func:`repro.serve.bench.measure_multi_reader`.
+
+Environment form: ``REPRO_FAULTS`` holds a JSON list of spec objects,
+e.g. ``[{"point": "worker.task", "worker": 1, "task": 3, "mode":
+"kill_mid"}]``.  Worker processes inherit the variable, so env-driven
+plans cross the process boundary under every start method.
+"""
+
+from __future__ import annotations
+
+import json
+import os
+import signal
+import threading
+import time
+from dataclasses import dataclass
+from typing import Dict, List, Optional, Tuple
+
+from .exceptions import ReproError
+
+#: Environment variable holding a JSON-encoded fault plan.
+FAULTS_ENV = "REPRO_FAULTS"
+
+#: Actions a spec may request.  ``kill*`` send SIGKILL to the current
+#: process (POSIX only — exactly where the process backend runs),
+#: ``stall`` sleeps, ``torn``/``raise`` raise :class:`FaultInjected`.
+FAULT_MODES = ("kill", "kill_mid", "kill_after", "stall", "torn", "raise")
+
+
+class FaultInjected(ReproError):
+    """Raised by an injection point whose matched action is ``torn``/``raise``.
+
+    Carries the injection point and spec so tests can assert *which*
+    fault fired, plus free-form ``context`` the site attaches (e.g. the
+    name of the shm segment a simulated crash abandoned).
+    """
+
+    def __init__(self, point: str, spec: "FaultSpec", **context) -> None:
+        super().__init__(
+            f"injected fault at {point!r} (mode={spec.mode}, "
+            f"worker={spec.worker}, task={spec.task})"
+        )
+        self.point = point
+        self.spec = spec
+        self.context = context
+
+
+@dataclass(frozen=True)
+class FaultSpec:
+    """One injection rule: *where* it matches and *what* it does.
+
+    A spec fires when an arrival at ``point`` has a matching worker
+    index (``worker < 0`` matches any) and an arrival ordinal inside
+    ``[task, task + count)`` — so ``task=3, count=2`` fires on the 4th
+    and 5th matching arrivals and never again.
+    """
+
+    point: str
+    mode: str = "kill"
+    worker: int = -1
+    task: int = 0
+    count: int = 1
+    seconds: float = 0.0
+
+    def __post_init__(self) -> None:
+        if not self.point:
+            raise ReproError("a fault spec needs a non-empty injection point")
+        if self.mode not in FAULT_MODES:
+            raise ReproError(
+                f"fault mode must be one of {FAULT_MODES}, got {self.mode!r}"
+            )
+        if self.task < 0:
+            raise ReproError(f"fault task ordinal must be >= 0, got {self.task}")
+        if self.count <= 0:
+            raise ReproError(f"fault count must be positive, got {self.count}")
+        if self.seconds < 0:
+            raise ReproError(f"fault seconds must be >= 0, got {self.seconds}")
+
+    def matches(self, worker: Optional[int], ordinal: int) -> bool:
+        if self.worker >= 0 and (worker is None or worker != self.worker):
+            return False
+        return self.task <= ordinal < self.task + self.count
+
+
+class FaultPlan:
+    """An ordered set of specs plus per-``(point, worker)`` arrival counters.
+
+    Counters live in the plan instance, so two plans never interfere;
+    the process-backend controller keeps its own dispatch ordinals and
+    passes them explicitly (:meth:`take` with ``ordinal=``), which is
+    what makes worker respawns transparent to the plan.
+    """
+
+    def __init__(self, specs: List[FaultSpec]) -> None:
+        self.specs: Tuple[FaultSpec, ...] = tuple(specs)
+        self._arrivals: Dict[Tuple[str, Optional[int]], int] = {}
+        self._lock = threading.Lock()
+
+    def __bool__(self) -> bool:
+        return bool(self.specs)
+
+    def take(
+        self,
+        point: str,
+        worker: Optional[int] = None,
+        ordinal: Optional[int] = None,
+    ) -> Optional[FaultSpec]:
+        """The spec matching this arrival, or ``None``.
+
+        Without an explicit ``ordinal`` the plan counts arrivals at
+        ``(point, worker)`` itself; sites that already have a durable
+        ordinal (the controller's per-worker dispatch count) pass it in.
+        """
+        with self._lock:
+            if ordinal is None:
+                key = (point, worker)
+                ordinal = self._arrivals.get(key, 0)
+                self._arrivals[key] = ordinal + 1
+            for spec in self.specs:
+                if spec.point == point and spec.matches(worker, ordinal):
+                    return spec
+        return None
+
+    @classmethod
+    def parse(cls, text: str) -> "FaultPlan":
+        """Build a plan from the ``REPRO_FAULTS`` JSON form."""
+        try:
+            raw = json.loads(text)
+        except json.JSONDecodeError as exc:
+            raise ReproError(f"cannot parse fault plan JSON: {exc}") from exc
+        if isinstance(raw, dict):
+            raw = [raw]
+        if not isinstance(raw, list):
+            raise ReproError(
+                f"a fault plan must be a JSON list of specs, got {type(raw).__name__}"
+            )
+        specs = []
+        for entry in raw:
+            if not isinstance(entry, dict):
+                raise ReproError(f"fault spec must be an object, got {entry!r}")
+            unknown = set(entry) - {"point", "mode", "worker", "task", "count", "seconds"}
+            if unknown:
+                raise ReproError(f"unknown fault spec fields: {sorted(unknown)}")
+            specs.append(FaultSpec(**entry))
+        return cls(specs)
+
+
+# The programmatically installed plan (tests use install()/clear();
+# workers receive the controller's plan inside their spawn arguments).
+_INSTALLED: Optional[FaultPlan] = None
+
+
+def install(plan: Optional[FaultPlan]) -> None:
+    """Make ``plan`` the process-wide active plan (``None`` clears)."""
+    global _INSTALLED
+    _INSTALLED = plan
+
+
+def clear() -> None:
+    """Remove the installed plan (environment plans stay discoverable)."""
+    install(None)
+
+
+def active_plan() -> Optional[FaultPlan]:
+    """The installed plan, else a plan parsed from ``REPRO_FAULTS``.
+
+    The environment is consulted on every call (no caching): chaos
+    tests monkeypatch the variable per test, and child processes that
+    inherit it resolve their own fresh plan with zeroed counters.
+    """
+    if _INSTALLED is not None:
+        return _INSTALLED
+    text = os.environ.get(FAULTS_ENV)
+    if not text:
+        return None
+    return FaultPlan.parse(text)
+
+
+def execute(spec: FaultSpec, point: str, **context) -> None:
+    """Carry out a matched spec's action at ``point``."""
+    if spec.mode in ("kill", "kill_mid", "kill_after"):
+        os.kill(os.getpid(), signal.SIGKILL)  # pragma: no cover - process dies
+    elif spec.mode == "stall":
+        time.sleep(spec.seconds)
+    else:  # torn / raise
+        raise FaultInjected(point, spec, **context)
+
+
+def hit(point: str, worker: Optional[int] = None, **context) -> None:
+    """Injection-point entry for in-process sites.
+
+    Looks up the active plan (installed or environment), counts this
+    arrival, and executes the matched action, if any.  With no plan
+    active this is one dict lookup — cheap enough for production paths.
+    """
+    plan = active_plan()
+    if plan is None:
+        return
+    spec = plan.take(point, worker=worker)
+    if spec is not None:
+        execute(spec, point, **context)

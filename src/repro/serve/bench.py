@@ -26,7 +26,7 @@ from __future__ import annotations
 
 import time
 from dataclasses import dataclass
-from typing import Optional
+from typing import Dict, Optional
 
 import numpy as np
 
@@ -133,25 +133,29 @@ def user_pool(n_users: int, pool: int, seed: int = 0) -> np.ndarray:
 
 
 def _reader_main(
-    handle, users, k, batch_size, chunk_items, done_queue
+    index, handle, users, k, batch_size, chunk_items, done_queue
 ) -> None:
     """One reader process: attach the published model, score, report.
 
     Module-level so it pickles under every multiprocessing start method.
+    Messages lead with the reader index so the collector can tell which
+    readers have reported and fail fast on the ones that died silently.
     """
+    from .. import faults
     from .store import attach_model
 
     model = segment = None
     try:
+        faults.hit("serve.reader.start", worker=index)
         model, segment = attach_model(handle)
         scorer = Scorer(model, chunk_items=chunk_items)
         start = time.perf_counter()
         for base in range(0, len(users), batch_size):
             scorer.top_k(users[base : base + batch_size], k)
         seconds = time.perf_counter() - start
-        done_queue.put((segment.name, len(users), seconds, None))
+        done_queue.put((index, segment.name, len(users), seconds, None))
     except BaseException as error:  # pragma: no cover - diagnosed by caller
-        done_queue.put((None, 0, 0.0, repr(error)))
+        done_queue.put((index, None, 0, 0.0, repr(error)))
     finally:
         scorer = model = None
         if segment is not None:
@@ -177,6 +181,7 @@ def measure_multi_reader(
     :func:`repro.shm.live_segment_names` is empty.
     """
     import multiprocessing
+    import queue as queue_module
 
     from ..exceptions import ExecutionError
     from .store import ModelStore
@@ -196,22 +201,58 @@ def measure_multi_reader(
         procs = [
             ctx.Process(
                 target=_reader_main,
-                args=(handle, share, k, batch_size, chunk_items, done_queue),
+                args=(i, handle, share, k, batch_size, chunk_items, done_queue),
                 daemon=True,
             )
-            for share in shares
+            for i, share in enumerate(shares)
         ]
         start = time.perf_counter()
         for proc in procs:
             proc.start()
-        results = [done_queue.get(timeout=600.0) for _ in procs]
-        seconds = time.perf_counter() - start
-        for proc in procs:
-            proc.join(timeout=60.0)
-        done_queue.close()
-        done_queue.join_thread()
-    segments = {name for name, _, _, error in results if error is None}
-    errors = [error for _, _, _, error in results if error is not None]
+        # Poll with short timeouts and check reader liveness between
+        # polls: a reader that dies without reporting (OOM kill,
+        # injected fault) fails the bench within seconds instead of
+        # hanging a blocking get for ten minutes per dead reader.
+        results: Dict[int, tuple] = {}
+        try:
+            while len(results) < len(procs):
+                try:
+                    message = done_queue.get(timeout=1.0)
+                except queue_module.Empty:
+                    dead = [
+                        i
+                        for i, proc in enumerate(procs)
+                        if i not in results and not proc.is_alive()
+                    ]
+                    # A reader may report and exit between the timeout
+                    # and the liveness scan — drain before declaring it.
+                    for i in dead:
+                        try:
+                            while True:
+                                message = done_queue.get_nowait()
+                                results[message[0]] = message[1:]
+                        except queue_module.Empty:
+                            pass
+                    dead = [i for i in dead if i not in results]
+                    if dead:
+                        codes = {i: procs[i].exitcode for i in dead}
+                        raise ExecutionError(
+                            f"reader process(es) {sorted(dead)} died without "
+                            f"reporting (exit codes {codes})"
+                        )
+                    continue
+                results[message[0]] = message[1:]
+            seconds = time.perf_counter() - start
+        finally:
+            for proc in procs:
+                if proc.is_alive():
+                    proc.join(timeout=60.0)
+                if proc.is_alive():  # pragma: no cover - hard kill fallback
+                    proc.terminate()
+            done_queue.close()
+            done_queue.join_thread()
+    segments = {name for name, _, _, error in results.values() if error is None}
+    errors = [error for _, _, _, error in results.values() if error is not None]
     if errors:
         raise ExecutionError(f"reader process failed: {errors[0]}")
     if segments != {handle.segment}:
@@ -221,6 +262,6 @@ def measure_multi_reader(
         )
     return ThroughputSample(
         label=f"readers{readers}_b{batch_size}_c{chunk_items}",
-        users_scored=int(sum(count for _, count, _, _ in results)),
+        users_scored=int(sum(count for _, count, _, _ in results.values())),
         seconds=seconds,
     )

@@ -56,6 +56,7 @@ class ServiceStats:
     batches_scored: int = 0
     users_scored: int = 0
     reloads: int = 0
+    reload_failures: int = 0
 
     def as_dict(self) -> Dict[str, int]:
         return dict(vars(self))
@@ -147,6 +148,11 @@ class RecommendationService:
 
         Called at every flush boundary — a batch is scored entirely
         against one version, so a mid-batch swap can never mix factors.
+
+        A failed re-lease (the version was retired or the store closed
+        under us) degrades gracefully: the failure is counted and the
+        service keeps serving from its current, still-pinned lease
+        instead of turning a serving request into a crash.
         """
         if self._store is None:
             return
@@ -154,9 +160,14 @@ class RecommendationService:
         if current is None or current == self._version:
             return
         old_lease = self._lease
-        self._lease = self._store.acquire()
-        self._version = self._lease.version
-        self._scorer = self._make_scorer(self._lease.model)
+        try:
+            new_lease = self._store.acquire()
+        except ExecutionError:
+            self.stats.reload_failures += 1
+            return
+        self._lease = new_lease
+        self._version = new_lease.version
+        self._scorer = self._make_scorer(new_lease.model)
         if old_lease is not None:
             old_lease.release()
         self.stats.reloads += 1

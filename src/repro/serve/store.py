@@ -36,9 +36,18 @@ from typing import Dict, Optional, Tuple
 
 import numpy as np
 
+from .. import faults
 from ..exceptions import ExecutionError
+from ..faults import FaultInjected
 from ..sgd.model import FactorModel
 from ..shm import SharedSegment
+
+#: Value of the first commit-stamp word.  Written *after* the factor
+#: payload, so its presence proves the publisher survived the copy.
+COMMIT_MAGIC = 0x5245_5052_4F5F_4F4B  # b"REPRO_OK" as a big-endian u64
+
+#: Trailing commit stamp: ``[COMMIT_MAGIC, payload_nbytes]`` as uint64.
+STAMP_NBYTES = 16
 
 
 @dataclass(frozen=True)
@@ -48,7 +57,9 @@ class ModelHandle:
     Carries everything a reader process needs to map the model
     zero-copy: the segment name, the shapes, and the version number the
     service uses as its cache key.  ``Q`` occupies the segment
-    item-major starting at byte ``m * k * 8``.
+    item-major starting at byte ``m * k * 8``; the segment ends with a
+    16-byte commit stamp (see :data:`COMMIT_MAGIC`) written after the
+    factors, which is what lets readers reject a torn publish.
     """
 
     version: int
@@ -59,8 +70,38 @@ class ModelHandle:
 
     @property
     def nbytes(self) -> int:
-        """Payload size: ``P`` plus ``Q`` as float64."""
+        """Payload size: ``P`` plus ``Q`` as float64 (stamp excluded)."""
         return (self.n_rows + self.n_cols) * self.latent_factors * 8
+
+    @property
+    def total_nbytes(self) -> int:
+        """Allocated segment size: payload plus the commit stamp."""
+        return self.nbytes + STAMP_NBYTES
+
+
+def _stamp_view(segment: SharedSegment, payload_nbytes: int) -> np.ndarray:
+    return segment.ndarray((2,), np.uint64, offset=payload_nbytes)
+
+
+def _check_committed(segment: SharedSegment, handle: ModelHandle) -> None:
+    """Reject a segment whose publisher died before the commit stamp.
+
+    A publish writes ``P``, then ``Q``, then the trailing stamp — so a
+    present, correct stamp proves the whole payload landed.  Raising
+    here (instead of serving garbage factors) is what makes publication
+    crash-*atomic* for readers: a version either attaches whole or not
+    at all.
+    """
+    stamp = _stamp_view(segment, handle.nbytes)
+    magic, size = int(stamp[0]), int(stamp[1])
+    del stamp  # drop the view before a potential close()
+    if magic != COMMIT_MAGIC or size != handle.nbytes:
+        segment.close()
+        raise ExecutionError(
+            f"segment {handle.segment!r} holds a torn publish of version "
+            f"{handle.version} (its publisher died before committing); "
+            "refusing to attach — reap it with `repro gc-shm`"
+        )
 
 
 def _model_views(
@@ -82,9 +123,20 @@ def attach_model(handle: ModelHandle) -> Tuple[FactorModel, SharedSegment]:
     when done (after dropping the model, which pins the mapping).  The
     views are read-only — readers share one physical copy of the
     factors, and a stray in-place write would corrupt every reader.
+
+    The segment's trailing commit stamp is verified before any view is
+    taken: a torn publish (publisher died mid-copy) raises
+    :class:`~repro.exceptions.ExecutionError` instead of ever serving
+    half-written factors.
     """
     segment = SharedSegment.attach(handle.segment)
-    return _model_views(segment, handle, readonly=True), segment
+    try:
+        _check_committed(segment, handle)
+        return _model_views(segment, handle, readonly=True), segment
+    except ExecutionError:
+        if not segment.closed:
+            segment.close()
+        raise
 
 
 class ModelLease:
@@ -173,12 +225,23 @@ class ModelStore:
             raise ExecutionError("the model store is closed")
         m, k = model.p.shape
         n = model.q.shape[1]
-        segment = SharedSegment.create((m + n) * k * 8, purpose="model")
+        payload = (m + n) * k * 8
+        segment = SharedSegment.create(payload + STAMP_NBYTES, purpose="model")
         try:
             segment.ndarray((m, k), np.float64)[...] = model.p
             # Item-major Q, preserving FactorModel's layout contract so
             # readers keep the block-major gather-friendly layout.
             segment.ndarray((n, k), np.float64, offset=m * k * 8)[...] = model.q.T
+            # Commit stamp LAST: a publisher death anywhere above leaves
+            # a stamp-less segment that attach_model refuses to map.
+            faults.hit("store.publish.pre_commit", segment=segment.name)
+            _stamp_view(segment, payload)[...] = (COMMIT_MAGIC, payload)
+        except FaultInjected:
+            # A simulated crash between write and commit: leave the torn
+            # segment named (the manifest keeps it discoverable for
+            # `repro gc-shm`), exactly as a real death would.
+            segment.abandon()
+            raise
         except BaseException:  # pragma: no cover - copy cannot really fail
             segment.unlink()
             raise

@@ -24,15 +24,30 @@ Raw ``SharedMemory`` has two sharp edges this module files down:
 
 Segment names carry a recognisable prefix (``repro-<pid>-…``) so stray
 segments are attributable, and creation retries on name collisions.
+
+**Crash safety.**  A clean exit unlinks everything, but a SIGKILLed
+controller or publisher leaves its segments named in ``/dev/shm`` with
+nobody alive to unlink them.  To make such orphans *discoverable*,
+every owner process additionally journals its live segments into a
+per-pid **manifest** file under a runtime directory
+(:func:`runtime_dir`): created segments are appended, unlinked ones
+removed, and an empty manifest is deleted.  :func:`reap_orphaned_segments`
+(surfaced as the ``repro gc-shm`` CLI) scans the manifests, probes each
+owner pid, and force-unlinks every segment whose owner is gone — the
+reaping rule is *pid dead ⇒ segments dead*, which is sound because
+segment ownership never migrates between processes.
 """
 
 from __future__ import annotations
 
+import json
 import os
 import secrets
+import tempfile
 import threading
+from dataclasses import dataclass, field
 from multiprocessing import shared_memory
-from typing import Dict, Tuple
+from typing import Dict, List, Optional, Tuple
 
 import numpy as np
 
@@ -42,11 +57,20 @@ from .exceptions import ExecutionError
 #: ``/dev/shm`` for it to prove nothing leaked.
 SEGMENT_PREFIX = "repro-shm"
 
+#: Environment variable overriding the manifest runtime directory
+#: (tests point it at a tmpdir so concurrent suites never interfere).
+RUNTIME_DIR_ENV = "REPRO_RUNTIME_DIR"
+
 # name -> role ("owner" created it and must unlink; "attached" only maps
 # it).  Guarded by a lock: the threaded controller and callbacks may
 # close segments from different threads.
 _LIVE: Dict[str, str] = {}
 _LIVE_LOCK = threading.Lock()
+
+# Owned names whose handles were abandon()ed (simulated crashes): no
+# longer mapped here, but still named in the kernel and still journaled
+# in the manifest so the reaper can find them.  Guarded by _LIVE_LOCK.
+_ABANDONED: Dict[str, None] = {}
 
 
 def live_segment_names() -> Tuple[str, ...]:
@@ -58,6 +82,158 @@ def live_segment_names() -> Tuple[str, ...]:
     """
     with _LIVE_LOCK:
         return tuple(sorted(_LIVE))
+
+
+def runtime_dir() -> str:
+    """Directory holding the per-pid segment manifests.
+
+    ``$REPRO_RUNTIME_DIR`` when set (resolved on every call so tests can
+    monkeypatch it), else ``<tmpdir>/repro-runtime``.  Created on
+    demand.
+    """
+    path = os.environ.get(RUNTIME_DIR_ENV)
+    if not path:
+        path = os.path.join(tempfile.gettempdir(), "repro-runtime")
+    os.makedirs(path, exist_ok=True)
+    return path
+
+
+def _manifest_path(pid: int, runtime: Optional[str] = None) -> str:
+    return os.path.join(runtime or runtime_dir(), f"segments-{pid}.json")
+
+
+def _write_manifest_locked() -> None:
+    """Persist this process's owned-segment registry (caller holds the lock).
+
+    The write is atomic (tmp + rename) so the reaper never reads a torn
+    manifest; an empty registry removes the file, which is what makes a
+    clean exit leave no trace.
+    """
+    owned = sorted(
+        set(name for name, role in _LIVE.items() if role == "owner")
+        | set(_ABANDONED)
+    )
+    path = _manifest_path(os.getpid())
+    try:
+        if not owned:
+            try:
+                os.unlink(path)
+            except FileNotFoundError:
+                pass
+            return
+        payload = json.dumps({"pid": os.getpid(), "segments": owned})
+        tmp = f"{path}.tmp-{secrets.token_hex(4)}"
+        with open(tmp, "w", encoding="utf-8") as handle:
+            handle.write(payload)
+        os.replace(tmp, path)
+    except OSError:  # pragma: no cover - read-only/odd runtime dirs
+        # The manifest is a crash-recovery aid, never a correctness
+        # dependency: an unwritable runtime dir must not fail training.
+        pass
+
+
+def force_unlink(name: str) -> bool:
+    """Unlink a segment by name regardless of which process created it.
+
+    The reaper's primitive (and a test utility for cleaning up
+    deliberately-torn publishes): opens the segment, closes the mapping
+    and removes the name.  Returns ``False`` if the segment no longer
+    exists.  Any local bookkeeping for the name (live registry,
+    manifest entry) is dropped too.
+    """
+    with _LIVE_LOCK:
+        was_owned = _LIVE.pop(name, None) == "owner"
+        was_abandoned = _ABANDONED.pop(name, "absent") is None
+        if was_owned or was_abandoned:
+            _write_manifest_locked()
+    try:
+        shm = _attach_shared_memory(name)
+    except FileNotFoundError:
+        return False
+    try:
+        shm.unlink()
+    except FileNotFoundError:  # pragma: no cover - lost a reap race
+        pass
+    finally:
+        shm.close()
+    return True
+
+
+@dataclass
+class GcReport:
+    """Outcome of one :func:`reap_orphaned_segments` scan."""
+
+    scanned: int = 0
+    """Manifest files inspected."""
+    reaped: List[str] = field(default_factory=list)
+    """Orphaned segments that were unlinked."""
+    missing: List[str] = field(default_factory=list)
+    """Manifest entries whose segment was already gone."""
+    skipped_live: List[int] = field(default_factory=list)
+    """Owner pids that are still alive (their manifests were left alone)."""
+
+    @property
+    def total_reaped(self) -> int:
+        return len(self.reaped)
+
+
+def _pid_alive(pid: int) -> bool:
+    try:
+        os.kill(pid, 0)
+    except ProcessLookupError:
+        return False
+    except PermissionError:  # pragma: no cover - pid exists, other user
+        return True
+    return True
+
+
+def reap_orphaned_segments(
+    runtime: Optional[str] = None, dry_run: bool = False
+) -> GcReport:
+    """Unlink every segment whose recorded owner process is dead.
+
+    Scans the manifest files under ``runtime`` (default:
+    :func:`runtime_dir`), probes each owner pid with signal 0, and
+    force-unlinks the segments of dead owners; their manifests are then
+    removed.  Manifests of live owners — including the calling process —
+    are untouched.  ``dry_run`` reports what *would* be reaped without
+    unlinking anything.
+    """
+    runtime = runtime or runtime_dir()
+    report = GcReport()
+    try:
+        entries = sorted(os.listdir(runtime))
+    except FileNotFoundError:
+        return report
+    for entry in entries:
+        if not entry.startswith("segments-") or not entry.endswith(".json"):
+            continue
+        path = os.path.join(runtime, entry)
+        try:
+            with open(path, "r", encoding="utf-8") as handle:
+                manifest = json.load(handle)
+            pid = int(manifest["pid"])
+            segments = [str(name) for name in manifest["segments"]]
+        except (OSError, ValueError, KeyError, TypeError):
+            # Torn or foreign file: never guess at segment names.
+            continue
+        report.scanned += 1
+        if _pid_alive(pid):
+            report.skipped_live.append(pid)
+            continue
+        for name in segments:
+            if dry_run:
+                report.reaped.append(name)
+            elif force_unlink(name):
+                report.reaped.append(name)
+            else:
+                report.missing.append(name)
+        if not dry_run:
+            try:
+                os.unlink(path)
+            except FileNotFoundError:  # pragma: no cover - concurrent reap
+                pass
+    return report
 
 
 def _attach_shared_memory(name: str) -> shared_memory.SharedMemory:
@@ -88,6 +264,10 @@ class SharedSegment:
         self._unlinked = False
         with _LIVE_LOCK:
             _LIVE[shm.name] = "owner" if owner else "attached"
+            if owner:
+                # Journal ownership so a crashed process's segments stay
+                # discoverable (reap_orphaned_segments / `repro gc-shm`).
+                _write_manifest_locked()
 
     # ------------------------------------------------------------------ #
     # Construction
@@ -227,10 +407,40 @@ class SharedSegment:
         self._unlinked = True
         with _LIVE_LOCK:
             _LIVE.pop(self._shm.name, None)
+            _write_manifest_locked()
         try:
             self._shm.unlink()
         except FileNotFoundError:  # pragma: no cover - already gone
             pass
+
+    def abandon(self) -> None:
+        """Drop this handle *as if the owning process had died*.
+
+        Closes the local mapping and forgets the live-registry entry but
+        deliberately leaves the segment named in ``/dev/shm`` **and**
+        recorded in this process's manifest — exactly the state a crash
+        leaves behind.  Fault injection uses this to manufacture orphans
+        and torn publishes for :func:`reap_orphaned_segments` and the
+        commit-stamp check to find.  Idempotent.
+        """
+        if self._closed:
+            return
+        self._closed = True
+        with _LIVE_LOCK:
+            _LIVE.pop(self._shm.name, None)
+            if self._owner:
+                _ABANDONED[self._shm.name] = None
+        try:
+            self._shm.close()
+        except BufferError:  # pragma: no cover - caller kept views alive
+            self._closed = False
+            with _LIVE_LOCK:
+                _ABANDONED.pop(self._shm.name, None)
+                _LIVE[self._shm.name] = "owner" if self._owner else "attached"
+            raise ExecutionError(
+                f"segment {self.name!r} still has exported views; drop them "
+                "before abandoning"
+            ) from None
 
     def __repr__(self) -> str:  # pragma: no cover - debugging aid
         state = "unlinked" if self._unlinked else ("closed" if self._closed else "open")

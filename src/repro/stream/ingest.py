@@ -29,6 +29,7 @@ version; reader processes hot-swap at their own pace
 
 from __future__ import annotations
 
+import time
 from collections import deque
 from dataclasses import dataclass, field
 from typing import Deque, List, Optional, Tuple
@@ -36,7 +37,7 @@ from typing import Deque, List, Optional, Tuple
 import numpy as np
 
 from ..core.trainer import HeterogeneousTrainer, TrainResult
-from ..exceptions import ConfigurationError
+from ..exceptions import ConfigurationError, ReproError
 from ..exec.callbacks import CONTINUE, Callback
 from ..exec.checkpoint import TrainCheckpoint
 from ..serve.store import ModelStore
@@ -44,6 +45,12 @@ from ..sgd.foldin import grow_model
 from ..sgd.model import FactorModel
 from ..sparse import SparseRatingMatrix
 from .drift import DriftMonitor, DriftPolicy, DriftReading
+
+#: Default extra publish attempts after the first failure.
+DEFAULT_PUBLISH_RETRIES = 2
+
+#: Default sleep before the first publish retry; doubles per attempt.
+DEFAULT_PUBLISH_BACKOFF_SECONDS = 0.05
 
 
 class CaptureCheckpoint(Callback):
@@ -83,6 +90,11 @@ class IngestReport:
     published_version: Optional[int]
     """The version published this call (``None`` when nothing changed
     or no store is attached)."""
+    publish_error: Optional[str] = None
+    """Structured description of a publish that failed after exhausting
+    its retries (``None`` when publication succeeded or was not
+    attempted).  The store's previously committed version keeps
+    serving; the next model change re-attempts publication."""
 
 
 @dataclass
@@ -95,6 +107,7 @@ class IngestStats:
     folded_items: int = 0
     retrains: int = 0
     publishes: int = 0
+    publish_failures: int = 0
     drift_readings: List[DriftReading] = field(default_factory=list)
 
 
@@ -123,6 +136,13 @@ class IngestSession:
     train_iterations / retrain_iterations:
         Epoch counts for :meth:`start` and for drift-triggered retrains
         (both default to the trainer's configured iterations).
+    publish_retries / publish_backoff:
+        A failed publication is retried this many extra times with an
+        exponentially doubling sleep starting at ``publish_backoff``
+        seconds.  Exhausting the retries never raises out of the ingest
+        loop: the failure is counted, surfaced on the report's
+        ``publish_error``, and readers keep serving the store's last
+        committed version.
     """
 
     def __init__(
@@ -135,10 +155,20 @@ class IngestSession:
         backend: Optional[str] = None,
         train_iterations: Optional[int] = None,
         retrain_iterations: Optional[int] = None,
+        publish_retries: int = DEFAULT_PUBLISH_RETRIES,
+        publish_backoff: float = DEFAULT_PUBLISH_BACKOFF_SECONDS,
     ) -> None:
         if window_size < 1:
             raise ConfigurationError(
                 f"window_size must be positive, got {window_size}"
+            )
+        if publish_retries < 0:
+            raise ConfigurationError(
+                f"publish_retries must be >= 0, got {publish_retries}"
+            )
+        if publish_backoff < 0:
+            raise ConfigurationError(
+                f"publish_backoff must be >= 0, got {publish_backoff}"
             )
         self.trainer = trainer
         self.matrix = matrix
@@ -149,9 +179,12 @@ class IngestSession:
         self._backend = backend
         self._train_iterations = train_iterations
         self._retrain_iterations = retrain_iterations
+        self.publish_retries = int(publish_retries)
+        self.publish_backoff = float(publish_backoff)
         self._pending: Deque[Tuple[int, int, float]] = deque()
         self._model: Optional[FactorModel] = None
         self._checkpoint: Optional[TrainCheckpoint] = None
+        self._publish_error: Optional[str] = None
 
     # ------------------------------------------------------------------ #
     # Introspection
@@ -251,11 +284,11 @@ class IngestSession:
                     iterations=self._retrain_iterations,
                 )
                 retrained = True
-        version = (
-            self._publish()
-            if (folded_users or folded_items or retrained)
-            else None
-        )
+        version = None
+        publish_error: Optional[str] = None
+        if folded_users or folded_items or retrained:
+            version = self._publish()
+            publish_error = self._publish_error
         return IngestReport(
             ingested=len(vals),
             graduated=len(graduated),
@@ -264,6 +297,7 @@ class IngestSession:
             drift=drift,
             retrained=retrained,
             published_version=version,
+            publish_error=publish_error,
         )
 
     def flush(self) -> IngestReport:
@@ -276,7 +310,11 @@ class IngestSession:
         graduated = list(self._pending)
         self._pending.clear()
         folded_users, folded_items = self._graduate(graduated)
-        version = self._publish() if (folded_users or folded_items) else None
+        version = None
+        publish_error: Optional[str] = None
+        if folded_users or folded_items:
+            version = self._publish()
+            publish_error = self._publish_error
         return IngestReport(
             ingested=0,
             graduated=len(graduated),
@@ -285,6 +323,7 @@ class IngestSession:
             drift=None,
             retrained=False,
             published_version=version,
+            publish_error=publish_error,
         )
 
     def retrain(self) -> TrainResult:
@@ -363,12 +402,38 @@ class IngestSession:
         return result
 
     def _publish(self) -> Optional[int]:
-        """Publish the live model to the attached store, if any."""
+        """Publish the live model to the attached store, if any.
+
+        Publication failures (a torn write fault, shm exhaustion) are
+        retried ``publish_retries`` times with doubling backoff and
+        then swallowed: the ingest loop must keep absorbing ratings,
+        and readers degrade to the store's last committed version
+        rather than losing the service.  The failure is counted in
+        ``stats.publish_failures`` and described on the report's
+        ``publish_error``.
+        """
+        self._publish_error = None
         if self.store is None:
             return None
-        handle = self.store.publish(self.model)
-        self.stats.publishes += 1
-        return handle.version
+        delay = self.publish_backoff
+        last_error: Optional[ReproError] = None
+        for attempt in range(self.publish_retries + 1):
+            try:
+                handle = self.store.publish(self.model)
+            except ReproError as error:
+                last_error = error
+                self.stats.publish_failures += 1
+                if attempt < self.publish_retries and delay > 0:
+                    time.sleep(delay)
+                    delay *= 2.0
+                continue
+            self.stats.publishes += 1
+            return handle.version
+        self._publish_error = (
+            f"publish failed after {self.publish_retries + 1} attempt(s): "
+            f"{type(last_error).__name__}: {last_error}"
+        )
+        return None
 
     def __repr__(self) -> str:  # pragma: no cover - debugging aid
         return (

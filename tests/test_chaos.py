@@ -1,0 +1,241 @@
+"""Chaos tier: injected worker crashes against the process backend.
+
+Every test here SIGKILLs (or stalls) live worker processes through the
+:mod:`repro.faults` switchboard and asserts the supervision machinery's
+contracts:
+
+* **determinism** — with one worker, a run that loses its worker at any
+  point (before the kernel, mid-task after the factor writes, or after
+  reporting) recovers by epoch-boundary rollback + replay to results
+  **bitwise identical** to the failure-free run;
+* **availability** — multi-worker runs survive a mid-task kill and keep
+  converging (boundary snapshots are approximate under concurrency, so
+  the pin is RMSE-level, not bitwise);
+* **bounded retries** — exhausting ``TrainingConfig.max_worker_restarts``
+  fails the run with a diagnostic :class:`ExecutionError` instead of
+  respawning forever;
+* **hygiene** — no run, recovered or failed, leaks a shared-memory
+  segment (asserted by the autouse fixture);
+* **fail-fast serving** — a benchmark reader killed on startup fails the
+  reader collection within seconds instead of hanging it.
+
+The tier is marked ``chaos`` so CI can run it in isolation with leak
+diagnostics, but it is deliberately fast (tiny synthetic data, a few
+epochs) — the default unfiltered ``pytest`` run includes it.
+"""
+
+import glob
+import json
+
+import numpy as np
+import pytest
+
+from repro import faults
+from repro.core import GreedyBlockScheduler, HSGDStarScheduler
+from repro.core.partition import nonuniform_partition, uniform_partition
+from repro.exceptions import ExecutionError
+from repro.exec import ProcessEngine
+from repro.faults import FaultPlan, FaultSpec
+from repro.serve.bench import measure_multi_reader
+from repro.sgd import FactorModel
+from repro.shm import SEGMENT_PREFIX, live_segment_names
+
+pytestmark = pytest.mark.chaos
+
+
+def _dev_shm_segments():
+    return set(glob.glob(f"/dev/shm/{SEGMENT_PREFIX}*"))
+
+
+@pytest.fixture(autouse=True)
+def chaos_hygiene(monkeypatch, tmp_path):
+    """Isolated runtime dir + no plan bleed + no leaked segments."""
+    monkeypatch.setenv("REPRO_RUNTIME_DIR", str(tmp_path / "runtime"))
+    monkeypatch.delenv(faults.FAULTS_ENV, raising=False)
+    faults.clear()
+    before = _dev_shm_segments()
+    yield
+    faults.clear()
+    assert live_segment_names() == ()
+    assert _dev_shm_segments() == before
+
+
+def _process_engine(train, test, training, n_workers=1, seed=0, **kwargs):
+    if n_workers == 1:
+        grid = uniform_partition(train, 3, 3)
+        scheduler = GreedyBlockScheduler(grid, 1, 0, seed=seed)
+    else:
+        grid = nonuniform_partition(
+            train, alpha=0.3, n_cpu_threads=n_workers - 1, n_gpus=1
+        )
+        scheduler = HSGDStarScheduler(
+            grid, n_workers - 1, 1, dynamic_scheduling=True, seed=seed
+        )
+    return ProcessEngine(
+        scheduler=scheduler, train=train, training=training, test=test, **kwargs
+    )
+
+
+def _kill_plan(*specs):
+    return FaultPlan([FaultSpec(point="worker.task", **spec) for spec in specs])
+
+
+@pytest.fixture(scope="module")
+def reference_run(small_split, small_training):
+    """The failure-free single-worker run every recovery is pinned against."""
+    train, test = small_split
+    result = _process_engine(train, test, small_training).run(iterations=3)
+    assert result.worker_restarts == 0
+    return result
+
+
+def _assert_bitwise(result, reference):
+    np.testing.assert_array_equal(result.model.p, reference.model.p)
+    np.testing.assert_array_equal(result.model.q, reference.model.q)
+    assert [r.test_rmse for r in result.trace.iterations] == [
+        r.test_rmse for r in reference.trace.iterations
+    ]
+    assert [t.points for t in result.trace.tasks] == [
+        t.points for t in reference.trace.tasks
+    ]
+
+
+class TestSingleWorkerRecovery:
+    """Kill the only worker at assorted points: recovery must be exact."""
+
+    @pytest.mark.parametrize(
+        "mode,ordinal",
+        [
+            ("kill", 0),       # dies before the very first kernel call
+            ("kill", 4),       # dies mid-epoch, task untouched
+            ("kill_mid", 1),   # dies AFTER writing factors: forces rollback
+            ("kill_mid", 10),  # ... in a later epoch (mid-run snapshot)
+        ],
+    )
+    def test_kill_recovers_bitwise(
+        self, small_split, small_training, reference_run, mode, ordinal
+    ):
+        train, test = small_split
+        faults.install(_kill_plan({"mode": mode, "task": ordinal}))
+        result = _process_engine(train, test, small_training).run(iterations=3)
+        assert result.worker_restarts == 1
+        _assert_bitwise(result, reference_run)
+
+    def test_idle_death_after_reporting(
+        self, small_split, small_training, reference_run
+    ):
+        """kill_after flushes the completion first: the worker dies idle,
+        so the respawn needs no rollback — and stays bitwise exact."""
+        train, test = small_split
+        faults.install(_kill_plan({"mode": "kill_after", "task": 2}))
+        result = _process_engine(train, test, small_training).run(iterations=3)
+        assert result.worker_restarts == 1
+        _assert_bitwise(result, reference_run)
+
+    def test_stall_is_survived_without_restart(
+        self, small_split, small_training, reference_run
+    ):
+        train, test = small_split
+        faults.install(
+            _kill_plan({"mode": "stall", "task": 3, "seconds": 0.2})
+        )
+        result = _process_engine(train, test, small_training).run(iterations=3)
+        assert result.worker_restarts == 0
+        _assert_bitwise(result, reference_run)
+
+    def test_acceptance_three_kills_one_run(
+        self, small_split, small_training, reference_run
+    ):
+        """The ISSUE pin: >= 3 injected kills (one of them a mid-task
+        SIGKILL) in a single run, which still completes bitwise-equal to
+        the failure-free run and leaks nothing."""
+        train, test = small_split
+        faults.install(
+            _kill_plan(
+                {"mode": "kill", "task": 1},
+                {"mode": "kill_mid", "task": 6},
+                {"mode": "kill", "task": 13},
+            )
+        )
+        result = _process_engine(train, test, small_training).run(iterations=3)
+        assert result.worker_restarts == 3
+        _assert_bitwise(result, reference_run)
+        assert live_segment_names() == ()
+
+
+class TestRestartBudget:
+    def test_exhaustion_raises_with_diagnostics(
+        self, small_split, small_training
+    ):
+        train, test = small_split
+        training = small_training.with_max_worker_restarts(1)
+        faults.install(
+            _kill_plan({"mode": "kill", "task": 0}, {"mode": "kill", "task": 2})
+        )
+        engine = _process_engine(train, test, training)
+        with pytest.raises(ExecutionError, match="restart budget is exhausted"):
+            engine.run(iterations=3)
+
+    def test_exhaustion_message_names_the_knob_and_the_worker(
+        self, small_split, small_training
+    ):
+        train, test = small_split
+        training = small_training.with_max_worker_restarts(0)
+        faults.install(_kill_plan({"mode": "kill_mid", "task": 0}))
+        engine = _process_engine(train, test, training)
+        with pytest.raises(ExecutionError) as excinfo:
+            engine.run(iterations=2)
+        message = str(excinfo.value)
+        assert "died" in message
+        assert "worker 0" in message
+        assert "max_worker_restarts" in message
+        assert "0 of 0 restart(s) used" in message
+
+
+class TestMultiWorkerRecovery:
+    def test_mid_task_kill_keeps_converging(self, small_split, small_training):
+        """Concurrent workers make boundary snapshots approximate, so the
+        multi-worker pin is availability + accuracy, not bitwise."""
+        train, test = small_split
+        reference = _process_engine(
+            train, test, small_training, n_workers=3
+        ).run(iterations=3)
+        faults.install(
+            _kill_plan({"mode": "kill_mid", "worker": 1, "task": 2})
+        )
+        result = _process_engine(
+            train, test, small_training, n_workers=3
+        ).run(iterations=3)
+        assert result.worker_restarts == 1
+        curve = [r.test_rmse for r in result.trace.iterations]
+        assert all(np.isfinite(curve))
+        assert curve[-1] < curve[0]  # still learning after the crash
+        # Same data, same epochs: recovery lands in the same RMSE regime.
+        assert abs(curve[-1] - reference.trace.iterations[-1].test_rmse) < 0.25
+
+
+class TestReaderFailFast:
+    def test_dead_reader_fails_the_bench_quickly(self, monkeypatch):
+        model = FactorModel.initialize(40, 30, 4, seed=5)
+        monkeypatch.setenv(
+            faults.FAULTS_ENV,
+            json.dumps([{"point": "serve.reader.start", "worker": 0, "mode": "kill"}]),
+        )
+        with pytest.raises(ExecutionError, match="died without reporting"):
+            measure_multi_reader(
+                model,
+                users=np.arange(40),
+                k=5,
+                batch_size=8,
+                chunk_items=64,
+                readers=2,
+            )
+
+    def test_healthy_readers_still_pass_under_empty_plan(self, monkeypatch):
+        monkeypatch.setenv(faults.FAULTS_ENV, "[]")
+        model = FactorModel.initialize(40, 30, 4, seed=5)
+        sample = measure_multi_reader(
+            model, users=np.arange(40), k=5, batch_size=8,
+            chunk_items=64, readers=2,
+        )
+        assert sample.users_scored == 40

@@ -1,0 +1,508 @@
+"""Tests of the fault-injection harness and the crash-safety plumbing.
+
+Everything here is fast and in-process (or spawns one short-lived child
+that exits *cleanly* after manufacturing an orphan); the tests that
+SIGKILL live training workers are the chaos tier in ``test_chaos.py``.
+
+Covered contracts:
+
+* :mod:`repro.faults` — spec validation/matching, plan parsing (env and
+  programmatic), arrival counting, and the ``hit``/``execute`` actions
+  that do not kill the calling process;
+* shm manifests — owned segments are journaled under the runtime dir,
+  ``abandon()`` manufactures the exact state a crash leaves behind, and
+  :func:`repro.shm.reap_orphaned_segments` (plus the ``repro gc-shm``
+  CLI) reaps segments of dead owners while never touching live ones;
+* crash-atomic publication — a publisher that dies between the factor
+  copy and the commit stamp leaves a torn segment that
+  :func:`repro.serve.attach_model` refuses to map;
+* graceful degradation — :class:`repro.stream.IngestSession` retries
+  failed publishes with backoff and keeps the last committed version
+  serving, and :class:`repro.serve.RecommendationService` keeps serving
+  its pinned lease when a hot reload fails.
+"""
+
+import json
+import multiprocessing
+import os
+
+import numpy as np
+import pytest
+
+from repro import HeterogeneousTrainer, faults
+from repro.cli import main
+from repro.config import HardwareConfig, TrainingConfig
+from repro.exceptions import ConfigurationError, ExecutionError, ReproError
+from repro.faults import FaultInjected, FaultPlan, FaultSpec
+from repro.serve import ModelStore, RecommendationService, attach_model
+from repro.serve.store import ModelHandle
+from repro.sgd import FactorModel
+from repro.shm import (
+    SharedSegment,
+    force_unlink,
+    live_segment_names,
+    reap_orphaned_segments,
+)
+from repro.sparse import SparseRatingMatrix
+from repro.stream import IngestSession
+
+
+@pytest.fixture(autouse=True)
+def isolated_faults(monkeypatch, tmp_path):
+    """Isolate every test: private runtime dir, no ambient fault plan."""
+    monkeypatch.setenv("REPRO_RUNTIME_DIR", str(tmp_path / "runtime"))
+    monkeypatch.delenv(faults.FAULTS_ENV, raising=False)
+    faults.clear()
+    yield
+    faults.clear()
+    assert live_segment_names() == ()
+
+
+def _manifest(runtime, pid=None):
+    """Parse this (or another) pid's manifest, or None if absent."""
+    path = os.path.join(str(runtime), f"segments-{pid or os.getpid()}.json")
+    if not os.path.exists(path):
+        return None
+    with open(path, "r", encoding="utf-8") as handle:
+        return json.load(handle)
+
+
+class TestFaultSpec:
+    def test_defaults(self):
+        spec = FaultSpec(point="worker.task")
+        assert spec.mode == "kill"
+        assert spec.worker == -1 and spec.task == 0 and spec.count == 1
+
+    @pytest.mark.parametrize(
+        "kwargs",
+        [
+            {"point": ""},
+            {"point": "p", "mode": "explode"},
+            {"point": "p", "task": -1},
+            {"point": "p", "count": 0},
+            {"point": "p", "seconds": -0.5},
+        ],
+    )
+    def test_validation(self, kwargs):
+        with pytest.raises(ReproError):
+            FaultSpec(**kwargs)
+
+    def test_matching_window(self):
+        spec = FaultSpec(point="p", task=3, count=2)
+        assert [spec.matches(None, o) for o in range(6)] == [
+            False, False, False, True, True, False,
+        ]
+
+    def test_worker_pinning(self):
+        spec = FaultSpec(point="p", worker=1)
+        assert spec.matches(1, 0)
+        assert not spec.matches(0, 0)
+        assert not spec.matches(None, 0)  # pinned spec, anonymous arrival
+        assert FaultSpec(point="p", worker=-1).matches(7, 0)  # wildcard
+
+
+class TestFaultPlan:
+    def test_parse_list_and_single_object(self):
+        plan = FaultPlan.parse('{"point": "p", "mode": "stall", "seconds": 1}')
+        assert len(plan.specs) == 1 and plan.specs[0].mode == "stall"
+        plan = FaultPlan.parse('[{"point": "a"}, {"point": "b", "worker": 2}]')
+        assert [s.point for s in plan.specs] == ["a", "b"]
+
+    @pytest.mark.parametrize(
+        "text",
+        [
+            "not json",
+            '"just a string"',
+            '[{"point": "p", "typo_field": 1}]',
+            "[42]",
+            '[{"point": "p", "mode": "bogus"}]',
+        ],
+    )
+    def test_parse_rejects(self, text):
+        with pytest.raises(ReproError):
+            FaultPlan.parse(text)
+
+    def test_take_counts_arrivals_per_point_and_worker(self):
+        plan = FaultPlan([FaultSpec(point="p", task=1)])
+        # Separate (point, worker) streams: each fires on ITS 2nd arrival.
+        assert plan.take("p", worker=0) is None
+        assert plan.take("p", worker=1) is None
+        assert plan.take("p", worker=0) is not None
+        assert plan.take("p", worker=1) is not None
+        assert plan.take("p", worker=0) is None  # window exhausted
+        assert plan.take("q", worker=0) is None  # other points never match
+
+    def test_take_with_explicit_ordinal_bypasses_counters(self):
+        plan = FaultPlan([FaultSpec(point="p", worker=1, task=5)])
+        # Durable controller-side ordinals: the plan keeps no state, so
+        # re-presenting the same ordinal (a replayed dispatch) re-matches.
+        assert plan.take("p", worker=1, ordinal=4) is None
+        assert plan.take("p", worker=1, ordinal=5) is not None
+        assert plan.take("p", worker=1, ordinal=5) is not None
+        assert plan.take("p", worker=0, ordinal=5) is None
+
+    def test_truthiness(self):
+        assert not FaultPlan([])
+        assert FaultPlan([FaultSpec(point="p")])
+
+
+class TestActivePlan:
+    def test_no_plan_by_default(self):
+        assert faults.active_plan() is None
+        faults.hit("worker.task", worker=0)  # cheap no-op
+
+    def test_install_and_clear(self):
+        plan = FaultPlan([FaultSpec(point="p", mode="raise")])
+        faults.install(plan)
+        assert faults.active_plan() is plan
+        faults.clear()
+        assert faults.active_plan() is None
+
+    def test_environment_plan_parsed_fresh_each_call(self, monkeypatch):
+        monkeypatch.setenv(faults.FAULTS_ENV, '[{"point": "p", "mode": "raise"}]')
+        first, second = faults.active_plan(), faults.active_plan()
+        assert first is not second  # no caching: children re-parse too
+        assert first.specs == second.specs
+        faults.install(FaultPlan([]))  # installed plan wins over env
+        assert faults.active_plan() is not first
+        assert not faults.active_plan().specs
+
+    def test_hit_raise_carries_point_spec_context(self):
+        faults.install(FaultPlan([FaultSpec(point="p", mode="raise")]))
+        with pytest.raises(FaultInjected) as excinfo:
+            faults.hit("p", worker=3, segment="seg-name")
+        assert excinfo.value.point == "p"
+        assert excinfo.value.spec.mode == "raise"
+        assert excinfo.value.context == {"segment": "seg-name"}
+
+    def test_hit_stall_sleeps_and_returns(self):
+        faults.install(FaultPlan([FaultSpec(point="p", mode="stall", seconds=0.0)]))
+        faults.hit("p")  # must come back (seconds=0)
+
+
+class TestManifest:
+    def test_owned_segments_are_journaled_until_unlink(self, tmp_path):
+        runtime = tmp_path / "runtime"
+        a = SharedSegment.create(256, purpose="manifest-a")
+        b = SharedSegment.create(256, purpose="manifest-b")
+        manifest = _manifest(runtime)
+        assert manifest["pid"] == os.getpid()
+        assert set(manifest["segments"]) >= {a.name, b.name}
+        a.unlink()
+        assert a.name not in _manifest(runtime)["segments"]
+        assert b.name in _manifest(runtime)["segments"]
+        b.unlink()
+        # Every owned name released -> this pid's manifest disappears
+        # (unrelated suite-level segments would keep it; none exist here).
+        manifest = _manifest(runtime)
+        assert manifest is None or not manifest["segments"]
+
+    def test_attached_segments_are_not_journaled(self, tmp_path):
+        runtime = tmp_path / "runtime"
+        owner = SharedSegment.create(256, purpose="owned")
+        attached = SharedSegment.attach(owner.name)
+        assert _manifest(runtime)["segments"].count(owner.name) == 1
+        attached.close()
+        owner.unlink()
+
+    def test_abandon_manufactures_a_crash_orphan(self, tmp_path):
+        runtime = tmp_path / "runtime"
+        segment = SharedSegment.create(512, purpose="crash")
+        name = segment.name
+        segment.abandon()
+        segment.abandon()  # idempotent
+        # Gone from the live registry, still named in the kernel, still
+        # journaled — exactly the state a SIGKILLed owner leaves.
+        assert name not in live_segment_names()
+        assert name in _manifest(runtime)["segments"]
+        probe = SharedSegment.attach(name)
+        probe.close()
+        assert force_unlink(name) is True
+        assert force_unlink(name) is False  # already reaped
+        manifest = _manifest(runtime)
+        assert manifest is None or name not in manifest["segments"]
+        with pytest.raises(ExecutionError):
+            SharedSegment.attach(name)
+
+def _orphan_child(conn):
+    """Create a segment, abandon it, report its name, exit cleanly.
+
+    Run in a child process: once it exits, the segment is an orphan with
+    a dead owner pid in the manifest — reap_orphaned_segments' prey.
+    """
+    segment = SharedSegment.create(1024, purpose="orphan")
+    segment.abandon()
+    conn.send((os.getpid(), segment.name))
+    conn.close()
+
+
+def _make_orphan():
+    ctx = multiprocessing.get_context(
+        "fork" if "fork" in multiprocessing.get_all_start_methods() else None
+    )
+    parent_conn, child_conn = ctx.Pipe()
+    proc = ctx.Process(target=_orphan_child, args=(child_conn,), daemon=True)
+    proc.start()
+    child_pid, name = parent_conn.recv()
+    proc.join(timeout=30.0)
+    assert proc.exitcode == 0
+    parent_conn.close()
+    child_conn.close()
+    return child_pid, name
+
+
+class TestReapOrphans:
+    def test_dead_owner_segments_are_reaped(self, tmp_path):
+        runtime = str(tmp_path / "runtime")
+        child_pid, name = _make_orphan()
+        assert name in _manifest(runtime, pid=child_pid)["segments"]
+
+        dry = reap_orphaned_segments(runtime=runtime, dry_run=True)
+        assert name in dry.reaped
+        SharedSegment.attach(name).close()  # dry run unlinked nothing
+        assert _manifest(runtime, pid=child_pid) is not None
+
+        report = reap_orphaned_segments(runtime=runtime)
+        assert name in report.reaped and report.scanned >= 1
+        with pytest.raises(ExecutionError):
+            SharedSegment.attach(name)
+        assert _manifest(runtime, pid=child_pid) is None
+
+        again = reap_orphaned_segments(runtime=runtime)
+        assert again.total_reaped == 0  # idempotent
+
+    def test_live_owners_are_never_touched(self, tmp_path):
+        runtime = str(tmp_path / "runtime")
+        segment = SharedSegment.create(256, purpose="live")
+        report = reap_orphaned_segments(runtime=runtime)
+        assert os.getpid() in report.skipped_live
+        assert segment.name not in report.reaped
+        SharedSegment.attach(segment.name).close()  # still exists
+        segment.unlink()
+
+    def test_torn_or_foreign_manifests_are_skipped(self, tmp_path):
+        runtime = tmp_path / "runtime"
+        runtime.mkdir(parents=True, exist_ok=True)
+        (runtime / "segments-99999999.json").write_text("{torn json")
+        (runtime / "segments-88888888.json").write_text('{"pid": "x"}')
+        (runtime / "unrelated.txt").write_text("not a manifest")
+        report = reap_orphaned_segments(runtime=str(runtime))
+        assert report.scanned == 0
+        assert report.total_reaped == 0
+
+    def test_missing_segments_are_reported_not_fatal(self, tmp_path):
+        runtime = tmp_path / "runtime"
+        runtime.mkdir(parents=True, exist_ok=True)
+        # A dead owner whose segment was already removed out-of-band.
+        (runtime / "segments-4000000.json").write_text(
+            json.dumps({"pid": 4000000, "segments": ["repro-shm-gone"]})
+        )
+        report = reap_orphaned_segments(runtime=str(runtime))
+        assert report.missing == ["repro-shm-gone"]
+        assert report.total_reaped == 0
+
+
+class TestGcShmCli:
+    def test_gc_shm_reaps_a_deliberate_orphan(self, tmp_path, capsys):
+        runtime = str(tmp_path / "runtime")
+        _, name = _make_orphan()
+
+        assert main(["gc-shm", "--runtime-dir", runtime, "--dry-run"]) == 0
+        out = capsys.readouterr().out
+        assert name in out and "would reap" in out
+        SharedSegment.attach(name).close()  # dry run left it alone
+
+        assert main(["gc-shm", "--runtime-dir", runtime]) == 0
+        out = capsys.readouterr().out
+        assert name in out and "reaped" in out
+        with pytest.raises(ExecutionError):
+            SharedSegment.attach(name)
+
+    def test_gc_shm_on_empty_runtime(self, tmp_path, capsys):
+        assert main(["gc-shm", "--runtime-dir", str(tmp_path / "empty")]) == 0
+        assert "0" in capsys.readouterr().out
+
+
+class TestCrashAtomicPublish:
+    M, N, K = 12, 9, 4
+
+    def _model(self, seed=3):
+        return FactorModel.initialize(self.M, self.N, self.K, seed=seed)
+
+    def test_torn_publish_never_attaches(self, tmp_path):
+        runtime = tmp_path / "runtime"
+        faults.install(
+            FaultPlan([FaultSpec(point="store.publish.pre_commit", mode="torn")])
+        )
+        with ModelStore() as store:
+            with pytest.raises(FaultInjected) as excinfo:
+                store.publish(self._model())
+            torn = excinfo.value.context["segment"]
+            # Never registered: readers keep whatever was current (nothing).
+            assert store.current_version is None
+            assert store.live_versions == ()
+            # The torn segment is abandoned, named, and journaled — a
+            # reader that finds its handle must refuse to map it.
+            assert torn not in live_segment_names()
+            assert torn in _manifest(runtime)["segments"]
+            handle = ModelHandle(
+                version=1, segment=torn,
+                n_rows=self.M, n_cols=self.N, latent_factors=self.K,
+            )
+            with pytest.raises(ExecutionError, match="torn publish"):
+                attach_model(handle)
+
+            # The publisher recovers: the next publish is a clean v1.
+            faults.clear()
+            handle = store.publish(self._model(seed=4))
+            assert handle.version == 1 and store.current_version == 1
+            model, segment = attach_model(handle)
+            np.testing.assert_array_equal(model.p, self._model(seed=4).p)
+            model = None
+            segment.close()
+        assert force_unlink(torn) is True
+
+    def test_committed_publish_round_trips(self):
+        with ModelStore() as store:
+            reference = self._model()
+            handle = store.publish(reference)
+            model, segment = attach_model(handle)
+            np.testing.assert_array_equal(model.p, reference.p)
+            np.testing.assert_array_equal(model.q, reference.q)
+            with pytest.raises((ValueError, ExecutionError)):
+                model.p[0, 0] = 99.0  # reader views are read-only
+            model = None
+            segment.close()
+
+
+class TestIngestPublishRetry:
+    """A failing publish degrades the ingest loop, never crashes it."""
+
+    BASE_U, BASE_I, K = 30, 24, 3
+
+    def _session(self, store, **kwargs):
+        rng = np.random.default_rng(7)
+        rows = rng.integers(0, self.BASE_U, 400)
+        cols = rng.integers(0, self.BASE_I, 400)
+        matrix = SparseRatingMatrix(
+            rows, cols, rng.uniform(1.0, 5.0, 400),
+            shape=(self.BASE_U, self.BASE_I),
+        )
+        trainer = HeterogeneousTrainer(
+            algorithm="hsgd_star",
+            hardware=HardwareConfig(cpu_threads=2, gpu_count=1),
+            training=TrainingConfig(
+                latent_factors=self.K, learning_rate=0.05, iterations=2
+            ),
+            seed=0,
+        )
+        kwargs.setdefault("publish_backoff", 0.0)
+        return IngestSession(
+            trainer, matrix, store=store, window_size=16,
+            backend="simulate", **kwargs,
+        )
+
+    def _batch(self, n=48, new_users=4, new_items=3, seed=11):
+        rng = np.random.default_rng(seed)
+        users = rng.integers(0, self.BASE_U + new_users, n)
+        items = rng.integers(0, self.BASE_I + new_items, n)
+        # Pin newcomers among the ratings that graduate immediately (the
+        # oldest beyond the window) AND among the 16 the window retains,
+        # so both ingest() and a later flush() change the model.
+        users[0] = self.BASE_U + new_users - 1
+        items[1] = self.BASE_I + new_items - 1
+        users[-1] = self.BASE_U + new_users
+        return users, items, rng.uniform(1.0, 5.0, n)
+
+    def _reap_torn_leftovers(self, tmp_path, expected):
+        """Force-unlink the segments abandoned by failed publish attempts."""
+        manifest = _manifest(tmp_path / "runtime")
+        leftovers = manifest["segments"] if manifest else []
+        assert len(leftovers) == expected
+        for name in leftovers:
+            assert force_unlink(name) is True
+
+    def test_retry_recovers_from_a_transient_failure(self, tmp_path):
+        # count=1: only the FIRST publish attempt tears; the retry lands.
+        faults.install(
+            FaultPlan([FaultSpec(point="store.publish.pre_commit", mode="torn")])
+        )
+        with ModelStore() as store:
+            session = self._session(store, publish_retries=2)
+            session.start()
+            assert store.current_version == 1
+            assert session.stats.publishes == 1
+            assert session.stats.publish_failures == 1
+            assert session._publish_error is None
+        self._reap_torn_leftovers(tmp_path, expected=1)
+
+    def test_exhausted_retries_degrade_then_recover(self, tmp_path):
+        faults.install(
+            FaultPlan(
+                [FaultSpec(point="store.publish.pre_commit", mode="torn", count=99)]
+            )
+        )
+        with ModelStore() as store:
+            session = self._session(store, publish_retries=1)
+            session.start()  # publish fails (2 attempts) but start succeeds
+            assert store.current_version is None
+            assert session.stats.publishes == 0
+            assert session.stats.publish_failures == 2
+
+            # A model-changing ingest surfaces the structured error on
+            # its report instead of raising out of the loop.
+            report = session.ingest(*self._batch())
+            assert report.folded_users >= 1
+            assert report.published_version is None
+            assert "publish failed after 2 attempt(s)" in report.publish_error
+            assert "FaultInjected" in report.publish_error
+            failures_so_far = session.stats.publish_failures
+            assert failures_so_far >= 4
+
+            # Once publishes heal, the next model change goes out and
+            # readers finally get a (whole) version 1.
+            faults.clear()
+            report = session.flush()
+            assert report.folded_users >= 1
+            assert report.publish_error is None
+            assert report.published_version == 1
+            assert store.current_version == 1
+            assert session.stats.publish_failures == failures_so_far
+        self._reap_torn_leftovers(tmp_path, expected=failures_so_far)
+
+    def test_retry_knobs_validated(self):
+        with pytest.raises(ConfigurationError):
+            self._session(None, publish_retries=-1)
+        with pytest.raises(ConfigurationError):
+            self._session(None, publish_backoff=-0.1)
+
+
+class TestServiceReloadDegradation:
+    def test_failed_reload_keeps_serving_pinned_lease(self, monkeypatch):
+        model_v1 = FactorModel.initialize(10, 8, 3, seed=1)
+        model_v2 = FactorModel.initialize(10, 8, 3, seed=2)
+        with ModelStore() as store:
+            store.publish(model_v1)
+            with RecommendationService(store, k=3, cache_size=0) as service:
+                assert service.recommend(0).items.shape == (3,)
+                assert service.model_version == 1
+
+                store.publish(model_v2)
+                original_acquire = store.acquire
+
+                def failing_acquire(version=None):
+                    raise ExecutionError("injected reload failure")
+
+                monkeypatch.setattr(store, "acquire", failing_acquire)
+                # The reload fails but the request is still served — from
+                # the old, still-pinned version.
+                result = service.recommend(1)
+                assert result.items.shape == (3,)
+                assert service.model_version == 1
+                failures = service.stats.reload_failures
+                assert failures >= 1
+
+                monkeypatch.setattr(store, "acquire", original_acquire)
+                service.recommend(2)
+                assert service.model_version == 2
+                assert service.stats.reload_failures == failures

@@ -248,8 +248,12 @@ class TestLifecycle:
     def test_killed_worker_surfaces_and_cleans_up(
         self, small_split, small_training
     ):
+        """With a zero restart budget a killed worker stays fatal (the
+        pre-supervision fail-fast contract; recovery paths live in
+        test_chaos.py)."""
         train, test = small_split
-        engine = _process_engine(train, test, small_training, n_workers=3)
+        training = small_training.with_max_worker_restarts(0)
+        engine = _process_engine(train, test, training, n_workers=3)
         session = engine.start(iterations=10_000)
         assert session.step() is not None  # pool is live past one epoch
         victim = session._procs[0]
