@@ -1,0 +1,247 @@
+"""HTTP front-door latency under load: percentiles, ceiling, shedding.
+
+One benchmark over the full serving path — loopback HTTP into
+:class:`repro.service.RecommendServer`, through the reader pool, onto
+the published shared-memory model — measuring what the in-process
+serving bench (``bench_serving.py``) cannot: queueing, coalescing and
+admission control under a *request stream*.
+
+* **closed loop** (N back-to-back clients) finds the throughput
+  ceiling; the best level's requests/s, **normalised by the same run's
+  direct in-process** :class:`~repro.serve.RecommendationService`
+  users/s (same model, same pool, no HTTP/no processes), is what the CI
+  perf guard gates — dividing by the direct path cancels runner speed
+  exactly like the full-matmul normaliser of ``BENCH_serve.json``;
+* **open loop** at fixed offered rates below the ceiling reports the
+  honest p50/p95/p99 (arrivals never wait for earlier requests, so the
+  tail is not hidden by coordinated omission);
+* **overload** drives 2x the measured ceiling and asserts admission
+  control does its one job: a meaningful 503 rate, zero client-side
+  errors, and the queue bound never exceeded.
+
+Results go to ``BENCH_service.json`` (override with
+``REPRO_BENCH_SERVICE_OUT``; CI writes a fresh file and compares it
+against the committed baseline with ``check_perf_regression.py``).
+"""
+
+import asyncio
+import json
+import os
+import time
+
+from conftest import emit
+
+from repro.serve import ModelStore, RecommendationService
+from repro.serve.bench import synthetic_model, user_pool
+from repro.service import RecommendServer, ServiceConfig, run_closed_loop, run_open_loop
+from repro.shm import live_segment_names
+
+_ROOT = os.path.dirname(os.path.dirname(os.path.abspath(__file__)))
+BENCH_SERVICE_JSON = os.environ.get(
+    "REPRO_BENCH_SERVICE_OUT", os.path.join(_ROOT, "BENCH_service.json")
+)
+
+#: CI-sized model: the service cost is queueing + transport, not BLAS,
+#: so the catalogue can be small without changing what is measured.
+N_USERS = 5_000
+N_ITEMS = 2_000
+LATENT = 32
+TOP_K = 10
+
+WORKERS = 2
+QUEUE_DEPTH = 16  # per reader: a crisp admission bound for the overload probe
+DEADLINE_MS = 2_000.0
+
+#: Offered-QPS fractions of the measured ceiling for the open-loop pass.
+OPEN_LOOP_FRACTIONS = (0.25, 0.5, 1.0)
+OVERLOAD_FACTOR = 2.0
+
+
+def _durations(profile: str) -> dict:
+    if profile == "quick":
+        return {"closed": 1.0, "open": 1.0, "overload": 1.5}
+    if profile == "full":
+        return {"closed": 4.0, "open": 4.0, "overload": 5.0}
+    return {"closed": 2.0, "open": 2.0, "overload": 3.0}
+
+
+def _usable_cores() -> int:
+    try:
+        return len(os.sched_getaffinity(0))
+    except AttributeError:  # pragma: no cover - non-Linux
+        return os.cpu_count() or 1
+
+
+def _direct_users_per_s(model, users, seconds: float) -> float:
+    """The normaliser: the same requests served in-process, no HTTP."""
+    with RecommendationService(
+        model, k=TOP_K, batch_size=64, cache_size=0
+    ) as service:
+        served = 0
+        position = 0
+        start = time.perf_counter()
+        while time.perf_counter() - start < seconds:
+            batch = [users[(position + i) % len(users)] for i in range(64)]
+            position += 64
+            service.recommend_many(batch)
+            served += len(batch)
+        elapsed = time.perf_counter() - start
+    return served / elapsed
+
+
+def test_service_latency_under_load(bench_profile):
+    """Closed/open-loop HTTP measurements -> BENCH_service.json."""
+    durations = _durations(bench_profile)
+    model = synthetic_model(N_USERS, N_ITEMS, LATENT, seed=0)
+    users = [int(u) for u in user_pool(N_USERS, 2_048, seed=0)]
+    cores = _usable_cores()
+
+    direct = _direct_users_per_s(model, users, seconds=durations["closed"] / 2)
+
+    config = ServiceConfig(
+        workers=WORKERS,
+        k=TOP_K,
+        queue_depth=QUEUE_DEPTH,
+        deadline=DEADLINE_MS / 1000.0,
+        cache_size=0,  # measure scoring round-trips, not dict lookups
+    )
+
+    async def measure():
+        server = RecommendServer(store, config)
+        await server.start()
+        port = server.port
+        try:
+            closed = []
+            for clients in (2, 8):
+                report = await run_closed_loop(
+                    "127.0.0.1", port, users, clients=clients,
+                    duration=durations["closed"],
+                )
+                closed.append(
+                    {"clients": clients, **report.as_dict()}
+                )
+            ceiling = max(entry["achieved_qps"] for entry in closed)
+
+            open_loop = []
+            for fraction in OPEN_LOOP_FRACTIONS:
+                offered = max(10.0, ceiling * fraction)
+                report = await run_open_loop(
+                    "127.0.0.1", port, users, offered_qps=offered,
+                    duration=durations["open"],
+                )
+                open_loop.append(
+                    {"fraction_of_ceiling": fraction, **report.as_dict()}
+                )
+
+            overload_report = await run_open_loop(
+                "127.0.0.1", port, users,
+                offered_qps=max(20.0, ceiling * OVERLOAD_FACTOR),
+                duration=durations["overload"],
+            )
+            overload = {
+                "factor_of_ceiling": OVERLOAD_FACTOR,
+                **overload_report.as_dict(),
+            }
+            queue_bound = config.queue_depth * config.workers
+            max_in_flight = server.stats.max_in_flight
+            server_stats = server.stats.as_dict()
+        finally:
+            await server.stop()
+        return closed, ceiling, open_loop, overload, max_in_flight, server_stats, queue_bound
+
+    with ModelStore() as store:
+        store.publish(model)
+        (
+            closed,
+            ceiling,
+            open_loop,
+            overload,
+            max_in_flight,
+            server_stats,
+            queue_bound,
+        ) = asyncio.run(measure())
+
+    acceptance = {
+        "target": (
+            "overload at 2x the closed-loop ceiling is shed with 503s "
+            "(bounded queue), with zero client-side transport errors"
+        ),
+        "ceiling_qps": round(ceiling, 2),
+        "overload_rejection_rate": overload["rejection_rate"],
+        "queue_bound": queue_bound,
+        "max_in_flight": max_in_flight,
+        "queue_stayed_bounded": max_in_flight <= queue_bound,
+        "met": (
+            overload["rejection_rate"] > 0.0
+            and overload["errors"] == 0
+            and max_in_flight <= queue_bound
+        ),
+    }
+
+    payload = {
+        "model_shape": {
+            "users": N_USERS,
+            "items": N_ITEMS,
+            "latent_factors": LATENT,
+        },
+        "top_k": TOP_K,
+        "profile": bench_profile,
+        "hardware": {"cpu_count": os.cpu_count(), "usable_cores": cores},
+        "config": {
+            "workers": WORKERS,
+            "queue_depth_per_reader": QUEUE_DEPTH,
+            "deadline_ms": DEADLINE_MS,
+        },
+        "baselines": {"direct_users_per_s": round(direct)},
+        "service": {
+            "closed_loop": closed,
+            "ceiling_qps": round(ceiling, 2),
+            "normalised_ceiling_vs_direct": round(ceiling / direct, 5),
+            "open_loop": open_loop,
+            "overload": overload,
+        },
+        "server_stats": server_stats,
+        "acceptance": acceptance,
+    }
+    with open(BENCH_SERVICE_JSON, "w", encoding="utf-8") as handle:
+        json.dump(payload, handle, indent=2)
+        handle.write("\n")
+
+    rows = [
+        f"{'load':<26} {'offered':>8} {'achieved':>9} {'p50':>7} "
+        f"{'p95':>7} {'p99':>7} {'503%':>6}"
+    ]
+    for entry in closed:
+        rows.append(
+            f"closed loop x{entry['clients']:<12} {'-':>8} "
+            f"{entry['achieved_qps']:>9.1f} {entry['p50_ms']:>7.2f} "
+            f"{entry['p95_ms']:>7.2f} {entry['p99_ms']:>7.2f} "
+            f"{100 * entry['rejection_rate']:>5.1f}%"
+        )
+    for entry in open_loop + [overload]:
+        label = (
+            f"open loop {entry.get('fraction_of_ceiling', OVERLOAD_FACTOR)}x"
+        )
+        rows.append(
+            f"{label:<26} {entry['offered_qps']:>8.1f} "
+            f"{entry['achieved_qps']:>9.1f} {entry['p50_ms']:>7.2f} "
+            f"{entry['p95_ms']:>7.2f} {entry['p99_ms']:>7.2f} "
+            f"{100 * entry['rejection_rate']:>5.1f}%"
+        )
+    emit(
+        f"Service latency under load, {WORKERS} readers, top-{TOP_K}, "
+        f"direct normaliser {direct:.0f} users/s ({cores} usable cores) -> "
+        f"{BENCH_SERVICE_JSON}",
+        "\n".join(rows),
+    )
+
+    assert live_segment_names() == (), "the service leaked a segment"
+    assert ceiling > 0
+    for entry in open_loop:
+        assert entry["errors"] == 0, "transport errors during open loop"
+    assert acceptance["met"], (
+        f"admission control acceptance failed: rejection rate "
+        f"{overload['rejection_rate']} at {OVERLOAD_FACTOR}x ceiling, "
+        f"errors {overload['errors']}, max in-flight {max_in_flight} "
+        f"vs bound {queue_bound}"
+    )

@@ -19,7 +19,12 @@ auto-detected:
 * **streaming fold-in** (``BENCH_stream.json`` / ``bench_stream.py``):
   each newcomer-batch size's batched fold-in users/s, **normalised by
   the same run's naive per-user solve loop** (the payload's
-  ``speedup_vs_naive``).
+  ``speedup_vs_naive``);
+* **HTTP service** (``BENCH_service.json`` / ``bench_service.py``): each
+  closed-loop client level's achieved requests/s, **normalised by the
+  same run's direct in-process RecommendationService users/s** — the
+  identical scoring work without HTTP, processes or queueing, so the
+  ratio isolates the front door's own overhead from runner speed.
 
 Either way the guard catches exactly what it exists to catch: the
 subsystem becoming slower *relative to the same work done the obvious
@@ -207,12 +212,50 @@ def compare_stream(baseline: dict, current: dict, max_drop: float) -> int:
     return 0
 
 
+def _normalised_service(payload: dict) -> dict:
+    """``{clients: achieved_qps / direct_users_per_s}``."""
+    direct = float(payload.get("baselines", {}).get("direct_users_per_s", 0.0))
+    out = {}
+    if direct <= 0:
+        return out
+    for entry in payload.get("service", {}).get("closed_loop", []):
+        out[int(entry["clients"])] = float(entry["achieved_qps"]) / direct
+    return out
+
+
+def compare_service(baseline: dict, current: dict, max_drop: float) -> int:
+    base = _normalised_service(baseline)
+    cur = _normalised_service(current)
+    if not cur:
+        print("error: current run contains no comparable service measurements")
+        return 1
+    direct = current.get("baselines", {}).get("direct_users_per_s")
+    print(f"  normaliser direct in-process serving: {direct} users/s")
+    failures = _report(
+        base,
+        cur,
+        lambda key: f"closed loop x{key}",
+        "direct serving",
+        max_drop,
+    )
+    if failures:
+        print(
+            f"\nperf regression: {len(failures)} closed-loop level(s) "
+            f"dropped more than {max_drop:.0%} below the committed baseline "
+            "(direct-serving-normalised)"
+        )
+        return 1
+    print("\nno closed-loop level regressed beyond the threshold")
+    return 0
+
+
 def compare(baseline: dict, current: dict, max_drop: float) -> int:
     """Auto-detect the payload kind and dispatch."""
     kinds = {
         "scaling" if "scaling" in payload else
         "serving" if "serving" in payload else
-        "stream" if "fold_in" in payload else "unknown"
+        "stream" if "fold_in" in payload else
+        "service" if "service" in payload else "unknown"
         for payload in (baseline, current)
     }
     if kinds == {"scaling"}:
@@ -221,10 +264,13 @@ def compare(baseline: dict, current: dict, max_drop: float) -> int:
         return compare_serving(baseline, current, max_drop)
     if kinds == {"stream"}:
         return compare_stream(baseline, current, max_drop)
+    if kinds == {"service"}:
+        return compare_service(baseline, current, max_drop)
     print(
         "error: baseline and current must both be scaling "
-        "(BENCH_exec.json), both serving (BENCH_serve.json), or both "
-        f"streaming (BENCH_stream.json) payloads; got {sorted(kinds)}"
+        "(BENCH_exec.json), both serving (BENCH_serve.json), both "
+        "streaming (BENCH_stream.json), or both HTTP-service "
+        f"(BENCH_service.json) payloads; got {sorted(kinds)}"
     )
     return 1
 

@@ -7,6 +7,8 @@ regenerated from a shell, plus training and serving entry points::
     repro list                      # show available experiments
     repro train --dataset movielens --algorithm hsgd_star
     repro recommend --dataset movielens --users 0 1 2   # train + top-K
+    repro serve --synthetic --handle-out h.json         # HTTP front door
+    repro recommend --attach h.json --users 0 1 2       # score via the segment
     repro serve-bench --items 17770                     # serving throughput
     repro ingest --dataset movielens --publish          # streaming replay
     repro gc-shm                    # reap shm segments orphaned by crashes
@@ -239,6 +241,80 @@ def _build_parser() -> argparse.ArgumentParser:
         metavar="C",
         help=f"item-axis tile width of the scorer (default: {DEFAULT_CHUNK_ITEMS})",
     )
+    recommend.add_argument(
+        "--attach",
+        metavar="HANDLE",
+        default=None,
+        help=(
+            "score zero-copy against a published ModelStore segment, "
+            "described by a handle JSON written with 'repro serve "
+            "--handle-out' (no dataset load, no training)"
+        ),
+    )
+
+    serve = subparsers.add_parser(
+        "serve",
+        help=(
+            "publish a model to shared memory and serve top-K over HTTP "
+            "(admission control, deadlines, hot-swappable readers)"
+        ),
+    )
+    serve.add_argument(
+        "--model",
+        metavar="PATH",
+        default=None,
+        help="serve a model saved with FactorModel.save",
+    )
+    serve.add_argument(
+        "--synthetic",
+        action="store_true",
+        help="serve a random model of --users x --items x --factors",
+    )
+    serve.add_argument("--users", type=int, default=20_000, metavar="M")
+    serve.add_argument("--items", type=int, default=17_770, metavar="N")
+    serve.add_argument("--factors", type=int, default=128, metavar="K")
+    serve.add_argument("--seed", type=int, default=0)
+    serve.add_argument("--host", default="127.0.0.1")
+    serve.add_argument(
+        "--port",
+        type=int,
+        default=8377,
+        help="TCP port (0 picks a free ephemeral port)",
+    )
+    serve.add_argument(
+        "--workers", type=int, default=2, metavar="R", help="reader processes"
+    )
+    serve.add_argument("--top", type=int, default=10, metavar="K")
+    serve.add_argument(
+        "--queue-depth",
+        type=int,
+        default=64,
+        metavar="Q",
+        help="max in-flight requests per reader before 503s (admission bound)",
+    )
+    serve.add_argument(
+        "--deadline-ms",
+        type=float,
+        default=1000.0,
+        metavar="D",
+        help="default per-request deadline (clients may lower it per request)",
+    )
+    serve.add_argument(
+        "--handle-out",
+        metavar="PATH",
+        default=None,
+        help=(
+            "write the published ModelHandle as JSON, so other processes "
+            "can attach with 'repro recommend --attach'"
+        ),
+    )
+    serve.add_argument(
+        "--duration",
+        type=float,
+        default=None,
+        metavar="S",
+        help="serve for S seconds then exit (default: until interrupted)",
+    )
 
     serve_bench = subparsers.add_parser(
         "serve-bench",
@@ -280,6 +356,15 @@ def _build_parser() -> argparse.ArgumentParser:
         ),
     )
     serve_bench.add_argument("--seed", type=int, default=0)
+    serve_bench.add_argument(
+        "--attach",
+        metavar="HANDLE",
+        default=None,
+        help=(
+            "measure against a published ModelStore segment (handle JSON "
+            "from 'repro serve --handle-out') instead of a synthetic model"
+        ),
+    )
 
     ingest = subparsers.add_parser(
         "ingest",
@@ -494,11 +579,28 @@ def _run_recommend(args: argparse.Namespace) -> None:
     from .serve import PAD_ITEM, Scorer
     from .sgd import FactorModel
 
-    data = load_dataset(args.dataset, seed=args.seed)
-    if args.model is not None:
+    segment = None
+    if args.attach is not None:
+        from .serve.store import ModelHandle, attach_model
+
+        if args.exclude_seen:
+            raise SystemExit("--exclude-seen needs the dataset; drop --attach")
+        # Both the handle load and the attach raise a clean ReproError
+        # (missing file, missing segment, torn publish) that main()
+        # turns into a one-line failure.
+        handle = ModelHandle.load(args.attach)
+        model, segment = attach_model(handle)
+        print(
+            f"model              : attached to segment {handle.segment!r} "
+            f"(version {handle.version}, {handle.n_rows} users x "
+            f"{handle.n_cols} items)"
+        )
+    elif args.model is not None:
+        data = load_dataset(args.dataset, seed=args.seed)
         model = FactorModel.load(args.model)
         print(f"model              : loaded from {args.model} ({model!r})")
     else:
+        data = load_dataset(args.dataset, seed=args.seed)
         from .core import factorize
 
         result = factorize(
@@ -523,15 +625,19 @@ def _run_recommend(args: argparse.Namespace) -> None:
     )
     import numpy as np
 
-    items, scores = scorer.top_k(np.asarray(args.users), args.top)
-    print(f"excluding seen     : {args.exclude_seen}")
-    for row, user in enumerate(args.users):
-        ranked = ", ".join(
-            f"{item}({score:.2f})"
-            for item, score in zip(items[row], scores[row])
-            if item != PAD_ITEM
-        )
-        print(f"top-{args.top} for user {user}: {ranked}")
+    try:
+        items, scores = scorer.top_k(np.asarray(args.users), args.top)
+        print(f"excluding seen     : {args.exclude_seen}")
+        for row, user in enumerate(args.users):
+            ranked = ", ".join(
+                f"{item}({score:.2f})"
+                for item, score in zip(items[row], scores[row])
+                if item != PAD_ITEM
+            )
+            print(f"top-{args.top} for user {user}: {ranked}")
+    finally:
+        if segment is not None:
+            segment.close()
 
 
 def _run_ingest(args: argparse.Namespace) -> None:
@@ -632,10 +738,21 @@ def _run_serve_bench(args: argparse.Namespace) -> None:
         user_pool,
     )
 
-    model = synthetic_model(args.users, args.items, args.factors, seed=args.seed)
-    pool = user_pool(args.users, args.pool, seed=args.seed)
+    segment = None
+    if args.attach is not None:
+        from .serve.store import ModelHandle, attach_model
+
+        handle = ModelHandle.load(args.attach)
+        model, segment = attach_model(handle)
+        n_users, n_items, factors = handle.n_rows, handle.n_cols, handle.latent_factors
+        source = f"attached segment {handle.segment!r} (version {handle.version})"
+    else:
+        model = synthetic_model(args.users, args.items, args.factors, seed=args.seed)
+        n_users, n_items, factors = args.users, args.items, args.factors
+        source = "synthetic"
+    pool = user_pool(n_users, args.pool, seed=args.seed)
     print(
-        f"model: {args.users} users x {args.items} items, k={args.factors}; "
+        f"model: {n_users} users x {n_items} items, k={factors} [{source}]; "
         f"scoring {args.pool} requests, top-{args.top}"
     )
     naive = measure_naive(model, pool, args.top)
@@ -670,6 +787,70 @@ def _run_serve_bench(args: argparse.Namespace) -> None:
             f"{sample.label:<28} {sample.users_per_s:>10.0f} "
             f"{sample.users_per_s / naive.users_per_s:>8.2f}x"
         )
+    if segment is not None:
+        segment.close()
+
+
+def _run_serve(args: argparse.Namespace) -> None:
+    import asyncio
+
+    from .serve import ModelStore
+    from .serve.bench import synthetic_model
+    from .service import RecommendServer, ServiceConfig
+    from .sgd import FactorModel
+
+    if args.model is not None:
+        model = FactorModel.load(args.model)
+        source = f"loaded from {args.model}"
+    elif args.synthetic:
+        model = synthetic_model(args.users, args.items, args.factors, seed=args.seed)
+        source = "synthetic"
+    else:
+        raise SystemExit("repro serve needs --model PATH or --synthetic")
+    config = ServiceConfig(
+        host=args.host,
+        port=args.port,
+        workers=args.workers,
+        k=args.top,
+        queue_depth=args.queue_depth,
+        deadline=args.deadline_ms / 1000.0,
+    )
+
+    async def serve() -> None:
+        server = RecommendServer(store, config)
+        await server.start()
+        try:
+            print(f"listening          : http://{config.host}:{server.port}")
+            print(
+                f"readers            : {config.workers} "
+                f"(k={config.k}, queue depth {config.queue_depth}/reader, "
+                f"deadline {args.deadline_ms:g} ms)"
+            )
+            sys.stdout.flush()
+            if args.duration is None:
+                while True:
+                    await asyncio.sleep(3600.0)
+            else:
+                await asyncio.sleep(args.duration)
+        finally:
+            await server.stop()
+
+    with ModelStore() as store:
+        handle = store.publish(model)
+        print(
+            f"published          : version {handle.version} "
+            f"({handle.n_rows} users x {handle.n_cols} items, "
+            f"k={handle.latent_factors}, {source})"
+        )
+        if args.handle_out is not None:
+            handle.save(args.handle_out)
+            print(f"handle written     : {args.handle_out}")
+        try:
+            asyncio.run(serve())
+        except KeyboardInterrupt:
+            pass
+    stats_note = "stopped cleanly"
+    print(f"server             : {stats_note}")
 
 
 def _run_gc_shm(args: argparse.Namespace) -> None:
@@ -763,26 +944,39 @@ def _run_list() -> None:
 
 
 def main(argv: Optional[List[str]] = None) -> int:
-    """Entry point of the ``repro-mf`` console script."""
+    """Entry point of the ``repro-mf`` console script.
+
+    Operational failures (a handle file that does not exist, a segment
+    whose publisher is gone, a torn publish) are reported as a one-line
+    ``error: ...`` on stderr with a non-zero exit — never a traceback.
+    """
+    from .exceptions import ReproError
+
     parser = _build_parser()
     args = parser.parse_args(argv)
     if args.command is None:
         parser.print_help()
         return 1
-    if args.command == "list":
-        _run_list()
-    elif args.command == "train":
-        _run_train(args)
-    elif args.command == "recommend":
-        _run_recommend(args)
-    elif args.command == "serve-bench":
-        _run_serve_bench(args)
-    elif args.command == "ingest":
-        _run_ingest(args)
-    elif args.command == "gc-shm":
-        _run_gc_shm(args)
-    else:
-        _run_experiment(args.command, args)
+    try:
+        if args.command == "list":
+            _run_list()
+        elif args.command == "train":
+            _run_train(args)
+        elif args.command == "recommend":
+            _run_recommend(args)
+        elif args.command == "serve":
+            _run_serve(args)
+        elif args.command == "serve-bench":
+            _run_serve_bench(args)
+        elif args.command == "ingest":
+            _run_ingest(args)
+        elif args.command == "gc-shm":
+            _run_gc_shm(args)
+        else:
+            _run_experiment(args.command, args)
+    except (ReproError, OSError) as exc:
+        print(f"error: {exc}", file=sys.stderr)
+        return 1
     return 0
 
 

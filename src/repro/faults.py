@@ -31,6 +31,18 @@ Injection points in the tree today:
     Hit by each benchmark reader process on startup (action ``kill``) —
     drives the fail-fast reader-collection path of
     :func:`repro.serve.bench.measure_multi_reader`.
+``service.reader.start``
+    Hit by each HTTP front-door reader process
+    (:mod:`repro.service.pool`) before it attaches to the published
+    segment — a ``kill`` here exercises the server's startup-respawn
+    and restart-budget paths.
+``service.reader.request``
+    Hit once per coalesced scoring batch inside a front-door reader,
+    after admission but before any result exists.  ``kill`` models a
+    reader dying mid-request (the server answers its in-flight 503 and
+    respawns); ``stall`` models a wedged reader (the event loop's
+    deadline fires and the request is answered 504 while the late
+    result is dropped).
 
 Environment form: ``REPRO_FAULTS`` holds a JSON list of spec objects,
 e.g. ``[{"point": "worker.task", "worker": 1, "task": 3, "mode":

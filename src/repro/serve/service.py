@@ -49,7 +49,17 @@ class Recommendation:
 
 @dataclass
 class ServiceStats:
-    """Operation counters (exposed for tests and benchmarks)."""
+    """Operation counters (exposed for tests, benchmarks and ``/stats``).
+
+    Beyond the plain totals, three load-shaped signals feed the HTTP
+    front door's ``/stats`` endpoint (and are just as useful in-process):
+    ``max_queue_depth`` is the high-water mark of distinct users pending
+    a flush, ``last_batch_users`` the size of the most recent coalesced
+    scoring batch (mean batch size is ``users_scored / batches_scored``),
+    and ``requests_by_version`` counts requests against each model
+    version served — the direct trace of a hot swap rolling through
+    traffic.
+    """
 
     requests: int = 0
     cache_hits: int = 0
@@ -57,9 +67,14 @@ class ServiceStats:
     users_scored: int = 0
     reloads: int = 0
     reload_failures: int = 0
+    max_queue_depth: int = 0
+    last_batch_users: int = 0
+    requests_by_version: Dict[int, int] = field(default_factory=dict)
 
-    def as_dict(self) -> Dict[str, int]:
-        return dict(vars(self))
+    def as_dict(self) -> Dict[str, object]:
+        payload = dict(vars(self))
+        payload["requests_by_version"] = dict(self.requests_by_version)
+        return payload
 
 
 @dataclass
@@ -94,6 +109,13 @@ class RecommendationService:
         slate (see :class:`Scorer`).
     chunk_items:
         Item-axis tile width of the underlying scorer.
+    model_version:
+        Version number reported (and used as the cache key) when
+        ``source`` is a plain :class:`FactorModel`.  Reader processes
+        serving a store-published model through :func:`attach_model`
+        pass the handle's version here so their caches and stats speak
+        the store's version numbers; ignored for a ``ModelStore``
+        source, whose lease provides the version.
     """
 
     def __init__(
@@ -104,6 +126,7 @@ class RecommendationService:
         cache_size: int = 4096,
         exclude: Optional[SparseRatingMatrix] = None,
         chunk_items: int = DEFAULT_CHUNK_ITEMS,
+        model_version: int = 0,
     ) -> None:
         if k <= 0:
             raise ExecutionError(f"k must be positive, got {k}")
@@ -129,7 +152,7 @@ class RecommendationService:
             self._version = self._lease.version
             self._scorer = self._make_scorer(self._lease.model)
         else:
-            self._version = 0
+            self._version = int(model_version)
             self._scorer = self._make_scorer(source)
 
     def _make_scorer(self, model: FactorModel) -> Scorer:
@@ -142,6 +165,11 @@ class RecommendationService:
     def model_version(self) -> int:
         """The version currently being served from."""
         return self._version
+
+    @property
+    def queue_depth(self) -> int:
+        """Distinct users currently pending the next coalesced flush."""
+        return len(self._pending)
 
     def _maybe_reload(self) -> None:
         """Re-lease onto the store's current version if it moved.
@@ -207,12 +235,16 @@ class RecommendationService:
         self._maybe_reload()
         user = int(user)
         self.stats.requests += 1
+        self.stats.requests_by_version[self._version] = (
+            self.stats.requests_by_version.get(self._version, 0) + 1
+        )
         hit = self._cache_get(user)
         if hit is not None:
             self.stats.cache_hits += 1
             return _PendingRequest(user=user, result=hit)
         request = _PendingRequest(user=user)
         self._pending.setdefault(user, []).append(request)
+        self.stats.max_queue_depth = max(self.stats.max_queue_depth, len(self._pending))
         if len(self._pending) >= self.batch_size:
             self.flush()
         return request
@@ -246,6 +278,7 @@ class RecommendationService:
             items, scores = self._scorer.top_k(batch, self.k)
             self.stats.batches_scored += 1
             self.stats.users_scored += len(users)
+            self.stats.last_batch_users = len(users)
             for row, user in enumerate(users):
                 result = Recommendation(
                     user=user,

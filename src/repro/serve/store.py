@@ -30,6 +30,7 @@ the training engines.
 
 from __future__ import annotations
 
+import json
 import threading
 from dataclasses import dataclass
 from typing import Dict, Optional, Tuple
@@ -77,6 +78,45 @@ class ModelHandle:
     def total_nbytes(self) -> int:
         """Allocated segment size: payload plus the commit stamp."""
         return self.nbytes + STAMP_NBYTES
+
+    def save(self, path: str) -> None:
+        """Write the handle as JSON, for cross-process attachment.
+
+        The file is the CLI's rendezvous: ``repro serve --handle-out``
+        writes it, ``repro recommend --attach`` / ``repro serve-bench
+        --attach`` read it back.  The handle describes a segment, not
+        the model data — the file stays valid exactly as long as its
+        version remains published.
+        """
+        with open(path, "w", encoding="utf-8") as stream:
+            json.dump(vars(self), stream, indent=2)
+            stream.write("\n")
+
+    @classmethod
+    def load(cls, path: str) -> "ModelHandle":
+        """Read a handle written by :meth:`save`; clear errors on junk."""
+        try:
+            with open(path, "r", encoding="utf-8") as stream:
+                raw = json.load(stream)
+        except FileNotFoundError:
+            raise ExecutionError(f"no model handle at {path!r}") from None
+        except json.JSONDecodeError as exc:
+            raise ExecutionError(f"{path!r} is not a model handle: {exc}") from None
+        expected = {"version", "segment", "n_rows", "n_cols", "latent_factors"}
+        if not isinstance(raw, dict) or set(raw) != expected:
+            raise ExecutionError(
+                f"{path!r} is not a model handle (fields {sorted(expected)} required)"
+            )
+        try:
+            return cls(
+                version=int(raw["version"]),
+                segment=str(raw["segment"]),
+                n_rows=int(raw["n_rows"]),
+                n_cols=int(raw["n_cols"]),
+                latent_factors=int(raw["latent_factors"]),
+            )
+        except (TypeError, ValueError) as exc:
+            raise ExecutionError(f"{path!r} holds a malformed handle: {exc}") from None
 
 
 def _stamp_view(segment: SharedSegment, payload_nbytes: int) -> np.ndarray:

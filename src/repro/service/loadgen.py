@@ -1,0 +1,241 @@
+"""Load generation against the HTTP front door — the benchmark's client.
+
+Two generators, because they answer different questions:
+
+* :func:`run_closed_loop` — N concurrent clients, each issuing its next
+  request the moment the previous response lands.  Offered load adapts
+  to the server, so this measures the **throughput ceiling**: the
+  highest sustained request rate the service completes at a given
+  concurrency.
+* :func:`run_open_loop` — requests arrive on a fixed schedule at an
+  **offered QPS**, regardless of how the server is doing (arrivals that
+  find every connection busy open a new one).  This is the honest way to
+  measure latency percentiles: a closed loop silently slows its own
+  arrival rate exactly when the server struggles, hiding the tail —
+  the classic coordinated-omission trap.  Driving an open loop at 2x
+  the measured ceiling is also how the benchmark proves admission
+  control works: the right outcome is a high 503 rate and a still-flat
+  latency tail, never an unbounded queue.
+
+Both run in a single asyncio loop over persistent connections speaking
+the same :mod:`~repro.service.protocol` the server does, and produce a
+:class:`LoadReport` with per-outcome counts and latency percentiles
+over the successful requests.
+"""
+
+from __future__ import annotations
+
+import asyncio
+import time
+from dataclasses import dataclass, field
+from typing import Dict, List, Optional, Sequence
+
+import numpy as np
+
+from .protocol import ProtocolError, read_response
+
+
+@dataclass
+class LoadReport:
+    """Outcome of one load-generation run."""
+
+    duration_s: float
+    offered_qps: Optional[float]
+    requests: int = 0
+    ok: int = 0
+    rejected: int = 0
+    expired: int = 0
+    errors: int = 0
+    latencies_ms: List[float] = field(default_factory=list)
+
+    @property
+    def achieved_qps(self) -> float:
+        """Completed-OK requests per second of wall clock."""
+        return self.ok / self.duration_s if self.duration_s > 0 else 0.0
+
+    @property
+    def rejection_rate(self) -> float:
+        return self.rejected / self.requests if self.requests else 0.0
+
+    def percentile_ms(self, q: float) -> float:
+        if not self.latencies_ms:
+            return 0.0
+        return float(np.percentile(np.asarray(self.latencies_ms), q))
+
+    def as_dict(self) -> Dict[str, object]:
+        return {
+            "duration_s": round(self.duration_s, 4),
+            "offered_qps": self.offered_qps,
+            "achieved_qps": round(self.achieved_qps, 2),
+            "requests": self.requests,
+            "ok": self.ok,
+            "rejected_503": self.rejected,
+            "expired_504": self.expired,
+            "errors": self.errors,
+            "rejection_rate": round(self.rejection_rate, 4),
+            "p50_ms": round(self.percentile_ms(50), 3),
+            "p95_ms": round(self.percentile_ms(95), 3),
+            "p99_ms": round(self.percentile_ms(99), 3),
+        }
+
+
+class HttpClient:
+    """One persistent keep-alive connection to the service."""
+
+    def __init__(self, host: str, port: int) -> None:
+        self._host = host
+        self._port = port
+        self._reader: Optional[asyncio.StreamReader] = None
+        self._writer: Optional[asyncio.StreamWriter] = None
+
+    async def _connect(self) -> None:
+        self._reader, self._writer = await asyncio.open_connection(self._host, self._port)
+
+    async def get(self, target: str) -> tuple:
+        """``GET target`` -> ``(status, payload)``; reconnects once on EOF."""
+        if self._writer is None:
+            await self._connect()
+        request = (
+            f"GET {target} HTTP/1.1\r\nHost: {self._host}\r\n\r\n"
+        ).encode("latin-1")
+        try:
+            self._writer.write(request)
+            await self._writer.drain()
+            status, _, payload = await read_response(self._reader)
+        except (ProtocolError, ConnectionError, OSError):
+            # The server closed a keep-alive connection (e.g. after a
+            # 400, or across a restart); retry once on a fresh one.
+            await self.close()
+            await self._connect()
+            self._writer.write(request)
+            await self._writer.drain()
+            status, _, payload = await read_response(self._reader)
+        return status, payload
+
+    async def close(self) -> None:
+        if self._writer is not None:
+            self._writer.close()
+            try:
+                await self._writer.wait_closed()
+            except (ConnectionError, OSError):  # pragma: no cover
+                pass
+        self._reader = None
+        self._writer = None
+
+
+def _record(report: LoadReport, status: int, elapsed_ms: float) -> None:
+    report.requests += 1
+    if status == 200:
+        report.ok += 1
+        report.latencies_ms.append(elapsed_ms)
+    elif status == 503:
+        report.rejected += 1
+    elif status == 504:
+        report.expired += 1
+    else:
+        report.errors += 1
+
+
+async def run_closed_loop(
+    host: str,
+    port: int,
+    users: Sequence[int],
+    clients: int,
+    duration: float,
+    deadline_ms: Optional[float] = None,
+) -> LoadReport:
+    """N back-to-back clients for ``duration`` seconds -> throughput ceiling."""
+    report = LoadReport(duration_s=duration, offered_qps=None)
+    stop_at = time.monotonic() + duration
+    suffix = "" if deadline_ms is None else f"&deadline_ms={deadline_ms:g}"
+
+    async def one_client(offset: int) -> None:
+        client = HttpClient(host, port)
+        position = offset
+        try:
+            while time.monotonic() < stop_at:
+                user = users[position % len(users)]
+                position += clients
+                started = time.monotonic()
+                try:
+                    status, _ = await client.get(f"/recommend?user={user}{suffix}")
+                except (ProtocolError, ConnectionError, OSError):
+                    report.requests += 1
+                    report.errors += 1
+                    await client.close()
+                    continue
+                _record(report, status, (time.monotonic() - started) * 1000.0)
+        finally:
+            await client.close()
+
+    started = time.monotonic()
+    await asyncio.gather(*(one_client(offset) for offset in range(clients)))
+    report.duration_s = time.monotonic() - started
+    return report
+
+
+async def run_open_loop(
+    host: str,
+    port: int,
+    users: Sequence[int],
+    offered_qps: float,
+    duration: float,
+    deadline_ms: Optional[float] = None,
+    max_connections: int = 256,
+) -> LoadReport:
+    """Fixed-rate arrivals at ``offered_qps`` -> honest latency percentiles.
+
+    Arrivals never wait for earlier requests: each grabs an idle pooled
+    connection or opens a new one (up to ``max_connections``, past which
+    the arrival is counted as a client-side error rather than silently
+    deferred — deferring would reintroduce coordinated omission).
+    """
+    report = LoadReport(duration_s=duration, offered_qps=offered_qps)
+    interval = 1.0 / offered_qps
+    suffix = "" if deadline_ms is None else f"&deadline_ms={deadline_ms:g}"
+    idle: List[HttpClient] = []
+    open_connections = 0
+    tasks: List[asyncio.Task] = []
+
+    async def one_request(sequence: int) -> None:
+        nonlocal open_connections
+        client = idle.pop() if idle else HttpClient(host, port)
+        user = users[sequence % len(users)]
+        started = time.monotonic()
+        try:
+            status, _ = await client.get(f"/recommend?user={user}{suffix}")
+        except (ProtocolError, ConnectionError, OSError):
+            report.requests += 1
+            report.errors += 1
+            await client.close()
+            open_connections -= 1
+            return
+        _record(report, status, (time.monotonic() - started) * 1000.0)
+        idle.append(client)
+
+    start = time.monotonic()
+    sequence = 0
+    while True:
+        due = start + sequence * interval
+        now = time.monotonic()
+        if due - start >= duration:
+            break
+        if due > now:
+            await asyncio.sleep(due - now)
+        if not idle and open_connections >= max_connections:
+            report.requests += 1
+            report.errors += 1
+        else:
+            if not idle:
+                open_connections += 1
+            tasks.append(asyncio.ensure_future(one_request(sequence)))
+        sequence += 1
+    if tasks:
+        await asyncio.wait(tasks, timeout=10.0)
+        for task in tasks:
+            if not task.done():
+                task.cancel()
+    for client in idle:
+        await client.close()
+    report.duration_s = time.monotonic() - start
+    return report

@@ -1,0 +1,102 @@
+"""Consistent-hash user -> reader-shard routing.
+
+Every reader process keeps a per-``(model_version, user)`` slate cache
+(:class:`~repro.serve.RecommendationService`), so the routing layer's
+one job is **cache affinity**: the same user must land on the same
+reader, request after request, or every reader ends up with a cold copy
+of every hot user.  A plain ``user % workers`` would do that — until the
+pool changes size, at which point *every* user remaps and the whole
+cache tier goes cold at once (exactly when the system is already
+degraded by a reader death).
+
+:class:`HashRing` is the classic fix: each shard owns ``replicas``
+pseudo-random points on a 64-bit ring, and a user routes to the first
+shard point at or after ``hash(user)``.  Removing a shard hands only
+*its* arc (~``1/shards`` of the keyspace) to its successors; every other
+user keeps its warm reader.  Hashes come from :func:`hashlib.blake2b`,
+which is stable across processes and Python builds — unlike ``hash()``,
+which is salted per process and would route every user differently in
+every worker.
+
+The ring is read-mostly and tiny (``shards x replicas`` points); lookup
+is one :func:`bisect.bisect_right` over a sorted array.
+"""
+
+from __future__ import annotations
+
+import bisect
+import hashlib
+from typing import Iterable, List, Tuple
+
+from ..exceptions import ReproError
+
+#: Ring points per shard.  128 keeps the max/min shard-arc ratio within
+#: ~25% for small pools while the ring stays a few KiB.
+DEFAULT_REPLICAS = 128
+
+
+def _hash64(key: str) -> int:
+    """Stable 64-bit hash (process-independent, unlike ``hash()``)."""
+    return int.from_bytes(
+        hashlib.blake2b(key.encode("utf-8"), digest_size=8).digest(), "big"
+    )
+
+
+class HashRing:
+    """Consistent-hash ring mapping integer user ids to shard ids."""
+
+    def __init__(self, shards: Iterable[int], replicas: int = DEFAULT_REPLICAS) -> None:
+        if replicas <= 0:
+            raise ReproError(f"replicas must be positive, got {replicas}")
+        self._replicas = int(replicas)
+        self._points: List[Tuple[int, int]] = []
+        self._keys: List[int] = []
+        self._shards: set = set()
+        for shard in shards:
+            self.add_shard(int(shard))
+        if not self._shards:
+            raise ReproError("a hash ring needs at least one shard")
+
+    @property
+    def shards(self) -> Tuple[int, ...]:
+        """The live shard ids, sorted."""
+        return tuple(sorted(self._shards))
+
+    def _rebuild(self) -> None:
+        self._points.sort()
+        self._keys = [point for point, _ in self._points]
+
+    def add_shard(self, shard: int) -> None:
+        """Add a shard's replica points (idempotent)."""
+        if shard in self._shards:
+            return
+        self._shards.add(shard)
+        self._points.extend(
+            (_hash64(f"shard-{shard}-replica-{replica}"), shard)
+            for replica in range(self._replicas)
+        )
+        self._rebuild()
+
+    def remove_shard(self, shard: int) -> None:
+        """Drop a shard; only its arcs remap (to their ring successors)."""
+        if shard not in self._shards:
+            return
+        if len(self._shards) == 1:
+            raise ReproError("cannot remove the last shard from the ring")
+        self._shards.discard(shard)
+        self._points = [(point, s) for point, s in self._points if s != shard]
+        self._rebuild()
+
+    def route(self, user: int) -> int:
+        """The shard owning ``user``'s ring position."""
+        point = _hash64(f"user-{int(user)}")
+        index = bisect.bisect_right(self._keys, point)
+        if index == len(self._keys):  # wrap past the last point
+            index = 0
+        return self._points[index][1]
+
+    def __len__(self) -> int:
+        return len(self._shards)
+
+    def __repr__(self) -> str:  # pragma: no cover - debugging aid
+        return f"HashRing(shards={self.shards}, replicas={self._replicas})"

@@ -46,7 +46,7 @@ import secrets
 import tempfile
 import threading
 from dataclasses import dataclass, field
-from multiprocessing import shared_memory
+from multiprocessing import resource_tracker, shared_memory
 from typing import Dict, List, Optional, Tuple
 
 import numpy as np
@@ -66,6 +66,11 @@ RUNTIME_DIR_ENV = "REPRO_RUNTIME_DIR"
 # close segments from different threads.
 _LIVE: Dict[str, str] = {}
 _LIVE_LOCK = threading.Lock()
+
+#: Serialises the pre-3.13 attach-time resource_tracker.register patch
+#: (see _attach_shared_memory) against concurrent creates, whose own
+#: registration must NOT be suppressed.
+_TRACKER_PATCH_LOCK = threading.Lock()
 
 # Owned names whose handles were abandon()ed (simulated crashes): no
 # longer mapped here, but still named in the kernel and still journaled
@@ -239,13 +244,27 @@ def reap_orphaned_segments(
 def _attach_shared_memory(name: str) -> shared_memory.SharedMemory:
     """Open an existing segment without touching the resource tracker.
 
-    CPython 3.13+ takes ``track=False``; older versions never register
-    attachments, so a plain open is already tracker-neutral.
+    CPython 3.13+ takes ``track=False``.  Older versions register every
+    attachment with the resource tracker, which is worse than a leak
+    warning: a pure reader process (``repro recommend --attach``) would
+    have its tracker *unlink the live segment* at exit, tearing it out
+    from under the publisher.  Attachments must therefore unregister
+    immediately — only the owning process's tracker should ever reap.
     """
     try:
         return shared_memory.SharedMemory(name=name, create=False, track=False)
     except TypeError:  # no track parameter before 3.13
-        return shared_memory.SharedMemory(name=name, create=False)
+        # Unregistering after the fact is no better: a forked reader
+        # shares the owner's tracker, so its unregister would strip the
+        # owner's crash-safety registration.  Suppress the registration
+        # itself instead, for exactly the duration of the attach.
+        with _TRACKER_PATCH_LOCK:
+            original = resource_tracker.register
+            resource_tracker.register = lambda *args, **kwargs: None
+            try:
+                return shared_memory.SharedMemory(name=name, create=False)
+            finally:
+                resource_tracker.register = original
 
 
 class SharedSegment:

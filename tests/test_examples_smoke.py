@@ -27,6 +27,7 @@ EXPECTED_OUTPUT = {
     "quickstart.py": "final test RMSE",
     "compare_schedulers.py": "speedup vs CPU",
     "cost_model_calibration.py": "Workload split chosen",
+    "http_serving.py": "clean shutdown, leaked segments: none",
     "recommender_pipeline.py": "hit-rate@10",
     "resumable_training.py": "bitwise identical : True",
     "serving_pipeline.py": "clean shutdown, leaked segments: none",

@@ -167,6 +167,42 @@ class TestActivePlan:
         assert faults.active_plan() is not first
         assert not faults.active_plan().specs
 
+    @pytest.mark.parametrize(
+        "text, complaint",
+        [
+            ("{not json", "cannot parse fault plan JSON"),
+            ('"just a string"', "must be a JSON list"),
+            ("42", "must be a JSON list"),
+            ("[42]", "fault spec must be an object"),
+            ('[{"point": "p", "bogus": 1}]', "unknown fault spec fields"),
+            ('[{"point": "p", "mode": "explode"}]', "fault mode must be one of"),
+            ('[{"point": "p", "count": 0}]', "count must be positive"),
+            ('[{"point": "p", "task": -1}]', "task ordinal must be >= 0"),
+            ('[{"point": "p", "seconds": -1}]', "seconds must be >= 0"),
+        ],
+    )
+    def test_env_plan_errors_surface_through_active_plan(
+        self, monkeypatch, text, complaint
+    ):
+        """A broken REPRO_FAULTS value must fail loudly at the first
+        lookup — with the parser's diagnostic — not inject nothing."""
+        monkeypatch.setenv(faults.FAULTS_ENV, text)
+        with pytest.raises(ReproError, match=complaint):
+            faults.active_plan()
+        with pytest.raises(ReproError, match=complaint):
+            faults.hit("p")
+
+    def test_empty_env_value_means_no_plan(self, monkeypatch):
+        monkeypatch.setenv(faults.FAULTS_ENV, "")
+        assert faults.active_plan() is None
+        faults.hit("p")  # no-op, no error
+
+    def test_installed_plan_shields_a_broken_env(self, monkeypatch):
+        monkeypatch.setenv(faults.FAULTS_ENV, "{not json")
+        plan = FaultPlan([])
+        faults.install(plan)
+        assert faults.active_plan() is plan  # env never parsed
+
     def test_hit_raise_carries_point_spec_context(self):
         faults.install(FaultPlan([FaultSpec(point="p", mode="raise")]))
         with pytest.raises(FaultInjected) as excinfo:
@@ -321,6 +357,26 @@ class TestGcShmCli:
     def test_gc_shm_on_empty_runtime(self, tmp_path, capsys):
         assert main(["gc-shm", "--runtime-dir", str(tmp_path / "empty")]) == 0
         assert "0" in capsys.readouterr().out
+
+    def test_gc_shm_dry_run_output_format(self, tmp_path, capsys):
+        """Pin the dry-run report shape: every summary line present, the
+        conditional verb, and one 'would reap NAME' line per orphan."""
+        runtime = str(tmp_path / "runtime")
+        _, name = _make_orphan()
+
+        assert main(["gc-shm", "--runtime-dir", runtime, "--dry-run"]) == 0
+        out = capsys.readouterr().out
+        lines = out.splitlines()
+        assert lines[0] == f"runtime dir        : {runtime}"
+        assert any(line.startswith("manifests scanned  : ") for line in lines)
+        assert any(line.startswith("owners still alive : ") for line in lines)
+        assert "segments would reap : 1" in out
+        assert f"  would reap {name}" in out
+        # The unlinking verb must not appear anywhere in a dry run.
+        assert "reaped" not in out
+        SharedSegment.attach(name).close()  # still alive
+
+        assert main(["gc-shm", "--runtime-dir", runtime]) == 0  # clean up
 
 
 class TestCrashAtomicPublish:

@@ -217,6 +217,56 @@ class TestRecommendationService:
             service.recommend(1)  # was evicted: a fresh batch
             assert service.stats.cache_hits == hits + 1
 
+    def test_queue_depth_and_high_water_mark(self, model):
+        with RecommendationService(model, k=3, batch_size=64) as service:
+            assert service.queue_depth == 0
+            for user in range(5):
+                service.enqueue(user)
+            service.enqueue(2)  # duplicate: no new pending user
+            assert service.queue_depth == 5
+            assert service.stats.max_queue_depth == 5
+            service.flush()
+            assert service.queue_depth == 0
+            # The high-water mark survives the flush.
+            assert service.stats.max_queue_depth == 5
+            service.enqueue(9)
+            assert service.stats.max_queue_depth == 5
+
+    def test_last_batch_users_tracks_coalesced_size(self, model):
+        with RecommendationService(model, k=3, batch_size=64) as service:
+            service.recommend_many([0, 1, 2])
+            assert service.stats.last_batch_users == 3
+            service.recommend(7)
+            assert service.stats.last_batch_users == 1
+            service.recommend(7)  # cache hit: no new batch
+            assert service.stats.last_batch_users == 1
+
+    def test_requests_by_version_counts_across_a_swap(self, model, model_b):
+        with ModelStore() as store:
+            store.publish(model)
+            with RecommendationService(store, k=3, batch_size=8) as service:
+                service.recommend(1)
+                service.recommend(2)
+                store.publish(model_b)
+                service.recommend(3)
+                assert service.stats.requests_by_version == {1: 2, 2: 1}
+        _assert_no_segments()
+
+    def test_explicit_model_version_keys_stats_and_cache(self, model):
+        with RecommendationService(model, k=3, model_version=7) as service:
+            rec = service.recommend(0)
+            assert rec.model_version == 7
+            assert service.model_version == 7
+            assert service.stats.requests_by_version == {7: 1}
+
+    def test_stats_as_dict_is_a_detached_copy(self, model):
+        with RecommendationService(model, k=3) as service:
+            service.recommend(0)
+            snapshot = service.stats.as_dict()
+            assert snapshot["requests"] == 1
+            snapshot["requests_by_version"][0] = 999
+            assert service.stats.requests_by_version[0] == 1
+
     def test_recommend_many_scores_misses_in_one_batch(self, model):
         with RecommendationService(model, k=4, batch_size=64) as service:
             service.recommend(2)
