@@ -24,7 +24,20 @@ auto-detected:
   closed-loop client level's achieved requests/s, **normalised by the
   same run's direct in-process RecommendationService users/s** — the
   identical scoring work without HTTP, processes or queueing, so the
-  ratio isolates the front door's own overhead from runner speed.
+  ratio isolates the front door's own overhead from runner speed;
+* **approximate retrieval** (the ``ann_frontier`` section that
+  ``bench_serving.py`` merges into ``BENCH_serve.json``): each nprobe
+  point's ANN users/s, **normalised by the same run's naive full-matmul
+  users/s**, plus a *hard* recall gate — the measured recall@K at the
+  accepted operating point must stay at or above the payload's
+  ``recall_floor``.  Recall is a property of the (deterministic, seeded)
+  index build, not of machine speed, so it is an absolute bound rather
+  than a drop-relative one.
+
+A payload may carry several sections (``BENCH_serve.json`` holds both
+``serving`` and ``ann_frontier``); every section present in *both* the
+baseline and the current run is compared, and any one failing fails the
+guard.
 
 Either way the guard catches exactly what it exists to catch: the
 subsystem becoming slower *relative to the same work done the obvious
@@ -249,30 +262,93 @@ def compare_service(baseline: dict, current: dict, max_drop: float) -> int:
     return 0
 
 
-def compare(baseline: dict, current: dict, max_drop: float) -> int:
-    """Auto-detect the payload kind and dispatch."""
-    kinds = {
-        "scaling" if "scaling" in payload else
-        "serving" if "serving" in payload else
-        "stream" if "fold_in" in payload else
-        "service" if "service" in payload else "unknown"
-        for payload in (baseline, current)
-    }
-    if kinds == {"scaling"}:
-        return compare_scaling(baseline, current, max_drop)
-    if kinds == {"serving"}:
-        return compare_serving(baseline, current, max_drop)
-    if kinds == {"stream"}:
-        return compare_stream(baseline, current, max_drop)
-    if kinds == {"service"}:
-        return compare_service(baseline, current, max_drop)
-    print(
-        "error: baseline and current must both be scaling "
-        "(BENCH_exec.json), both serving (BENCH_serve.json), both "
-        "streaming (BENCH_stream.json), or both HTTP-service "
-        f"(BENCH_service.json) payloads; got {sorted(kinds)}"
+def _normalised_ann(payload: dict) -> dict:
+    """``{nprobe: users_per_s / full_matmul_users_per_s}``."""
+    section = payload.get("ann_frontier", {})
+    reference = float(section.get("full_matmul_users_per_s", 0.0))
+    out = {}
+    if reference <= 0:
+        return out
+    for entry in section.get("frontier", []):
+        out[int(entry["nprobe"])] = float(entry["users_per_s"]) / reference
+    return out
+
+
+def compare_ann(baseline: dict, current: dict, max_drop: float) -> int:
+    base = _normalised_ann(baseline)
+    cur = _normalised_ann(current)
+    if not cur:
+        print("error: current run contains no comparable ANN measurements")
+        return 1
+    section = current.get("ann_frontier", {})
+    reference = section.get("full_matmul_users_per_s")
+    print(f"  normaliser full-matmul: {reference} users/s")
+    failures = _report(
+        base,
+        cur,
+        lambda key: f"ann nprobe {key}",
+        "full-matmul",
+        max_drop,
     )
-    return 1
+    # Hard recall gate, independent of machine speed: the index build is
+    # seeded and deterministic, so recall at the accepted operating point
+    # is an absolute bound, not a drop-relative one.
+    floor = float(section.get("recall_floor", 0.0))
+    accept = section.get("acceptance", {}).get("accept_point") or {}
+    recall = accept.get("recall_at_k")
+    if recall is None:
+        print("  RECALL GATE: no accept point in current run")
+        failures.append(("recall", 0.0))
+    elif float(recall) < floor:
+        print(
+            f"  RECALL GATE: recall@K {float(recall):.4f} at "
+            f"nprobe {accept.get('nprobe')} is below the floor {floor}"
+        )
+        failures.append(("recall", float(recall)))
+    else:
+        print(
+            f"  recall gate ok: recall@K {float(recall):.4f} at "
+            f"nprobe {accept.get('nprobe')} >= floor {floor}"
+        )
+    if failures:
+        print(
+            f"\nperf regression: {len(failures)} ANN check(s) failed "
+            f"(throughput drop > {max_drop:.0%} full-matmul-normalised, "
+            "or recall below the floor)"
+        )
+        return 1
+    print("\nno ANN operating point regressed beyond the threshold")
+    return 0
+
+
+_COMPARATORS = (
+    ("scaling", "execution scaling", compare_scaling),
+    ("serving", "serving throughput", compare_serving),
+    ("fold_in", "streaming fold-in", compare_stream),
+    ("service", "HTTP service", compare_service),
+    ("ann_frontier", "approximate retrieval", compare_ann),
+)
+
+
+def compare(baseline: dict, current: dict, max_drop: float) -> int:
+    """Run every comparator whose section both payloads carry."""
+    worst = 0
+    ran = []
+    for key, title, comparator in _COMPARATORS:
+        if key in baseline and key in current:
+            if ran:
+                print()
+            print(f"== {title} ==")
+            worst = max(worst, comparator(baseline, current, max_drop))
+            ran.append(key)
+    if not ran:
+        print(
+            "error: baseline and current share no comparable section; "
+            "expected both to carry at least one of "
+            f"{[key for key, _, _ in _COMPARATORS]}"
+        )
+        return 1
+    return worst
 
 
 def main(argv=None) -> int:

@@ -78,7 +78,7 @@ from .stream import (
     IngestStats,
 )
 
-__version__ = "1.5.0"
+__version__ = "1.6.0"
 
 __all__ = [
     "BACKENDS",

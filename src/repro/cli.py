@@ -251,6 +251,28 @@ def _build_parser() -> argparse.ArgumentParser:
             "--handle-out' (no dataset load, no training)"
         ),
     )
+    recommend.add_argument(
+        "--ann",
+        action="store_true",
+        help=(
+            "serve from the approximate IVF index tier (builds one over "
+            "the model, or maps the published one with --attach)"
+        ),
+    )
+    recommend.add_argument(
+        "--nlist",
+        type=int,
+        default=64,
+        metavar="L",
+        help="inverted lists when building an ANN index (default: 64)",
+    )
+    recommend.add_argument(
+        "--nprobe",
+        type=int,
+        default=8,
+        metavar="P",
+        help="inverted lists probed per user on the ANN tier (default: 8)",
+    )
 
     serve = subparsers.add_parser(
         "serve",
@@ -315,6 +337,28 @@ def _build_parser() -> argparse.ArgumentParser:
         metavar="S",
         help="serve for S seconds then exit (default: until interrupted)",
     )
+    serve.add_argument(
+        "--ann",
+        action="store_true",
+        help=(
+            "build an IVF index over the model, publish it in the same "
+            "segment, and serve every request from the approximate tier"
+        ),
+    )
+    serve.add_argument(
+        "--nlist",
+        type=int,
+        default=64,
+        metavar="L",
+        help="inverted lists of the published ANN index (default: 64)",
+    )
+    serve.add_argument(
+        "--nprobe",
+        type=int,
+        default=8,
+        metavar="P",
+        help="inverted lists probed per request (default: 8)",
+    )
 
     serve_bench = subparsers.add_parser(
         "serve-bench",
@@ -363,6 +407,38 @@ def _build_parser() -> argparse.ArgumentParser:
         help=(
             "measure against a published ModelStore segment (handle JSON "
             "from 'repro serve --handle-out') instead of a synthetic model"
+        ),
+    )
+    serve_bench.add_argument(
+        "--ann",
+        action="store_true",
+        help=(
+            "also measure the approximate IVF tier (one row per --nprobe "
+            "value, each with its recall@K against the exact scorer)"
+        ),
+    )
+    serve_bench.add_argument(
+        "--nlist",
+        type=int,
+        default=64,
+        metavar="L",
+        help="inverted lists when building the ANN index (default: 64)",
+    )
+    serve_bench.add_argument(
+        "--nprobe",
+        type=int,
+        nargs="+",
+        default=[4, 8, 16],
+        metavar="P",
+        help="nprobe values to sweep on the ANN tier (default: 4 8 16)",
+    )
+    serve_bench.add_argument(
+        "--json",
+        metavar="PATH",
+        default=None,
+        help=(
+            "also write every measured sample (label, tier, users/s, "
+            "recall@K) as JSON"
         ),
     )
 
@@ -580,6 +656,7 @@ def _run_recommend(args: argparse.Namespace) -> None:
     from .sgd import FactorModel
 
     segment = None
+    index = None
     if args.attach is not None:
         from .serve.store import ModelHandle, attach_model
 
@@ -589,7 +666,15 @@ def _run_recommend(args: argparse.Namespace) -> None:
         # (missing file, missing segment, torn publish) that main()
         # turns into a one-line failure.
         handle = ModelHandle.load(args.attach)
-        model, segment = attach_model(handle)
+        if args.ann:
+            model, index, segment = attach_model(handle, with_index=True)
+            if index is None:
+                raise SystemExit(
+                    "--ann but the published model carries no index; "
+                    "republish with 'repro serve --ann'"
+                )
+        else:
+            model, segment = attach_model(handle)
         print(
             f"model              : attached to segment {handle.segment!r} "
             f"(version {handle.version}, {handle.n_rows} users x "
@@ -618,15 +703,30 @@ def _run_recommend(args: argparse.Namespace) -> None:
             f"model              : trained {args.iterations} iterations, "
             f"test RMSE {result.final_test_rmse:.4f}"
         )
-    scorer = Scorer(
-        model,
-        exclude=data.train if args.exclude_seen else None,
-        chunk_items=args.chunk_items,
-    )
+    exclude = data.train if args.exclude_seen else None
+    if args.ann:
+        from .serve import AnnScorer, IvfIndex
+
+        if index is None:
+            index = IvfIndex.build(model, nlist=args.nlist, seed=args.seed)
+            print(
+                f"ann index          : built nlist={args.nlist} "
+                f"(seed {args.seed})"
+            )
+        scorer = AnnScorer(
+            model,
+            index,
+            exclude=exclude,
+            nprobe=args.nprobe,
+            chunk_items=args.chunk_items,
+        )
+    else:
+        scorer = Scorer(model, exclude=exclude, chunk_items=args.chunk_items)
     import numpy as np
 
     try:
         items, scores = scorer.top_k(np.asarray(args.users), args.top)
+        print(f"scorer tier        : {scorer.tier}")
         print(f"excluding seen     : {args.exclude_seen}")
         for row, user in enumerate(args.users):
             ranked = ", ".join(
@@ -730,6 +830,7 @@ def _run_ingest(args: argparse.Namespace) -> None:
 
 def _run_serve_bench(args: argparse.Namespace) -> None:
     from .serve.bench import (
+        measure_ann,
         measure_chunked,
         measure_full_matmul,
         measure_multi_reader,
@@ -739,11 +840,12 @@ def _run_serve_bench(args: argparse.Namespace) -> None:
     )
 
     segment = None
+    attached_index = None
     if args.attach is not None:
         from .serve.store import ModelHandle, attach_model
 
         handle = ModelHandle.load(args.attach)
-        model, segment = attach_model(handle)
+        model, attached_index, segment = attach_model(handle, with_index=True)
         n_users, n_items, factors = handle.n_rows, handle.n_cols, handle.latent_factors
         source = f"attached segment {handle.segment!r} (version {handle.version})"
     else:
@@ -755,38 +857,86 @@ def _run_serve_bench(args: argparse.Namespace) -> None:
         f"model: {n_users} users x {n_items} items, k={factors} [{source}]; "
         f"scoring {args.pool} requests, top-{args.top}"
     )
+    samples = []
+
+    def _row(sample, recall_note: str = "") -> None:
+        samples.append(sample)
+        recall = (
+            ""
+            if sample.recall_at_k is None
+            else f"  recall@{args.top}={sample.recall_at_k:.4f}"
+        )
+        print(
+            f"{sample.label:<32} {sample.tier:<8} {sample.users_per_s:>10.0f} "
+            f"{sample.users_per_s / naive.users_per_s:>8.2f}x{recall}"
+        )
+
     naive = measure_naive(model, pool, args.top)
-    print(f"{'configuration':<28} {'users/s':>10} {'vs naive':>9}")
-    print(f"{naive.label:<28} {naive.users_per_s:>10.0f} {'1.00x':>9}")
-    reference = measure_full_matmul(
-        model, pool, args.top, batch_size=max(args.batch_sizes)
-    )
-    print(
-        f"{reference.label:<28} {reference.users_per_s:>10.0f} "
-        f"{reference.users_per_s / naive.users_per_s:>8.2f}x"
+    print(f"{'configuration':<32} {'tier':<8} {'users/s':>10} {'vs naive':>9}")
+    _row(naive)
+    _row(
+        measure_full_matmul(
+            model, pool, args.top, batch_size=max(args.batch_sizes)
+        )
     )
     for batch_size in args.batch_sizes:
         for chunk_items in args.chunk_sizes:
-            sample = measure_chunked(
-                model, pool, args.top, batch_size, chunk_items
-            )
-            print(
-                f"{sample.label:<28} {sample.users_per_s:>10.0f} "
-                f"{sample.users_per_s / naive.users_per_s:>8.2f}x"
+            _row(measure_chunked(model, pool, args.top, batch_size, chunk_items))
+    if args.ann:
+        from .serve import IvfIndex, Scorer
+
+        index = attached_index
+        if index is None:
+            index = IvfIndex.build(model, nlist=args.nlist, seed=args.seed)
+        # Exact oracle slates once, reused across the nprobe sweep.
+        exact_ids, _ = Scorer(model).top_k(pool, args.top)
+        for nprobe in args.nprobe:
+            _row(
+                measure_ann(
+                    model,
+                    index,
+                    pool,
+                    args.top,
+                    batch_size=max(args.batch_sizes),
+                    nprobe=nprobe,
+                    exact_ids=exact_ids,
+                )
             )
     if args.readers > 0:
-        sample = measure_multi_reader(
-            model,
-            pool,
-            args.top,
-            batch_size=max(args.batch_sizes),
-            chunk_items=max(args.chunk_sizes),
-            readers=args.readers,
+        _row(
+            measure_multi_reader(
+                model,
+                pool,
+                args.top,
+                batch_size=max(args.batch_sizes),
+                chunk_items=max(args.chunk_sizes),
+                readers=args.readers,
+            )
         )
-        print(
-            f"{sample.label:<28} {sample.users_per_s:>10.0f} "
-            f"{sample.users_per_s / naive.users_per_s:>8.2f}x"
-        )
+    if args.json is not None:
+        import json
+
+        payload = {
+            "model_shape": {
+                "users": n_users,
+                "items": n_items,
+                "latent_factors": factors,
+            },
+            "top_k": args.top,
+            "samples": [
+                {
+                    "label": sample.label,
+                    "tier": sample.tier,
+                    "users_per_s": round(sample.users_per_s, 1),
+                    "recall_at_k": sample.recall_at_k,
+                }
+                for sample in samples
+            ],
+        }
+        with open(args.json, "w", encoding="utf-8") as stream:
+            json.dump(payload, stream, indent=2)
+            stream.write("\n")
+        print(f"json written       : {args.json}")
     if segment is not None:
         segment.close()
 
@@ -807,6 +957,11 @@ def _run_serve(args: argparse.Namespace) -> None:
         source = "synthetic"
     else:
         raise SystemExit("repro serve needs --model PATH or --synthetic")
+    index = None
+    if args.ann:
+        from .serve import IvfIndex
+
+        index = IvfIndex.build(model, nlist=args.nlist, seed=args.seed)
     config = ServiceConfig(
         host=args.host,
         port=args.port,
@@ -814,6 +969,8 @@ def _run_serve(args: argparse.Namespace) -> None:
         k=args.top,
         queue_depth=args.queue_depth,
         deadline=args.deadline_ms / 1000.0,
+        ann=args.ann,
+        nprobe=args.nprobe,
     )
 
     async def serve() -> None:
@@ -836,11 +993,16 @@ def _run_serve(args: argparse.Namespace) -> None:
             await server.stop()
 
     with ModelStore() as store:
-        handle = store.publish(model)
+        handle = store.publish(model, index=index)
+        tier_note = (
+            f", ann index nlist={args.nlist} nprobe={args.nprobe}"
+            if args.ann
+            else ""
+        )
         print(
             f"published          : version {handle.version} "
             f"({handle.n_rows} users x {handle.n_cols} items, "
-            f"k={handle.latent_factors}, {source})"
+            f"k={handle.latent_factors}, {source}{tier_note})"
         )
         if args.handle_out is not None:
             handle.save(args.handle_out)

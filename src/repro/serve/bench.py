@@ -17,9 +17,16 @@ Three measured configurations:
   same run's full-matmul users/s cancels machine differences between
   the baseline host and the CI runner;
 * **chunked** — the real :class:`repro.serve.Scorer` at a given
-  ``(batch_size, chunk_items)``.
+  ``(batch_size, chunk_items)``;
+* **ann** — the approximate :class:`repro.serve.ann.AnnScorer` at a
+  given ``nprobe``, paired with its recall@K against the exact scorer
+  (:func:`recall_at_k`) so a throughput number can never be quoted
+  without the accuracy it paid for.
 
-Every measurement scores the same user pool and reports users/s.
+Every measurement scores the same user pool and reports users/s.  Every
+:class:`ThroughputSample` carries the scorer ``tier`` that produced it
+(``"exact"``, ``"ann"`` or ``"baseline"`` for the non-Scorer loops), so
+BENCH comparisons can never silently mix tiers.
 """
 
 from __future__ import annotations
@@ -30,9 +37,11 @@ from typing import Dict, Optional
 
 import numpy as np
 
+from ..exceptions import InvalidMatrixError
 from ..sgd.model import FactorModel
 from ..sparse import SparseRatingMatrix
-from .scorer import Scorer
+from .ann import DEFAULT_NPROBE, AnnScorer, IvfIndex
+from .scorer import PAD_ITEM, Scorer
 
 
 def synthetic_model(
@@ -50,15 +59,54 @@ def synthetic_model(
 
 @dataclass(frozen=True)
 class ThroughputSample:
-    """One measured configuration."""
+    """One measured configuration.
+
+    ``tier`` labels which scorer produced the number: ``"exact"``
+    (:class:`Scorer`), ``"ann"`` (:class:`AnnScorer`) or ``"baseline"``
+    (the naive / full-matmul reference loops).  ``recall_at_k`` is only
+    meaningful on the ann tier (``None`` elsewhere): approximate
+    throughput is quoted *with* the accuracy it paid for.
+    """
 
     label: str
     users_scored: int
     seconds: float
+    tier: str = "exact"
+    recall_at_k: Optional[float] = None
 
     @property
     def users_per_s(self) -> float:
         return self.users_scored / max(self.seconds, 1e-12)
+
+
+def recall_at_k(approx_ids: np.ndarray, exact_ids: np.ndarray) -> float:
+    """Fraction of the exact top-K each user's approximate slate found.
+
+    Both arguments are ``(B, k)`` id arrays as returned by
+    ``Scorer.top_k`` / ``AnnScorer.top_k``.  :data:`PAD_ITEM` entries in
+    the *exact* slate (users with fewer than ``k`` rankable items) are
+    excluded from the denominator, and PAD entries in the approximate
+    slate can never count as hits — so a fully-padded user contributes
+    recall 1.0, not 0/0.  Shared by the test suite and the benchmark so
+    there is exactly one definition of the gated metric.
+    """
+    approx_ids = np.asarray(approx_ids)
+    exact_ids = np.asarray(exact_ids)
+    if approx_ids.shape != exact_ids.shape or approx_ids.ndim != 2:
+        raise InvalidMatrixError(
+            f"recall_at_k needs matching (B, k) id arrays, got "
+            f"{approx_ids.shape} vs {exact_ids.shape}"
+        )
+    real = exact_ids != PAD_ITEM
+    total = int(real.sum())
+    if total == 0:
+        return 1.0
+    hits = 0
+    for approx_row, exact_row, real_row in zip(approx_ids, exact_ids, real):
+        wanted = exact_row[real_row]
+        found = approx_row[approx_row != PAD_ITEM]
+        hits += np.isin(wanted, found).sum()
+    return float(hits) / total
 
 
 def measure_naive(
@@ -72,6 +120,7 @@ def measure_naive(
         label="naive_per_user",
         users_scored=len(users),
         seconds=time.perf_counter() - start,
+        tier="baseline",
     )
 
 
@@ -103,6 +152,7 @@ def measure_full_matmul(
         label=f"full_matmul_b{batch_size}",
         users_scored=len(users),
         seconds=time.perf_counter() - start,
+        tier="baseline",
     )
 
 
@@ -123,6 +173,44 @@ def measure_chunked(
         label=f"chunked_b{batch_size}_c{chunk_items}",
         users_scored=len(users),
         seconds=time.perf_counter() - start,
+        tier="exact",
+    )
+
+
+def measure_ann(
+    model: FactorModel,
+    index: IvfIndex,
+    users: np.ndarray,
+    k: int,
+    batch_size: int,
+    nprobe: int = DEFAULT_NPROBE,
+    exclude: Optional[SparseRatingMatrix] = None,
+    exact_ids: Optional[np.ndarray] = None,
+) -> ThroughputSample:
+    """The ANN tier at one ``nprobe``, with its recall@K when possible.
+
+    ``exact_ids`` is the exact scorer's ``(len(users), k)`` slate for
+    the *same* users in the *same* order (compute it once, reuse it
+    across the nprobe sweep); when given, the sample carries
+    :func:`recall_at_k` against it.  Recall is computed outside the
+    timed region — the timed loop is exactly the serving loop.
+    """
+    scorer = AnnScorer(model, index, exclude=exclude, nprobe=nprobe)
+    slates = []
+    start = time.perf_counter()
+    for base in range(0, len(users), batch_size):
+        ids, _ = scorer.top_k(users[base : base + batch_size], k)
+        slates.append(ids)
+    seconds = time.perf_counter() - start
+    recall = None
+    if exact_ids is not None:
+        recall = recall_at_k(np.concatenate(slates, axis=0), exact_ids)
+    return ThroughputSample(
+        label=f"ann_nlist{index.nlist}_nprobe{scorer.nprobe}_b{batch_size}",
+        users_scored=len(users),
+        seconds=seconds,
+        tier="ann",
+        recall_at_k=recall,
     )
 
 
@@ -133,13 +221,17 @@ def user_pool(n_users: int, pool: int, seed: int = 0) -> np.ndarray:
 
 
 def _reader_main(
-    index, handle, users, k, batch_size, chunk_items, done_queue
+    index, handle, users, k, batch_size, chunk_items, done_queue, ann=False,
+    nprobe=DEFAULT_NPROBE,
 ) -> None:
     """One reader process: attach the published model, score, report.
 
     Module-level so it pickles under every multiprocessing start method.
     Messages lead with the reader index so the collector can tell which
     readers have reported and fail fast on the ones that died silently.
+    With ``ann=True`` the reader serves from the published index (mapped
+    zero-copy from the same segment as the factors) via
+    :class:`AnnScorer` instead of the exact scorer.
     """
     from .. import faults
     from .store import attach_model
@@ -147,8 +239,14 @@ def _reader_main(
     model = segment = None
     try:
         faults.hit("serve.reader.start", worker=index)
-        model, segment = attach_model(handle)
-        scorer = Scorer(model, chunk_items=chunk_items)
+        if ann:
+            model, ivf, segment = attach_model(handle, with_index=True)
+            scorer = AnnScorer(
+                model, ivf, nprobe=nprobe, chunk_items=chunk_items
+            )
+        else:
+            model, segment = attach_model(handle)
+            scorer = Scorer(model, chunk_items=chunk_items)
         start = time.perf_counter()
         for base in range(0, len(users), batch_size):
             scorer.top_k(users[base : base + batch_size], k)
@@ -169,6 +267,8 @@ def measure_multi_reader(
     batch_size: int,
     chunk_items: int,
     readers: int,
+    ann_index: Optional[IvfIndex] = None,
+    nprobe: int = DEFAULT_NPROBE,
 ) -> ThroughputSample:
     """Aggregate users/s of ``readers`` processes over ONE published copy.
 
@@ -176,8 +276,10 @@ def measure_multi_reader(
     the user pool across reader processes that each
     :func:`~repro.serve.attach_model` by name, and asserts every reader
     mapped the *same* segment — the factors exist once in physical
-    memory no matter how many readers serve from them.  The store is
-    closed before returning; the caller can assert
+    memory no matter how many readers serve from them.  With
+    ``ann_index`` the index is published in the same segment and the
+    readers serve from the ANN tier at ``nprobe``.  The store is closed
+    before returning; the caller can assert
     :func:`repro.shm.live_segment_names` is empty.
     """
     import multiprocessing
@@ -195,13 +297,16 @@ def measure_multi_reader(
     )
     ctx = multiprocessing.get_context(method)
     with ModelStore() as store:
-        handle = store.publish(model)
+        handle = store.publish(model, index=ann_index)
         done_queue = ctx.Queue()
         shares = np.array_split(users, readers)
         procs = [
             ctx.Process(
                 target=_reader_main,
-                args=(i, handle, share, k, batch_size, chunk_items, done_queue),
+                args=(
+                    i, handle, share, k, batch_size, chunk_items, done_queue,
+                    ann_index is not None, nprobe,
+                ),
                 daemon=True,
             )
             for i, share in enumerate(shares)
@@ -260,8 +365,11 @@ def measure_multi_reader(
             f"readers mapped segments {segments}, expected exactly "
             f"{{{handle.segment!r}}} — the model must exist once"
         )
+    tier = "exact" if ann_index is None else "ann"
+    suffix = "" if ann_index is None else f"_nprobe{nprobe}"
     return ThroughputSample(
-        label=f"readers{readers}_b{batch_size}_c{chunk_items}",
+        label=f"readers{readers}_b{batch_size}_c{chunk_items}{suffix}",
         users_scored=int(sum(count for _, count, _, _ in results.values())),
         seconds=seconds,
+        tier=tier,
     )

@@ -152,6 +152,10 @@ class Scorer:
     at the tail with item id :data:`PAD_ITEM` and score ``-inf``.
     """
 
+    #: Tier label used by benchmarks and ``/stats`` (the approximate
+    #: scorer reports ``"ann"``); see :class:`repro.serve.ann.AnnScorer`.
+    tier = "exact"
+
     def __init__(
         self,
         model: FactorModel,

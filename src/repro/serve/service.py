@@ -33,6 +33,7 @@ import numpy as np
 from ..exceptions import ExecutionError
 from ..sgd.model import FactorModel
 from ..sparse import SparseRatingMatrix
+from .ann import DEFAULT_NPROBE, AnnScorer, IvfIndex
 from .scorer import DEFAULT_CHUNK_ITEMS, Scorer
 from .store import ModelLease, ModelStore
 
@@ -116,6 +117,22 @@ class RecommendationService:
         pass the handle's version here so their caches and stats speak
         the store's version numbers; ignored for a ``ModelStore``
         source, whose lease provides the version.
+    ann:
+        Serve from the approximate :class:`~repro.serve.ann.AnnScorer`
+        tier instead of the exact scorer.  Requires an index: either
+        every published version of a ``ModelStore`` source carries one
+        (``store.publish(model, index=...)``), or ``index`` is passed
+        explicitly for a plain-model source.
+    nprobe:
+        Inverted lists probed per request on the ANN tier (the
+        recall/throughput dial; ignored without ``ann``).
+    index:
+        The :class:`~repro.serve.ann.IvfIndex` to serve from when
+        ``source`` is a plain :class:`FactorModel` (reader processes get
+        it from ``attach_model(handle, with_index=True)``).  Ignored for
+        a ``ModelStore`` source, whose lease provides the index — model
+        and index always come from one lease, so a hot swap can never
+        pair factors and index from different versions.
     """
 
     def __init__(
@@ -127,6 +144,9 @@ class RecommendationService:
         exclude: Optional[SparseRatingMatrix] = None,
         chunk_items: int = DEFAULT_CHUNK_ITEMS,
         model_version: int = 0,
+        ann: bool = False,
+        nprobe: int = DEFAULT_NPROBE,
+        index: Optional[IvfIndex] = None,
     ) -> None:
         if k <= 0:
             raise ExecutionError(f"k must be positive, got {k}")
@@ -139,6 +159,8 @@ class RecommendationService:
         self.cache_size = int(cache_size)
         self._exclude = exclude
         self._chunk_items = chunk_items
+        self._ann = bool(ann)
+        self._nprobe = int(nprobe)
         self._cache: "OrderedDict[Tuple[int, int], Recommendation]" = OrderedDict()
         self._pending: "OrderedDict[int, List[_PendingRequest]]" = OrderedDict()
         self.stats = ServiceStats()
@@ -150,13 +172,45 @@ class RecommendationService:
             self._store = source
             self._lease = source.acquire()
             self._version = self._lease.version
-            self._scorer = self._make_scorer(self._lease.model)
+            try:
+                self._scorer = self._make_scorer(
+                    self._lease.model, self._lease.index
+                )
+            except Exception:
+                # Never leak the lease (it pins the segment) when the
+                # scorer cannot be built, e.g. ann=True with no index.
+                self._lease.release()
+                self._lease = None
+                raise
         else:
             self._version = int(model_version)
-            self._scorer = self._make_scorer(source)
+            self._scorer = self._make_scorer(source, index)
 
-    def _make_scorer(self, model: FactorModel) -> Scorer:
-        return Scorer(model, exclude=self._exclude, chunk_items=self._chunk_items)
+    def _make_scorer(
+        self, model: FactorModel, index: Optional[IvfIndex]
+    ) -> Union[Scorer, AnnScorer]:
+        if not self._ann:
+            return Scorer(
+                model, exclude=self._exclude, chunk_items=self._chunk_items
+            )
+        if index is None:
+            raise ExecutionError(
+                "ann=True requires an index: publish the model with one "
+                "(store.publish(model, index=...)) or pass index= for a "
+                "plain-model source"
+            )
+        return AnnScorer(
+            model,
+            index,
+            exclude=self._exclude,
+            nprobe=self._nprobe,
+            chunk_items=self._chunk_items,
+        )
+
+    @property
+    def tier(self) -> str:
+        """``"ann"`` or ``"exact"`` — which scorer tier serves requests."""
+        return getattr(self._scorer, "tier", "exact")
 
     # ------------------------------------------------------------------ #
     # Hot reload
@@ -193,9 +247,17 @@ class RecommendationService:
         except ExecutionError:
             self.stats.reload_failures += 1
             return
+        try:
+            # On the ANN tier this also rejects a version published
+            # without an index, keeping the old (consistent) pair live.
+            scorer = self._make_scorer(new_lease.model, new_lease.index)
+        except ExecutionError:
+            new_lease.release()
+            self.stats.reload_failures += 1
+            return
         self._lease = new_lease
         self._version = new_lease.version
-        self._scorer = self._make_scorer(new_lease.model)
+        self._scorer = scorer
         if old_lease is not None:
             old_lease.release()
         self.stats.reloads += 1

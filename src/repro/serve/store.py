@@ -38,10 +38,11 @@ from typing import Dict, Optional, Tuple
 import numpy as np
 
 from .. import faults
-from ..exceptions import ExecutionError
+from ..exceptions import ExecutionError, InvalidMatrixError
 from ..faults import FaultInjected
 from ..sgd.model import FactorModel
 from ..shm import SharedSegment
+from .ann.index import AnnIndexMeta, IvfIndex
 
 #: Value of the first commit-stamp word.  Written *after* the factor
 #: payload, so its presence proves the publisher survived the copy.
@@ -58,9 +59,14 @@ class ModelHandle:
     Carries everything a reader process needs to map the model
     zero-copy: the segment name, the shapes, and the version number the
     service uses as its cache key.  ``Q`` occupies the segment
-    item-major starting at byte ``m * k * 8``; the segment ends with a
-    16-byte commit stamp (see :data:`COMMIT_MAGIC`) written after the
-    factors, which is what lets readers reject a torn publish.
+    item-major starting at byte ``m * k * 8``; when an ANN index was
+    published with the model, its packed arrays follow ``Q`` (layout in
+    :mod:`repro.serve.ann.index`, described by ``index``); the segment
+    ends with a 16-byte commit stamp (see :data:`COMMIT_MAGIC`) written
+    after everything else, which is what lets readers reject a torn
+    publish.  Model and index share one segment, one version, one stamp
+    — a reader can never observe version N factors next to version M
+    index arrays.
     """
 
     version: int
@@ -68,11 +74,17 @@ class ModelHandle:
     n_rows: int
     n_cols: int
     latent_factors: int
+    index: Optional[AnnIndexMeta] = None
+
+    @property
+    def model_nbytes(self) -> int:
+        """Bytes of ``P`` plus ``Q`` (the index, if any, starts here)."""
+        return (self.n_rows + self.n_cols) * self.latent_factors * 8
 
     @property
     def nbytes(self) -> int:
-        """Payload size: ``P`` plus ``Q`` as float64 (stamp excluded)."""
-        return (self.n_rows + self.n_cols) * self.latent_factors * 8
+        """Payload size: factors plus packed index (stamp excluded)."""
+        return self.model_nbytes + (self.index.nbytes if self.index else 0)
 
     @property
     def total_nbytes(self) -> int:
@@ -88,8 +100,17 @@ class ModelHandle:
         the model data — the file stays valid exactly as long as its
         version remains published.
         """
+        raw = {
+            "version": self.version,
+            "segment": self.segment,
+            "n_rows": self.n_rows,
+            "n_cols": self.n_cols,
+            "latent_factors": self.latent_factors,
+        }
+        if self.index is not None:
+            raw["index"] = self.index.as_dict()
         with open(path, "w", encoding="utf-8") as stream:
-            json.dump(vars(self), stream, indent=2)
+            json.dump(raw, stream, indent=2)
             stream.write("\n")
 
     @classmethod
@@ -103,19 +124,23 @@ class ModelHandle:
         except json.JSONDecodeError as exc:
             raise ExecutionError(f"{path!r} is not a model handle: {exc}") from None
         expected = {"version", "segment", "n_rows", "n_cols", "latent_factors"}
-        if not isinstance(raw, dict) or set(raw) != expected:
+        if not isinstance(raw, dict) or set(raw) - {"index"} != expected:
             raise ExecutionError(
                 f"{path!r} is not a model handle (fields {sorted(expected)} required)"
             )
         try:
+            # "index" is optional: handles written before the ANN tier
+            # (or for index-less publishes) load as model-only handles.
+            index = raw.get("index")
             return cls(
                 version=int(raw["version"]),
                 segment=str(raw["segment"]),
                 n_rows=int(raw["n_rows"]),
                 n_cols=int(raw["n_cols"]),
                 latent_factors=int(raw["latent_factors"]),
+                index=AnnIndexMeta.from_dict(index) if index is not None else None,
             )
-        except (TypeError, ValueError) as exc:
+        except (KeyError, TypeError, ValueError, InvalidMatrixError) as exc:
             raise ExecutionError(f"{path!r} holds a malformed handle: {exc}") from None
 
 
@@ -156,13 +181,22 @@ def _model_views(
     return FactorModel.over_buffers(p, q)
 
 
-def attach_model(handle: ModelHandle) -> Tuple[FactorModel, SharedSegment]:
+def attach_model(handle: ModelHandle, with_index: bool = False):
     """Map a published version in a reader process (no copies).
 
-    Returns ``(model, segment)``; the caller must ``segment.close()``
-    when done (after dropping the model, which pins the mapping).  The
-    views are read-only — readers share one physical copy of the
-    factors, and a stray in-place write would corrupt every reader.
+    Returns ``(model, segment)``, or ``(model, index, segment)`` with
+    ``with_index=True`` — where ``index`` is a zero-copy
+    :class:`~repro.serve.ann.IvfIndex` over the same segment, or
+    ``None`` if the version was published without one.  The caller must
+    ``segment.close()`` when done (after dropping the model and index,
+    which pin the mapping).  The views are read-only — readers share one
+    physical copy of the factors, and a stray in-place write would
+    corrupt every reader.
+
+    Model and index come from one handle over one stamped segment, so
+    the pair is atomic by construction: there is no interleaving of
+    attach calls that can pair version N factors with version M index
+    arrays.
 
     The segment's trailing commit stamp is verified before any view is
     taken: a torn publish (publisher died mid-copy) raises
@@ -172,7 +206,15 @@ def attach_model(handle: ModelHandle) -> Tuple[FactorModel, SharedSegment]:
     segment = SharedSegment.attach(handle.segment)
     try:
         _check_committed(segment, handle)
-        return _model_views(segment, handle, readonly=True), segment
+        model = _model_views(segment, handle, readonly=True)
+        if not with_index:
+            return model, segment
+        index = None
+        if handle.index is not None:
+            index = IvfIndex.attach(
+                segment, handle.model_nbytes, handle.index, readonly=True
+            )
+        return model, index, segment
     except ExecutionError:
         if not segment.closed:
             segment.close()
@@ -184,16 +226,23 @@ class ModelLease:
 
     Holds a zero-copy read-only :class:`FactorModel` over the version's
     segment and pins the segment against unlink until :meth:`release` —
-    which the store calls the hot-swap "refcount".  Usable as a context
-    manager.
+    which the store calls the hot-swap "refcount".  When the version was
+    published with an ANN index, ``index`` is the zero-copy
+    :class:`~repro.serve.ann.IvfIndex` over the same segment (else
+    ``None``).  Usable as a context manager.
     """
 
     def __init__(
-        self, store: "ModelStore", handle: ModelHandle, model: FactorModel
+        self,
+        store: "ModelStore",
+        handle: ModelHandle,
+        model: FactorModel,
+        index: Optional[IvfIndex] = None,
     ) -> None:
         self._store = store
         self.handle = handle
         self.model = model
+        self.index = index
         self._released = False
 
     @property
@@ -207,6 +256,7 @@ class ModelLease:
             return
         self._released = True
         self.model = None  # drop the views pinning the buffer
+        self.index = None
         self._store._release(self.handle.version)
 
     def __enter__(self) -> "ModelLease":
@@ -254,8 +304,15 @@ class ModelStore:
     # ------------------------------------------------------------------ #
     # Publication
     # ------------------------------------------------------------------ #
-    def publish(self, model: FactorModel) -> ModelHandle:
-        """Copy ``model`` into a fresh segment and make it current.
+    def publish(
+        self, model: FactorModel, index: Optional[IvfIndex] = None
+    ) -> ModelHandle:
+        """Copy ``model`` (and optionally its ANN ``index``) into a
+        fresh segment and make it current.
+
+        The index rides the same segment, version and commit stamp as
+        the factors, so readers attach the pair atomically — hot-swap
+        can never mix one version's factors with another's index.
 
         The previous current version (if any) is retired: it stays
         mapped for exactly as long as leases pin it, then its segment is
@@ -265,13 +322,24 @@ class ModelStore:
             raise ExecutionError("the model store is closed")
         m, k = model.p.shape
         n = model.q.shape[1]
-        payload = (m + n) * k * 8
+        meta = None
+        if index is not None:
+            meta = index.meta
+            if meta.n_items != n or meta.dim != k:
+                raise InvalidMatrixError(
+                    f"index shape ({meta.n_items} items, dim {meta.dim}) "
+                    f"does not match the model ({n} items, k={k})"
+                )
+        model_nbytes = (m + n) * k * 8
+        payload = model_nbytes + (meta.nbytes if meta else 0)
         segment = SharedSegment.create(payload + STAMP_NBYTES, purpose="model")
         try:
             segment.ndarray((m, k), np.float64)[...] = model.p
             # Item-major Q, preserving FactorModel's layout contract so
             # readers keep the block-major gather-friendly layout.
             segment.ndarray((n, k), np.float64, offset=m * k * 8)[...] = model.q.T
+            if index is not None:
+                index.pack_into(segment, model_nbytes)
             # Commit stamp LAST: a publisher death anywhere above leaves
             # a stamp-less segment that attach_model refuses to map.
             faults.hit("store.publish.pre_commit", segment=segment.name)
@@ -300,6 +368,7 @@ class ModelStore:
                 n_rows=m,
                 n_cols=n,
                 latent_factors=k,
+                index=meta,
             )
             self._versions[version] = _Published(handle=handle, segment=segment)
             previous, self._current = self._current, version
@@ -371,7 +440,12 @@ class ModelStore:
             record.refcount += 1
             handle, segment = record.handle, record.segment
         model = _model_views(segment, handle, readonly=True)
-        return ModelLease(self, handle, model)
+        index = None
+        if handle.index is not None:
+            index = IvfIndex.attach(
+                segment, handle.model_nbytes, handle.index, readonly=True
+            )
+        return ModelLease(self, handle, model, index)
 
     # ------------------------------------------------------------------ #
     # Lifecycle

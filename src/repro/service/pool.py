@@ -66,12 +66,20 @@ FAULT_READER_REQUEST = "service.reader.request"
 
 @dataclass(frozen=True)
 class ReaderOptions:
-    """Picklable per-reader serving configuration."""
+    """Picklable per-reader serving configuration.
+
+    ``ann=True`` makes every reader serve from the approximate
+    :class:`~repro.serve.ann.AnnScorer` tier at ``nprobe`` probed lists;
+    the published handle must then carry an index (model and index ride
+    one segment, so a reader can never pair them across versions).
+    """
 
     k: int = 10
     batch_size: int = 64
     cache_size: int = 4096
     chunk_items: int = 8192
+    ann: bool = False
+    nprobe: int = 8
 
 
 @dataclass
@@ -112,7 +120,10 @@ def _reader_main(index: int, handle: ModelHandle, options: ReaderOptions, conn) 
             service = None
             segment.close()
             segment = None
-        model, segment = attach_model(new_handle)
+        # Model and index are mapped from ONE handle over ONE stamped
+        # segment — the version the service reports is atomically the
+        # version of both.
+        model, ivf, segment = attach_model(new_handle, with_index=True)
         service = RecommendationService(
             model,
             k=options.k,
@@ -120,6 +131,9 @@ def _reader_main(index: int, handle: ModelHandle, options: ReaderOptions, conn) 
             cache_size=options.cache_size,
             chunk_items=options.chunk_items,
             model_version=new_handle.version,
+            ann=options.ann,
+            nprobe=options.nprobe,
+            index=ivf,
         )
 
     def _snapshot() -> Dict[str, object]:
@@ -133,6 +147,8 @@ def _reader_main(index: int, handle: ModelHandle, options: ReaderOptions, conn) 
         combined["expired_dropped"] = totals["expired_dropped"]
         combined["swaps"] = totals["swaps"]
         combined["queue_depth"] = service.queue_depth
+        # Post-merge, like queue_depth: _merge_stats only sums numbers.
+        combined["tier"] = service.tier
         return combined
 
     try:

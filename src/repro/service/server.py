@@ -52,7 +52,14 @@ from .routing import HashRing
 
 @dataclass(frozen=True)
 class ServiceConfig:
-    """Tunables of the HTTP front door."""
+    """Tunables of the HTTP front door.
+
+    ``ann=True`` serves every request from the approximate
+    :class:`~repro.serve.ann.AnnScorer` tier at ``nprobe`` probed lists
+    — the store's published versions must then carry an ANN index
+    (``store.publish(model, index=...)``), which the server checks at
+    startup rather than letting every reader crash on attach.
+    """
 
     host: str = "127.0.0.1"
     port: int = 0
@@ -67,6 +74,8 @@ class ServiceConfig:
     max_reader_restarts: int = 3
     supervise_interval: float = 0.05
     start_method: Optional[str] = None
+    ann: bool = False
+    nprobe: int = 8
 
     def __post_init__(self) -> None:
         if self.workers <= 0:
@@ -77,6 +86,8 @@ class ServiceConfig:
             raise ExecutionError(f"deadline must be positive, got {self.deadline}")
         if self.k <= 0:
             raise ExecutionError(f"k must be positive, got {self.k}")
+        if self.nprobe <= 0:
+            raise ExecutionError(f"nprobe must be positive, got {self.nprobe}")
 
 
 @dataclass
@@ -121,6 +132,11 @@ class RecommendServer:
         self.config = config
         self.stats = ServerStats()
         self._handle = store.current_handle()
+        if config.ann and self._handle.index is None:
+            raise ExecutionError(
+                "ann=True but the published model carries no index; "
+                "publish with store.publish(model, index=IvfIndex.build(model))"
+            )
         self._pool: Optional[ReaderPool] = None
         self._ring: Optional[HashRing] = None
         self._server: Optional[asyncio.base_events.Server] = None
@@ -164,6 +180,8 @@ class RecommendServer:
             batch_size=self.config.batch_size,
             cache_size=self.config.cache_size,
             chunk_items=self.config.chunk_items,
+            ann=self.config.ann,
+            nprobe=self.config.nprobe,
         )
         self._pool = ReaderPool(
             self._handle,
@@ -345,6 +363,7 @@ class RecommendServer:
     def _stats_payload(self) -> dict:
         return {
             "server": self.stats.as_dict(),
+            "tier": "ann" if self.config.ann else "exact",
             "in_flight": len(self._in_flight),
             "queue_limit": self.config.queue_depth * self.config.workers,
             "per_reader_in_flight": dict(self._per_reader_load),

@@ -1,0 +1,469 @@
+"""The approximate retrieval tier: IVF index, PQ codes, AnnScorer.
+
+Pins the properties the tier is built on:
+
+* **deterministic builds** — same seed and factors give a
+  bitwise-identical index (k-means, inverted lists, PQ codebooks and
+  codes), across repeated builds and across a shared-memory
+  serialisation round-trip;
+* **the exact-scorer contract survives approximation** — scores
+  descending, item ids ascending among ties, and the returned ids are
+  invariant to batch size and ``chunk_items``; probing every list
+  returns exactly the exact scorer's ids (scores may differ by an ulp
+  from the different GEMM tiling, so ids are pinned bitwise and scores
+  to ``allclose``);
+* **recall** — at the default ``nlist``/``nprobe`` the index clears the
+  CI-gated recall@10 floor on netflix-shaped synthetic factors;
+* **publication** — the index rides the model's shared segment through
+  :class:`ModelStore`, attaches zero-copy (in-process and from a forked
+  reader), round-trips through the handle JSON, and old handles without
+  an index still load;
+* **degradation** — an ANN service whose store hot-swaps to an
+  index-less version keeps serving the old model+index pair and counts
+  a reload failure rather than mixing tiers.
+"""
+
+import multiprocessing
+import os
+import tempfile
+
+import numpy as np
+import pytest
+
+from repro.exceptions import ExecutionError, InvalidMatrixError
+from repro.serve import (
+    PAD_ITEM,
+    AnnScorer,
+    IvfIndex,
+    ModelStore,
+    RecommendationService,
+    Scorer,
+    attach_model,
+)
+from repro.serve.ann import DEFAULT_NLIST, DEFAULT_NPROBE, AnnIndexMeta, kmeans
+from repro.serve.bench import recall_at_k, synthetic_model
+from repro.sgd import FactorModel
+from repro.shm import SharedSegment, live_segment_names
+from repro.sparse import SparseRatingMatrix
+
+
+@pytest.fixture(scope="module")
+def model() -> FactorModel:
+    return FactorModel.initialize(60, 47, 8, seed=5)
+
+
+@pytest.fixture(scope="module")
+def index(model) -> IvfIndex:
+    return IvfIndex.build(model, nlist=6, seed=0)
+
+
+def _assert_no_segments():
+    assert live_segment_names() == ()
+
+
+class TestKmeans:
+    def test_same_seed_is_bitwise_identical(self):
+        points = np.random.default_rng(3).normal(size=(200, 6))
+        c1, a1 = kmeans(points, 8, seed=4)
+        c2, a2 = kmeans(points, 8, seed=4)
+        np.testing.assert_array_equal(c1, c2)
+        np.testing.assert_array_equal(a1, a2)
+
+    def test_assignments_are_valid_and_every_cluster_nonempty(self):
+        points = np.random.default_rng(7).normal(size=(100, 3))
+        centroids, assignments = kmeans(points, 10, seed=0)
+        assert centroids.shape == (10, 3)
+        assert assignments.shape == (100,)
+        assert set(np.unique(assignments)) == set(range(10))
+
+    def test_assignment_is_nearest_centroid_lowest_id_ties(self):
+        points = np.random.default_rng(11).normal(size=(80, 4))
+        centroids, assignments = kmeans(points, 5, seed=1)
+        dists = ((points[:, None, :] - centroids[None, :, :]) ** 2).sum(axis=2)
+        np.testing.assert_array_equal(assignments, np.argmin(dists, axis=1))
+
+    def test_rejects_more_clusters_than_points(self):
+        with pytest.raises(InvalidMatrixError):
+            kmeans(np.ones((3, 2)), 4, seed=0)
+
+
+class TestIndexBuild:
+    def test_build_is_bitwise_deterministic(self, model, index):
+        rebuilt = IvfIndex.build(model, nlist=6, seed=0)
+        assert index.same_arrays(rebuilt)
+
+    def test_different_seed_differs(self, model, index):
+        other = IvfIndex.build(model, nlist=6, seed=1)
+        assert not index.same_arrays(other)
+
+    def test_lists_partition_the_catalogue(self, model, index):
+        n = model.shape[1]
+        np.testing.assert_array_equal(np.sort(index.ids), np.arange(n))
+        assert index.offsets[0] == 0 and index.offsets[-1] == n
+        assert (np.diff(index.offsets) >= 0).all()
+        for lst in range(index.nlist):
+            ids = index.list_ids(lst)
+            assert (np.diff(ids) > 0).all(), "ids ascending within a list"
+
+    def test_meta_roundtrips_through_dict(self, index):
+        meta = index.meta
+        assert AnnIndexMeta.from_dict(meta.as_dict()) == meta
+
+    def test_build_accepts_raw_item_matrix(self, model, index):
+        from_q = IvfIndex.build(model.q, nlist=6, seed=0)
+        assert index.same_arrays(from_q)
+
+    def test_build_validates_inputs(self, model):
+        with pytest.raises(InvalidMatrixError):
+            IvfIndex.build(model, nlist=0)
+        with pytest.raises(InvalidMatrixError):
+            IvfIndex.build(model, nlist=model.shape[1] + 1)
+
+
+class TestAnnScorerContract:
+    def test_full_probe_ids_match_exact(self, model, index):
+        """nprobe == nlist scans everything: ids exactly the exact
+        scorer's; scores allclose (different GEMM tiling, ulp noise)."""
+        users = np.arange(model.shape[0])
+        exact_ids, exact_scores = Scorer(model).top_k(users, 10)
+        ids, scores = AnnScorer(model, index, nprobe=index.nlist).top_k(
+            users, 10
+        )
+        np.testing.assert_array_equal(ids, exact_ids)
+        np.testing.assert_allclose(scores, exact_scores, rtol=1e-12, atol=0)
+
+    def test_scores_descend_ids_ascend_on_ties(self, model, index):
+        ids, scores = AnnScorer(model, index, nprobe=3).top_k(
+            np.arange(model.shape[0]), 10
+        )
+        assert (np.diff(scores, axis=1) <= 0).all()
+        for row_ids, row_scores in zip(ids, scores):
+            for j in range(len(row_ids) - 1):
+                if row_scores[j] == row_scores[j + 1] != -np.inf:
+                    assert row_ids[j] < row_ids[j + 1]
+
+    @pytest.mark.parametrize("chunk", (1, 7, 64, 10_000))
+    def test_ids_invariant_to_chunk_items(self, model, index, chunk):
+        users = np.arange(model.shape[0])
+        baseline, _ = AnnScorer(model, index, nprobe=3).top_k(users, 10)
+        ids, _ = AnnScorer(model, index, nprobe=3, chunk_items=chunk).top_k(
+            users, 10
+        )
+        np.testing.assert_array_equal(ids, baseline)
+
+    def test_ids_invariant_to_batch_splits(self, model, index):
+        users = np.arange(model.shape[0])
+        scorer = AnnScorer(model, index, nprobe=3)
+        whole, _ = scorer.top_k(users, 10)
+        for split in (1, 7, 13):
+            parts = [
+                scorer.top_k(users[i : i + split], 10)[0]
+                for i in range(0, len(users), split)
+            ]
+            np.testing.assert_array_equal(np.vstack(parts), whole)
+
+    def test_single_user_matches_batch_row(self, model, index):
+        scorer = AnnScorer(model, index, nprobe=3)
+        batch_ids, _ = scorer.top_k(np.asarray([4]), 7)
+        np.testing.assert_array_equal(scorer.top_k_single(4, 7), batch_ids[0])
+
+    def test_exclusion_applied_after_candidate_generation(self, model, index):
+        m, n = model.shape
+        rng = np.random.default_rng(0)
+        train = SparseRatingMatrix(
+            rng.integers(0, m, size=300),
+            rng.integers(0, n, size=300),
+            np.ones(300),
+            shape=(m, n),
+            check=False,
+        )
+        users = np.arange(m)
+        ids, _ = AnnScorer(model, index, exclude=train, nprobe=3).top_k(
+            users, 10
+        )
+        indptr, seen = train.csr_rows()
+        for row, user in enumerate(users):
+            rated = set(seen[indptr[user] : indptr[user + 1]].tolist())
+            assert rated.isdisjoint(set(ids[row].tolist()) - {PAD_ITEM})
+        # Full probe + exclusion == the exact scorer with exclusion.
+        full, _ = AnnScorer(
+            model, index, exclude=train, nprobe=index.nlist
+        ).top_k(users, 10)
+        exact, _ = Scorer(model, exclude=train).top_k(users, 10)
+        np.testing.assert_array_equal(full, exact)
+
+    def test_user_with_everything_seen_gets_padding(self):
+        model = FactorModel.initialize(3, 6, 2, seed=0)
+        index = IvfIndex.build(model, nlist=2, seed=0)
+        train = SparseRatingMatrix.from_triples(
+            [(1, v, 1.0) for v in range(6)], shape=(3, 6)
+        )
+        ids, scores = AnnScorer(
+            model, index, exclude=train, nprobe=2
+        ).top_k(np.asarray([1]), 4)
+        np.testing.assert_array_equal(ids[0], np.full(4, PAD_ITEM))
+        assert np.isneginf(scores[0]).all()
+
+    def test_validation(self, model, index):
+        with pytest.raises(InvalidMatrixError):
+            AnnScorer(model, index, nprobe=0)
+        with pytest.raises(InvalidMatrixError):
+            AnnScorer(model, index, chunk_items=0)
+        with pytest.raises(InvalidMatrixError):
+            AnnScorer(model, index, pq_refine=0)
+        other = FactorModel.initialize(10, 12, 8, seed=0)
+        with pytest.raises(InvalidMatrixError):
+            AnnScorer(other, index)  # catalogue mismatch
+        scorer = AnnScorer(model, index)
+        with pytest.raises(InvalidMatrixError):
+            scorer.top_k(np.asarray([model.shape[0]]), 5)
+        with pytest.raises(InvalidMatrixError):
+            scorer.top_k(np.asarray([0]), 0)
+
+    def test_recall_floor_at_defaults_netflix_shaped(self):
+        """The CI-gated property: recall@10 >= 0.95 at the default
+        nlist/nprobe on factors shaped like the paper's catalogue."""
+        model = synthetic_model(2_000, 17_770, 128, seed=0)
+        index = IvfIndex.build(model, nlist=DEFAULT_NLIST, seed=0)
+        users = np.arange(256)
+        exact_ids, _ = Scorer(model).top_k(users, 10)
+        approx_ids, _ = AnnScorer(
+            model, index, nprobe=DEFAULT_NPROBE
+        ).top_k(users, 10)
+        assert recall_at_k(approx_ids, exact_ids) >= 0.95
+
+
+class TestProductQuantization:
+    @pytest.fixture(scope="class")
+    def pq_index(self, model) -> IvfIndex:
+        return IvfIndex.build(model, nlist=6, seed=0, pq_m=4)
+
+    def test_pq_build_is_bitwise_deterministic(self, model, pq_index):
+        rebuilt = IvfIndex.build(model, nlist=6, seed=0, pq_m=4)
+        assert pq_index.same_arrays(rebuilt)
+        assert pq_index.codebooks.shape == (4, 256, 2)
+        assert pq_index.codes.shape == (model.shape[1], 4)
+
+    def test_pq_dim_must_divide(self, model):
+        with pytest.raises(InvalidMatrixError):
+            IvfIndex.build(model, nlist=6, seed=0, pq_m=3)  # 8 % 3 != 0
+
+    def test_full_refine_equals_exact_rerank_path(self, model, pq_index):
+        """A shortlist that covers every probed item makes the PQ path's
+        final exact re-rank return the exact-path ids."""
+        users = np.arange(model.shape[0])
+        via_pq, _ = AnnScorer(
+            model, pq_index, nprobe=3, use_pq=True, pq_refine=1_000
+        ).top_k(users, 10)
+        via_exact, _ = AnnScorer(
+            model, pq_index, nprobe=3, use_pq=False
+        ).top_k(users, 10)
+        np.testing.assert_array_equal(via_pq, via_exact)
+
+    def test_pq_recall_is_reasonable(self, model, pq_index):
+        users = np.arange(model.shape[0])
+        exact_ids, _ = Scorer(model).top_k(users, 10)
+        approx_ids, _ = AnnScorer(model, pq_index, nprobe=6).top_k(users, 10)
+        assert recall_at_k(approx_ids, exact_ids) >= 0.9
+
+
+class TestSerialization:
+    def test_pack_attach_roundtrip_bitwise(self, model, index):
+        segment = SharedSegment.create(index.meta.nbytes, purpose="annidx")
+        try:
+            index.pack_into(segment, 0)
+            attached = IvfIndex.attach(segment, 0, index.meta)
+            assert index.same_arrays(attached)
+            assert not attached.centroids.flags.writeable
+            attached = None
+        finally:
+            segment.close()
+            segment.unlink()
+        _assert_no_segments()
+
+    def test_pq_pack_attach_roundtrip_bitwise(self, model):
+        pq = IvfIndex.build(model, nlist=6, seed=0, pq_m=4)
+        segment = SharedSegment.create(pq.meta.nbytes, purpose="annidx")
+        try:
+            pq.pack_into(segment, 0)
+            attached = IvfIndex.attach(segment, 0, pq.meta)
+            assert pq.same_arrays(attached)
+            attached = None
+        finally:
+            segment.close()
+            segment.unlink()
+        _assert_no_segments()
+
+
+class TestStorePublication:
+    def test_publish_with_index_attach_zero_copy(self, model, index):
+        with ModelStore() as store:
+            handle = store.publish(model, index=index)
+            assert handle.index == index.meta
+            assert handle.nbytes == handle.model_nbytes + index.meta.nbytes
+            attached_model, attached_index, segment = attach_model(
+                handle, with_index=True
+            )
+            np.testing.assert_array_equal(attached_model.q, model.q)
+            assert index.same_arrays(attached_index)
+            attached_model = attached_index = None
+            segment.close()
+        _assert_no_segments()
+
+    def test_two_tuple_attach_stays_backward_compatible(self, model, index):
+        with ModelStore() as store:
+            handle = store.publish(model, index=index)
+            attached, segment = attach_model(handle)
+            np.testing.assert_array_equal(attached.p, model.p)
+            attached = None
+            segment.close()
+        _assert_no_segments()
+
+    def test_publish_rejects_mismatched_index(self, model):
+        other = IvfIndex.build(
+            FactorModel.initialize(10, 12, 8, seed=0), nlist=3, seed=0
+        )
+        with ModelStore() as store:
+            with pytest.raises(InvalidMatrixError):
+                store.publish(model, index=other)
+        _assert_no_segments()
+
+    def test_lease_carries_the_index(self, model, index):
+        with ModelStore() as store:
+            store.publish(model, index=index)
+            lease = store.acquire()
+            try:
+                assert lease.index is not None
+                assert index.same_arrays(lease.index)
+            finally:
+                lease.release()
+            assert lease.index is None
+        _assert_no_segments()
+
+    def test_handle_json_roundtrip_with_index(self, model, index):
+        with ModelStore() as store:
+            handle = store.publish(model, index=index)
+            with tempfile.TemporaryDirectory() as tmp:
+                path = os.path.join(tmp, "handle.json")
+                handle.save(path)
+                loaded = type(handle).load(path)
+            assert loaded == handle
+            assert loaded.index == index.meta
+        _assert_no_segments()
+
+    def test_handle_json_without_index_still_loads(self, model):
+        """Handles written before the ANN tier carry no "index" key."""
+        with ModelStore() as store:
+            handle = store.publish(model)
+            with tempfile.TemporaryDirectory() as tmp:
+                path = os.path.join(tmp, "handle.json")
+                handle.save(path)
+                loaded = type(handle).load(path)
+            assert loaded == handle
+            assert loaded.index is None
+        _assert_no_segments()
+
+    def test_forked_reader_returns_identical_ids(self, model, index):
+        with ModelStore() as store:
+            handle = store.publish(model, index=index)
+            ctx = multiprocessing.get_context(
+                "fork"
+                if "fork" in multiprocessing.get_all_start_methods()
+                else None
+            )
+            queue = ctx.Queue()
+            proc = ctx.Process(
+                target=_ann_reader, args=(handle, queue), daemon=True
+            )
+            proc.start()
+            segment_name, remote_ids = queue.get(timeout=120)
+            proc.join(timeout=60)
+            assert proc.exitcode == 0
+            assert segment_name == handle.segment
+            local_ids, _ = AnnScorer(model, index, nprobe=3).top_k(
+                np.arange(model.shape[0]), 10
+            )
+            np.testing.assert_array_equal(np.asarray(remote_ids), local_ids)
+        _assert_no_segments()
+
+
+def _ann_reader(handle, queue):
+    attached_model, attached_index, segment = attach_model(
+        handle, with_index=True
+    )
+    try:
+        ids, _ = AnnScorer(attached_model, attached_index, nprobe=3).top_k(
+            np.arange(attached_model.shape[0]), 10
+        )
+        queue.put((segment.name, ids.tolist()))
+    finally:
+        attached_model = attached_index = None
+        segment.close()
+
+
+class TestAnnService:
+    def test_service_serves_ann_tier_from_store(self, model, index):
+        with ModelStore() as store:
+            store.publish(model, index=index)
+            with RecommendationService(
+                store, k=10, ann=True, nprobe=3
+            ) as service:
+                assert service.tier == "ann"
+                expected, _ = AnnScorer(model, index, nprobe=3).top_k(
+                    np.asarray([7]), 10
+                )
+                rec = service.recommend(7)
+                np.testing.assert_array_equal(rec.items, expected[0])
+        _assert_no_segments()
+
+    def test_ann_service_requires_a_published_index(self, model):
+        with ModelStore() as store:
+            store.publish(model)
+            with pytest.raises(ExecutionError):
+                RecommendationService(store, ann=True)
+        _assert_no_segments()
+
+    def test_reload_without_index_degrades_not_mixes(self, model, index):
+        """Hot-swap to an index-less version: the ANN service keeps the
+        old model+index pair and counts a reload failure."""
+        with ModelStore() as store:
+            store.publish(model, index=index)
+            with RecommendationService(
+                store, k=10, ann=True, nprobe=3
+            ) as service:
+                first = service.recommend(3)
+                assert first.model_version == 1
+                store.publish(FactorModel.initialize(60, 47, 8, seed=9))
+                again = service.recommend(4)
+                assert again.model_version == 1, "must not adopt v2"
+                assert service.stats.reload_failures >= 1
+                assert service.tier == "ann"
+        _assert_no_segments()
+
+
+class TestRecallAtK:
+    def test_perfect_and_partial(self):
+        exact = np.asarray([[1, 2, 3], [4, 5, 6]])
+        assert recall_at_k(exact, exact) == 1.0
+        approx = np.asarray([[1, 2, 9], [4, 5, 6]])
+        assert recall_at_k(approx, exact) == pytest.approx(5 / 6)
+
+    def test_order_within_slate_is_irrelevant(self):
+        exact = np.asarray([[1, 2, 3]])
+        assert recall_at_k(np.asarray([[3, 1, 2]]), exact) == 1.0
+
+    def test_pad_in_exact_shrinks_denominator(self):
+        exact = np.asarray([[1, 2, PAD_ITEM]])
+        assert recall_at_k(np.asarray([[1, 2, PAD_ITEM]]), exact) == 1.0
+        assert recall_at_k(np.asarray([[1, 9, PAD_ITEM]]), exact) == 0.5
+
+    def test_pad_in_approx_never_counts_as_hit(self):
+        exact = np.asarray([[PAD_ITEM, PAD_ITEM]])
+        # Fully padded exact slate: nothing to find, recall 1.0 not 0/0.
+        assert recall_at_k(np.asarray([[PAD_ITEM, PAD_ITEM]]), exact) == 1.0
+
+    def test_shape_mismatch_rejected(self):
+        with pytest.raises(InvalidMatrixError):
+            recall_at_k(np.zeros((2, 3)), np.zeros((2, 4)))
+        with pytest.raises(InvalidMatrixError):
+            recall_at_k(np.zeros(3), np.zeros(3))

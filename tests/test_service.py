@@ -16,7 +16,7 @@ import pytest
 
 from repro import faults
 from repro.exceptions import ExecutionError, ReproError
-from repro.serve import ModelStore, Scorer
+from repro.serve import AnnScorer, IvfIndex, ModelStore, Scorer
 from repro.service import (
     HashRing,
     HttpClient,
@@ -429,6 +429,62 @@ class TestRecommendServer:
             _serve(
                 store,
                 ServiceConfig(workers=2, k=5, supervise_interval=0.02),
+                scenario,
+            )
+
+    def test_ann_hot_swap_never_mixes_model_and_index_versions(self):
+        """Every ANN response matches a pure-v1 or pure-v2 slate.
+
+        Model and index share one segment and one commit stamp, so a
+        reader can never score version-2 factors through the version-1
+        index (or vice versa).  Each response's slate must equal the
+        slate an :class:`AnnScorer` built from that version's own
+        model+index pair produces for that user.
+        """
+        model_v1, model_v2 = _model(seed=1), _model(seed=2)
+        index_v1 = IvfIndex.build(model_v1, nlist=8, seed=0)
+        index_v2 = IvfIndex.build(model_v2, nlist=8, seed=0)
+        users = np.arange(60)
+        slates = {
+            1: AnnScorer(model_v1, index_v1, nprobe=4).top_k(users, 5)[0],
+            2: AnnScorer(model_v2, index_v2, nprobe=4).top_k(users, 5)[0],
+        }
+        with ModelStore() as store:
+            store.publish(model_v1, index=index_v1)
+
+            async def scenario(server, client):
+                versions = []
+                for request in range(120):
+                    user = request % 60
+                    if request == 30:
+                        store.publish(model_v2, index=index_v2)
+                    status, payload = await client.get(f"/recommend?user={user}")
+                    assert status == 200, f"request {request} failed during swap"
+                    version = payload["model_version"]
+                    assert version in slates, f"unknown version {version}"
+                    assert payload["items"] == [
+                        int(i) for i in slates[version][user]
+                    ], f"request {request} mixed versions"
+                    versions.append(version)
+                    if request == 30:
+                        await asyncio.sleep(0.1)  # give the watcher a tick
+                assert versions[0] == 1
+                assert versions[-1] == 2, "swap never reached the readers"
+                assert server.model_version == 2
+                status, stats = await client.get("/stats")
+                assert stats["tier"] == "ann"
+                for snapshot in stats["readers"].values():
+                    assert snapshot["tier"] == "ann"
+
+            _serve(
+                store,
+                ServiceConfig(
+                    workers=2,
+                    k=5,
+                    ann=True,
+                    nprobe=4,
+                    supervise_interval=0.02,
+                ),
                 scenario,
             )
 
