@@ -32,7 +32,20 @@ auto-detected:
   accepted operating point must stay at or above the payload's
   ``recall_floor``.  Recall is a property of the (deterministic, seeded)
   index build, not of machine speed, so it is an absolute bound rather
-  than a drop-relative one.
+  than a drop-relative one;
+* **autotuning** (``BENCH_tune.json`` / ``repro tune --bench-out``): two
+  *hard* gates plus one relative one.  Hard: every gated probe section's
+  mean prediction error (``|predicted - measured| / measured``) must
+  stay within the ``error_budget`` the payload itself carries — the
+  fitted cost models predicting the machine they were fitted on is an
+  absolute property, like ANN recall — and the run's ``acceptance.met``
+  must hold (every resolved knob measured no slower than the hand-picked
+  default it replaces).  Relative: each section's default-over-resolved
+  time ratio is compared against the baseline with ``--max-drop``; both
+  times come from the same run on the same machine, so the ratio is its
+  own normaliser.  The ``backend`` section is report-only: linear
+  scaling mispredicting GIL-bound threads is the Table II finding, not a
+  regression.
 
 A payload may carry several sections (``BENCH_serve.json`` holds both
 ``serving`` and ``ann_frontier``); every section present in *both* the
@@ -321,12 +334,90 @@ def compare_ann(baseline: dict, current: dict, max_drop: float) -> int:
     return 0
 
 
+def _tune_speedups(payload: dict) -> dict:
+    """``{section: default_s / resolved_s}`` from a tune payload.
+
+    >= 1.0 by construction (the resolver falls back to the default when
+    it measured faster); both times come from the same run on the same
+    machine, so the ratio needs no external normaliser.
+    """
+    out = {}
+    sections = payload.get("tune", {}).get("acceptance", {}).get("sections", {})
+    for name, acc in sections.items():
+        resolved = float(acc.get("resolved_s", 0.0))
+        default = float(acc.get("default_s", 0.0))
+        if resolved > 0 and default > 0:
+            out[name] = default / resolved
+    return out
+
+
+def compare_tune(baseline: dict, current: dict, max_drop: float) -> int:
+    report = current.get("tune", {})
+    sections = report.get("sections", {})
+    if not sections:
+        print("error: current run contains no tune probe sections")
+        return 1
+    failures = []
+    # Hard gate 1: every gated section's cost model must predict the
+    # machine it was fitted on within its own declared budget.
+    for name in sorted(sections):
+        section = sections[name]
+        error = float(section.get("predict_error", 0.0))
+        budget = section.get("error_budget")
+        if not section.get("gated", False) or budget is None:
+            print(f"  report-only {name}: predict error {error:.1%}")
+            continue
+        budget = float(budget)
+        if error > budget:
+            print(
+                f"  ERROR BUDGET {name}: predict error {error:.1%} "
+                f"exceeds the budget {budget:.0%}"
+            )
+            failures.append((name, error))
+        else:
+            print(
+                f"  error budget ok {name}: predict error {error:.1%} "
+                f"<= budget {budget:.0%}"
+            )
+    # Hard gate 2: no resolved knob may have measured slower than the
+    # hand-picked default it replaces.
+    acceptance = report.get("acceptance", {})
+    if acceptance.get("met"):
+        print("  acceptance ok: resolved knobs measured no slower than defaults")
+    else:
+        slower = [
+            name
+            for name, acc in acceptance.get("sections", {}).items()
+            if not acc.get("ok")
+        ]
+        print(f"  ACCEPTANCE: resolved config measured slower than defaults {slower}")
+        failures.append(("acceptance", 0.0))
+    # Relative gate: the tuning win itself must not silently erode.
+    failures += _report(
+        _tune_speedups(baseline),
+        _tune_speedups(current),
+        lambda key: f"tuning win {key}",
+        "default config",
+        max_drop,
+    )
+    if failures:
+        print(
+            f"\nperf regression: {len(failures)} autotune check(s) failed "
+            "(prediction error over budget, resolved config slower than "
+            f"defaults, or tuning win down more than {max_drop:.0%})"
+        )
+        return 1
+    print("\nno autotune check regressed beyond the threshold")
+    return 0
+
+
 _COMPARATORS = (
     ("scaling", "execution scaling", compare_scaling),
     ("serving", "serving throughput", compare_serving),
     ("fold_in", "streaming fold-in", compare_stream),
     ("service", "HTTP service", compare_service),
     ("ann_frontier", "approximate retrieval", compare_ann),
+    ("tune", "autotune cost-model fidelity", compare_tune),
 )
 
 

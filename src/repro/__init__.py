@@ -77,8 +77,9 @@ from .stream import (
     IngestSession,
     IngestStats,
 )
+from .tune import TunedProfile, run_tune, set_active_profile, use_profile
 
-__version__ = "1.6.0"
+__version__ = "1.7.0"
 
 __all__ = [
     "BACKENDS",
@@ -138,5 +139,9 @@ __all__ = [
     "IngestReport",
     "IngestSession",
     "IngestStats",
+    "TunedProfile",
+    "run_tune",
+    "set_active_profile",
+    "use_profile",
     "__version__",
 ]

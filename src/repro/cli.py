@@ -12,8 +12,16 @@ regenerated from a shell, plus training and serving entry points::
     repro serve-bench --items 17770                     # serving throughput
     repro ingest --dataset movielens --publish          # streaming replay
     repro gc-shm                    # reap shm segments orphaned by crashes
+    repro tune --quick              # calibrate, write tuned_profile.json
     repro figure10                  # time-to-target vs GPU workers
     repro table2 --full             # Table II with the paper's sweep
+
+Autotuning: ``repro tune`` fits the Section V cost models on this
+machine and writes a reusable profile; ``--profile PATH`` on the
+train/recommend/serve/serve-bench/ingest commands loads it, after which
+every ``"auto"`` knob (``--workers auto``, ``--batch-size auto``,
+``--chunk-items auto``, ``--backend auto``) resolves through it instead
+of the hand-picked defaults.
 """
 
 from __future__ import annotations
@@ -23,10 +31,11 @@ import sys
 from typing import List, Optional
 
 from . import __version__
-from .config import AUTO_BACKEND, DEFAULT_BATCH_SIZE, KERNEL_NAMES
+from .config import AUTO_BACKEND, AUTO_TUNABLE, DEFAULT_BATCH_SIZE, KERNEL_NAMES
 from .core import ALGORITHMS, HeterogeneousTrainer
 from .exec import Checkpoint, EarlyStopping, JsonlLogger, backend_names
 from .serve import DEFAULT_CHUNK_ITEMS
+from .serve.service import DEFAULT_SERVICE_BATCH
 from .datasets import dataset_names, load_dataset
 from .experiments import (
     ExperimentContext,
@@ -65,6 +74,30 @@ EXPERIMENTS = (
 )
 
 
+def _int_or_auto(text: str):
+    """argparse type for knobs that accept an integer or ``"auto"``."""
+    if text == AUTO_TUNABLE:
+        return AUTO_TUNABLE
+    try:
+        return int(text)
+    except ValueError:
+        raise argparse.ArgumentTypeError(
+            f"expected an integer or {AUTO_TUNABLE!r}, got {text!r}"
+        ) from None
+
+
+def _add_profile_flag(parser: argparse.ArgumentParser) -> None:
+    parser.add_argument(
+        "--profile",
+        metavar="PATH",
+        default=None,
+        help=(
+            "load a tuned profile written by 'repro tune'; every 'auto' "
+            "knob then resolves through it instead of the built-in defaults"
+        ),
+    )
+
+
 def _build_parser() -> argparse.ArgumentParser:
     parser = argparse.ArgumentParser(
         prog="repro",
@@ -85,13 +118,13 @@ def _build_parser() -> argparse.ArgumentParser:
     train.add_argument("--cpu-threads", type=int, default=16)
     train.add_argument(
         "--workers",
-        type=int,
+        type=_int_or_auto,
         default=None,
         metavar="N",
         help=(
             "number of CPU workers (overrides --cpu-threads): one worker "
             "thread/process per scheduler worker on the real execution "
-            "backends"
+            "backends; 'auto' resolves through a loaded --profile"
         ),
     )
     train.add_argument("--gpu-workers", type=int, default=128)
@@ -195,15 +228,16 @@ def _build_parser() -> argparse.ArgumentParser:
     )
     train.add_argument(
         "--batch-size",
-        type=int,
+        type=_int_or_auto,
         default=None,
         metavar="B",
         help=(
             "mini-batch length of the vectorised kernels (default "
-            f"{DEFAULT_BATCH_SIZE}); the 'sequential' reference kernel "
-            "ignores it"
+            f"{DEFAULT_BATCH_SIZE}, 'auto' resolves through a loaded "
+            "--profile); the 'sequential' reference kernel ignores it"
         ),
     )
+    _add_profile_flag(train)
 
     recommend = subparsers.add_parser(
         "recommend",
@@ -236,11 +270,16 @@ def _build_parser() -> argparse.ArgumentParser:
     )
     recommend.add_argument(
         "--chunk-items",
-        type=int,
+        type=_int_or_auto,
         default=DEFAULT_CHUNK_ITEMS,
         metavar="C",
-        help=f"item-axis tile width of the scorer (default: {DEFAULT_CHUNK_ITEMS})",
+        help=(
+            f"item-axis tile width of the scorer (default: "
+            f"{DEFAULT_CHUNK_ITEMS}, 'auto' resolves through a loaded "
+            "--profile)"
+        ),
     )
+    _add_profile_flag(recommend)
     recommend.add_argument(
         "--attach",
         metavar="HANDLE",
@@ -359,6 +398,29 @@ def _build_parser() -> argparse.ArgumentParser:
         metavar="P",
         help="inverted lists probed per request (default: 8)",
     )
+    serve.add_argument(
+        "--batch-size",
+        type=_int_or_auto,
+        default=DEFAULT_SERVICE_BATCH,
+        metavar="B",
+        help=(
+            "reader-side coalescing batch (default: "
+            f"{DEFAULT_SERVICE_BATCH}, 'auto' resolves through a loaded "
+            "--profile)"
+        ),
+    )
+    serve.add_argument(
+        "--chunk-items",
+        type=_int_or_auto,
+        default=DEFAULT_CHUNK_ITEMS,
+        metavar="C",
+        help=(
+            "item-axis tile width of the readers' scorer (default: "
+            f"{DEFAULT_CHUNK_ITEMS}, 'auto' resolves through a loaded "
+            "--profile)"
+        ),
+    )
+    _add_profile_flag(serve)
 
     serve_bench = subparsers.add_parser(
         "serve-bench",
@@ -441,6 +503,7 @@ def _build_parser() -> argparse.ArgumentParser:
             "recall@K) as JSON"
         ),
     )
+    _add_profile_flag(serve_bench)
 
     ingest = subparsers.add_parser(
         "ingest",
@@ -516,6 +579,36 @@ def _build_parser() -> argparse.ArgumentParser:
             "(exercises the shared-memory hot-swap path)"
         ),
     )
+    _add_profile_flag(ingest)
+
+    tune = subparsers.add_parser(
+        "tune",
+        help=(
+            "calibrate the cost models on this machine and write a tuned "
+            "profile that resolves every 'auto' knob"
+        ),
+    )
+    tune.add_argument(
+        "--quick",
+        action="store_true",
+        help="reduced probe set (seconds instead of tens of seconds)",
+    )
+    tune.add_argument(
+        "--out",
+        metavar="PATH",
+        default="tuned_profile.json",
+        help="where to write the profile (default: tuned_profile.json)",
+    )
+    tune.add_argument(
+        "--bench-out",
+        metavar="PATH",
+        default=None,
+        help=(
+            "also write the predicted-vs-measured probe report "
+            "(the BENCH_tune.json payload CI gates on)"
+        ),
+    )
+    tune.add_argument("--seed", type=int, default=0)
 
     gc_shm = subparsers.add_parser(
         "gc-shm",
@@ -597,8 +690,12 @@ def _train_callbacks(args: argparse.Namespace) -> List:
 
 
 def _run_train(args: argparse.Namespace) -> None:
+    from .tune.profile import resolve_workers
+
     data = load_dataset(args.dataset, seed=args.seed)
-    cpu_threads = args.workers if args.workers is not None else args.cpu_threads
+    # None -> --cpu-threads, "auto" -> the loaded profile (or
+    # --cpu-threads without one), an integer passes through.
+    cpu_threads = resolve_workers(args.workers, args.cpu_threads)
     context = ExperimentContext(
         cpu_threads=cpu_threads, gpu_parallel_workers=args.gpu_workers
     )
@@ -969,6 +1066,8 @@ def _run_serve(args: argparse.Namespace) -> None:
         k=args.top,
         queue_depth=args.queue_depth,
         deadline=args.deadline_ms / 1000.0,
+        batch_size=args.batch_size,
+        chunk_items=args.chunk_items,
         ann=args.ann,
         nprobe=args.nprobe,
     )
@@ -1013,6 +1112,58 @@ def _run_serve(args: argparse.Namespace) -> None:
             pass
     stats_note = "stopped cleanly"
     print(f"server             : {stats_note}")
+
+
+def _run_tune(args: argparse.Namespace) -> None:
+    import json
+    import time
+
+    from .tune import run_tune
+
+    outcome = run_tune(quick=args.quick, seed=args.seed, created_unix=time.time())
+    profile = outcome.profile
+    fp = profile.fingerprint
+    mode = "quick" if args.quick else "full"
+    print(
+        f"machine            : {fp.get('machine', '?')} "
+        f"({fp.get('usable_cores', '?')} usable cores, "
+        f"numpy {fp.get('numpy', '?')})"
+    )
+    print(f"probe set          : {mode}")
+    sections = outcome.payload["tune"]["sections"]
+    for name in sorted(sections):
+        section = sections[name]
+        budget = section["error_budget"]
+        budget_label = f" (budget {budget:.0%})" if budget is not None else " (report-only)"
+        print(
+            f"  {name:<16} : predict error {section['predict_error']:.1%}"
+            f"{budget_label}, {len(section['probes'])} probes"
+        )
+    t, s, st = profile.training, profile.serving, profile.stream
+    print(
+        f"training           : backend={t.backend} workers={t.workers} "
+        f"batch_size={t.batch_size} kernel={t.kernel}"
+    )
+    print(f"serving            : chunk_items={s.chunk_items} batch_size={s.batch_size}")
+    print(
+        f"stream             : gram_chunk_elements={st.gram_chunk_elements} "
+        f"foldin_batch_users={st.foldin_batch_users}"
+    )
+    if profile.alpha is not None:
+        print(f"workload split     : alpha={profile.alpha:.3f}")
+    acceptance = outcome.payload["tune"]["acceptance"]
+    print(
+        "acceptance         : "
+        + ("met" if acceptance["met"] else "NOT MET")
+        + " (resolved knobs measured no slower than defaults)"
+    )
+    profile.dump(args.out)
+    print(f"profile written    : {args.out}")
+    if args.bench_out is not None:
+        with open(args.bench_out, "w", encoding="utf-8") as stream:
+            json.dump(outcome.payload, stream, indent=2)
+            stream.write("\n")
+        print(f"bench written      : {args.bench_out}")
 
 
 def _run_gc_shm(args: argparse.Namespace) -> None:
@@ -1120,6 +1271,10 @@ def main(argv: Optional[List[str]] = None) -> int:
         parser.print_help()
         return 1
     try:
+        if getattr(args, "profile", None) is not None:
+            from .tune.profile import TunedProfile, set_active_profile
+
+            set_active_profile(TunedProfile.load(args.profile))
         if args.command == "list":
             _run_list()
         elif args.command == "train":
@@ -1132,6 +1287,8 @@ def main(argv: Optional[List[str]] = None) -> int:
             _run_serve_bench(args)
         elif args.command == "ingest":
             _run_ingest(args)
+        elif args.command == "tune":
+            _run_tune(args)
         elif args.command == "gc-shm":
             _run_gc_shm(args)
         else:

@@ -20,7 +20,7 @@ from __future__ import annotations
 
 import dataclasses
 from dataclasses import dataclass, field
-from typing import Optional
+from typing import Optional, Union
 
 from .exceptions import ConfigurationError
 
@@ -51,6 +51,13 @@ BACKENDS = ("simulate", "threads", "processes")
 #: processes when the run has more than one worker and the platform
 #: supports shared-memory multiprocessing, worker threads otherwise.
 AUTO_BACKEND = "auto"
+
+#: The sentinel accepted by every tunable the autotuner can resolve
+#: (training batch size, serving chunk/batch, CLI worker counts): with a
+#: :class:`repro.tune.TunedProfile` active it resolves to the calibrated
+#: value, without one it falls back to the documented hand-picked
+#: default — bitwise-identical to the pre-autotuning behaviour.
+AUTO_TUNABLE = "auto"
 
 #: Default mini-batch length of the vectorised SGD kernels, used when
 #: :attr:`TrainingConfig.batch_size` is left ``None``.  Small enough that
@@ -109,9 +116,11 @@ class TrainingConfig:
         bitwise-identical to the ``"minibatch"`` kernel.
     batch_size:
         Mini-batch length of the vectorised kernels
-        (:data:`DEFAULT_BATCH_SIZE` when ``None``).  Only affects the
-        mini-batch relaxation — the ``"sequential"`` reference kernel
-        updates rating by rating and ignores it.
+        (:data:`DEFAULT_BATCH_SIZE` when ``None``).  ``"auto"`` resolves
+        through the active :class:`repro.tune.TunedProfile` when one is
+        loaded and to :data:`DEFAULT_BATCH_SIZE` otherwise.  Only
+        affects the mini-batch relaxation — the ``"sequential"``
+        reference kernel updates rating by rating and ignores it.
     max_worker_restarts:
         Retry budget of the ``"processes"`` backend's worker
         supervision: how many worker-process deaths one run absorbs by
@@ -133,7 +142,7 @@ class TrainingConfig:
     init_scale: Optional[float] = None
     backend: str = "simulate"
     kernel: str = "auto"
-    batch_size: Optional[int] = None
+    batch_size: Optional[Union[int, str]] = None
     max_worker_restarts: int = DEFAULT_MAX_WORKER_RESTARTS
 
     def __post_init__(self) -> None:
@@ -158,7 +167,13 @@ class TrainingConfig:
             raise ConfigurationError(
                 f"init_scale must be positive when given, got {self.init_scale}"
             )
-        if self.batch_size is not None and self.batch_size <= 0:
+        if isinstance(self.batch_size, str):
+            if self.batch_size != AUTO_TUNABLE:
+                raise ConfigurationError(
+                    f"batch_size must be a positive integer, None or "
+                    f"{AUTO_TUNABLE!r}, got {self.batch_size!r}"
+                )
+        elif self.batch_size is not None and self.batch_size <= 0:
             raise ConfigurationError(
                 f"batch_size must be positive when given, got {self.batch_size}"
             )
@@ -192,13 +207,20 @@ class TrainingConfig:
         """Return a copy of this config with a different SGD kernel."""
         return dataclasses.replace(self, kernel=kernel)
 
-    def with_batch_size(self, batch_size: Optional[int]) -> "TrainingConfig":
+    def with_batch_size(
+        self, batch_size: Optional[Union[int, str]]
+    ) -> "TrainingConfig":
         """Return a copy of this config with a different mini-batch size."""
         return dataclasses.replace(self, batch_size=batch_size)
 
     @property
     def effective_batch_size(self) -> int:
         """The mini-batch length the vectorised kernels actually use."""
+        if self.batch_size == AUTO_TUNABLE:
+            # Lazy: repro.tune.profile imports this module's constants.
+            from .tune.profile import resolve_training_batch_size
+
+            return resolve_training_batch_size(AUTO_TUNABLE)
         if self.batch_size is not None:
             return self.batch_size
         return DEFAULT_BATCH_SIZE

@@ -120,14 +120,30 @@ def is_registered(name: str) -> bool:
     return name in _REGISTRY
 
 
+#: Sentinel for "no explicit profile passed — consult the active one".
+#: Distinct from ``profile=None``, which *forces* the heuristic
+#: no-profile path (the bitwise-pinned legacy behaviour) regardless of
+#: any globally installed profile.
+_UNSET_PROFILE = object()
+
+
 def resolve_backend_name(
     name: str,
     n_workers: Optional[int] = None,
     use_block_store: bool = True,
+    profile=_UNSET_PROFILE,
 ) -> str:
     """Resolve the ``"auto"`` pseudo-backend to a concrete registry name.
 
-    ``"auto"`` picks real execution hardware for the run at hand:
+    With a :class:`repro.tune.TunedProfile` supplied (or installed via
+    :func:`repro.tune.set_active_profile`), ``"auto"`` resolves to the
+    profile's calibrated backend choice — still sanity-bounded to a
+    legal configuration for *this* run (see
+    :meth:`repro.tune.TunedProfile.resolve_backend`: ``"processes"``
+    demotes to ``"threads"`` for single-worker runs, the legacy gather
+    path, and unsupported platforms).
+
+    Without a profile, ``"auto"`` falls back to the original heuristic:
 
     * ``"processes"`` when the run has more than one worker, the
       platform supports the shared-memory process backend (true
@@ -144,6 +160,14 @@ def resolve_backend_name(
     """
     if name != AUTO_BACKEND:
         return name
+    if profile is _UNSET_PROFILE:
+        from ..tune.profile import active_profile
+
+        profile = active_profile()
+    if profile is not None:
+        return profile.resolve_backend(
+            n_workers=n_workers, use_block_store=use_block_store
+        )
     from .process import process_backend_supported
 
     if (

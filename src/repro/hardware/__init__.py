@@ -20,6 +20,7 @@ same code would drive real hardware given a concrete implementation.
 """
 
 from .device import BlockWork, CPUThreadDevice, Device, GPUDevice
+from .fingerprint import fingerprint_matches, machine_fingerprint, usable_cores
 from .pcie import PCIeLinkModel
 from .platform import HeterogeneousPlatform
 from .presets import (
@@ -42,6 +43,9 @@ __all__ = [
     "CPUThreadDevice",
     "Device",
     "GPUDevice",
+    "fingerprint_matches",
+    "machine_fingerprint",
+    "usable_cores",
     "PCIeLinkModel",
     "HeterogeneousPlatform",
     "PAPER_MACHINE",

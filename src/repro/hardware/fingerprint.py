@@ -1,0 +1,65 @@
+"""Machine fingerprinting for tuned profiles.
+
+A :class:`~repro.tune.TunedProfile` is only meaningful on the machine it
+was calibrated on — the whole point of on-machine tuning is that the
+fitted constants encode *this* host's BLAS build, core count and memory
+hierarchy.  The fingerprint is a small, JSON-serializable dict of the
+stable facts a profile consumer can compare against the current host to
+warn when a profile travelled: platform triple, python/numpy versions,
+core counts.
+
+It deliberately contains nothing volatile (no hostname, no load
+averages, no timestamps) so two calibration runs on the same machine
+produce the identical fingerprint, and nothing private (no serial
+numbers, no MAC addresses) so profiles are safe to commit or upload as
+CI artifacts.
+"""
+
+from __future__ import annotations
+
+import os
+import platform as _platform
+from typing import Any, Dict
+
+
+def usable_cores() -> int:
+    """CPU cores this process may actually run on.
+
+    Containers and CI runners routinely pin processes to a subset of the
+    host's cores; ``sched_getaffinity`` sees the pinning where
+    ``cpu_count`` does not.  This is the figure every worker-count
+    decision in the autotuner keys off (the dev container reports 1).
+    """
+    try:
+        return len(os.sched_getaffinity(0))
+    except AttributeError:  # pragma: no cover - non-Linux
+        return os.cpu_count() or 1
+
+
+def machine_fingerprint() -> Dict[str, Any]:
+    """Stable identity of the current host for profile provenance."""
+    import numpy
+
+    return {
+        "platform": _platform.platform(),
+        "machine": _platform.machine(),
+        "python": _platform.python_version(),
+        "numpy": numpy.__version__,
+        "cpu_count": os.cpu_count() or 1,
+        "usable_cores": usable_cores(),
+    }
+
+
+def fingerprint_matches(
+    recorded: Dict[str, Any], current: Dict[str, Any] | None = None
+) -> bool:
+    """Whether a recorded fingerprint describes the current host.
+
+    Compares only the fields that change the *shape* of good
+    configuration — core counts and the numpy build — so a patch-level
+    OS update does not invalidate a profile.
+    """
+    if current is None:
+        current = machine_fingerprint()
+    keys = ("machine", "numpy", "cpu_count", "usable_cores")
+    return all(recorded.get(key) == current.get(key) for key in keys)

@@ -37,13 +37,19 @@ from .ann import (
     IvfIndex,
 )
 from .scorer import DEFAULT_CHUNK_ITEMS, PAD_ITEM, Scorer, brute_force_top_k
-from .service import Recommendation, RecommendationService, ServiceStats
+from .service import (
+    DEFAULT_SERVICE_BATCH,
+    Recommendation,
+    RecommendationService,
+    ServiceStats,
+)
 from .store import ModelHandle, ModelLease, ModelStore, attach_model
 
 __all__ = [
     "DEFAULT_CHUNK_ITEMS",
     "DEFAULT_NLIST",
     "DEFAULT_NPROBE",
+    "DEFAULT_SERVICE_BATCH",
     "PAD_ITEM",
     "Scorer",
     "AnnIndexMeta",

@@ -50,6 +50,7 @@ import numpy as np
 from ...exceptions import InvalidMatrixError
 from ...sgd.model import FactorModel
 from ...sparse import SparseRatingMatrix
+from ...tune.profile import resolve_serving_chunk_items
 from ..scorer import (
     DEFAULT_CHUNK_ITEMS,
     PAD_ITEM,
@@ -106,12 +107,13 @@ class AnnScorer:
             Union[SparseRatingMatrix, Tuple[np.ndarray, np.ndarray]]
         ] = None,
         nprobe: int = DEFAULT_NPROBE,
-        chunk_items: int = DEFAULT_CHUNK_ITEMS,
+        chunk_items: Union[int, str] = DEFAULT_CHUNK_ITEMS,
         pq_refine: int = DEFAULT_PQ_REFINE,
         use_pq: bool = True,
     ) -> None:
         if nprobe <= 0:
             raise InvalidMatrixError(f"nprobe must be positive, got {nprobe}")
+        chunk_items = resolve_serving_chunk_items(chunk_items, DEFAULT_CHUNK_ITEMS)
         if chunk_items <= 0:
             raise InvalidMatrixError(
                 f"chunk_items must be positive, got {chunk_items}"

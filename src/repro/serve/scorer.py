@@ -35,6 +35,7 @@ import numpy as np
 from ..exceptions import InvalidMatrixError
 from ..sgd.model import FactorModel
 from ..sparse import SparseRatingMatrix
+from ..tune.profile import resolve_serving_chunk_items
 
 #: Default number of items scored per chunk.  8192 items x 64 users x 8
 #: bytes is a 4 MiB scores tile — comfortably inside L2/L3 on anything
@@ -143,7 +144,9 @@ class Scorer:
         excluded from that user's candidates.
     chunk_items:
         Item-axis tile width; bounds the scores working set to
-        ``batch x chunk_items`` floats.
+        ``batch x chunk_items`` floats.  ``"auto"`` resolves through the
+        active :class:`repro.tune.TunedProfile` when one is loaded and
+        to :data:`DEFAULT_CHUNK_ITEMS` otherwise.
 
     Notes
     -----
@@ -162,8 +165,9 @@ class Scorer:
         exclude: Optional[
             Union[SparseRatingMatrix, Tuple[np.ndarray, np.ndarray]]
         ] = None,
-        chunk_items: int = DEFAULT_CHUNK_ITEMS,
+        chunk_items: Union[int, str] = DEFAULT_CHUNK_ITEMS,
     ) -> None:
+        chunk_items = resolve_serving_chunk_items(chunk_items, DEFAULT_CHUNK_ITEMS)
         if chunk_items <= 0:
             raise InvalidMatrixError(
                 f"chunk_items must be positive, got {chunk_items}"

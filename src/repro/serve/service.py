@@ -33,9 +33,14 @@ import numpy as np
 from ..exceptions import ExecutionError
 from ..sgd.model import FactorModel
 from ..sparse import SparseRatingMatrix
+from ..tune.profile import resolve_serving_batch_size, resolve_serving_chunk_items
 from .ann import DEFAULT_NPROBE, AnnScorer, IvfIndex
 from .scorer import DEFAULT_CHUNK_ITEMS, Scorer
 from .store import ModelLease, ModelStore
+
+#: Default coalescing threshold of :meth:`RecommendationService.enqueue`
+#: (the ``"auto"`` fallback when no tuned profile is active).
+DEFAULT_SERVICE_BATCH = 64
 
 
 @dataclass(frozen=True)
@@ -102,14 +107,17 @@ class RecommendationService:
         Slate size returned for every request.
     batch_size:
         Coalescing threshold: :meth:`enqueue` auto-flushes when this
-        many distinct users are pending.
+        many distinct users are pending.  ``"auto"`` resolves through
+        the active :class:`repro.tune.TunedProfile` when one is loaded
+        and to :data:`DEFAULT_SERVICE_BATCH` otherwise.
     cache_size:
         Maximum ``(version, user)`` entries kept in the LRU cache.
     exclude:
         Optional training matrix; already-rated items never appear in a
         slate (see :class:`Scorer`).
     chunk_items:
-        Item-axis tile width of the underlying scorer.
+        Item-axis tile width of the underlying scorer (``"auto"``:
+        profile-resolved, falling back to :data:`DEFAULT_CHUNK_ITEMS`).
     model_version:
         Version number reported (and used as the cache key) when
         ``source`` is a plain :class:`FactorModel`.  Reader processes
@@ -139,15 +147,17 @@ class RecommendationService:
         self,
         source: Union[ModelStore, FactorModel],
         k: int = 10,
-        batch_size: int = 64,
+        batch_size: Union[int, str] = DEFAULT_SERVICE_BATCH,
         cache_size: int = 4096,
         exclude: Optional[SparseRatingMatrix] = None,
-        chunk_items: int = DEFAULT_CHUNK_ITEMS,
+        chunk_items: Union[int, str] = DEFAULT_CHUNK_ITEMS,
         model_version: int = 0,
         ann: bool = False,
         nprobe: int = DEFAULT_NPROBE,
         index: Optional[IvfIndex] = None,
     ) -> None:
+        batch_size = resolve_serving_batch_size(batch_size, DEFAULT_SERVICE_BATCH)
+        chunk_items = resolve_serving_chunk_items(chunk_items, DEFAULT_CHUNK_ITEMS)
         if k <= 0:
             raise ExecutionError(f"k must be positive, got {k}")
         if batch_size <= 0:

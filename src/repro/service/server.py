@@ -41,10 +41,13 @@ from __future__ import annotations
 import asyncio
 import time
 from dataclasses import dataclass, field
-from typing import Dict, Optional
+from typing import Dict, Optional, Union
 
 from ..exceptions import ExecutionError
+from ..serve.scorer import DEFAULT_CHUNK_ITEMS
+from ..serve.service import DEFAULT_SERVICE_BATCH
 from ..serve.store import ModelStore
+from ..tune.profile import resolve_serving_batch_size, resolve_serving_chunk_items
 from .pool import ReaderOptions, ReaderPool
 from .protocol import HttpRequest, ProtocolError, read_request, render_response
 from .routing import HashRing
@@ -59,6 +62,12 @@ class ServiceConfig:
     — the store's published versions must then carry an ANN index
     (``store.publish(model, index=...)``), which the server checks at
     startup rather than letting every reader crash on attach.
+
+    ``batch_size`` and ``chunk_items`` accept ``"auto"``: resolved at
+    construction time through the active
+    :class:`repro.tune.TunedProfile` (falling back to the hand-picked
+    defaults when none is loaded), so the reader pool only ever sees
+    concrete integers.
     """
 
     host: str = "127.0.0.1"
@@ -68,9 +77,9 @@ class ServiceConfig:
     queue_depth: int = 64
     deadline: float = 1.0
     retry_after: float = 1.0
-    batch_size: int = 64
+    batch_size: Union[int, str] = DEFAULT_SERVICE_BATCH
     cache_size: int = 4096
-    chunk_items: int = 8192
+    chunk_items: Union[int, str] = DEFAULT_CHUNK_ITEMS
     max_reader_restarts: int = 3
     supervise_interval: float = 0.05
     start_method: Optional[str] = None
@@ -78,6 +87,26 @@ class ServiceConfig:
     nprobe: int = 8
 
     def __post_init__(self) -> None:
+        # Frozen dataclass: resolve the "auto" knobs in place so every
+        # consumer (reader options, /stats) sees concrete integers.
+        object.__setattr__(
+            self,
+            "batch_size",
+            resolve_serving_batch_size(self.batch_size, DEFAULT_SERVICE_BATCH),
+        )
+        object.__setattr__(
+            self,
+            "chunk_items",
+            resolve_serving_chunk_items(self.chunk_items, DEFAULT_CHUNK_ITEMS),
+        )
+        if self.batch_size <= 0:
+            raise ExecutionError(
+                f"batch_size must be positive, got {self.batch_size}"
+            )
+        if self.chunk_items <= 0:
+            raise ExecutionError(
+                f"chunk_items must be positive, got {self.chunk_items}"
+            )
         if self.workers <= 0:
             raise ExecutionError(f"workers must be positive, got {self.workers}")
         if self.queue_depth <= 0:

@@ -49,8 +49,19 @@ _PAD_ELEMENT_BUDGET = 32_000_000
 #: Element ceiling of one ``(chunk, k, k)`` Gram stack (~16 MB of
 #: float64).  The batched Gram+solve stage processes groups in chunks of
 #: this size so the working set stays cache-resident instead of
-#: streaming a multi-hundred-MB stack through memory three times.
+#: streaming a multi-hundred-MB stack through memory three times.  This
+#: is the hand-picked default; an active :class:`repro.tune.TunedProfile`
+#: overrides it with the calibrated value (chunking only regroups
+#: identical per-group solves, so the ceiling affects speed, never
+#: results).
 _GRAM_CHUNK_ELEMENTS = 2_000_000
+
+
+def _gram_chunk_elements() -> int:
+    """The Gram-stack ceiling in effect (profile-resolved or default)."""
+    from ..tune.profile import resolve_foldin_gram_chunk
+
+    return resolve_foldin_gram_chunk(_GRAM_CHUNK_ELEMENTS)
 
 
 def solve_fold_in(
@@ -145,7 +156,7 @@ def solve_fold_in(
             # decouple: their kernel rows are zero off-diagonal and
             # their rhs is zero, so they solve to zero coefficients.
             diag = np.arange(d_max)
-            chunk = max(1, _GRAM_CHUNK_ELEMENTS // (d_max * d_max))
+            chunk = max(1, _gram_chunk_elements() // (d_max * d_max))
             for start in range(0, n_groups, chunk):
                 span = slice(start, start + chunk)
                 padded_t = padded[span].transpose(0, 2, 1)
@@ -158,7 +169,7 @@ def solve_fold_in(
         # Chunk the Gram+solve stage: one (chunk, k, k) stack at a time
         # keeps the working set cache-resident and avoids allocating a
         # gram stack hundreds of MB large for big batches.
-        chunk = max(1, _GRAM_CHUNK_ELEMENTS // (k * k))
+        chunk = max(1, _gram_chunk_elements() // (k * k))
         for start in range(0, n_groups, chunk):
             span = slice(start, start + chunk)
             padded_t = padded[span].transpose(0, 2, 1)

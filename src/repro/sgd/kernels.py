@@ -515,14 +515,24 @@ def resolve_kernel_name(name: str, exact_kernel: bool = False) -> str:
 
     ``exact_kernel=True`` (the engines' validation switch) forces the
     sequential reference kernel regardless of configuration; ``"auto"``
-    selects the block-major local kernel, which the engines feed through
-    pre-validated :class:`~repro.sparse.BlockStore` data (callers without
-    block-major data fall back to ``"minibatch"``, which is
-    bitwise-identical).
+    selects the active :class:`repro.tune.TunedProfile`'s calibrated
+    kernel when a profile is loaded (safe: every selectable mini-batch
+    kernel is bitwise-identical to the others, so the profile can only
+    change speed, never results) and defaults to the block-major local
+    kernel otherwise, which the engines feed through pre-validated
+    :class:`~repro.sparse.BlockStore` data (callers without block-major
+    data fall back to ``"minibatch"``, which is bitwise-identical).
     """
     if exact_kernel:
         return "sequential"
     if name == "auto":
+        # Lazy: repro.tune.profile re-exports config constants and must
+        # stay importable without the sgd package.
+        from ..tune.profile import profile_kernel
+
+        tuned = profile_kernel()
+        if tuned is not None:
+            return tuned
         return "minibatch_local"
     if name not in KERNELS:
         raise ConfigurationError(

@@ -351,3 +351,208 @@ class TestCalibration:
             calibrate_platform(
                 small_platform, tiny_matrix, training=small_training, segments=100
             )
+
+
+class TestCostModelEdgeBranches:
+    """Error paths and degenerate-split guards of the fitted models.
+
+    These branches matter to the tune path: `run_tune` feeds measured
+    ladders straight into `fit`, so a noisy probe on a busy machine can
+    produce exactly the degenerate regime splits exercised here.
+    """
+
+    # -- fitting ----------------------------------------------------- #
+
+    def test_fit_rejects_mismatched_shapes(self):
+        with pytest.raises(CostModelError):
+            fit_linear([1.0, 2.0, 3.0], [1.0, 2.0])
+        with pytest.raises(CostModelError):
+            fit_linear(np.ones((2, 2)), np.ones(4))
+
+    # -- transfer model ---------------------------------------------- #
+
+    def test_transfer_rejects_bad_threshold(self):
+        line = fit_linear([0.0, 1.0], [1.0, 1.0])
+        with pytest.raises(CostModelError):
+            TransferCostModel(line, line, threshold_bytes=0.0)
+
+    def test_transfer_fit_rejects_few_or_bad_samples(self):
+        with pytest.raises(CostModelError):
+            TransferCostModel.fit([10.0, 100.0, 1000.0], [1e-3, 1e-2, 1e-1])
+        with pytest.raises(CostModelError):
+            TransferCostModel.fit(
+                [0.5, 100.0, 1000.0, 10000.0], [1e-3, 1e-2, 1e-1, 1.0]
+            )
+        with pytest.raises(CostModelError):
+            TransferCostModel.fit(
+                [10.0, 100.0, 1000.0, 10000.0], [1e-3, 0.0, 1e-1, 1.0]
+            )
+
+    def test_transfer_fit_survives_flat_speed_curve(self):
+        # Constant speed settles immediately: the threshold lands on the
+        # smallest sample and the small-regime guard must widen it.
+        sizes = np.array([1e3, 1e4, 1e5, 1e6, 1e7])
+        times = sizes / 1e8
+        model = TransferCostModel.fit(sizes, times)
+        assert model.time_for_bytes(5e5) > 0
+
+    def test_transfer_fit_survives_never_settling_curve(self):
+        # Speed doubles at every step: the threshold falls back to the
+        # largest sample and the large-regime guard must reclaim points.
+        sizes = np.array([1e3, 1e4, 1e5, 1e6, 1e7])
+        speeds = 1e6 * 2.0 ** np.arange(len(sizes))
+        model = TransferCostModel.fit(sizes, sizes / speeds)
+        assert model.time_for_bytes(5e5) > 0
+
+    def test_transfer_time_edge_inputs(self):
+        sizes = np.geomspace(1e3, 1e8, 8)
+        times = [(s / (1e8 + s)) for s in sizes]
+        model = TransferCostModel.fit(sizes, times)
+        with pytest.raises(CostModelError):
+            model.time_for_bytes(-1.0)
+        assert model.time_for_bytes(0.0) == 0.0
+        assert model.bandwidth_for_bytes(0.0) == 0.0
+        assert model.bandwidth_for_bytes(1e5) > 0
+        assert "TransferCostModel" in repr(model)
+
+    def test_transfer_nonpositive_fitted_speed_raises(self):
+        negative = fit_linear([0.0, 1.0], [-1.0, -1.0])
+        positive = fit_linear([0.0, 1.0], [1.0, 2.0])
+        model = TransferCostModel(negative, positive, threshold_bytes=1e6)
+        with pytest.raises(CostModelError):
+            model.time_for_bytes(10.0)
+
+    # -- kernel model ------------------------------------------------- #
+
+    def test_kernel_rejects_bad_threshold(self):
+        line = fit_linear([0.0, 1.0], [1.0, 1.0])
+        with pytest.raises(CostModelError):
+            KernelCostModel(line, line, threshold_points=-5.0)
+
+    def test_kernel_fit_rejects_few_or_bad_samples(self):
+        with pytest.raises(CostModelError):
+            KernelCostModel.fit([10.0, 100.0, 1000.0], [1e-3, 1e-2, 1e-1])
+        with pytest.raises(CostModelError):
+            KernelCostModel.fit(
+                [10.0, 100.0, 1000.0, 10000.0], [1e-3, -1e-2, 1e-1, 1.0]
+            )
+
+    def test_kernel_fit_survives_degenerate_splits(self):
+        points = np.array([1e3, 1e4, 1e5, 1e6, 1e7])
+        flat = KernelCostModel.fit(points, points / 1e7)
+        assert flat.time_for_points(5e4) > 0
+        speeds = 1e5 * 2.0 ** np.arange(len(points))
+        rising = KernelCostModel.fit(points, points / speeds)
+        assert rising.time_for_points(5e4) > 0
+
+    def test_kernel_time_edge_inputs(self):
+        points = np.geomspace(1e2, 1e7, 8)
+        times = [(p / (1e7 + p)) for p in points]
+        model = KernelCostModel.fit(points, times)
+        with pytest.raises(CostModelError):
+            model.time_for_points(-1.0)
+        assert model.speed_for_points(0.0) == 0.0
+        assert model.speed_for_points(1e4) > 0
+        assert "KernelCostModel" in repr(model)
+
+    def test_kernel_nonpositive_fitted_speed_raises(self):
+        negative = fit_linear([0.0, 1.0], [-1.0, -1.0])
+        positive = fit_linear([0.0, 1.0], [1.0, 2.0])
+        model = KernelCostModel(negative, positive, threshold_points=1e6)
+        with pytest.raises(CostModelError):
+            model.time_for_points(10.0)
+
+    # -- combined GPU model ------------------------------------------- #
+
+    @pytest.fixture()
+    def slow_kernel_gpu(self):
+        points = np.geomspace(1e2, 1e7, 8)
+        kernel = KernelCostModel.fit(points, [p / 1e5 for p in points])
+        transfer = TransferCostModel.fit(points, [p / 1e12 for p in points])
+        return GPUCostModel(
+            kernel=kernel,
+            host_to_device=transfer,
+            device_to_host=transfer,
+            bytes_per_point=1.0,
+        )
+
+    def test_gpu_model_edge_inputs(self, slow_kernel_gpu):
+        with pytest.raises(CostModelError):
+            slow_kernel_gpu.time_for_points(-1.0)
+        assert slow_kernel_gpu.speed_for_points(0.0) == 0.0
+        assert "GPUCostModel" in repr(slow_kernel_gpu)
+
+    def test_gpu_bottleneck_reports_kernel(self, slow_kernel_gpu):
+        # Kernel fitted ~1e7x slower than the transfer link: the
+        # stream-overlapped maximum must be the kernel.
+        assert slow_kernel_gpu.bottleneck(1e5) == "kernel"
+        assert slow_kernel_gpu.time_for_points(
+            1e5
+        ) == slow_kernel_gpu.kernel_time_for_points(1e5)
+
+    # -- qilin -------------------------------------------------------- #
+
+    def test_qilin_device_edge_inputs(self):
+        model = QilinDeviceModel.fit([1e3, 1e4, 1e5], [1e-3, 1e-2, 1e-1])
+        with pytest.raises(CostModelError):
+            model.time_for_points(-1.0)
+        assert model.time_for_points(0.0) == 0.0
+        assert model.speed_for_points(0.0) == 0.0
+        assert "QilinDeviceModel" in repr(model)
+
+    def test_qilin_nonpositive_time_raises(self):
+        flat = QilinDeviceModel(fit_linear([0.0, 1.0], [-1.0, -1.0]))
+        with pytest.raises(CostModelError):
+            flat.speed_for_points(100.0)
+
+    def test_qilin_pair_repr(self):
+        dev = QilinDeviceModel.fit([1e3, 1e4, 1e5], [1e-3, 1e-2, 1e-1])
+        assert "QilinCostModel" in repr(QilinCostModel(cpu=dev, gpu=dev))
+
+    # -- cpu ---------------------------------------------------------- #
+
+    def test_cpu_nonpositive_time_raises(self):
+        from repro.costmodel import FittedLine
+
+        model = CPUCostModel(FittedLine(slope=1e-12, intercept=-1.0))
+        with pytest.raises(CostModelError):
+            model.speed_for_points(1.0)
+        assert model.speed_for_points(0.0) == 0.0
+        assert "CPUCostModel" in repr(model)
+
+    # -- calibration probes and results ------------------------------- #
+
+    def test_probe_speed_handles_zero_seconds(self):
+        from repro.costmodel import CalibrationProbe
+
+        assert CalibrationProbe(points=10, seconds=0.0).speed == 0.0
+        assert CalibrationProbe(points=10, seconds=2.0).speed == 5.0
+
+    def test_probe_guards(self, small_platform):
+        from repro.costmodel import (
+            probe_cpu_kernel,
+            probe_gpu_kernel,
+            probe_transfer_link,
+        )
+
+        with pytest.raises(CalibrationError):
+            probe_cpu_kernel(small_platform, [], 8, repeats=0)
+        with pytest.raises(CalibrationError):
+            probe_gpu_kernel(small_platform, [], 8, repeats=0)
+        with pytest.raises(CalibrationError):
+            probe_transfer_link(small_platform, [0], direction="h2d")
+        with pytest.raises(CalibrationError):
+            probe_transfer_link(small_platform, [1024], direction="sideways")
+
+    def test_qilin_cpu_prediction_and_missing_gpu_fallback(self, small_calibration):
+        import dataclasses
+
+        via_qilin = small_calibration.cpu_time_for_points(1_000, "qilin")
+        assert via_qilin > 0
+        cpu_only = dataclasses.replace(small_calibration, qilin_model=None)
+        with pytest.raises(CalibrationError):
+            cpu_only.gpu_time_for_points(1_000, "qilin")
+        # Qilin's CPU side is linear too, so the fallback is the paper model.
+        assert cpu_only.cpu_time_for_points(1_000, "qilin") == pytest.approx(
+            small_calibration.cpu_time_for_points(1_000, "paper")
+        )

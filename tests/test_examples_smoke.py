@@ -25,6 +25,7 @@ EXAMPLE_SCRIPTS = sorted(
 #: Substring each example must print when it succeeds end to end.
 EXPECTED_OUTPUT = {
     "ann_serving.py": "clean shutdown, leaked segments: none",
+    "autotune_pipeline.py": "autotune pipeline complete",
     "quickstart.py": "final test RMSE",
     "compare_schedulers.py": "speedup vs CPU",
     "cost_model_calibration.py": "Workload split chosen",
